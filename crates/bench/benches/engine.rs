@@ -1,0 +1,66 @@
+//! Criterion benches for the production-oriented variants: the
+//! buffer-reusing [`pathenum::QueryEngine`] versus the one-shot API, and
+//! the explicit-stack DFS versus the recursive one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathenum::enumerate::{idx_dfs, idx_dfs_iterative};
+use pathenum::{path_enum, Counters, CountingSink, Index, PathEnumConfig, QueryEngine};
+use pathenum_workloads::datasets;
+use pathenum_workloads::querygen::{generate_queries, QueryGenConfig};
+
+fn bench_engine_vs_oneshot(c: &mut Criterion) {
+    let graph = datasets::gg();
+    let queries = generate_queries(&graph, QueryGenConfig::paper_default(20, 4, 6));
+    let mut group = c.benchmark_group("engine_vs_oneshot_gg_20q");
+    group.bench_function("one_shot_path_enum", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for &q in &queries {
+                let mut sink = CountingSink::default();
+                path_enum(&graph, q, PathEnumConfig::default(), &mut sink);
+                total += sink.count;
+            }
+            std::hint::black_box(total)
+        })
+    });
+    group.bench_function("query_engine_reused_scratch", |b| {
+        b.iter(|| {
+            let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+            let mut total = 0u64;
+            for &q in &queries {
+                let mut sink = CountingSink::default();
+                engine.run(q, &mut sink);
+                total += sink.count;
+            }
+            std::hint::black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_recursive_vs_iterative(c: &mut Criterion) {
+    let graph = datasets::ep();
+    let query = generate_queries(&graph, QueryGenConfig::paper_default(1, 5, 8))[0];
+    let index = Index::build(&graph, query);
+    let mut group = c.benchmark_group("dfs_recursive_vs_iterative_ep_k5");
+    group.bench_function("recursive", |b| {
+        b.iter(|| {
+            let mut sink = CountingSink::default();
+            let mut counters = Counters::default();
+            idx_dfs(&index, &mut sink, &mut counters);
+            std::hint::black_box(sink.count)
+        })
+    });
+    group.bench_function("iterative", |b| {
+        b.iter(|| {
+            let mut sink = CountingSink::default();
+            let mut counters = Counters::default();
+            idx_dfs_iterative(&index, &mut sink, &mut counters);
+            std::hint::black_box(sink.count)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_vs_oneshot, bench_recursive_vs_iterative);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for the enumeration strategies:
+//! IDX-DFS / IDX-JOIN on the index versus the barrier and static-bound
+//! baselines on the raw graph (the Table 3 comparison in microcosm).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pathenum::{enumerate, Counters, CountingSink, Index};
+use pathenum_baselines::{bc_dfs, generic_dfs};
+use pathenum_workloads::datasets;
+use pathenum_workloads::querygen::{generate_queries, QueryGenConfig};
+
+fn bench_enumeration(c: &mut Criterion) {
+    let graph = datasets::ep();
+    let query = generate_queries(&graph, QueryGenConfig::paper_default(1, 5, 3))[0];
+    let index = Index::build(&graph, query);
+
+    // Result count for throughput scaling.
+    let mut count_sink = CountingSink::default();
+    let mut counters = Counters::default();
+    enumerate::idx_dfs(&index, &mut count_sink, &mut counters);
+    let results = count_sink.count.max(1);
+
+    let mut group = c.benchmark_group("enumeration_ep_k5");
+    group.throughput(Throughput::Elements(results));
+    group.bench_function("idx_dfs", |b| {
+        b.iter(|| {
+            let mut sink = CountingSink::default();
+            let mut counters = Counters::default();
+            enumerate::idx_dfs(&index, &mut sink, &mut counters);
+            std::hint::black_box(sink.count)
+        })
+    });
+    group.bench_function("idx_join_mid_cut", |b| {
+        b.iter(|| {
+            let mut sink = CountingSink::default();
+            let mut counters = Counters::default();
+            enumerate::idx_join(&index, query.k / 2, &mut sink, &mut counters);
+            std::hint::black_box(sink.count)
+        })
+    });
+    group.bench_function("bc_dfs_total", |b| {
+        b.iter(|| {
+            let mut sink = CountingSink::default();
+            bc_dfs(&graph, query, &mut sink);
+            std::hint::black_box(sink.count)
+        })
+    });
+    group.bench_function("generic_dfs_total", |b| {
+        b.iter(|| {
+            let mut sink = CountingSink::default();
+            generic_dfs(&graph, query, &mut sink);
+            std::hint::black_box(sink.count)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion micro-benchmarks for the two cardinality estimators —
+//! quantifying the cost gap the two-phase optimizer design exploits
+//! (Section 6.2: O(k^2) preliminary vs O(k |E_I|) full-fledged).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathenum::estimator::{preliminary_estimate, FullEstimate};
+use pathenum::{optimize_join_order, Index};
+use pathenum_workloads::datasets;
+use pathenum_workloads::querygen::{generate_queries, QueryGenConfig};
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimators");
+    for name in ["ep", "gg"] {
+        let graph = datasets::build(name).expect("registered dataset");
+        let query = generate_queries(&graph, QueryGenConfig::paper_default(1, 6, 4))[0];
+        let index = Index::build(&graph, query);
+        group.bench_with_input(BenchmarkId::new("preliminary", name), &index, |b, idx| {
+            b.iter(|| std::hint::black_box(preliminary_estimate(idx)))
+        });
+        group.bench_with_input(BenchmarkId::new("full_fledged", name), &index, |b, idx| {
+            b.iter(|| std::hint::black_box(FullEstimate::compute(idx).total_walks()))
+        });
+        group.bench_with_input(BenchmarkId::new("optimize_join_order", name), &index, |b, idx| {
+            b.iter(|| {
+                let est = FullEstimate::compute(idx);
+                std::hint::black_box(optimize_join_order(idx, &est))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

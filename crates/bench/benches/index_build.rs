@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for index construction (Algorithm 3):
+//! the per-query preprocessing cost PathEnum pays instead of the full
+//! reducer's relation scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathenum::relations::Relations;
+use pathenum::{Index, Query};
+use pathenum_workloads::datasets;
+use pathenum_workloads::querygen::{generate_queries, QueryGenConfig};
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    for name in ["ep", "gg"] {
+        let graph = datasets::build(name).expect("registered dataset");
+        let query = generate_queries(&graph, QueryGenConfig::paper_default(1, 6, 1))[0];
+        group.bench_with_input(BenchmarkId::new("build", name), &graph, |b, g| {
+            b.iter(|| std::hint::black_box(Index::build(g, query)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_vs_full_reducer(c: &mut Criterion) {
+    // The motivating comparison of Section 4.2: Algorithm 2 scans k
+    // copies of E; Algorithm 3 does two BFS plus one adjacency scan.
+    let mut group = c.benchmark_group("index_vs_reducer");
+    let graph = datasets::ep();
+    let query = generate_queries(&graph, QueryGenConfig::paper_default(1, 4, 2))[0];
+    let q = Query::new(query.s, query.t, 4).expect("valid");
+    group.bench_function("light_weight_index", |b| {
+        b.iter(|| std::hint::black_box(Index::build(&graph, q)))
+    });
+    group.bench_function("full_reducer_relations", |b| {
+        b.iter(|| std::hint::black_box(Relations::build_reduced(&graph, q)))
+    });
+    group.finish();
+}
+
+fn bench_pll_oracle(c: &mut Criterion) {
+    // The offline global index of §7.5: one-time build cost vs the
+    // per-lookup cost that replaces a per-query BFS pair.
+    use pathenum_graph::DistanceOracle;
+    let graph = datasets::gg();
+    let mut group = c.benchmark_group("pll_oracle_gg");
+    group.sample_size(10); // builds are slow; keep the suite fast
+    group.bench_function("build", |b| {
+        b.iter(|| std::hint::black_box(DistanceOracle::build(&graph)))
+    });
+    group.finish();
+
+    let oracle = DistanceOracle::build(&graph);
+    c.bench_function("pll_oracle_gg/distance_query", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(101);
+            let s = i % graph.num_vertices() as u32;
+            let t = (i * 7 + 13) % graph.num_vertices() as u32;
+            std::hint::black_box(oracle.distance(s, t))
+        })
+    });
+}
+
+criterion_group!(benches, bench_index_build, bench_index_vs_full_reducer, bench_pll_oracle);
+criterion_main!(benches);

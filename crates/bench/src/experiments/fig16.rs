@@ -1,0 +1,47 @@
+//! Figure 16: cumulative distribution of per-query time for all five
+//! algorithms on ep and gg (printed at the CDF deciles).
+
+use std::time::Duration;
+
+use pathenum_workloads::runner::run_query_set;
+use pathenum_workloads::Algorithm;
+
+use crate::config::ExperimentConfig;
+use crate::experiments::support::{default_queries, representative_graphs};
+use crate::output::{banner, sci, Table};
+
+/// Runs the experiment and prints decile tables.
+pub fn run(config: &ExperimentConfig) {
+    banner("Figure 16: cumulative distribution of query time (ms at each decile)");
+    let algos = Algorithm::table3();
+    for (name, graph) in representative_graphs() {
+        let queries = default_queries(&graph, config.default_k, config);
+        if queries.is_empty() {
+            continue;
+        }
+        let mut table = Table::new(
+            ["percentile".to_string()]
+                .into_iter()
+                .chain(algos.iter().map(|a| a.name().to_string())),
+        );
+        let mut per_algo: Vec<Vec<Duration>> = Vec::new();
+        for algo in algos {
+            let summary = run_query_set(algo, &graph, &queries, config.measure());
+            let mut times: Vec<Duration> =
+                summary.measurements.iter().map(|m| m.elapsed).collect();
+            times.sort_unstable();
+            per_algo.push(times);
+        }
+        for pct in [10usize, 25, 50, 75, 90, 100] {
+            let mut cells = vec![format!("p{pct}")];
+            for times in &per_algo {
+                let idx = ((pct * times.len()).div_ceil(100)).clamp(1, times.len()) - 1;
+                cells.push(sci(times[idx].as_secs_f64() * 1e3));
+            }
+            table.row(cells);
+        }
+        println!("--- {name} (k = {}) ---", config.default_k);
+        table.print();
+        println!();
+    }
+}

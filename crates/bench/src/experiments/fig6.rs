@@ -1,0 +1,62 @@
+//! Figure 6: detailed enumeration metrics — edges accessed, invalid
+//! partial results, and results — for BC-DFS versus IDX-DFS with k
+//! varied on ep and gg.
+
+use pathenum_workloads::runner::run_query_set;
+use pathenum_workloads::Algorithm;
+
+use crate::config::ExperimentConfig;
+use crate::experiments::support::{default_queries, representative_graphs};
+use crate::output::{banner, sci, Table};
+
+/// Runs the experiment and prints the series.
+pub fn run(config: &ExperimentConfig) {
+    banner("Figure 6: #edges accessed / #invalid partials / #results (per-query means)");
+    for (name, graph) in representative_graphs() {
+        let mut table = Table::new([
+            "k",
+            "edges BC-DFS",
+            "edges IDX-DFS",
+            "invalid BC-DFS",
+            "invalid IDX-DFS",
+            "results BC-DFS",
+            "results IDX-DFS",
+        ]);
+        for k in config.k_sweep() {
+            let queries = default_queries(&graph, k, config);
+            if queries.is_empty() {
+                continue;
+            }
+            let mut per_algo: Vec<[f64; 3]> = Vec::new();
+            for algo in [Algorithm::BcDfs, Algorithm::IdxDfs] {
+                let summary = run_query_set(algo, &graph, &queries, config.measure());
+                let n = summary.measurements.len() as f64;
+                let mean = |f: &dyn Fn(&pathenum::Counters) -> u64| {
+                    summary
+                        .measurements
+                        .iter()
+                        .map(|m| f(&m.report.counters) as f64)
+                        .sum::<f64>()
+                        / n
+                };
+                per_algo.push([
+                    mean(&|c| c.edges_accessed),
+                    mean(&|c| c.invalid_partial_results),
+                    mean(&|c| c.results),
+                ]);
+            }
+            table.row([
+                k.to_string(),
+                sci(per_algo[0][0]),
+                sci(per_algo[1][0]),
+                sci(per_algo[0][1]),
+                sci(per_algo[1][1]),
+                sci(per_algo[0][2]),
+                sci(per_algo[1][2]),
+            ]);
+        }
+        println!("--- {name} ---");
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 8: 99.9% response-time latency on dynamic graphs.
+//!
+//! Following Section 7.2: 10% of each graph's edges (capped for the
+//! proxies) are withheld as a stream of insertions; for each inserted
+//! edge `e(v, v')` the cycle query `q(v', v, k - 1)` runs on the graph at
+//! that moment, and the tail latency of the response time (first 1000
+//! results) is reported for BC-DFS vs IDX-DFS.
+
+use std::time::Duration;
+
+use pathenum::query::Query;
+use pathenum_graph::{DynamicGraph, GraphBuilder};
+use pathenum_workloads::runner::{measure_response_time, percentile_ms};
+use pathenum_workloads::Algorithm;
+
+use crate::config::ExperimentConfig;
+use crate::experiments::support::representative_graphs;
+use crate::output::{banner, sci, Table};
+
+/// Runs the experiment and prints the series.
+pub fn run(config: &ExperimentConfig) {
+    banner("Figure 8: 99.9% latency (ms) of response time on dynamic graphs");
+    let updates = (config.queries_per_set * 4).clamp(10, 200);
+    println!("replaying {updates} edge insertions per graph; query = q(v', v, k-1)\n");
+    for (name, base_graph) in representative_graphs() {
+        let all_edges: Vec<(u32, u32)> = base_graph.edges().collect();
+        let keep = all_edges.len() - updates.min(all_edges.len() / 10);
+        let (base_edges, stream) = all_edges.split_at(keep);
+        let mut builder = GraphBuilder::new(base_graph.num_vertices());
+        builder.add_edges(base_edges.iter().copied()).expect("base edges are valid");
+        let mut dynamic = DynamicGraph::new(builder.finish());
+
+        let mut table = Table::new(["k", "BC-DFS p99.9", "IDX-DFS p99.9"]);
+        for k in config.k_sweep() {
+            let mut bc: Vec<Duration> = Vec::new();
+            let mut idx: Vec<Duration> = Vec::new();
+            // Rebuild the overlay from scratch per k so each sweep sees
+            // the same insertion sequence.
+            let mut graph_now = dynamic.snapshot();
+            for &(v, v2) in stream {
+                if let Ok(query) = Query::new(v2, v, k.saturating_sub(1).max(2)) {
+                    bc.push(measure_response_time(Algorithm::BcDfs, &graph_now, query, config.measure()));
+                    idx.push(measure_response_time(Algorithm::IdxDfs, &graph_now, query, config.measure()));
+                }
+                dynamic.insert_edge(v, v2);
+                graph_now = dynamic.snapshot();
+            }
+            table.row([
+                k.to_string(),
+                sci(percentile_ms(&bc, 99.9)),
+                sci(percentile_ms(&idx, 99.9)),
+            ]);
+            // Reset the overlay for the next k.
+            let mut builder = GraphBuilder::new(base_graph.num_vertices());
+            builder.add_edges(base_edges.iter().copied()).expect("base edges are valid");
+            dynamic = DynamicGraph::new(builder.finish());
+        }
+        println!("--- {name} ---");
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,64 @@
+//! Helpers shared by the experiment drivers.
+
+use pathenum::query::Query;
+use pathenum_graph::CsrGraph;
+use pathenum_workloads::querygen::{generate_queries, QueryGenConfig};
+
+use crate::config::ExperimentConfig;
+
+/// The two representative graphs Section 7 drills into: `ep` (long
+/// queries) and `gg` (short queries).
+pub fn representative_graphs() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("ep", pathenum_workloads::datasets::ep()),
+        ("gg", pathenum_workloads::datasets::gg()),
+    ]
+}
+
+/// The paper's default query set for a graph: `s, t in V'`, `k` hops.
+pub fn default_queries(graph: &CsrGraph, k: u32, config: &ExperimentConfig) -> Vec<Query> {
+    generate_queries(
+        graph,
+        QueryGenConfig::paper_default(config.queries_per_set, k, config.seed),
+    )
+}
+
+/// Geometric mean of positive values (robust summary across orders of
+/// magnitude); zero entries are clamped to `floor`.
+pub fn geometric_mean(values: &[f64], floor: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(floor).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representative_graphs_build() {
+        let graphs = representative_graphs();
+        assert_eq!(graphs.len(), 2);
+        assert!(graphs.iter().all(|(_, g)| g.num_edges() > 0));
+    }
+
+    #[test]
+    fn default_queries_match_config() {
+        let cfg = ExperimentConfig::quick();
+        let g = pathenum_workloads::datasets::gg();
+        let queries = default_queries(&g, 4, &cfg);
+        assert_eq!(queries.len(), cfg.queries_per_set);
+        assert!(queries.iter().all(|q| q.k == 4));
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[], 1e-9), 0.0);
+        let gm = geometric_mean(&[1.0, 100.0], 1e-9);
+        assert!((gm - 10.0).abs() < 1e-9);
+        // Zero values are floored, not fatal.
+        assert!(geometric_mean(&[0.0, 1.0], 1e-3) > 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Table 3: overall comparison of the five algorithms on every dataset
+//! proxy — mean query time (ms), throughput (results/s), and response
+//! time (ms, streaming algorithms only).
+
+use pathenum_workloads::runner::{measure_response_time, run_query_set};
+use pathenum_workloads::{datasets, Algorithm};
+
+use crate::config::ExperimentConfig;
+use crate::experiments::support::default_queries;
+use crate::output::{banner, sci, Table};
+
+/// Runs the experiment and prints the table.
+pub fn run(config: &ExperimentConfig) {
+    banner("Table 3: overall comparison (query time ms | throughput /s | response ms)");
+    println!(
+        "query sets: {} queries, s,t in V', k = {}, time limit {:?} (paper: 1000 queries, 120 s)",
+        config.queries_per_set, config.default_k, config.time_limit
+    );
+    println!("'*' marks algorithms that ran out of time on > 20% of the set\n");
+
+    let algos = Algorithm::table3();
+    let mut table = Table::new(
+        ["dataset".to_string()]
+            .into_iter()
+            .chain(algos.iter().map(|a| format!("time:{}", a.name())))
+            .chain(algos.iter().map(|a| format!("tput:{}", a.name())))
+            .chain(["resp:BC-DFS".to_string(), "resp:IDX-DFS".to_string()]),
+    );
+
+    // tm is the scalability graph (Figure 12); exclude it here as the
+    // paper's Table 3 does.
+    for spec in datasets::DATASETS.iter().filter(|d| d.name != "tm") {
+        let graph = spec.build();
+        let queries = default_queries(&graph, config.default_k, config);
+        if queries.is_empty() {
+            continue;
+        }
+        let mut cells: Vec<String> = vec![spec.name.to_string()];
+        let mut tput_cells: Vec<String> = Vec::new();
+        for algo in algos {
+            let summary = run_query_set(algo, &graph, &queries, config.measure());
+            let star = if summary.timeout_fraction > 0.2 { "*" } else { "" };
+            cells.push(format!("{}{}", sci(summary.mean_query_time_ms), star));
+            tput_cells.push(sci(summary.mean_throughput));
+        }
+        cells.extend(tput_cells);
+        for algo in [Algorithm::BcDfs, Algorithm::IdxDfs] {
+            let mean_response: f64 = queries
+                .iter()
+                .map(|&q| {
+                    measure_response_time(algo, &graph, q, config.measure()).as_secs_f64() * 1e3
+                })
+                .sum::<f64>()
+                / queries.len() as f64;
+            cells.push(sci(mean_response));
+        }
+        table.row(cells);
+    }
+    table.print();
+}

@@ -1,0 +1,48 @@
+//! Table 4: query-time distribution — fraction of queries finishing
+//! within half the limit ("<60s" in the paper) and fraction running out
+//! of time (">120s"), for BC-DFS vs IDX-DFS with k varied on ep and gg.
+
+use pathenum_workloads::runner::run_query_set;
+use pathenum_workloads::Algorithm;
+
+use crate::config::ExperimentConfig;
+use crate::experiments::support::{default_queries, representative_graphs};
+use crate::output::{banner, Table};
+
+/// Runs the experiment and prints the table.
+pub fn run(config: &ExperimentConfig) {
+    banner("Table 4: query-time distribution (fractions of the query set)");
+    let half = config.time_limit / 2;
+    println!(
+        "scaled thresholds: '<fast' = finished within {:?}, '>limit' = hit the {:?} cap\n",
+        half, config.time_limit
+    );
+    for (name, graph) in representative_graphs() {
+        let mut table = Table::new([
+            "k",
+            "BC-DFS <fast",
+            "BC-DFS >limit",
+            "IDX-DFS <fast",
+            "IDX-DFS >limit",
+        ]);
+        for k in config.k_sweep() {
+            let queries = default_queries(&graph, k, config);
+            if queries.is_empty() {
+                continue;
+            }
+            let mut cells = vec![k.to_string()];
+            for algo in [Algorithm::BcDfs, Algorithm::IdxDfs] {
+                let summary = run_query_set(algo, &graph, &queries, config.measure());
+                let n = summary.measurements.len() as f64;
+                let fast =
+                    summary.measurements.iter().filter(|m| m.elapsed <= half).count() as f64 / n;
+                cells.push(format!("{fast:.3}"));
+                cells.push(format!("{:.3}", summary.timeout_fraction));
+            }
+            table.row(cells);
+        }
+        println!("--- {name} ---");
+        table.print();
+        println!();
+    }
+}

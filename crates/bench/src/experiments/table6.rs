@@ -1,0 +1,36 @@
+//! Table 6: average and maximum number of results on ep and gg with k
+//! varied (starred when the time limit censored the count).
+
+use pathenum_workloads::runner::run_query_set;
+use pathenum_workloads::Algorithm;
+
+use crate::config::ExperimentConfig;
+use crate::experiments::support::{default_queries, representative_graphs};
+use crate::output::{banner, sci, Table};
+
+/// Runs the experiment and prints the table.
+pub fn run(config: &ExperimentConfig) {
+    banner("Table 6: average and maximum #results per query set");
+    println!("counts come from IDX-DFS; '*' = some queries hit the time limit\n");
+    let mut table = Table::new(["dataset", "k", "avg #results", "max #results"]);
+    for (name, graph) in representative_graphs() {
+        for k in config.k_sweep() {
+            let queries = default_queries(&graph, k, config);
+            if queries.is_empty() {
+                continue;
+            }
+            let summary = run_query_set(Algorithm::IdxDfs, &graph, &queries, config.measure());
+            let avg = summary.measurements.iter().map(|m| m.results as f64).sum::<f64>()
+                / summary.measurements.len() as f64;
+            let max = summary.measurements.iter().map(|m| m.results).max().unwrap_or(0);
+            let star = if summary.timeout_fraction > 0.0 { "*" } else { "" };
+            table.row([
+                name.to_string(),
+                k.to_string(),
+                format!("{}{}", sci(avg), star),
+                format!("{}{}", sci(max as f64), star),
+            ]);
+        }
+    }
+    table.print();
+}

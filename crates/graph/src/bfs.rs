@@ -1,0 +1,253 @@
+//! Breadth-first-search distance computations.
+//!
+//! The PathEnum index needs the two constrained single-source distance maps
+//! of the paper: `v.s = S(s, v | G − {t})` (forward BFS from `s` with `t`
+//! deleted) and `v.t = S(v, t | G − {s})` (backward BFS from `t` with `s`
+//! deleted). [`distances`] covers both through [`Direction`] and an optional
+//! excluded vertex, plus an optional depth bound so callers exploring only a
+//! `k`-neighborhood never pay for the full graph.
+
+use std::collections::VecDeque;
+
+use crate::csr::CsrGraph;
+use crate::types::{Distance, VertexId, INFINITE_DISTANCE};
+
+/// Edge orientation for a traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow out-edges: distances *from* the source.
+    Forward,
+    /// Follow in-edges: distances *to* the source.
+    Backward,
+}
+
+/// Options for [`distances`].
+#[derive(Debug, Clone, Copy)]
+pub struct BfsOptions {
+    /// Traversal orientation.
+    pub direction: Direction,
+    /// Vertex removed from the graph (`G − {x}`); it keeps distance
+    /// [`INFINITE_DISTANCE`] and is never expanded.
+    pub excluded: Option<VertexId>,
+    /// Stop expanding once this depth is reached; vertices further away
+    /// keep [`INFINITE_DISTANCE`].
+    pub max_depth: Option<Distance>,
+}
+
+impl Default for BfsOptions {
+    fn default() -> Self {
+        BfsOptions { direction: Direction::Forward, excluded: None, max_depth: None }
+    }
+}
+
+/// Single-source BFS distances with optional exclusion and depth bound.
+///
+/// Returns a vector indexed by vertex id. The source has distance 0 unless
+/// it is the excluded vertex (then everything is unreachable).
+pub fn distances(graph: &CsrGraph, source: VertexId, options: BfsOptions) -> Vec<Distance> {
+    let mut dist = Vec::new();
+    let mut queue = VecDeque::new();
+    distances_into(graph, source, options, &mut dist, &mut queue);
+    dist
+}
+
+/// As [`distances`], but writing into caller-owned buffers so repeated
+/// queries (the real-time workloads PathEnum targets) avoid per-query
+/// allocation. `dist` is resized and reset; `queue` is cleared.
+pub fn distances_into(
+    graph: &CsrGraph,
+    source: VertexId,
+    options: BfsOptions,
+    dist: &mut Vec<Distance>,
+    queue: &mut VecDeque<VertexId>,
+) {
+    dist.clear();
+    dist.resize(graph.num_vertices(), INFINITE_DISTANCE);
+    queue.clear();
+    if options.excluded == Some(source) || (source as usize) >= graph.num_vertices() {
+        return;
+    }
+    let bound = options.max_depth.unwrap_or(INFINITE_DISTANCE);
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        if d >= bound {
+            continue;
+        }
+        let neighbors = match options.direction {
+            Direction::Forward => graph.out_neighbors(v),
+            Direction::Backward => graph.in_neighbors(v),
+        };
+        for &n in neighbors {
+            if Some(n) == options.excluded {
+                continue;
+            }
+            if dist[n as usize] == INFINITE_DISTANCE {
+                dist[n as usize] = d + 1;
+                queue.push_back(n);
+            }
+        }
+    }
+}
+
+/// `S(s, v | G − {t})` for every `v`: forward distances from `s` in the
+/// graph with `t` removed, bounded by `max_depth`.
+pub fn distances_from_source(
+    graph: &CsrGraph,
+    s: VertexId,
+    t: VertexId,
+    max_depth: Distance,
+) -> Vec<Distance> {
+    distances(
+        graph,
+        s,
+        BfsOptions { direction: Direction::Forward, excluded: Some(t), max_depth: Some(max_depth) },
+    )
+}
+
+/// `S(v, t | G − {s})` for every `v`: backward distances to `t` in the
+/// graph with `s` removed, bounded by `max_depth`.
+pub fn distances_to_target(
+    graph: &CsrGraph,
+    s: VertexId,
+    t: VertexId,
+    max_depth: Distance,
+) -> Vec<Distance> {
+    distances(
+        graph,
+        t,
+        BfsOptions { direction: Direction::Backward, excluded: Some(s), max_depth: Some(max_depth) },
+    )
+}
+
+/// Shortest-path length from `s` to `t` (unconstrained graph), bounded by
+/// `max_depth`; [`INFINITE_DISTANCE`] if `t` is further than the bound.
+///
+/// Used by the workload generator to enforce the paper's
+/// "`distance(s, t) ≤ 3`" query admission rule.
+pub fn st_distance(graph: &CsrGraph, s: VertexId, t: VertexId, max_depth: Distance) -> Distance {
+    if s == t {
+        return 0;
+    }
+    let dist = distances(
+        graph,
+        s,
+        BfsOptions { direction: Direction::Forward, excluded: None, max_depth: Some(max_depth) },
+    );
+    dist[t as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// The 9-vertex graph of the paper's Figure 1a.
+    ///
+    /// Vertices: s=0, t=1, v0=2, v1=3, v2=4, v3=5, v4=6, v5=7, v6=8, v7=9.
+    pub(crate) fn figure1_graph() -> CsrGraph {
+        let mut b = GraphBuilder::new(10);
+        // Edges read off Figure 1a / the relations in Figure 3a:
+        // s->v0, s->v1, s->v3, v0->v1, v0->v6, v0->t, v1->v2, v1->v3,
+        // v2->v0, v2->t, v3->v4, v4->v5, v5->v2, v5->t, v6->v0, plus an
+        // isolated-ish v7 with an edge from v7 to s (appears in no result).
+        let (s, t, v0, v1, v2, v3, v4, v5, v6, v7) = (0, 1, 2, 3, 4, 5, 6, 7, 8, 9);
+        b.add_edges([
+            (s, v0),
+            (s, v1),
+            (s, v3),
+            (v0, v1),
+            (v0, v6),
+            (v0, t),
+            (v1, v2),
+            (v1, v3),
+            (v2, v0),
+            (v2, t),
+            (v3, v4),
+            (v4, v5),
+            (v5, v2),
+            (v5, t),
+            (v6, v0),
+            (v7, s),
+        ])
+        .unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn forward_distances_on_figure1() {
+        let g = figure1_graph();
+        let d = distances(&g, 0, BfsOptions::default());
+        assert_eq!(d[0], 0); // s
+        assert_eq!(d[2], 1); // v0
+        assert_eq!(d[1], 2); // t via s->v0->t
+        assert_eq!(d[6], 2); // v4 via s->v3->v4
+        assert_eq!(d[9], INFINITE_DISTANCE); // v7 unreachable from s
+    }
+
+    #[test]
+    fn excluding_target_blocks_paths_through_it() {
+        let g = figure1_graph();
+        // Distances from s with t removed: same here because no shortest
+        // path routes through t, but t itself must read infinite.
+        let d = distances_from_source(&g, 0, 1, 8);
+        assert_eq!(d[1], INFINITE_DISTANCE);
+        assert_eq!(d[2], 1);
+    }
+
+    #[test]
+    fn backward_distances_reach_targets_of_t() {
+        let g = figure1_graph();
+        let d = distances_to_target(&g, 0, 1, 8);
+        assert_eq!(d[1], 0); // t itself
+        assert_eq!(d[2], 1); // v0 -> t
+        assert_eq!(d[4], 1); // v2 -> t
+        assert_eq!(d[7], 1); // v5 -> t
+        assert_eq!(d[3], 2); // v1 -> v2 -> t
+        assert_eq!(d[0], INFINITE_DISTANCE); // s is excluded
+    }
+
+    #[test]
+    fn depth_bound_truncates_search() {
+        let g = figure1_graph();
+        let d = distances(
+            &g,
+            0,
+            BfsOptions { max_depth: Some(1), ..BfsOptions::default() },
+        );
+        assert_eq!(d[2], 1);
+        assert_eq!(d[1], INFINITE_DISTANCE); // t is at depth 2
+    }
+
+    #[test]
+    fn st_distance_matches_bfs() {
+        let g = figure1_graph();
+        assert_eq!(st_distance(&g, 0, 1, 8), 2);
+        assert_eq!(st_distance(&g, 0, 0, 8), 0);
+        assert_eq!(st_distance(&g, 0, 9, 8), INFINITE_DISTANCE);
+    }
+
+    #[test]
+    fn distances_into_reuses_buffers_cleanly() {
+        let g = figure1_graph();
+        let mut dist = vec![7u32; 3]; // wrong size, stale content
+        let mut queue = std::collections::VecDeque::from([9u32]);
+        distances_into(&g, 0, BfsOptions::default(), &mut dist, &mut queue);
+        assert_eq!(dist, distances(&g, 0, BfsOptions::default()));
+        // Second run from a different source must fully overwrite.
+        distances_into(&g, 5, BfsOptions::default(), &mut dist, &mut queue);
+        assert_eq!(dist, distances(&g, 5, BfsOptions::default()));
+    }
+
+    #[test]
+    fn excluded_source_is_fully_unreachable() {
+        let g = figure1_graph();
+        let d = distances(
+            &g,
+            0,
+            BfsOptions { excluded: Some(0), ..BfsOptions::default() },
+        );
+        assert!(d.iter().all(|&x| x == INFINITE_DISTANCE));
+    }
+}

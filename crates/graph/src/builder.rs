@@ -1,0 +1,157 @@
+//! Mutable edge accumulator that finalizes into a [`CsrGraph`].
+
+use crate::csr::CsrGraph;
+use crate::types::{Edge, VertexId};
+
+/// Errors raised while accumulating edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A self-loop `(v, v)` was offered; HcPE is defined on simple digraphs.
+    SelfLoop(VertexId),
+    /// An endpoint is `>=` the declared vertex count.
+    VertexOutOfRange { vertex: VertexId, num_vertices: usize },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::SelfLoop(v) => write!(f, "self-loop on vertex {v} is not allowed"),
+            BuildError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range for graph with {num_vertices} vertices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Accumulates directed edges and produces an immutable [`CsrGraph`].
+///
+/// Duplicate edges are silently deduplicated at [`GraphBuilder::finish`];
+/// self-loops are rejected eagerly. The builder can either be created with a
+/// fixed vertex count ([`GraphBuilder::new`]) or grow to fit the largest
+/// endpoint ([`GraphBuilder::growable`]).
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    fixed: bool,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph with exactly `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder { num_vertices, fixed: true, edges: Vec::new() }
+    }
+
+    /// Builder whose vertex count is `1 + max(endpoint)` at finish time.
+    pub fn growable() -> Self {
+        GraphBuilder { num_vertices: 0, fixed: false, edges: Vec::new() }
+    }
+
+    /// Pre-allocates capacity for `additional` more edges.
+    pub fn reserve(&mut self, additional: usize) {
+        self.edges.reserve(additional);
+    }
+
+    /// Number of edges offered so far (duplicates included).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edge has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Adds the directed edge `(from, to)`.
+    pub fn add_edge(&mut self, from: VertexId, to: VertexId) -> Result<(), BuildError> {
+        if from == to {
+            return Err(BuildError::SelfLoop(from));
+        }
+        if self.fixed {
+            for v in [from, to] {
+                if (v as usize) >= self.num_vertices {
+                    return Err(BuildError::VertexOutOfRange {
+                        vertex: v,
+                        num_vertices: self.num_vertices,
+                    });
+                }
+            }
+        } else {
+            self.num_vertices = self.num_vertices.max(from as usize + 1).max(to as usize + 1);
+        }
+        self.edges.push((from, to));
+        Ok(())
+    }
+
+    /// Adds every edge from an iterator; stops at the first error.
+    pub fn add_edges<I: IntoIterator<Item = Edge>>(&mut self, edges: I) -> Result<(), BuildError> {
+        for (from, to) in edges {
+            self.add_edge(from, to)?;
+        }
+        Ok(())
+    }
+
+    /// Finalizes into a CSR graph, sorting and deduplicating edges.
+    pub fn finish(mut self) -> CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        CsrGraph::from_sorted_dedup_edges(self.num_vertices, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loops() {
+        let mut b = GraphBuilder::new(4);
+        assert_eq!(b.add_edge(2, 2), Err(BuildError::SelfLoop(2)));
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertices() {
+        let mut b = GraphBuilder::new(3);
+        assert!(matches!(b.add_edge(0, 3), Err(BuildError::VertexOutOfRange { .. })));
+        assert!(matches!(b.add_edge(7, 1), Err(BuildError::VertexOutOfRange { .. })));
+    }
+
+    #[test]
+    fn growable_tracks_max_endpoint() {
+        let mut b = GraphBuilder::growable();
+        b.add_edge(0, 9).unwrap();
+        b.add_edge(4, 2).unwrap();
+        let g = b.finish();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn deduplicates_parallel_edges() {
+        let mut b = GraphBuilder::new(3);
+        for _ in 0..5 {
+            b.add_edge(0, 1).unwrap();
+        }
+        b.add_edge(1, 2).unwrap();
+        let g = b.finish();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::growable().finish();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn display_of_errors_is_informative() {
+        let e = BuildError::SelfLoop(3).to_string();
+        assert!(e.contains("self-loop"));
+        let e = BuildError::VertexOutOfRange { vertex: 9, num_vertices: 4 }.to_string();
+        assert!(e.contains("out of range"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Dynamic-graph support: a base graph plus buffered edge insertions.
+//!
+//! The paper's Figure 8 experiment replays 10% of a graph's edges as
+//! insertions: for each new edge `e(v, v')` it runs the query
+//! `q(v', v, k-1)` on the graph *as of that moment* to surface the cycles
+//! the insertion closes. Because the PathEnum index is rebuilt per query,
+//! "dynamic support" only requires a graph view that reflects pending
+//! insertions. [`DynamicGraph`] keeps an overlay of inserted edges and can
+//! snapshot into a [`CsrGraph`]; since the per-query index build already
+//! scans adjacency, algorithms simply run on the snapshot.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::hashing::FxHashSet;
+use crate::types::{Edge, VertexId};
+
+/// A base [`CsrGraph`] plus an insertion overlay.
+#[derive(Debug, Clone)]
+pub struct DynamicGraph {
+    base: CsrGraph,
+    inserted: Vec<Edge>,
+    present: FxHashSet<u64>,
+}
+
+fn edge_key(from: VertexId, to: VertexId) -> u64 {
+    (u64::from(from) << 32) | u64::from(to)
+}
+
+impl DynamicGraph {
+    /// Wraps a base graph with an empty overlay.
+    pub fn new(base: CsrGraph) -> Self {
+        DynamicGraph { base, inserted: Vec::new(), present: FxHashSet::default() }
+    }
+
+    /// The base graph the overlay started from.
+    pub fn base(&self) -> &CsrGraph {
+        &self.base
+    }
+
+    /// Edges inserted since construction, in insertion order.
+    pub fn inserted_edges(&self) -> &[Edge] {
+        &self.inserted
+    }
+
+    /// Inserts a directed edge. Returns `false` if the edge already exists
+    /// (in the base or the overlay) or is a self-loop.
+    pub fn insert_edge(&mut self, from: VertexId, to: VertexId) -> bool {
+        if from == to {
+            return false;
+        }
+        let n = self.base.num_vertices() as VertexId;
+        if from >= n || to >= n {
+            return false;
+        }
+        if self.base.has_edge(from, to) {
+            return false;
+        }
+        if !self.present.insert(edge_key(from, to)) {
+            return false;
+        }
+        self.inserted.push((from, to));
+        true
+    }
+
+    /// Whether the edge exists in the current (base + overlay) graph.
+    pub fn has_edge(&self, from: VertexId, to: VertexId) -> bool {
+        self.base.has_edge(from, to) || self.present.contains(&edge_key(from, to))
+    }
+
+    /// Total edge count of the current graph.
+    pub fn num_edges(&self) -> usize {
+        self.base.num_edges() + self.inserted.len()
+    }
+
+    /// Materializes the current graph as an immutable [`CsrGraph`].
+    ///
+    /// Cost is linear in the graph size; the Figure 8 harness snapshots in
+    /// batches rather than per insertion.
+    pub fn snapshot(&self) -> CsrGraph {
+        let mut builder = GraphBuilder::new(self.base.num_vertices());
+        builder.reserve(self.num_edges());
+        builder.add_edges(self.base.edges()).expect("base edges are valid");
+        builder.add_edges(self.inserted.iter().copied()).expect("overlay edges are valid");
+        builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> CsrGraph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edges([(0, 1), (1, 2)]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn insertions_are_visible_in_snapshot() {
+        let mut d = DynamicGraph::new(base());
+        assert!(d.insert_edge(2, 3));
+        assert!(d.insert_edge(3, 0));
+        let g = d.snapshot();
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(2, 3));
+        assert!(g.has_edge(3, 0));
+    }
+
+    #[test]
+    fn duplicate_and_loop_insertions_are_rejected() {
+        let mut d = DynamicGraph::new(base());
+        assert!(!d.insert_edge(0, 1), "already in base");
+        assert!(d.insert_edge(2, 3));
+        assert!(!d.insert_edge(2, 3), "already in overlay");
+        assert!(!d.insert_edge(1, 1), "self-loop");
+        assert!(!d.insert_edge(0, 9), "out of range");
+        assert_eq!(d.inserted_edges(), &[(2, 3)]);
+    }
+
+    #[test]
+    fn has_edge_sees_both_layers() {
+        let mut d = DynamicGraph::new(base());
+        d.insert_edge(3, 1);
+        assert!(d.has_edge(0, 1));
+        assert!(d.has_edge(3, 1));
+        assert!(!d.has_edge(1, 3));
+    }
+
+    #[test]
+    fn num_edges_counts_overlay() {
+        let mut d = DynamicGraph::new(base());
+        assert_eq!(d.num_edges(), 2);
+        d.insert_edge(0, 2);
+        assert_eq!(d.num_edges(), 3);
+    }
+}

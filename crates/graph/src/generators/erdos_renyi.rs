@@ -1,0 +1,100 @@
+//! Uniform random digraphs `G(n, m)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::hashing::FxHashSet;
+use crate::types::VertexId;
+
+/// Samples a simple directed graph with `n` vertices and exactly `m`
+/// distinct edges chosen uniformly at random (no self-loops).
+///
+/// `m` is clamped to `n * (n - 1)`, the maximum number of directed edges.
+/// Deterministic for a fixed `seed`.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2 || m == 0, "need at least two vertices to place edges");
+    let max_edges = n.saturating_mul(n.saturating_sub(1));
+    let m = m.min(max_edges);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    builder.reserve(m);
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    seen.reserve(m);
+    // Rejection sampling is efficient while m is well below max_edges; for
+    // dense requests fall back to shuffling the full edge universe.
+    if m * 3 < max_edges || max_edges > 50_000_000 {
+        while seen.len() < m {
+            let from = rng.gen_range(0..n) as VertexId;
+            let to = rng.gen_range(0..n) as VertexId;
+            if from == to {
+                continue;
+            }
+            let key = (u64::from(from) << 32) | u64::from(to);
+            if seen.insert(key) {
+                builder.add_edge(from, to).expect("in-range, non-loop edge");
+            }
+        }
+    } else {
+        let mut universe: Vec<(VertexId, VertexId)> = Vec::with_capacity(max_edges);
+        for from in 0..n as VertexId {
+            for to in 0..n as VertexId {
+                if from != to {
+                    universe.push((from, to));
+                }
+            }
+        }
+        // Partial Fisher-Yates: draw m edges without replacement.
+        for i in 0..m {
+            let j = rng.gen_range(i..universe.len());
+            universe.swap(i, j);
+            let (from, to) = universe[i];
+            builder.add_edge(from, to).expect("in-range, non-loop edge");
+        }
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_requested_size() {
+        let g = erdos_renyi(100, 500, 7);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 500);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = erdos_renyi(50, 200, 42);
+        let b = erdos_renyi(50, 200, 42);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        let c = erdos_renyi(50, 200, 43);
+        assert_ne!(a.edges().collect::<Vec<_>>(), c.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clamps_to_edge_universe() {
+        let g = erdos_renyi(5, 10_000, 1);
+        assert_eq!(g.num_edges(), 20);
+    }
+
+    #[test]
+    fn dense_request_uses_every_edge_once() {
+        let g = erdos_renyi(10, 80, 3);
+        assert_eq!(g.num_edges(), 80);
+        // No self-loops made it through.
+        for (a, b) in g.edges() {
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn zero_edges_graph_is_valid() {
+        let g = erdos_renyi(10, 0, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Preferential-attachment digraphs with heavy-tailed degree distributions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// Configuration for [`power_law`].
+#[derive(Debug, Clone, Copy)]
+pub struct PowerLawConfig {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Out-edges attached per new vertex (≥ 1).
+    pub edges_per_vertex: usize,
+    /// Probability that a target is drawn preferentially (by in-degree)
+    /// rather than uniformly. Higher values sharpen the degree tail.
+    pub preferential_probability: f64,
+    /// Probability that the reverse edge is also inserted, giving hubs
+    /// both high in-degree and high out-degree as in social graphs.
+    pub reciprocal_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PowerLawConfig {
+    /// A social-network-like default: strong preferential attachment with
+    /// some reciprocity.
+    pub fn social(num_vertices: usize, edges_per_vertex: usize, seed: u64) -> Self {
+        PowerLawConfig {
+            num_vertices,
+            edges_per_vertex,
+            preferential_probability: 0.8,
+            reciprocal_probability: 0.3,
+            seed,
+        }
+    }
+
+    /// A web-graph-like default: sharper tail, little reciprocity.
+    pub fn web(num_vertices: usize, edges_per_vertex: usize, seed: u64) -> Self {
+        PowerLawConfig {
+            num_vertices,
+            edges_per_vertex,
+            preferential_probability: 0.9,
+            reciprocal_probability: 0.05,
+            seed,
+        }
+    }
+}
+
+/// Generates a directed Barabási–Albert-style graph.
+///
+/// Vertices arrive one at a time; each attaches `edges_per_vertex`
+/// out-edges whose targets are drawn from a repeated-endpoint pool
+/// (classic preferential attachment) with probability
+/// `preferential_probability`, otherwise uniformly. With probability
+/// `reciprocal_probability` the reverse edge is inserted too. The resulting
+/// in-degree distribution follows a power law; reciprocity spreads the tail
+/// to out-degrees, mimicking the social/web graphs of the paper (`ep`,
+/// `sl`, `gg`, `uk`, ...).
+pub fn power_law(config: PowerLawConfig) -> CsrGraph {
+    let PowerLawConfig {
+        num_vertices: n,
+        edges_per_vertex: d,
+        preferential_probability,
+        reciprocal_probability,
+        seed,
+    } = config;
+    assert!(d >= 1, "edges_per_vertex must be at least 1");
+    assert!(n > d + 1, "need more vertices than the attachment seed clique");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    builder.reserve(n * d);
+    // Endpoint pool: each occurrence of a vertex is one unit of in-degree
+    // mass, so uniform sampling from the pool is preferential attachment.
+    let mut pool: Vec<VertexId> = Vec::with_capacity(2 * n * d);
+
+    // Seed: a small directed cycle over the first d+1 vertices so every
+    // early vertex has nonzero degree mass.
+    let seed_size = d + 1;
+    for i in 0..seed_size {
+        let from = i as VertexId;
+        let to = ((i + 1) % seed_size) as VertexId;
+        builder.add_edge(from, to).expect("seed edges are in range and loop-free");
+        pool.push(to);
+        pool.push(from);
+    }
+
+    for v in seed_size..n {
+        let v = v as VertexId;
+        let mut attached = 0usize;
+        let mut attempts = 0usize;
+        while attached < d && attempts < 20 * d {
+            attempts += 1;
+            let target = if rng.gen_bool(preferential_probability) {
+                pool[rng.gen_range(0..pool.len())]
+            } else {
+                rng.gen_range(0..v) // uniform among existing vertices
+            };
+            if target == v {
+                continue;
+            }
+            builder.add_edge(v, target).expect("in-range, non-loop edge");
+            pool.push(target);
+            pool.push(v);
+            if rng.gen_bool(reciprocal_probability) {
+                builder.add_edge(target, v).expect("in-range, non-loop edge");
+                pool.push(v);
+                pool.push(target);
+            }
+            attached += 1;
+        }
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_roughly_requested_density() {
+        let g = power_law(PowerLawConfig::social(2000, 5, 11));
+        assert_eq!(g.num_vertices(), 2000);
+        // d out-edges per vertex plus ~30% reciprocal, minus dedup losses.
+        let m = g.num_edges();
+        assert!(m > 2000 * 5, "got {m} edges");
+        assert!(m < 2000 * 5 * 2, "got {m} edges");
+    }
+
+    #[test]
+    fn degree_distribution_has_heavy_tail() {
+        let g = power_law(PowerLawConfig::social(5000, 4, 3));
+        let mut degrees: Vec<usize> = g.vertices().map(|v| g.in_degree(v)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let max = degrees[0];
+        let median = degrees[degrees.len() / 2];
+        // Heavy tail: the hub dwarfs the median vertex.
+        assert!(max >= 20 * median.max(1), "max {max} vs median {median}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = power_law(PowerLawConfig::web(500, 3, 9));
+        let b = power_law(PowerLawConfig::web(500, 3, 9));
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = power_law(PowerLawConfig::social(300, 3, 5));
+        for (a, b) in g.edges() {
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "edges_per_vertex")]
+    fn rejects_zero_attachment() {
+        power_law(PowerLawConfig::social(10, 0, 0));
+    }
+}

@@ -1,0 +1,114 @@
+//! A fast, non-cryptographic hasher for integer keys.
+//!
+//! The standard library's SipHash is collision-resistant but slow for the
+//! hot `u32 -> payload` maps in the index and the enumerators. This module
+//! reimplements the well-known Fx (Firefox/rustc) multiply-rotate hash so
+//! the workspace stays within the approved dependency set.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the FxHash design (64-bit golden-ratio
+/// derived odd constant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// FxHash-style streaming hasher.
+///
+/// Each ingested word is folded into the state with
+/// `state = (state.rotate_left(5) ^ word) * SEED`.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("exact 8-byte chunk"));
+            self.add_to_hash(word);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.add_to_hash(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.add_to_hash(value);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.add_to_hash(value as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the fast integer hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the fast integer hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut map: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            map.insert(i, i * 2);
+        }
+        assert_eq!(map.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(map.get(&i), Some(&(i * 2)));
+        }
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        let mut seen: HashSet<u64> = HashSet::new();
+        for i in 0..10_000u32 {
+            let mut hasher = FxHasher::default();
+            hasher.write_u32(i);
+            seen.insert(hasher.finish());
+        }
+        // FxHash on distinct small integers is injective in practice.
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn byte_stream_matches_word_stream_for_aligned_input() {
+        let mut a = FxHasher::default();
+        a.write_u64(0x0123_4567_89ab_cdef);
+        let mut b = FxHasher::default();
+        b.write(&0x0123_4567_89ab_cdefu64.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+}

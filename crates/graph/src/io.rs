@@ -1,0 +1,155 @@
+//! Plain-text edge-list parsing and serialization.
+//!
+//! The format matches SNAP / networkrepository dumps the paper's datasets
+//! ship in: one `from to` pair per line, `#` or `%` comment lines ignored,
+//! whitespace-separated. Self-loops in inputs are skipped (with a count
+//! reported) rather than failing, since several real datasets contain them.
+
+use std::io::{BufRead, Write};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// Outcome of parsing an edge list.
+#[derive(Debug)]
+pub struct ParsedGraph {
+    /// The finished graph.
+    pub graph: CsrGraph,
+    /// Number of self-loop lines skipped.
+    pub skipped_self_loops: usize,
+}
+
+/// Errors raised while reading an edge list.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// A non-comment line did not contain two integers.
+    Malformed { line_number: usize, content: String },
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "io error: {e}"),
+            ReadError::Malformed { line_number, content } => {
+                write!(f, "malformed edge on line {line_number}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Parses a whitespace-separated edge list from a reader.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<ParsedGraph, ReadError> {
+    let mut builder = GraphBuilder::growable();
+    let mut skipped_self_loops = 0usize;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (from, to) = match (parts.next(), parts.next()) {
+            (Some(a), Some(b)) => {
+                let from: VertexId = a.parse().map_err(|_| ReadError::Malformed {
+                    line_number: idx + 1,
+                    content: trimmed.to_string(),
+                })?;
+                let to: VertexId = b.parse().map_err(|_| ReadError::Malformed {
+                    line_number: idx + 1,
+                    content: trimmed.to_string(),
+                })?;
+                (from, to)
+            }
+            _ => {
+                return Err(ReadError::Malformed {
+                    line_number: idx + 1,
+                    content: trimmed.to_string(),
+                })
+            }
+        };
+        if from == to {
+            skipped_self_loops += 1;
+            continue;
+        }
+        builder
+            .add_edge(from, to)
+            .expect("growable builder only rejects self-loops, which are filtered above");
+    }
+    Ok(ParsedGraph { graph: builder.finish(), skipped_self_loops })
+}
+
+/// Parses an edge list from a file on disk.
+pub fn read_edge_list_file(path: &std::path::Path) -> Result<ParsedGraph, ReadError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(std::io::BufReader::new(file))
+}
+
+/// Writes a graph as a `# vertices edges` header plus one edge per line.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# vertices={} edges={}", graph.num_vertices(), graph.num_edges())?;
+    for (from, to) in graph.edges() {
+        writeln!(writer, "{from} {to}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_blanks_and_edges() {
+        let text = "# header\n% other comment\n\n0 1\n1 2\n 2   3 \n";
+        let parsed = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(parsed.graph.num_edges(), 3);
+        assert_eq!(parsed.graph.num_vertices(), 4);
+        assert_eq!(parsed.skipped_self_loops, 0);
+    }
+
+    #[test]
+    fn skips_self_loops_counting_them() {
+        let text = "0 0\n0 1\n5 5\n";
+        let parsed = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(parsed.graph.num_edges(), 1);
+        assert_eq!(parsed.skipped_self_loops, 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = read_edge_list("0 x\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadError::Malformed { line_number: 1, .. }));
+        let err = read_edge_list("42\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadError::Malformed { .. }));
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edges([(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let g = b.finish();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let parsed = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(parsed.graph.num_vertices(), g.num_vertices());
+        let a: Vec<_> = g.edges().collect();
+        let b: Vec<_> = parsed.graph.edges().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tab_separated_edges_parse() {
+        let parsed = read_edge_list("0\t1\n1\t2\n".as_bytes()).unwrap();
+        assert_eq!(parsed.graph.num_edges(), 2);
+    }
+}

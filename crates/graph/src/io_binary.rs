@@ -1,0 +1,179 @@
+//! Compact binary graph serialization.
+//!
+//! Text edge lists parse at tens of MB/s; reloading a large graph for
+//! every experiment run dominates harness start-up. This module defines a
+//! versioned little-endian binary format that round-trips a [`CsrGraph`]
+//! through one sequential read:
+//!
+//! ```text
+//! magic  "PEG1"           4 bytes
+//! vertices: u64           8 bytes
+//! edges:    u64           8 bytes
+//! edge list: (u32, u32) x edges, sorted by (from, to)
+//! ```
+
+use std::io::{Read, Write};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+const MAGIC: &[u8; 4] = b"PEG1";
+
+/// Errors raised while decoding a binary graph.
+#[derive(Debug)]
+pub enum BinaryError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// The stream does not start with the `PEG1` magic.
+    BadMagic([u8; 4]),
+    /// The header promises more data than the stream holds, or an edge is
+    /// malformed (self-loop / out-of-range endpoint).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for BinaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinaryError::Io(e) => write!(f, "io error: {e}"),
+            BinaryError::BadMagic(m) => write!(f, "bad magic {m:?}, expected {MAGIC:?}"),
+            BinaryError::Corrupt(what) => write!(f, "corrupt graph stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BinaryError {}
+
+impl From<std::io::Error> for BinaryError {
+    fn from(e: std::io::Error) -> Self {
+        BinaryError::Io(e)
+    }
+}
+
+/// Serializes a graph to the binary format.
+pub fn write_binary<W: Write>(graph: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&(graph.num_vertices() as u64).to_le_bytes())?;
+    writer.write_all(&(graph.num_edges() as u64).to_le_bytes())?;
+    let mut buffer = Vec::with_capacity(8 * 1024);
+    for (from, to) in graph.edges() {
+        buffer.extend_from_slice(&from.to_le_bytes());
+        buffer.extend_from_slice(&to.to_le_bytes());
+        if buffer.len() >= 8 * 1024 - 8 {
+            writer.write_all(&buffer)?;
+            buffer.clear();
+        }
+    }
+    writer.write_all(&buffer)?;
+    Ok(())
+}
+
+/// Deserializes a graph from the binary format.
+pub fn read_binary<R: Read>(mut reader: R) -> Result<CsrGraph, BinaryError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(BinaryError::BadMagic(magic));
+    }
+    let mut word = [0u8; 8];
+    reader.read_exact(&mut word)?;
+    let vertices = u64::from_le_bytes(word);
+    reader.read_exact(&mut word)?;
+    let edges = u64::from_le_bytes(word);
+    if vertices > u32::MAX as u64 {
+        return Err(BinaryError::Corrupt("vertex count exceeds u32 id space"));
+    }
+    let mut builder = GraphBuilder::new(vertices as usize);
+    builder.reserve(edges as usize);
+    let mut pair = [0u8; 8];
+    for _ in 0..edges {
+        reader
+            .read_exact(&mut pair)
+            .map_err(|_| BinaryError::Corrupt("truncated edge list"))?;
+        let from = VertexId::from_le_bytes(pair[..4].try_into().expect("4-byte slice"));
+        let to = VertexId::from_le_bytes(pair[4..].try_into().expect("4-byte slice"));
+        builder
+            .add_edge(from, to)
+            .map_err(|_| BinaryError::Corrupt("invalid edge (self-loop or out of range)"))?;
+    }
+    Ok(builder.finish())
+}
+
+/// Writes a graph to a file in the binary format.
+pub fn write_binary_file(graph: &CsrGraph, path: &std::path::Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_binary(graph, std::io::BufWriter::new(file))
+}
+
+/// Reads a graph from a binary-format file.
+pub fn read_binary_file(path: &std::path::Path) -> Result<CsrGraph, BinaryError> {
+    let file = std::fs::File::open(path)?;
+    read_binary(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi;
+
+    #[test]
+    fn roundtrip_preserves_the_graph() {
+        let g = erdos_renyi(200, 1500, 9);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(back.num_vertices(), g.num_vertices());
+        assert_eq!(back.num_edges(), g.num_edges());
+        assert_eq!(back.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn roundtrip_empty_graph() {
+        let g = erdos_renyi(5, 0, 0);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(back.num_vertices(), 5);
+        assert_eq!(back.num_edges(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_binary(&b"XXXX\0\0\0\0"[..]).unwrap_err();
+        assert!(matches!(err, BinaryError::BadMagic(_)));
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let g = erdos_renyi(10, 20, 1);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, BinaryError::Corrupt(_)));
+    }
+
+    #[test]
+    fn rejects_out_of_range_edges() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"PEG1");
+        buf.extend_from_slice(&2u64.to_le_bytes()); // 2 vertices
+        buf.extend_from_slice(&1u64.to_le_bytes()); // 1 edge
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&9u32.to_le_bytes()); // vertex 9 out of range
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, BinaryError::Corrupt(_)));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = erdos_renyi(30, 100, 2);
+        let dir = std::env::temp_dir().join("pathenum_io_binary_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.peg");
+        write_binary_file(&g, &path).unwrap();
+        let back = read_binary_file(&path).unwrap();
+        assert_eq!(back.num_edges(), g.num_edges());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,42 @@
+//! Directed-graph substrate for the PathEnum reproduction.
+//!
+//! This crate provides everything the enumeration algorithms need from a
+//! graph store:
+//!
+//! * [`CsrGraph`]: an immutable, cache-friendly compressed-sparse-row
+//!   representation with both forward (out-neighbor) and reverse
+//!   (in-neighbor) adjacency, built through [`GraphBuilder`].
+//! * [`bfs`]: bounded and vertex-excluding breadth-first searches used for
+//!   the paper's distance computations (`S(s, v | G − {t})` etc.).
+//! * [`generators`]: synthetic graph generators (Erdős–Rényi, power-law /
+//!   Barabási–Albert, complete, grid, layered DAG) standing in for the
+//!   paper's real-world datasets.
+//! * [`io`]: plain edge-list parsing and serialization.
+//! * [`dynamic`]: an edit buffer layering edge insertions over a base graph
+//!   for the dynamic-graph experiments (Figure 8).
+//! * [`pll`]: a pruned-landmark-labeling distance oracle — the offline
+//!   "global index" the paper's discussion (§7.5) proposes for cutting
+//!   per-query preprocessing.
+//! * [`hashing`]: a fast FxHash-style hasher for integer keys.
+//!
+//! Vertices are dense `u32` identifiers in `0..num_vertices`. Parallel edges
+//! are deduplicated at build time and self-loops are rejected (the HcPE
+//! problem is defined on simple directed graphs).
+
+pub mod bfs;
+pub mod builder;
+pub mod csr;
+pub mod dynamic;
+pub mod generators;
+pub mod hashing;
+pub mod io;
+pub mod io_binary;
+pub mod pll;
+pub mod properties;
+pub mod types;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use dynamic::DynamicGraph;
+pub use pll::DistanceOracle;
+pub use types::{VertexId, INFINITE_DISTANCE};

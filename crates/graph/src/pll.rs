@@ -1,0 +1,292 @@
+//! Pruned landmark labeling: an offline all-pairs distance oracle.
+//!
+//! The PathEnum paper's discussion (Section 7.5) points at a *global*
+//! index built once offline to cut the per-query preprocessing cost, and
+//! its related work singles out pruned landmark labeling (Akiba et al.,
+//! SIGMOD 2013) as the canonical scheme. This module implements 2-hop
+//! PLL for directed graphs:
+//!
+//! * every vertex `v` carries an **out-label** `L_out(v)` of
+//!   `(hub, d(v -> hub))` pairs and an **in-label** `L_in(v)` of
+//!   `(hub, d(hub -> v))` pairs;
+//! * `d(s -> t) = min over shared hubs h of d(s -> h) + d(h -> t)`;
+//! * hubs are processed in descending-degree order and each hub BFS is
+//!   *pruned* wherever the labels built so far already certify a
+//!   distance no larger than the BFS depth — the trick that keeps labels
+//!   small on real-world (hub-heavy) graphs.
+//!
+//! The PathEnum integration (`pathenum::global`) uses the oracle as an
+//! existence filter: `d(s, t) > k` proves a query empty without touching
+//! the graph.
+
+use std::collections::VecDeque;
+
+use crate::csr::CsrGraph;
+use crate::types::{Distance, VertexId, INFINITE_DISTANCE};
+
+/// One label entry: hubs are stored by *rank* (position in the hub
+/// order), which makes merge-joins over sorted labels cheap.
+type Label = Vec<(u32, Distance)>;
+
+/// A 2-hop pruned-landmark-labeling distance oracle.
+///
+/// ```
+/// use pathenum_graph::{DistanceOracle, GraphBuilder, INFINITE_DISTANCE};
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edges([(0, 1), (1, 2), (2, 3)]).unwrap();
+/// let oracle = DistanceOracle::build(&b.finish());
+/// assert_eq!(oracle.distance(0, 3), 3);
+/// assert_eq!(oracle.distance(3, 0), INFINITE_DISTANCE);
+/// assert!(oracle.within(0, 2, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistanceOracle {
+    /// `rank_of[v]`: the processing rank of vertex `v`.
+    rank_of: Vec<u32>,
+    /// `vertex_at[r]`: the vertex processed at rank `r`.
+    vertex_at: Vec<VertexId>,
+    /// `d(v -> hub)` entries per vertex, sorted by hub rank.
+    out_labels: Vec<Label>,
+    /// `d(hub -> v)` entries per vertex, sorted by hub rank.
+    in_labels: Vec<Label>,
+}
+
+impl DistanceOracle {
+    /// Builds the oracle. Hub order is descending total degree with
+    /// vertex id as the tie-break, the standard heuristic.
+    pub fn build(graph: &CsrGraph) -> DistanceOracle {
+        let n = graph.num_vertices();
+        let mut order: Vec<VertexId> = graph.vertices().collect();
+        order.sort_unstable_by(|&a, &b| {
+            graph.degree(b).cmp(&graph.degree(a)).then_with(|| a.cmp(&b))
+        });
+        let mut rank_of = vec![0u32; n];
+        for (rank, &v) in order.iter().enumerate() {
+            rank_of[v as usize] = rank as u32;
+        }
+        let mut oracle = DistanceOracle {
+            rank_of,
+            vertex_at: order.clone(),
+            out_labels: vec![Vec::new(); n],
+            in_labels: vec![Vec::new(); n],
+        };
+        let mut queue = VecDeque::new();
+        let mut dist = vec![INFINITE_DISTANCE; n];
+        let mut touched: Vec<VertexId> = Vec::new();
+        for (rank, &hub) in order.iter().enumerate() {
+            let rank = rank as u32;
+            // Forward BFS from the hub fills in-labels (d(hub -> v)).
+            oracle.pruned_bfs(graph, hub, rank, true, &mut queue, &mut dist, &mut touched);
+            // Backward BFS fills out-labels (d(v -> hub)).
+            oracle.pruned_bfs(graph, hub, rank, false, &mut queue, &mut dist, &mut touched);
+        }
+        oracle
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal: hub BFS with reused buffers
+    fn pruned_bfs(
+        &mut self,
+        graph: &CsrGraph,
+        hub: VertexId,
+        rank: u32,
+        forward: bool,
+        queue: &mut VecDeque<VertexId>,
+        dist: &mut [Distance],
+        touched: &mut Vec<VertexId>,
+    ) {
+        queue.clear();
+        touched.clear();
+        dist[hub as usize] = 0;
+        touched.push(hub);
+        queue.push_back(hub);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[v as usize];
+            // Prune: if existing labels already certify d(hub, v) <= d,
+            // neither label nor expand v. The hub itself is exempt.
+            if v != hub {
+                let certified = if forward {
+                    self.query_partial(hub, v)
+                } else {
+                    self.query_partial(v, hub)
+                };
+                if certified <= d {
+                    continue;
+                }
+                if forward {
+                    self.in_labels[v as usize].push((rank, d));
+                } else {
+                    self.out_labels[v as usize].push((rank, d));
+                }
+            }
+            let neighbors =
+                if forward { graph.out_neighbors(v) } else { graph.in_neighbors(v) };
+            for &next in neighbors {
+                if dist[next as usize] == INFINITE_DISTANCE {
+                    dist[next as usize] = d + 1;
+                    touched.push(next);
+                    queue.push_back(next);
+                }
+            }
+        }
+        for &v in touched.iter() {
+            dist[v as usize] = INFINITE_DISTANCE;
+        }
+    }
+
+    /// Distance query over the (possibly still partial) labels, with the
+    /// endpoints' own hub roles included.
+    fn query_partial(&self, s: VertexId, t: VertexId) -> Distance {
+        if s == t {
+            return 0;
+        }
+        let mut best = INFINITE_DISTANCE;
+        // s or t may themselves be hubs already processed.
+        let (s_rank, t_rank) = (self.rank_of[s as usize], self.rank_of[t as usize]);
+        for &(hub, d) in &self.out_labels[s as usize] {
+            if hub == t_rank {
+                best = best.min(d);
+            }
+        }
+        for &(hub, d) in &self.in_labels[t as usize] {
+            if hub == s_rank {
+                best = best.min(d);
+            }
+        }
+        // Merge-join the sorted label lists on hub rank.
+        let (a, b) = (&self.out_labels[s as usize], &self.in_labels[t as usize]);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    best = best.min(a[i].1.saturating_add(b[j].1));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        best
+    }
+
+    /// Shortest-path distance from `s` to `t`
+    /// ([`INFINITE_DISTANCE`] if unreachable).
+    pub fn distance(&self, s: VertexId, t: VertexId) -> Distance {
+        self.query_partial(s, t)
+    }
+
+    /// Whether `t` is reachable from `s` within `max_hops` edges.
+    pub fn within(&self, s: VertexId, t: VertexId, max_hops: Distance) -> bool {
+        self.distance(s, t) <= max_hops
+    }
+
+    /// Total number of label entries (the oracle's size).
+    pub fn label_entries(&self) -> usize {
+        self.out_labels.iter().map(Vec::len).sum::<usize>()
+            + self.in_labels.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Average label entries per vertex.
+    pub fn average_label_size(&self) -> f64 {
+        if self.vertex_at.is_empty() {
+            return 0.0;
+        }
+        self.label_entries() as f64 / (2 * self.vertex_at.len()) as f64
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.label_entries() * std::mem::size_of::<(u32, Distance)>()
+            + self.rank_of.len() * std::mem::size_of::<u32>()
+            + self.vertex_at.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::{distances, BfsOptions};
+    use crate::builder::GraphBuilder;
+    use crate::generators::{complete_digraph, erdos_renyi, power_law, PowerLawConfig};
+
+    fn check_all_pairs(graph: &CsrGraph) {
+        let oracle = DistanceOracle::build(graph);
+        for s in graph.vertices() {
+            let reference = distances(graph, s, BfsOptions::default());
+            for t in graph.vertices() {
+                assert_eq!(
+                    oracle.distance(s, t),
+                    reference[t as usize],
+                    "d({s} -> {t}) mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_random_graphs() {
+        for seed in 0..6u64 {
+            check_all_pairs(&erdos_renyi(30, 120, seed));
+        }
+    }
+
+    #[test]
+    fn exact_on_sparse_disconnected_graphs() {
+        for seed in 0..4u64 {
+            check_all_pairs(&erdos_renyi(40, 30, seed));
+        }
+    }
+
+    #[test]
+    fn exact_on_dense_graphs() {
+        check_all_pairs(&complete_digraph(12));
+    }
+
+    #[test]
+    fn exact_on_power_law_graphs() {
+        check_all_pairs(&power_law(PowerLawConfig::social(120, 3, 7)));
+    }
+
+    #[test]
+    fn exact_on_directed_chain() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let g = b.finish();
+        let oracle = DistanceOracle::build(&g);
+        assert_eq!(oracle.distance(0, 5), 5);
+        assert_eq!(oracle.distance(5, 0), INFINITE_DISTANCE);
+        assert_eq!(oracle.distance(2, 2), 0);
+        assert!(oracle.within(0, 3, 3));
+        assert!(!oracle.within(0, 3, 2));
+    }
+
+    #[test]
+    fn pruning_keeps_labels_small_on_hub_graphs() {
+        // A star-through-hub graph: PLL should label almost everything
+        // through the single hub, far below the n^2 worst case.
+        let n = 200usize;
+        let mut b = GraphBuilder::new(n);
+        for v in 1..n as u32 {
+            b.add_edge(0, v).unwrap();
+            b.add_edge(v, 0).unwrap();
+        }
+        let g = b.finish();
+        let oracle = DistanceOracle::build(&g);
+        assert!(
+            oracle.average_label_size() < 3.0,
+            "avg label size {}",
+            oracle.average_label_size()
+        );
+        assert_eq!(oracle.distance(5, 9), 2);
+    }
+
+    #[test]
+    fn size_accessors_are_consistent() {
+        let g = erdos_renyi(25, 100, 3);
+        let oracle = DistanceOracle::build(&g);
+        assert!(oracle.label_entries() > 0);
+        assert!(oracle.heap_bytes() >= oracle.label_entries() * 8);
+        assert!(oracle.average_label_size() > 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Fundamental identifier and distance types shared across the workspace.
+
+/// Dense vertex identifier. Vertices of a graph with `n` vertices are
+/// exactly `0..n`.
+pub type VertexId = u32;
+
+/// Hop distance between two vertices, in edges.
+///
+/// `u32::MAX` ([`INFINITE_DISTANCE`]) encodes "unreachable". All real
+/// distances in this workspace are tiny (the hop constraint `k ≤ 16`), so a
+/// saturating representation is safe and keeps distance arrays compact.
+pub type Distance = u32;
+
+/// Sentinel distance for unreachable vertices.
+pub const INFINITE_DISTANCE: Distance = u32::MAX;
+
+/// A directed edge `(source, target)`.
+pub type Edge = (VertexId, VertexId);
+
+/// Saturating addition over [`Distance`] that treats
+/// [`INFINITE_DISTANCE`] as an absorbing element.
+#[inline]
+pub fn dist_add(a: Distance, b: Distance) -> Distance {
+    a.saturating_add(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_distance_absorbs_addition() {
+        assert_eq!(dist_add(INFINITE_DISTANCE, 1), INFINITE_DISTANCE);
+        assert_eq!(dist_add(3, INFINITE_DISTANCE), INFINITE_DISTANCE);
+        assert_eq!(dist_add(2, 3), 5);
+    }
+}

@@ -1,0 +1,177 @@
+//! Iterative IDX-DFS: Algorithm 4 with an explicit frame stack.
+//!
+//! Functionally identical to [`super::dfs::idx_dfs`] (asserted by tests
+//! and the plan-agreement property suite) but without native recursion:
+//! each frame holds the cursor into its `I_t` slice. Production services
+//! favor this form for stack safety under adversarial `k` and because the
+//! enumeration state can be suspended between emissions — the shape an
+//! incremental/paginated API needs. It also serves as the ablation
+//! partner for the recursion-overhead question in DESIGN.md.
+
+use pathenum_graph::VertexId;
+
+use crate::index::{Index, LocalId};
+use crate::sink::{PathSink, SearchControl};
+use crate::stats::Counters;
+
+/// One suspended search frame: the vertex at this depth and how far its
+/// admissible-neighbor slice has been consumed.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    vertex: LocalId,
+    cursor: u32,
+    /// Whether any result was found below this frame (for the
+    /// invalid-partial counter).
+    found: bool,
+}
+
+/// Enumerates all hop-constrained s-t paths by an explicit-stack DFS on
+/// the index. Emission and counter semantics match
+/// [`super::dfs::idx_dfs`] exactly.
+pub fn idx_dfs_iterative(
+    index: &Index,
+    sink: &mut dyn PathSink,
+    counters: &mut Counters,
+) -> SearchControl {
+    let (Some(s_local), Some(t_local)) = (index.s_local(), index.t_local()) else {
+        return SearchControl::Continue;
+    };
+    let k = index.k();
+    let mut stack: Vec<Frame> = Vec::with_capacity(k as usize + 1);
+    let mut scratch: Vec<VertexId> = Vec::with_capacity(k as usize + 1);
+    stack.push(Frame { vertex: s_local, cursor: 0, found: false });
+
+    // Count the root's neighbor scan once, mirroring the recursive entry.
+    if s_local != t_local {
+        counters.edges_accessed += index.i_t(s_local, k - 1).len() as u64;
+    }
+
+    while let Some(top) = stack.last().copied() {
+        let depth = stack.len() as u32 - 1; // edges used so far
+        if top.vertex == t_local && depth > 0 {
+            // Emit and force-backtrack: t's only neighbor is the padding
+            // loop, which the plain DFS never follows.
+            counters.results += 1;
+            scratch.clear();
+            scratch.extend(stack.iter().map(|f| index.global(f.vertex)));
+            if sink.emit(&scratch) == SearchControl::Stop {
+                return SearchControl::Stop;
+            }
+            stack.pop();
+            if let Some(parent) = stack.last_mut() {
+                parent.found = true;
+            }
+            continue;
+        }
+        let budget = k - depth - 1;
+        let neighbors = index.i_t(top.vertex, budget);
+        let mut advanced = false;
+        let mut cursor = top.cursor as usize;
+        while cursor < neighbors.len() {
+            let next = neighbors[cursor];
+            cursor += 1;
+            if stack.iter().any(|f| f.vertex == next) {
+                continue;
+            }
+            // Suspend this frame and descend.
+            let top_mut = stack.last_mut().expect("stack is non-empty");
+            top_mut.cursor = cursor as u32;
+            counters.partial_results += 1;
+            stack.push(Frame { vertex: next, cursor: 0, found: false });
+            if next != t_local {
+                let child_budget = k - (stack.len() as u32 - 1) - 1;
+                counters.edges_accessed += index.i_t(next, child_budget).len() as u64;
+            }
+            advanced = true;
+            break;
+        }
+        if !advanced {
+            // Exhausted: pop and account. The root (s) is not a generated
+            // partial result, so it is never counted as invalid.
+            let frame = stack.pop().expect("stack is non-empty");
+            if let Some(parent) = stack.last_mut() {
+                if !frame.found {
+                    counters.invalid_partial_results += 1;
+                }
+                parent.found |= frame.found;
+            }
+        }
+    }
+    SearchControl::Continue
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::dfs::idx_dfs;
+    use super::*;
+    use crate::index::test_support::*;
+    use crate::query::Query;
+    use crate::sink::{CollectingSink, LimitSink};
+    use pathenum_graph::generators::{complete_digraph, erdos_renyi};
+
+    fn both(index: &Index) -> (Vec<Vec<VertexId>>, Counters, Vec<Vec<VertexId>>, Counters) {
+        let mut recursive_sink = CollectingSink::default();
+        let mut recursive_counters = Counters::default();
+        idx_dfs(index, &mut recursive_sink, &mut recursive_counters);
+        let mut iterative_sink = CollectingSink::default();
+        let mut iterative_counters = Counters::default();
+        idx_dfs_iterative(index, &mut iterative_sink, &mut iterative_counters);
+        (
+            recursive_sink.sorted_paths(),
+            recursive_counters,
+            iterative_sink.sorted_paths(),
+            iterative_counters,
+        )
+    }
+
+    #[test]
+    fn matches_recursive_on_figure1() {
+        for k in 2..=6u32 {
+            let g = figure1_graph();
+            let index = Index::build(&g, Query::new(S, T, k).unwrap());
+            let (r_paths, r_counters, i_paths, i_counters) = both(&index);
+            assert_eq!(r_paths, i_paths, "k={k}");
+            assert_eq!(r_counters, i_counters, "k={k}");
+        }
+    }
+
+    #[test]
+    fn matches_recursive_on_random_graphs() {
+        for seed in 0..6u64 {
+            let g = erdos_renyi(30, 160, seed);
+            let index = Index::build(&g, Query::new(0, 1, 5).unwrap());
+            let (r_paths, r_counters, i_paths, i_counters) = both(&index);
+            assert_eq!(r_paths, i_paths, "seed={seed}");
+            assert_eq!(r_counters, i_counters, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn matches_recursive_on_dense_graphs() {
+        let g = complete_digraph(8);
+        let index = Index::build(&g, Query::new(0, 7, 4).unwrap());
+        let (r_paths, _, i_paths, _) = both(&index);
+        assert_eq!(r_paths, i_paths);
+    }
+
+    #[test]
+    fn early_stop_works() {
+        let g = complete_digraph(8);
+        let index = Index::build(&g, Query::new(0, 7, 4).unwrap());
+        let mut sink = LimitSink::new(3);
+        let mut counters = Counters::default();
+        let control = idx_dfs_iterative(&index, &mut sink, &mut counters);
+        assert_eq!(control, SearchControl::Stop);
+        assert_eq!(sink.count, 3);
+    }
+
+    #[test]
+    fn empty_index_is_a_no_op() {
+        let g = figure1_graph();
+        let index = Index::build(&g, Query::new(T, S, 4).unwrap());
+        let mut sink = CollectingSink::default();
+        let mut counters = Counters::default();
+        idx_dfs_iterative(&index, &mut sink, &mut counters);
+        assert!(sink.paths.is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! IDX-JOIN: two-sided evaluation with a hash join (Algorithm 6).
+
+use pathenum_graph::hashing::FxHashMap;
+use pathenum_graph::VertexId;
+
+use crate::index::{Index, LocalId};
+use crate::sink::{PathSink, SearchControl};
+use crate::stats::Counters;
+
+/// Evaluates the query by cutting the chain join at position `cut` (`i*`):
+///
+/// 1. enumerate `R_a`, the tuples of `Q[0 : i*]` (walk prefixes of `i*+1`
+///    vertices starting at `s`), by DFS on the index;
+/// 2. enumerate `R_b`, the tuples of `Q[i* : k]` (walk suffixes of
+///    `k-i*+1` vertices ending at `t`), by DFS from each join-key vertex;
+/// 3. hash-join on the shared position and emit every joined tuple that is
+///    a valid simple path once its `t`-padding is stripped.
+///
+/// Walks that reach `t` early are padded with the `(t, t)` self-loop the
+/// index provides, exactly as in the join model of Section 3.1.
+///
+/// `cut` must satisfy `0 < cut < k`.
+pub fn idx_join(
+    index: &Index,
+    cut: u32,
+    sink: &mut dyn PathSink,
+    counters: &mut Counters,
+) -> SearchControl {
+    let k = index.k();
+    assert!(cut > 0 && cut < k, "cut position must satisfy 0 < cut < k");
+    let (Some(s_local), Some(t_local)) = (index.s_local(), index.t_local()) else {
+        return SearchControl::Continue;
+    };
+
+    let prefix_width = cut as usize + 1;
+    let suffix_width = (k - cut) as usize + 1;
+
+    // Step 1: R_a = Q[0 : cut], walks from s with `cut` edges.
+    let mut r_a = TupleBuffer::new(prefix_width);
+    enumerate_side(index, s_local, 0, cut, &mut r_a, counters);
+
+    // Step 2: distinct join keys, then R_b = Q[cut : k] from each key.
+    let mut seen = vec![false; index.num_vertices()];
+    let mut keys: Vec<LocalId> = Vec::new();
+    for tuple in r_a.iter() {
+        let key = *tuple.last().expect("tuples are non-empty");
+        if !seen[key as usize] {
+            seen[key as usize] = true;
+            keys.push(key);
+        }
+    }
+    let mut r_b = TupleBuffer::new(suffix_width);
+    for &key in &keys {
+        enumerate_side(index, key, cut, k, &mut r_b, counters);
+    }
+
+    counters.peak_materialized_vertices = counters
+        .peak_materialized_vertices
+        .max((r_a.storage.len() + r_b.storage.len()) as u64);
+
+    // Step 3: hash join on the first suffix vertex.
+    let mut buckets: FxHashMap<LocalId, Vec<u32>> = FxHashMap::default();
+    for (i, tuple) in r_b.iter().enumerate() {
+        buckets.entry(tuple[0]).or_default().push(i as u32);
+    }
+
+    let mut combined: Vec<LocalId> = Vec::with_capacity(k as usize + 1);
+    let mut scratch: Vec<VertexId> = Vec::with_capacity(k as usize + 1);
+    for prefix in r_a.iter() {
+        let key = *prefix.last().expect("tuples are non-empty");
+        let Some(bucket) = buckets.get(&key) else {
+            counters.invalid_partial_results += 1;
+            continue;
+        };
+        for &suffix_idx in bucket {
+            let suffix = r_b.get(suffix_idx as usize);
+            combined.clear();
+            combined.extend_from_slice(prefix);
+            combined.extend_from_slice(&suffix[1..]);
+            if let Some(len) = valid_path_len(&combined, t_local) {
+                counters.results += 1;
+                scratch.clear();
+                scratch.extend(combined[..len].iter().map(|&l| index.global(l)));
+                if sink.emit(&scratch) == SearchControl::Stop {
+                    return SearchControl::Stop;
+                }
+            } else {
+                counters.invalid_partial_results += 1;
+            }
+        }
+    }
+    SearchControl::Continue
+}
+
+/// Flat storage for fixed-width tuples of local ids.
+struct TupleBuffer {
+    width: usize,
+    storage: Vec<LocalId>,
+}
+
+impl TupleBuffer {
+    fn new(width: usize) -> Self {
+        TupleBuffer { width, storage: Vec::new() }
+    }
+
+    fn push(&mut self, tuple: &[LocalId]) {
+        debug_assert_eq!(tuple.len(), self.width);
+        self.storage.extend_from_slice(tuple);
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.storage.len() / self.width
+    }
+
+    fn get(&self, i: usize) -> &[LocalId] {
+        &self.storage[i * self.width..(i + 1) * self.width]
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &[LocalId]> {
+        self.storage.chunks_exact(self.width)
+    }
+}
+
+/// DFS enumerating the tuples of `Q[from : to]` that start at `root`
+/// (the `Search` procedure of Algorithm 6).
+fn enumerate_side(
+    index: &Index,
+    root: LocalId,
+    from: u32,
+    to: u32,
+    out: &mut TupleBuffer,
+    counters: &mut Counters,
+) {
+    let k = index.k();
+    let target_len = (to - from) as usize + 1;
+    let mut partial: Vec<LocalId> = Vec::with_capacity(target_len);
+    partial.push(root);
+    side_search(index, k, from, target_len, &mut partial, out, counters);
+}
+
+fn side_search(
+    index: &Index,
+    k: u32,
+    from: u32,
+    target_len: usize,
+    partial: &mut Vec<LocalId>,
+    out: &mut TupleBuffer,
+    counters: &mut Counters,
+) {
+    if partial.len() == target_len {
+        out.push(partial);
+        return;
+    }
+    let v = *partial.last().expect("partial is non-empty");
+    // Remaining distance budget: the tuple occupies absolute positions
+    // `from ..`, so a vertex placed at absolute position p must satisfy
+    // v'.t <= k - p. Next position p = from + partial.len().
+    let budget = k - from - partial.len() as u32;
+    let neighbors = index.i_t(v, budget);
+    counters.edges_accessed += neighbors.len() as u64;
+    for &next in neighbors {
+        partial.push(next);
+        counters.partial_results += 1;
+        side_search(index, k, from, target_len, partial, out, counters);
+        partial.pop();
+    }
+}
+
+/// If `tuple` (a full-width joined walk) is a valid simple s-t path after
+/// stripping `t`-padding, returns the path length in vertices; else `None`.
+fn valid_path_len(tuple: &[LocalId], t_local: LocalId) -> Option<usize> {
+    let first_t = tuple.iter().position(|&v| v == t_local)?;
+    let len = first_t + 1;
+    // By index construction everything after the first t is t; the real
+    // walk is tuple[..len]. It is a path iff all vertices are distinct.
+    debug_assert!(tuple[len..].iter().all(|&v| v == t_local));
+    for i in 0..len {
+        for j in (i + 1)..len {
+            if tuple[i] == tuple[j] {
+                return None;
+            }
+        }
+    }
+    Some(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::dfs::idx_dfs;
+    use crate::index::test_support::*;
+    use crate::query::Query;
+    use crate::sink::{CollectingSink, LimitSink};
+
+    fn join_paths(k: u32, cut: u32) -> Vec<Vec<VertexId>> {
+        let g = figure1_graph();
+        let idx = Index::build(&g, Query::new(S, T, k).unwrap());
+        let mut sink = CollectingSink::default();
+        let mut counters = Counters::default();
+        idx_join(&idx, cut, &mut sink, &mut counters);
+        sink.sorted_paths()
+    }
+
+    fn dfs_paths(k: u32) -> Vec<Vec<VertexId>> {
+        let g = figure1_graph();
+        let idx = Index::build(&g, Query::new(S, T, k).unwrap());
+        let mut sink = CollectingSink::default();
+        let mut counters = Counters::default();
+        idx_dfs(&idx, &mut sink, &mut counters);
+        sink.sorted_paths()
+    }
+
+    #[test]
+    fn join_matches_dfs_for_every_cut() {
+        for k in 2..=6u32 {
+            let expected = dfs_paths(k);
+            for cut in 1..k {
+                assert_eq!(join_paths(k, cut), expected, "k={k} cut={cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn padding_recovers_short_paths() {
+        // k=4, cut=2: the 2-edge path (s, v0, t) must surface as the padded
+        // tuple (s, v0, t, t, t).
+        let paths = join_paths(4, 2);
+        assert!(paths.contains(&vec![S, V[0], T]));
+    }
+
+    #[test]
+    fn counters_record_materialization() {
+        let g = figure1_graph();
+        let idx = Index::build(&g, Query::new(S, T, 4).unwrap());
+        let mut sink = CollectingSink::default();
+        let mut counters = Counters::default();
+        idx_join(&idx, 2, &mut sink, &mut counters);
+        assert!(counters.peak_materialized_vertices > 0);
+        assert_eq!(counters.results, 5);
+    }
+
+    #[test]
+    fn early_stop_propagates() {
+        let g = figure1_graph();
+        let idx = Index::build(&g, Query::new(S, T, 4).unwrap());
+        let mut sink = LimitSink::new(1);
+        let mut counters = Counters::default();
+        let control = idx_join(&idx, 2, &mut sink, &mut counters);
+        assert_eq!(control, SearchControl::Stop);
+        assert_eq!(sink.count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cut position")]
+    fn rejects_degenerate_cut() {
+        let g = figure1_graph();
+        let idx = Index::build(&g, Query::new(S, T, 4).unwrap());
+        let mut sink = CollectingSink::default();
+        let mut counters = Counters::default();
+        idx_join(&idx, 0, &mut sink, &mut counters);
+    }
+
+    #[test]
+    fn empty_index_is_a_no_op() {
+        let g = figure1_graph();
+        let idx = Index::build(&g, Query::new(T, S, 4).unwrap());
+        let mut sink = CollectingSink::default();
+        let mut counters = Counters::default();
+        assert_eq!(idx_join(&idx, 2, &mut sink, &mut counters), SearchControl::Continue);
+        assert!(sink.paths.is_empty());
+    }
+
+    #[test]
+    fn tuple_buffer_roundtrip() {
+        let mut buf = TupleBuffer::new(3);
+        buf.push(&[1, 2, 3]);
+        buf.push(&[4, 5, 6]);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.get(1), &[4, 5, 6]);
+        assert_eq!(buf.iter().count(), 2);
+    }
+
+    #[test]
+    fn valid_path_len_rules() {
+        // t = 9. Straight path.
+        assert_eq!(valid_path_len(&[0, 1, 9], 9), Some(3));
+        // Padded path.
+        assert_eq!(valid_path_len(&[0, 1, 9, 9, 9], 9), Some(3));
+        // Duplicate vertex before padding.
+        assert_eq!(valid_path_len(&[0, 1, 0, 9], 9), None);
+        // Never reaches t (cannot happen by construction, but be safe).
+        assert_eq!(valid_path_len(&[0, 1, 2], 9), None);
+    }
+}

@@ -1,0 +1,16 @@
+//! Index-based enumeration strategies.
+//!
+//! * [`dfs`] — Algorithm 4: depth-first search on the index, extending a
+//!   single partial result one vertex at a time (equivalent to the
+//!   left-deep join order `R_1, ..., R_k`).
+//! * [`join`] — Algorithm 6: cut the chain query at position `i*`, evaluate
+//!   both sides by DFS on the index, and hash-join the intermediate
+//!   relations.
+
+pub mod dfs;
+pub mod dfs_iterative;
+pub mod join;
+
+pub use dfs::idx_dfs;
+pub use dfs_iterative::idx_dfs_iterative;
+pub use join::idx_join;

@@ -1,0 +1,125 @@
+//! Estimation-error metrics (q-error).
+//!
+//! Cardinality-estimation work (e.g. the G-CARE benchmark the paper
+//! cites) reports the *q-error*: `max(estimate, actual) / min(estimate,
+//! actual)`, the multiplicative factor by which an estimate misses in
+//! either direction. Figure 18's accuracy discussion is quantified here
+//! for both estimators.
+
+/// The q-error of one estimate against the truth.
+///
+/// Both sides are clamped to 1 (an estimate of 0 against an actual 0 is a
+/// perfect 1.0; a zero against a positive count is treated as 1 vs the
+/// count, the standard convention).
+pub fn q_error(estimate: u64, actual: u64) -> f64 {
+    let e = estimate.max(1) as f64;
+    let a = actual.max(1) as f64;
+    if e >= a {
+        e / a
+    } else {
+        a / e
+    }
+}
+
+/// Summary statistics of a set of q-errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QErrorSummary {
+    /// Geometric mean of the q-errors.
+    pub geometric_mean: f64,
+    /// Median q-error.
+    pub median: f64,
+    /// 95th-percentile q-error (nearest rank).
+    pub p95: f64,
+    /// Worst q-error.
+    pub max: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+/// Summarizes paired `(estimate, actual)` samples.
+pub fn summarize_q_errors(pairs: &[(u64, u64)]) -> Option<QErrorSummary> {
+    if pairs.is_empty() {
+        return None;
+    }
+    let mut errors: Vec<f64> = pairs.iter().map(|&(e, a)| q_error(e, a)).collect();
+    errors.sort_unstable_by(|a, b| a.partial_cmp(b).expect("q-errors are finite"));
+    let n = errors.len();
+    let geometric_mean = (errors.iter().map(|e| e.ln()).sum::<f64>() / n as f64).exp();
+    let rank = |pct: f64| -> f64 {
+        let idx = ((pct * n as f64).ceil() as usize).clamp(1, n) - 1;
+        errors[idx]
+    };
+    Some(QErrorSummary {
+        geometric_mean,
+        median: rank(0.5),
+        p95: rank(0.95),
+        max: errors[n - 1],
+        samples: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_is_symmetric_and_clamped() {
+        assert_eq!(q_error(10, 100), 10.0);
+        assert_eq!(q_error(100, 10), 10.0);
+        assert_eq!(q_error(7, 7), 1.0);
+        assert_eq!(q_error(0, 0), 1.0);
+        assert_eq!(q_error(0, 50), 50.0);
+        assert_eq!(q_error(50, 0), 50.0);
+    }
+
+    #[test]
+    fn summary_statistics_are_ordered() {
+        let pairs: Vec<(u64, u64)> = vec![(1, 1), (2, 1), (10, 1), (1, 100)];
+        let s = summarize_q_errors(&pairs).unwrap();
+        assert_eq!(s.samples, 4);
+        assert_eq!(s.max, 100.0);
+        assert!(s.geometric_mean >= 1.0);
+        assert!(s.median <= s.p95 && s.p95 <= s.max);
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        assert!(summarize_q_errors(&[]).is_none());
+    }
+
+    #[test]
+    fn perfect_estimates_summarize_to_one() {
+        let pairs: Vec<(u64, u64)> = (1..20).map(|i| (i, i)).collect();
+        let s = summarize_q_errors(&pairs).unwrap();
+        assert_eq!(s.geometric_mean, 1.0);
+        assert_eq!(s.max, 1.0);
+    }
+
+    #[test]
+    fn full_estimator_q_error_beats_preliminary_on_figure1() {
+        use crate::estimator::{preliminary_estimate, FullEstimate};
+        use crate::index::test_support::*;
+        use crate::index::Index;
+        use crate::query::Query;
+        use crate::reference::count_paths;
+
+        let g = figure1_graph();
+        let mut full_pairs = Vec::new();
+        let mut prelim_pairs = Vec::new();
+        for k in 3..=6u32 {
+            let q = Query::new(S, T, k).unwrap();
+            let idx = Index::build(&g, q);
+            let actual = count_paths(&g, q);
+            full_pairs.push((FullEstimate::compute(&idx).total_walks(), actual));
+            prelim_pairs.push((preliminary_estimate(&idx), actual));
+        }
+        let full = summarize_q_errors(&full_pairs).unwrap();
+        let prelim = summarize_q_errors(&prelim_pairs).unwrap();
+        assert!(
+            full.geometric_mean <= prelim.geometric_mean,
+            "full {} vs preliminary {}",
+            full.geometric_mean,
+            prelim.geometric_mean
+        );
+    }
+}

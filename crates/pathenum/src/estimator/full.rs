@@ -1,0 +1,186 @@
+//! The full-fledged cardinality estimator (Equations 6–7, Algorithm 5's
+//! two DP passes).
+//!
+//! For every index vertex `v` and position `i` the estimator computes
+//!
+//! * `suffix[i][v] = c_i^k(v)` — the number of tuples of the sub-query
+//!   `Q[i : k]` starting with `v` (walk suffixes from `v` to `t`, with
+//!   `t`-padding), via the backward recurrence
+//!   `c_i^k(v) = sum_{v' in I_t(v, k-i-1)} c_{i+1}^k(v')`;
+//! * `prefix[i][v] = c_i^0(v)` — tuples of `Q[0 : i]` *ending* with `v`
+//!   (walk prefixes from `s`), via the mirrored recurrence over
+//!   `I_s(v, i-1)`.
+//!
+//! Because the index stores every admissible edge, these DPs are *exact*
+//! walk counts, not estimates: `suffix[0][s] = |W(s, t, k, G)| = |Q|`.
+//! They estimate the number of *paths* only insofar as `delta_P` is close
+//! to `delta_W` (Section 6.4). All arithmetic saturates.
+
+use crate::index::{Index, LocalId};
+
+/// The DP tables of the full-fledged estimator.
+#[derive(Debug, Clone)]
+pub struct FullEstimate {
+    k: u32,
+    /// `prefix[i][v] = |{tuples of Q[0:i] ending at v}|`; `(k+1) x |X|`.
+    prefix: Vec<Vec<u64>>,
+    /// `suffix[i][v] = |{tuples of Q[i:k] starting at v}|`; `(k+1) x |X|`.
+    suffix: Vec<Vec<u64>>,
+    /// `sum_v prefix[i][v]` = `|Q[0:i]|` per level.
+    prefix_sums: Vec<u64>,
+    /// `sum_v suffix[i][v]` = `|Q[i:k]|` per level.
+    suffix_sums: Vec<u64>,
+}
+
+impl FullEstimate {
+    /// Runs both DP passes over the index. `O(k * |E_I|)` time,
+    /// `O(k * |X|)` space.
+    pub fn compute(index: &Index) -> FullEstimate {
+        let k = index.k();
+        let n = index.num_vertices();
+        let levels = k as usize + 1;
+        let mut prefix = vec![vec![0u64; n]; levels];
+        let mut suffix = vec![vec![0u64; n]; levels];
+
+        if !index.is_empty() {
+            // Suffix pass: c_k^k(v) = 1 for v in I(k), then walk backward.
+            for v in index.level(k) {
+                suffix[k as usize][v as usize] = 1;
+            }
+            for i in (0..k).rev() {
+                for v in index.level(i) {
+                    let mut total = 0u64;
+                    for &n2 in index.i_t(v, k - i - 1) {
+                        total = total.saturating_add(suffix[i as usize + 1][n2 as usize]);
+                    }
+                    suffix[i as usize][v as usize] = total;
+                }
+            }
+            // Prefix pass: c_0(v) = 1 for v in I(0) = {s}, walk forward.
+            for v in index.level(0) {
+                prefix[0][v as usize] = 1;
+            }
+            for i in 1..=k {
+                for v in index.level(i) {
+                    let mut total = 0u64;
+                    for &p in index.i_s(v, i - 1) {
+                        total = total.saturating_add(prefix[i as usize - 1][p as usize]);
+                    }
+                    prefix[i as usize][v as usize] = total;
+                }
+            }
+        }
+
+        let prefix_sums = prefix
+            .iter()
+            .map(|row| row.iter().fold(0u64, |acc, &x| acc.saturating_add(x)))
+            .collect();
+        let suffix_sums = suffix
+            .iter()
+            .map(|row| row.iter().fold(0u64, |acc, &x| acc.saturating_add(x)))
+            .collect();
+        FullEstimate { k, prefix, suffix, prefix_sums, suffix_sums }
+    }
+
+    /// `c_i^k(v)`: tuples of `Q[i:k]` starting at `v`.
+    pub fn suffix_count(&self, i: u32, v: LocalId) -> u64 {
+        self.suffix[i as usize][v as usize]
+    }
+
+    /// Tuples of `Q[0:i]` ending at `v`.
+    pub fn prefix_count(&self, i: u32, v: LocalId) -> u64 {
+        self.prefix[i as usize][v as usize]
+    }
+
+    /// `|Q[0:i]|`: size of the prefix sub-query's result.
+    pub fn prefix_sum(&self, i: u32) -> u64 {
+        self.prefix_sums[i as usize]
+    }
+
+    /// `|Q[i:k]|`: size of the suffix sub-query's result.
+    pub fn suffix_sum(&self, i: u32) -> u64 {
+        self.suffix_sums[i as usize]
+    }
+
+    /// `|Q|` — the exact number of hop-constrained s-t *walks*
+    /// (`delta_W`), which is the estimator's stand-in for the result count.
+    pub fn total_walks(&self) -> u64 {
+        self.suffix_sums[0]
+    }
+
+    /// The hop constraint this estimate was computed for.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::test_support::*;
+    use crate::query::Query;
+    use crate::reference::count_walks;
+    use pathenum_graph::generators::{complete_digraph, erdos_renyi, layered_dag};
+
+    fn estimate(g: &pathenum_graph::CsrGraph, q: Query) -> FullEstimate {
+        FullEstimate::compute(&Index::build(g, q))
+    }
+
+    #[test]
+    fn walk_count_is_exact_on_figure1() {
+        let g = figure1_graph();
+        let q = Query::new(S, T, 4).unwrap();
+        let est = estimate(&g, q);
+        assert_eq!(est.total_walks(), count_walks(&g, q));
+    }
+
+    #[test]
+    fn walk_count_is_exact_on_complete_digraphs() {
+        for n in [4usize, 6, 8] {
+            for k in 2..=5u32 {
+                let g = complete_digraph(n);
+                let q = Query::new(0, (n - 1) as u32, k).unwrap();
+                let est = estimate(&g, q);
+                assert_eq!(est.total_walks(), count_walks(&g, q), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn walk_count_is_exact_on_random_graphs() {
+        for seed in 0..5u64 {
+            let g = erdos_renyi(40, 200, seed);
+            let q = Query::new(0, 1, 5).unwrap();
+            let est = estimate(&g, q);
+            assert_eq!(est.total_walks(), count_walks(&g, q), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn prefix_and_suffix_totals_agree() {
+        // |Q| can be read from either end of the chain.
+        let g = erdos_renyi(30, 150, 9);
+        let q = Query::new(2, 3, 4).unwrap();
+        let est = estimate(&g, q);
+        assert_eq!(est.prefix_sum(4), est.suffix_sum(0));
+    }
+
+    #[test]
+    fn layered_dag_paths_equal_walks() {
+        let (g, s, t) = layered_dag(3, 4, 2, 21);
+        let q = Query::new(s, t, 4).unwrap();
+        let est = estimate(&g, q);
+        let walks = count_walks(&g, q);
+        let paths = crate::reference::count_paths(&g, q);
+        assert_eq!(est.total_walks(), walks);
+        assert_eq!(walks, paths, "DAG walks are all simple");
+    }
+
+    #[test]
+    fn empty_index_estimates_zero() {
+        let g = figure1_graph();
+        let est = estimate(&g, Query::new(T, S, 4).unwrap());
+        assert_eq!(est.total_walks(), 0);
+        assert_eq!(est.prefix_sum(2), 0);
+    }
+}

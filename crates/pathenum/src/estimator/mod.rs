@@ -1,0 +1,17 @@
+//! Cardinality estimation (Section 6.2).
+//!
+//! Two estimators with different cost/accuracy trade-offs drive the query
+//! optimizer:
+//!
+//! * [`preliminary`] — Equation 5: a product of per-level average branching
+//!   factors, `O(k^2)` using statistics collected during index build.
+//! * [`full`] — Equations 6–7: an exact dynamic program over the index
+//!   counting the walks of every prefix/suffix sub-query; `O(k |E_I|)`.
+
+pub mod error;
+pub mod full;
+pub mod preliminary;
+
+pub use error::{q_error, summarize_q_errors, QErrorSummary};
+pub use full::FullEstimate;
+pub use preliminary::preliminary_estimate;

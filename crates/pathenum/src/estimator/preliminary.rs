@@ -1,0 +1,102 @@
+//! The preliminary cardinality estimator (Equation 5).
+
+use crate::index::Index;
+
+/// Estimated search-space size of IDX-DFS:
+/// `T_hat = sum_{i=0..k-1} prod_{j=0..i} gamma_hat_j`, where
+/// `gamma_hat_j` is the average admissible branching factor of level `j`
+/// (`(1/|C_j|) * sum_{v in C_j} |I_t(v, k-j-1)|`).
+///
+/// Both inputs are collected during index construction, so this costs
+/// `O(k)` here (`O(k^2)` in the paper's accounting, including the stats
+/// pass folded into the build). Saturates at `u64::MAX`.
+pub fn preliminary_estimate(index: &Index) -> u64 {
+    if index.is_empty() {
+        return 0;
+    }
+    let k = index.k();
+    let mut total: f64 = 0.0;
+    let mut product: f64 = 1.0;
+    for j in 0..k {
+        let size = index.level_size(j);
+        if size == 0 {
+            break; // no vertex can occupy this level: nothing deeper exists
+        }
+        let gamma = index.level_expansion(j) as f64 / size as f64;
+        product *= gamma;
+        total += product;
+        if !total.is_finite() {
+            return u64::MAX;
+        }
+    }
+    if total >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        total.round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::test_support::*;
+    use crate::query::Query;
+
+    #[test]
+    fn empty_index_estimates_zero() {
+        let g = figure1_graph();
+        let idx = Index::build(&g, Query::new(T, S, 4).unwrap());
+        assert_eq!(preliminary_estimate(&idx), 0);
+    }
+
+    #[test]
+    fn estimate_is_positive_and_bounded_on_figure1() {
+        let g = figure1_graph();
+        let idx = Index::build(&g, Query::new(S, T, 4).unwrap());
+        let est = preliminary_estimate(&idx);
+        // 5 paths, 6 walks; the relaxed search tree has a handful of
+        // partials per level — the estimate must be in a sane band.
+        assert!(est >= 2, "estimate {est} too small");
+        assert!(est < 100, "estimate {est} too large");
+    }
+
+    #[test]
+    fn estimate_grows_with_k_on_dense_graphs() {
+        let g = pathenum_graph::generators::complete_digraph(12);
+        let small = {
+            let idx = Index::build(&g, Query::new(0, 1, 3).unwrap());
+            preliminary_estimate(&idx)
+        };
+        let large = {
+            let idx = Index::build(&g, Query::new(0, 1, 6).unwrap());
+            preliminary_estimate(&idx)
+        };
+        assert!(large > small * 10, "small={small} large={large}");
+    }
+
+    #[test]
+    fn estimate_tracks_relaxed_tree_on_uniform_graphs() {
+        // On a complete digraph branching factors are near-uniform, so
+        // Equation 5 should land close to the exact relaxed-tree size
+        // `sum_i |M~_i|` (which includes the t-padding partials the
+        // recurrence of Section 5.2 generates through the (t, t) loop).
+        let g = pathenum_graph::generators::complete_digraph(8);
+        let q = Query::new(0, 1, 4).unwrap();
+        let idx = Index::build(&g, q);
+        let est = preliminary_estimate(&idx);
+        fn relaxed(idx: &Index, v: u32, depth: u32, k: u32) -> u64 {
+            if depth == k {
+                return 0;
+            }
+            let mut nodes = 0;
+            for &n in idx.i_t(v, k - depth - 1) {
+                nodes += 1 + relaxed(idx, n, depth + 1, k);
+            }
+            nodes
+        }
+        let exact = relaxed(&idx, idx.s_local().unwrap(), 0, 4);
+        assert_eq!(exact, 418, "relaxed-tree arithmetic drifted");
+        let ratio = est as f64 / exact as f64;
+        assert!((0.7..=1.4).contains(&ratio), "est={est} exact={exact}");
+    }
+}

@@ -1,0 +1,281 @@
+//! Index construction (Algorithm 3).
+
+use pathenum_graph::bfs::{distances_into, BfsOptions, Direction};
+use pathenum_graph::types::{dist_add, Distance, INFINITE_DISTANCE};
+use pathenum_graph::{CsrGraph, VertexId};
+
+use super::neighbor_table::{LocalId, NeighborTable};
+use super::Index;
+use crate::query::Query;
+
+const ABSENT: u32 = u32::MAX;
+
+/// Reusable buffers for index construction.
+///
+/// The build needs three `O(|V|)` arrays (the two boundary distance maps
+/// and the global-to-local id map) plus a BFS queue. Real-time workloads
+/// issue queries back-to-back on the same graph; holding the buffers in a
+/// [`BuildScratch`] (see [`crate::engine::QueryEngine`]) turns those
+/// per-query allocations into resets.
+#[derive(Debug, Default, Clone)]
+pub struct BuildScratch {
+    dist_s: Vec<Distance>,
+    dist_t: Vec<Distance>,
+    queue: std::collections::VecDeque<VertexId>,
+    local_of: Vec<u32>,
+}
+
+impl Index {
+    /// Builds the light-weight index for `query` on `graph`.
+    ///
+    /// Cost is `O(|E| + |V|)`: two bounded BFS traversals plus one scan of
+    /// the adjacency of the surviving vertices. If the index proves the
+    /// query empty (no s-t path within `k` hops), an empty index is
+    /// returned and [`Index::is_empty`] is true.
+    pub fn build(graph: &CsrGraph, query: Query) -> Index {
+        Index::build_profiled(graph, query).0
+    }
+
+    /// As [`Index::build`], additionally reporting the time the two
+    /// boundary BFS traversals took (the `BFS` series of Figures 12/17).
+    pub fn build_profiled(graph: &CsrGraph, query: Query) -> (Index, std::time::Duration) {
+        let mut scratch = BuildScratch::default();
+        Index::build_reusing(graph, query, &mut scratch)
+    }
+
+    /// As [`Index::build_profiled`], reusing caller-owned scratch buffers
+    /// across queries (allocation-free boundary BFS and id mapping).
+    pub fn build_reusing(
+        graph: &CsrGraph,
+        query: Query,
+        scratch: &mut BuildScratch,
+    ) -> (Index, std::time::Duration) {
+        let Query { s, t, k } = query;
+        debug_assert!(query.validate(graph.num_vertices()).is_ok());
+
+        // Boundary distances: v.s = S(s, v | G - {t}), v.t = S(v, t | G - {s}).
+        let bfs_start = std::time::Instant::now();
+        distances_into(
+            graph,
+            s,
+            BfsOptions {
+                direction: Direction::Forward,
+                excluded: Some(t),
+                max_depth: Some(k),
+            },
+            &mut scratch.dist_s,
+            &mut scratch.queue,
+        );
+        distances_into(
+            graph,
+            t,
+            BfsOptions {
+                direction: Direction::Backward,
+                excluded: Some(s),
+                max_depth: Some(k),
+            },
+            &mut scratch.dist_t,
+            &mut scratch.queue,
+        );
+        let dist_s = &mut scratch.dist_s;
+        let dist_t = &mut scratch.dist_t;
+        let bfs_time = bfs_start.elapsed();
+        // The excluded endpoints get their distances from their boundary
+        // edges: t.s via in-edges of t, s.t via out-edges of s.
+        let t_s = graph
+            .in_neighbors(t)
+            .iter()
+            .map(|&u| dist_add(dist_s[u as usize], 1))
+            .min()
+            .unwrap_or(INFINITE_DISTANCE);
+        let s_t = graph
+            .out_neighbors(s)
+            .iter()
+            .map(|&w| dist_add(dist_t[w as usize], 1))
+            .min()
+            .unwrap_or(INFINITE_DISTANCE);
+        dist_s[t as usize] = t_s;
+        dist_t[s as usize] = s_t;
+
+        if dist_add(dist_s[s as usize], dist_t[s as usize]) > k
+            || dist_add(dist_s[t as usize], dist_t[t as usize]) > k
+        {
+            return (Index::empty(query), bfs_time);
+        }
+
+        // Partition X: vertices with v.s + v.t <= k, in global-id order.
+        let mut vertices: Vec<VertexId> = Vec::new();
+        scratch.local_of.clear();
+        scratch.local_of.resize(graph.num_vertices(), ABSENT);
+        let local_of = &mut scratch.local_of;
+        for v in graph.vertices() {
+            if dist_add(dist_s[v as usize], dist_t[v as usize]) <= k {
+                local_of[v as usize] = vertices.len() as u32;
+                vertices.push(v);
+            }
+        }
+        let s_local = local_of[s as usize];
+        let t_local = local_of[t as usize];
+        debug_assert_ne!(s_local, ABSENT);
+        debug_assert_ne!(t_local, ABSENT);
+
+        let local_dist_s: Vec<Distance> = vertices.iter().map(|&v| dist_s[v as usize]).collect();
+        let local_dist_t: Vec<Distance> = vertices.iter().map(|&v| dist_t[v as usize]).collect();
+
+        // Forward table (H of Algorithm 3): admissible out-neighbors keyed
+        // by distance-to-t. t keeps only the (t, t) padding loop.
+        let mut fwd_lists: Vec<Vec<(LocalId, Distance)>> = vec![Vec::new(); vertices.len()];
+        for (local, &gv) in vertices.iter().enumerate() {
+            if gv == t {
+                fwd_lists[local].push((t_local, 0));
+                continue;
+            }
+            let vs = local_dist_s[local];
+            for &n in graph.out_neighbors(gv) {
+                if n == s {
+                    continue; // interior vertices are never s
+                }
+                let nt = dist_t[n as usize];
+                // Admission: v.s + v'.t + 1 <= k (Algorithm 3 line 9).
+                if dist_add(dist_add(vs, nt), 1) <= k {
+                    let n_local = local_of[n as usize];
+                    debug_assert_ne!(n_local, ABSENT, "admission implies membership");
+                    fwd_lists[local].push((n_local, nt));
+                }
+            }
+        }
+        let fwd = NeighborTable::build(k, &fwd_lists);
+        drop(fwd_lists);
+
+        // Backward table: admissible in-neighbors keyed by
+        // distance-from-s. s gets no predecessors; t additionally gets the
+        // (t, t) padding loop.
+        let mut bwd_lists: Vec<Vec<(LocalId, Distance)>> = vec![Vec::new(); vertices.len()];
+        for (local, &gv) in vertices.iter().enumerate() {
+            if gv == s {
+                continue;
+            }
+            let vt = local_dist_t[local];
+            for &p in graph.in_neighbors(gv) {
+                if p == t {
+                    continue; // t never has real out-edges in the relations
+                }
+                let ps = dist_s[p as usize];
+                if dist_add(dist_add(ps, vt), 1) <= k {
+                    let p_local = local_of[p as usize];
+                    debug_assert_ne!(p_local, ABSENT, "admission implies membership");
+                    bwd_lists[local].push((p_local, ps));
+                }
+            }
+            if gv == t {
+                bwd_lists[local].push((t_local, local_dist_s[t_local as usize]));
+            }
+        }
+        let bwd = NeighborTable::build(k, &bwd_lists);
+        drop(bwd_lists);
+
+        // Per-level statistics for the preliminary estimator.
+        let mut level_sizes = vec![0u64; k as usize + 1];
+        let mut level_expansion = vec![0u64; k as usize + 1];
+        for i in 0..=k {
+            let mut size = 0u64;
+            let mut expansion = 0u64;
+            for v in 0..vertices.len() as LocalId {
+                if local_dist_s[v as usize] <= i && local_dist_t[v as usize] <= k - i {
+                    size += 1;
+                    if i < k {
+                        expansion += fwd.neighbors_within(v, k - i - 1).len() as u64;
+                    }
+                }
+            }
+            level_sizes[i as usize] = size;
+            level_expansion[i as usize] = expansion;
+        }
+
+        let index = Index {
+            query,
+            s_local: Some(s_local),
+            t_local: Some(t_local),
+            vertices,
+            dist_s: local_dist_s,
+            dist_t: local_dist_t,
+            fwd,
+            bwd,
+            level_sizes,
+            level_expansion,
+        };
+        (index, bfs_time)
+    }
+
+    /// An index proving the query has no result.
+    pub(crate) fn empty(query: Query) -> Index {
+        let k = query.k;
+        Index {
+            query,
+            s_local: None,
+            t_local: None,
+            vertices: Vec::new(),
+            dist_s: Vec::new(),
+            dist_t: Vec::new(),
+            fwd: NeighborTable::build(k, &[]),
+            bwd: NeighborTable::build(k, &[]),
+            level_sizes: vec![0; k as usize + 1],
+            level_expansion: vec![0; k as usize + 1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn direct_edge_only_queries_build_nonempty_index() {
+        let mut b = pathenum_graph::GraphBuilder::new(2);
+        b.add_edge(0, 1).unwrap();
+        let g = b.finish();
+        let idx = Index::build(&g, Query::new(0, 1, 2).unwrap());
+        assert!(!idx.is_empty());
+        assert_eq!(idx.num_vertices(), 2);
+        let s = idx.s_local().unwrap();
+        let t = idx.t_local().unwrap();
+        assert_eq!(idx.i_t(s, 1), &[t]);
+    }
+
+    #[test]
+    fn reverse_direction_query_is_empty_on_dag() {
+        let g = figure1_graph();
+        // No edges lead back from t to s.
+        let idx = Index::build(&g, Query::new(T, S, 4).unwrap());
+        assert!(idx.is_empty());
+        assert_eq!(idx.num_edges(), 0);
+    }
+
+    #[test]
+    fn admission_rule_prunes_far_neighbors() {
+        // Chain 0 -> 1 -> 2 -> 3 plus shortcut 0 -> 3; k = 2 admits only
+        // the shortcut and the 1-hop tails.
+        let mut b = pathenum_graph::GraphBuilder::new(4);
+        b.add_edges([(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let g = b.finish();
+        let idx = Index::build(&g, Query::new(0, 3, 2).unwrap());
+        assert!(!idx.is_empty());
+        // Vertex 1 sits at (v.s = 1, v.t = 2), sum 3 > 2: excluded.
+        // Vertex 2 sits at (v.s = 2, v.t = 1), sum 3 > 2: excluded.
+        let globals: Vec<VertexId> =
+            (0..idx.num_vertices() as LocalId).map(|l| idx.global(l)).collect();
+        assert_eq!(globals, vec![0, 3]);
+    }
+
+    #[test]
+    fn level_expansion_matches_manual_sum() {
+        let g = figure1_graph();
+        let idx = Index::build(&g, Query::new(S, T, 4).unwrap());
+        for i in 0..4u32 {
+            let manual: u64 =
+                idx.level(i).map(|v| idx.i_t(v, 4 - i - 1).len() as u64).sum();
+            assert_eq!(idx.level_expansion(i), manual, "level {i}");
+        }
+    }
+}

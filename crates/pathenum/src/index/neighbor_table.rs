@@ -1,0 +1,146 @@
+//! The distance-bucketed neighbor table (`H` of Algorithm 3, Figure 4b).
+//!
+//! For each indexed vertex the table stores its admissible neighbors sorted
+//! ascending by a *key distance* (distance-to-`t` for the forward table,
+//! distance-from-`s` for the backward table), plus `k + 1` offset slots
+//! that count how many neighbors have key distance `<= d`. The lookup
+//! `I_t(v, b)` is then an O(1) slice.
+
+use pathenum_graph::types::Distance;
+
+/// Local (index-internal) vertex id. Dense over the indexed vertex set.
+pub type LocalId = u32;
+
+/// Immutable neighbor table over local ids.
+#[derive(Debug, Clone)]
+pub struct NeighborTable {
+    k: u32,
+    /// Flat neighbor storage, grouped by owner, sorted by key distance.
+    neighbors: Vec<LocalId>,
+    /// Per-owner start position into `neighbors`; length `num_vertices+1`.
+    starts: Vec<u32>,
+    /// Per-owner cumulative counts: `cuts[owner * (k + 1) + d]` = number of
+    /// neighbors of `owner` whose key distance is `<= d`.
+    cuts: Vec<u32>,
+}
+
+impl NeighborTable {
+    /// Builds the table from per-vertex `(neighbor, key_distance)` lists.
+    ///
+    /// Key distances must be `<= k` (the index never stores a neighbor
+    /// whose distance exceeds the budget any search could grant it).
+    pub fn build(k: u32, per_vertex: &[Vec<(LocalId, Distance)>]) -> Self {
+        let slots = (k + 1) as usize;
+        let num_vertices = per_vertex.len();
+        let total: usize = per_vertex.iter().map(Vec::len).sum();
+        let mut neighbors = Vec::with_capacity(total);
+        let mut starts = Vec::with_capacity(num_vertices + 1);
+        let mut cuts = vec![0u32; num_vertices * slots];
+        let mut scratch: Vec<(LocalId, Distance)> = Vec::new();
+        starts.push(0u32);
+        for (owner, list) in per_vertex.iter().enumerate() {
+            scratch.clear();
+            scratch.extend_from_slice(list);
+            // Counting-sort-grade key range; a comparison sort on these tiny
+            // lists is simpler and the secondary id key keeps output stable.
+            scratch.sort_unstable_by_key(|&(id, d)| (d, id));
+            let mut count_within = 0u32;
+            let mut cursor = 0usize;
+            let base = owner * slots;
+            for d in 0..slots as Distance {
+                while cursor < scratch.len() && scratch[cursor].1 <= d {
+                    debug_assert!(scratch[cursor].1 <= k, "key distance exceeds k");
+                    neighbors.push(scratch[cursor].0);
+                    cursor += 1;
+                    count_within += 1;
+                }
+                cuts[base + d as usize] = count_within;
+            }
+            debug_assert_eq!(cursor, scratch.len(), "a key distance exceeded k");
+            starts.push(neighbors.len() as u32);
+        }
+        NeighborTable { k, neighbors, starts, cuts }
+    }
+
+    /// Neighbors of `owner` whose key distance is `<= budget`
+    /// (the `I_t(v, b)` / `I_s(v, b)` lookup). O(1).
+    #[inline]
+    pub fn neighbors_within(&self, owner: LocalId, budget: Distance) -> &[LocalId] {
+        let start = self.starts[owner as usize] as usize;
+        let d = budget.min(self.k) as usize;
+        let len = self.cuts[owner as usize * (self.k as usize + 1) + d] as usize;
+        &self.neighbors[start..start + len]
+    }
+
+    /// All stored neighbors of `owner` (budget `k`).
+    #[inline]
+    pub fn all_neighbors(&self, owner: LocalId) -> &[LocalId] {
+        self.neighbors_within(owner, self.k)
+    }
+
+    /// Number of stored (vertex, neighbor) pairs.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Number of owner vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Approximate heap footprint in bytes (Table 7's index memory).
+    pub fn heap_bytes(&self) -> usize {
+        self.neighbors.len() * std::mem::size_of::<LocalId>()
+            + self.starts.len() * std::mem::size_of::<u32>()
+            + self.cuts.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NeighborTable {
+        // Vertex 0 has neighbors at distances 0,1,1,3; vertex 1 none;
+        // vertex 2 has one at distance 2.
+        NeighborTable::build(
+            3,
+            &[vec![(10, 1), (11, 0), (12, 3), (13, 1)], vec![], vec![(14, 2)]],
+        )
+    }
+
+    #[test]
+    fn lookup_respects_budget() {
+        let t = sample();
+        assert_eq!(t.neighbors_within(0, 0), &[11]);
+        assert_eq!(t.neighbors_within(0, 1), &[11, 10, 13]);
+        assert_eq!(t.neighbors_within(0, 2), &[11, 10, 13]);
+        assert_eq!(t.neighbors_within(0, 3), &[11, 10, 13, 12]);
+    }
+
+    #[test]
+    fn budget_clamps_to_k() {
+        let t = sample();
+        assert_eq!(t.neighbors_within(0, 100), t.neighbors_within(0, 3));
+    }
+
+    #[test]
+    fn empty_vertex_has_no_neighbors() {
+        let t = sample();
+        assert!(t.neighbors_within(1, 3).is_empty());
+    }
+
+    #[test]
+    fn sizes_are_reported() {
+        let t = sample();
+        assert_eq!(t.num_edges(), 5);
+        assert_eq!(t.num_vertices(), 3);
+        assert!(t.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn ordering_within_distance_is_by_id() {
+        let t = NeighborTable::build(2, &[vec![(9, 1), (3, 1), (5, 1)]]);
+        assert_eq!(t.neighbors_within(0, 1), &[3, 5, 9]);
+    }
+}

@@ -1,0 +1,56 @@
+//! # PathEnum — real-time hop-constrained s-t path enumeration
+//!
+//! Reproduction of *"PathEnum: Towards Real-Time Hop-Constrained s-t Path
+//! Enumeration"* (SIGMOD 2021). Given a directed graph `G`, distinct
+//! vertices `s, t` and a hop constraint `k`, PathEnum enumerates every
+//! simple path from `s` to `t` with at most `k` edges:
+//!
+//! 1. a query-dependent **light-weight index** ([`index::Index`],
+//!    Algorithm 3) is built in `O(|E| + |V|)` from the boundary distances
+//!    `S(s, v | G−{t})` and `S(v, t | G−{s})`;
+//! 2. a **preliminary estimator** ([`estimator::preliminary_estimate`],
+//!    Equation 5) sizes the search space in `O(k^2)`;
+//! 3. small queries run **IDX-DFS** ([`enumerate::idx_dfs`], Algorithm 4)
+//!    directly; large ones invoke the **full-fledged estimator**
+//!    ([`estimator::FullEstimate`], Equations 6–7) and the join-order
+//!    optimizer ([`optimizer::optimize_join_order`], Algorithm 5), which
+//!    may select **IDX-JOIN** ([`enumerate::idx_join`], Algorithm 6).
+//!
+//! The paper's Appendix E constraint extensions (edge predicates,
+//! accumulative values, action-sequence automata) live in [`constraints`].
+//!
+//! ```
+//! use pathenum::{path_enum, PathEnumConfig, Query};
+//! use pathenum::sink::CollectingSink;
+//! use pathenum_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edges([(0, 1), (1, 3), (0, 2), (2, 3), (1, 2)]).unwrap();
+//! let graph = b.finish();
+//!
+//! let query = Query::new(0, 3, 3).unwrap();
+//! let mut sink = CollectingSink::default();
+//! let report = path_enum(&graph, query, PathEnumConfig::default(), &mut sink);
+//! assert_eq!(report.counters.results, 3); // 0-1-3, 0-2-3, 0-1-2-3
+//! ```
+
+pub mod constraints;
+pub mod engine;
+pub mod enumerate;
+pub mod estimator;
+pub mod global;
+pub mod index;
+pub mod optimizer;
+pub mod query;
+pub mod reference;
+pub mod relations;
+pub mod sink;
+pub mod spectrum;
+pub mod stats;
+
+pub use engine::QueryEngine;
+pub use index::Index;
+pub use optimizer::{optimize_join_order, path_enum, path_enum_on_index, JoinPlan, PathEnumConfig};
+pub use query::Query;
+pub use sink::{CollectingSink, CountingSink, LimitSink, PathSink, SearchControl};
+pub use stats::{Counters, Method, PhaseTimings, RunReport};

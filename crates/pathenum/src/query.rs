@@ -1,0 +1,107 @@
+//! HcPE query descriptor.
+
+use pathenum_graph::VertexId;
+
+/// Maximum supported hop constraint.
+///
+/// The paper evaluates `k` in `3..=8`; we allow headroom. Bounding `k`
+/// keeps per-vertex offset arrays in the index small and lets recursion
+/// depth be stack-safe.
+pub const MAX_HOPS: u32 = 32;
+
+/// A hop-constrained s-t path enumeration query `q(s, t, k)`:
+/// find all simple paths from `s` to `t` with at most `k` edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Query {
+    /// Source vertex.
+    pub s: VertexId,
+    /// Target vertex.
+    pub t: VertexId,
+    /// Hop constraint (`k >= 2` per the paper's problem statement).
+    pub k: u32,
+}
+
+/// Errors from query validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// `s == t`; the problem requires distinct endpoints.
+    EqualEndpoints,
+    /// `k < 2`.
+    HopConstraintTooSmall(u32),
+    /// `k > MAX_HOPS`.
+    HopConstraintTooLarge(u32),
+    /// An endpoint is not a vertex of the graph.
+    VertexOutOfRange(VertexId),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::EqualEndpoints => write!(f, "source and target must be distinct"),
+            QueryError::HopConstraintTooSmall(k) => write!(f, "hop constraint {k} < 2"),
+            QueryError::HopConstraintTooLarge(k) => {
+                write!(f, "hop constraint {k} exceeds MAX_HOPS = {MAX_HOPS}")
+            }
+            QueryError::VertexOutOfRange(v) => write!(f, "vertex {v} not in graph"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl Query {
+    /// Creates a query, validating the endpoint/hop invariants that do not
+    /// need a graph.
+    pub fn new(s: VertexId, t: VertexId, k: u32) -> Result<Self, QueryError> {
+        if s == t {
+            return Err(QueryError::EqualEndpoints);
+        }
+        if k < 2 {
+            return Err(QueryError::HopConstraintTooSmall(k));
+        }
+        if k > MAX_HOPS {
+            return Err(QueryError::HopConstraintTooLarge(k));
+        }
+        Ok(Query { s, t, k })
+    }
+
+    /// Validates the endpoints against a graph's vertex range.
+    pub fn validate(&self, num_vertices: usize) -> Result<(), QueryError> {
+        for v in [self.s, self.t] {
+            if (v as usize) >= num_vertices {
+                return Err(QueryError::VertexOutOfRange(v));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_queries() {
+        let q = Query::new(0, 5, 4).unwrap();
+        assert_eq!(q, Query { s: 0, t: 5, k: 4 });
+        q.validate(6).unwrap();
+    }
+
+    #[test]
+    fn rejects_equal_endpoints() {
+        assert_eq!(Query::new(3, 3, 4), Err(QueryError::EqualEndpoints));
+    }
+
+    #[test]
+    fn rejects_bad_hop_constraints() {
+        assert_eq!(Query::new(0, 1, 1), Err(QueryError::HopConstraintTooSmall(1)));
+        assert_eq!(Query::new(0, 1, 0), Err(QueryError::HopConstraintTooSmall(0)));
+        assert_eq!(Query::new(0, 1, 99), Err(QueryError::HopConstraintTooLarge(99)));
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertices() {
+        let q = Query::new(0, 9, 3).unwrap();
+        assert_eq!(q.validate(5), Err(QueryError::VertexOutOfRange(9)));
+    }
+}

@@ -1,0 +1,225 @@
+//! The join-based model: relation construction and the full reducer
+//! (Section 3.1, Algorithm 2).
+//!
+//! PathEnum itself never materializes these relations — that is the point
+//! of the light-weight index — but they are the semantic foundation:
+//! Theorem 3.1 says evaluating the chain join `Q = R_1 ⋈ ... ⋈ R_k` and
+//! dropping tuples with duplicate vertices yields exactly `P(s, t, k, G)`,
+//! and Appendix B shows the index stores the same edges the fully reduced
+//! relations do. This module exists for that cross-validation (tests and
+//! the pruning-power ablation) and as the reference implementation of
+//! Algorithm 2 whose scanning cost motivates the index.
+
+use pathenum_graph::hashing::FxHashSet;
+use pathenum_graph::{CsrGraph, VertexId};
+
+use crate::query::Query;
+use crate::sink::{PathSink, SearchControl};
+
+/// The relations `R_1 ... R_k` of the chain join `Q`.
+#[derive(Debug, Clone)]
+pub struct Relations {
+    query: Query,
+    /// `relations[i]` holds `R_{i+1}` as sorted `(v, v')` pairs.
+    relations: Vec<Vec<(VertexId, VertexId)>>,
+}
+
+impl Relations {
+    /// Builds the relations of Section 3.1 *without* dangling-tuple
+    /// elimination (Lines 1–4 of Algorithm 2).
+    pub fn build_unreduced(graph: &CsrGraph, query: Query) -> Relations {
+        let Query { s, t, k } = query;
+        let mut relations: Vec<Vec<(VertexId, VertexId)>> = Vec::with_capacity(k as usize);
+        // R_1 = edges leaving s.
+        relations.push(graph.out_neighbors(s).iter().map(|&v| (s, v)).collect());
+        // R_i (1 < i < k) = edges of G - {s} with source != t, plus (t, t).
+        for _ in 2..k {
+            let mut r: Vec<(VertexId, VertexId)> = graph
+                .edges()
+                .filter(|&(v, v2)| v != s && v2 != s && v != t)
+                .collect();
+            r.push((t, t));
+            r.sort_unstable();
+            relations.push(r);
+        }
+        // R_k = edges into t with source != s, plus (t, t).
+        let mut r_k: Vec<(VertexId, VertexId)> = graph
+            .in_neighbors(t)
+            .iter()
+            .filter(|&&v| v != s)
+            .map(|&v| (v, t))
+            .collect();
+        r_k.push((t, t));
+        r_k.sort_unstable();
+        relations.push(r_k);
+        Relations { query, relations }
+    }
+
+    /// Algorithm 2: builds the relations and runs the full reducer
+    /// (forward then backward semi-join passes), eliminating every
+    /// dangling tuple.
+    pub fn build_reduced(graph: &CsrGraph, query: Query) -> Relations {
+        let mut rel = Relations::build_unreduced(graph, query);
+        let k = query.k as usize;
+        // Forward pass (Lines 5-8): keep tuples of R_{i+1} whose head
+        // appears among the tails of R_i.
+        for i in 0..k - 1 {
+            let heads: FxHashSet<VertexId> =
+                rel.relations[i].iter().map(|&(_, v2)| v2).collect();
+            rel.relations[i + 1].retain(|&(v, _)| heads.contains(&v));
+        }
+        // Backward pass (Lines 9-12): keep tuples of R_i whose tail
+        // appears among the heads of R_{i+1}.
+        for i in (0..k - 1).rev() {
+            let tails: FxHashSet<VertexId> =
+                rel.relations[i + 1].iter().map(|&(v, _)| v).collect();
+            rel.relations[i].retain(|&(_, v2)| tails.contains(&v2));
+        }
+        rel
+    }
+
+    /// The query these relations encode.
+    pub fn query(&self) -> Query {
+        self.query
+    }
+
+    /// `R_{position}` (1-based, as in the paper).
+    pub fn relation(&self, position: u32) -> &[(VertexId, VertexId)] {
+        &self.relations[position as usize - 1]
+    }
+
+    /// Total number of tuples across all relations — Algorithm 2's
+    /// materialization footprint, the cost the light-weight index avoids.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Vec::len).sum()
+    }
+
+    /// Successors of `v` in `R_{position}` (binary search on the sorted
+    /// tuple list).
+    pub fn successors(&self, position: u32, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        let rel = self.relation(position);
+        let start = rel.partition_point(|&(a, _)| a < v);
+        rel[start..].iter().take_while(move |&&(a, _)| a == v).map(|&(_, b)| b)
+    }
+
+    /// Evaluates the chain join by backtracking over the relations and
+    /// emits every tuple that is a valid simple path once `t`-padding is
+    /// stripped (Theorem 3.1). Reference implementation for tests.
+    pub fn evaluate(&self, sink: &mut dyn PathSink) {
+        let mut tuple: Vec<VertexId> = vec![self.query.s];
+        self.eval_rec(1, &mut tuple, sink);
+    }
+
+    fn eval_rec(&self, position: u32, tuple: &mut Vec<VertexId>, sink: &mut dyn PathSink) -> SearchControl {
+        if position > self.query.k {
+            return self.emit_if_path(tuple, sink);
+        }
+        let v = *tuple.last().expect("tuple starts with s");
+        // Collecting successors avoids borrowing self.relations across the
+        // recursive call; lists are tiny relative to the join output.
+        let successors: Vec<VertexId> = self.successors(position, v).collect();
+        for next in successors {
+            tuple.push(next);
+            let control = self.eval_rec(position + 1, tuple, sink);
+            tuple.pop();
+            if control == SearchControl::Stop {
+                return SearchControl::Stop;
+            }
+        }
+        SearchControl::Continue
+    }
+
+    fn emit_if_path(&self, tuple: &[VertexId], sink: &mut dyn PathSink) -> SearchControl {
+        let t = self.query.t;
+        let Some(first_t) = tuple.iter().position(|&v| v == t) else {
+            return SearchControl::Continue;
+        };
+        let path = &tuple[..first_t + 1];
+        if tuple[first_t + 1..].iter().any(|&v| v != t) {
+            return SearchControl::Continue; // walk re-leaves t: not in Q's shape
+        }
+        for i in 0..path.len() {
+            for j in (i + 1)..path.len() {
+                if path[i] == path[j] {
+                    return SearchControl::Continue;
+                }
+            }
+        }
+        sink.emit(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::test_support::*;
+    use crate::sink::CollectingSink;
+
+    #[test]
+    fn unreduced_relations_match_figure3a_shape() {
+        let g = figure1_graph();
+        let rel = Relations::build_unreduced(&g, Query::new(S, T, 4).unwrap());
+        // R_1: the three edges out of s.
+        assert_eq!(rel.relation(1).len(), 3);
+        // R_2/R_3: 12 interior edges + (t, t). Figure 3a lists 13 tuples.
+        assert_eq!(rel.relation(2).len(), 13);
+        assert_eq!(rel.relation(3).len(), 13);
+        // R_4: edges into t {v0, v2, v5} plus (t, t).
+        assert_eq!(rel.relation(4).len(), 4);
+    }
+
+    #[test]
+    fn full_reducer_prunes_figure3_examples() {
+        let g = figure1_graph();
+        let rel = Relations::build_reduced(&g, Query::new(S, T, 4).unwrap());
+        let [v0, v1, _v2, v3, v4, v5, _v6, _v7] = V;
+        // Example 4.1: (v4, v5) leaves R_2 (v4 unreachable in one hop).
+        assert!(!rel.relation(2).contains(&(v4, v5)));
+        // Example 4.1: (v1, v3) leaves R_3 (v3 cannot reach t in one hop).
+        assert!(!rel.relation(3).contains(&(v1, v3)));
+        // Surviving examples from Figure 3c.
+        assert!(rel.relation(2).contains(&(v0, v1)));
+        assert!(rel.relation(3).contains(&(v6_of(), v0))); // (v6, v0)
+        assert!(rel.relation(1).contains(&(S, v3)));
+        fn v6_of() -> VertexId {
+            V[6]
+        }
+    }
+
+    #[test]
+    fn evaluation_yields_exactly_the_paths() {
+        let g = figure1_graph();
+        let q = Query::new(S, T, 4).unwrap();
+        let rel = Relations::build_reduced(&g, q);
+        let mut sink = CollectingSink::default();
+        rel.evaluate(&mut sink);
+        let mut reference = CollectingSink::default();
+        crate::reference::brute_force_paths(&g, q, &mut reference);
+        assert_eq!(sink.sorted_paths(), reference.sorted_paths());
+    }
+
+    #[test]
+    fn unreduced_evaluation_agrees_too() {
+        // Theorem 3.1 holds with or without the reducer; the reducer only
+        // shrinks the intermediate work.
+        let g = figure1_graph();
+        let q = Query::new(S, T, 3).unwrap();
+        let reduced = Relations::build_reduced(&g, q);
+        let unreduced = Relations::build_unreduced(&g, q);
+        let mut a = CollectingSink::default();
+        let mut b = CollectingSink::default();
+        reduced.evaluate(&mut a);
+        unreduced.evaluate(&mut b);
+        assert_eq!(a.sorted_paths(), b.sorted_paths());
+        assert!(reduced.total_tuples() <= unreduced.total_tuples());
+    }
+
+    #[test]
+    fn successors_walks_sorted_tuples() {
+        let g = figure1_graph();
+        let rel = Relations::build_reduced(&g, Query::new(S, T, 4).unwrap());
+        let from_s: Vec<VertexId> = rel.successors(1, S).collect();
+        assert_eq!(from_s, vec![V[0], V[1], V[3]]);
+        assert_eq!(rel.successors(1, V[0]).count(), 0);
+    }
+}

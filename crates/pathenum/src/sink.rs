@@ -1,0 +1,207 @@
+//! Path emission: the `PathSink` visitor and stock implementations.
+//!
+//! Every enumerator in this workspace emits paths through a [`PathSink`]
+//! instead of materializing a `Vec<Vec<VertexId>>`. This is what makes the
+//! paper's metrics cheap to collect: *throughput* is a [`CountingSink`],
+//! *response time* is a [`LimitSink`] stopping at the first 1000 results,
+//! and the constraint extensions of Appendix E are sinks/filters too.
+
+use pathenum_graph::VertexId;
+
+/// Whether enumeration should keep producing results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchControl {
+    /// Keep enumerating.
+    Continue,
+    /// Stop as soon as possible (used for response-time measurements and
+    /// early termination).
+    Stop,
+}
+
+/// Receiver for enumerated paths.
+///
+/// `path` is the full vertex sequence `s, ..., t` (no trailing padding);
+/// the slice is only valid for the duration of the call.
+pub trait PathSink {
+    /// Called once per enumerated path.
+    fn emit(&mut self, path: &[VertexId]) -> SearchControl;
+}
+
+/// Counts results without storing them.
+#[derive(Debug, Default, Clone)]
+pub struct CountingSink {
+    /// Number of paths emitted so far.
+    pub count: u64,
+}
+
+impl PathSink for CountingSink {
+    #[inline]
+    fn emit(&mut self, _path: &[VertexId]) -> SearchControl {
+        self.count += 1;
+        SearchControl::Continue
+    }
+}
+
+/// Collects every path. Intended for tests and small workloads.
+#[derive(Debug, Default, Clone)]
+pub struct CollectingSink {
+    /// All emitted paths, in emission order.
+    pub paths: Vec<Vec<VertexId>>,
+}
+
+impl PathSink for CollectingSink {
+    #[inline]
+    fn emit(&mut self, path: &[VertexId]) -> SearchControl {
+        self.paths.push(path.to_vec());
+        SearchControl::Continue
+    }
+}
+
+impl CollectingSink {
+    /// Paths sorted lexicographically — the canonical form used when
+    /// comparing the output of two algorithms.
+    pub fn sorted_paths(mut self) -> Vec<Vec<VertexId>> {
+        self.paths.sort_unstable();
+        self.paths
+    }
+}
+
+/// Counts results and stops after `limit` of them.
+#[derive(Debug, Clone)]
+pub struct LimitSink {
+    /// Number of paths emitted so far.
+    pub count: u64,
+    limit: u64,
+}
+
+impl LimitSink {
+    /// Sink that stops after `limit` results (the paper's response-time
+    /// metric uses 1000).
+    pub fn new(limit: u64) -> Self {
+        LimitSink { count: 0, limit }
+    }
+
+    /// Whether the limit was reached.
+    pub fn saturated(&self) -> bool {
+        self.count >= self.limit
+    }
+}
+
+impl PathSink for LimitSink {
+    #[inline]
+    fn emit(&mut self, _path: &[VertexId]) -> SearchControl {
+        self.count += 1;
+        if self.count >= self.limit {
+            SearchControl::Stop
+        } else {
+            SearchControl::Continue
+        }
+    }
+}
+
+/// Adapts a closure into a sink.
+pub struct FnSink<F: FnMut(&[VertexId]) -> SearchControl>(pub F);
+
+impl<F: FnMut(&[VertexId]) -> SearchControl> PathSink for FnSink<F> {
+    #[inline]
+    fn emit(&mut self, path: &[VertexId]) -> SearchControl {
+        (self.0)(path)
+    }
+}
+
+/// A sink that counts results and aborts once a wall-clock deadline passes.
+///
+/// The experiment runner uses this for the paper's per-query time limit;
+/// checking the clock only every `check_interval` emissions keeps overhead
+/// negligible on high-throughput queries.
+#[derive(Debug)]
+pub struct DeadlineSink {
+    /// Number of paths emitted so far.
+    pub count: u64,
+    deadline: std::time::Instant,
+    check_interval: u64,
+    /// Set to true if the deadline fired.
+    pub timed_out: bool,
+}
+
+impl DeadlineSink {
+    /// Sink that aborts after `budget` of wall-clock time.
+    pub fn new(budget: std::time::Duration) -> Self {
+        DeadlineSink {
+            count: 0,
+            deadline: std::time::Instant::now() + budget,
+            check_interval: 1024,
+            timed_out: false,
+        }
+    }
+}
+
+impl PathSink for DeadlineSink {
+    #[inline]
+    fn emit(&mut self, _path: &[VertexId]) -> SearchControl {
+        self.count += 1;
+        if self.count.is_multiple_of(self.check_interval) && std::time::Instant::now() >= self.deadline {
+            self.timed_out = true;
+            return SearchControl::Stop;
+        }
+        SearchControl::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut sink = CountingSink::default();
+        for _ in 0..5 {
+            assert_eq!(sink.emit(&[0, 1]), SearchControl::Continue);
+        }
+        assert_eq!(sink.count, 5);
+    }
+
+    #[test]
+    fn limit_sink_stops_at_limit() {
+        let mut sink = LimitSink::new(3);
+        assert_eq!(sink.emit(&[0]), SearchControl::Continue);
+        assert_eq!(sink.emit(&[0]), SearchControl::Continue);
+        assert_eq!(sink.emit(&[0]), SearchControl::Stop);
+        assert!(sink.saturated());
+    }
+
+    #[test]
+    fn collecting_sink_sorts() {
+        let mut sink = CollectingSink::default();
+        sink.emit(&[0, 2, 1]);
+        sink.emit(&[0, 1, 2]);
+        assert_eq!(sink.sorted_paths(), vec![vec![0, 1, 2], vec![0, 2, 1]]);
+    }
+
+    #[test]
+    fn fn_sink_invokes_closure() {
+        let mut seen = Vec::new();
+        {
+            let mut sink = FnSink(|p: &[VertexId]| {
+                seen.push(p.len());
+                SearchControl::Continue
+            });
+            sink.emit(&[0, 1, 2]);
+        }
+        assert_eq!(seen, vec![3]);
+    }
+
+    #[test]
+    fn deadline_sink_times_out() {
+        let mut sink = DeadlineSink::new(std::time::Duration::ZERO);
+        let mut control = SearchControl::Continue;
+        for _ in 0..2048 {
+            control = sink.emit(&[0]);
+            if control == SearchControl::Stop {
+                break;
+            }
+        }
+        assert_eq!(control, SearchControl::Stop);
+        assert!(sink.timed_out);
+    }
+}

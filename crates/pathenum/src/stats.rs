@@ -1,0 +1,163 @@
+//! Instrumentation: per-query counters and phase timers.
+//!
+//! These counters back the paper's detailed-metric experiments: Figure 6
+//! (#edges accessed, #invalid partial results, #results), Figure 7 / 17
+//! (phase breakdown), and Table 7 (peak materialized tuples).
+
+use std::time::Duration;
+
+/// Counters collected while evaluating one query.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Counters {
+    /// Edges touched during enumeration (size of every neighbor list the
+    /// algorithm looped over). Figure 6's `#Edges`.
+    pub edges_accessed: u64,
+    /// Partial results that did not extend into any final path.
+    /// Figure 6's `#Invalid`.
+    pub invalid_partial_results: u64,
+    /// Total partial results generated (search-tree nodes).
+    pub partial_results: u64,
+    /// Results emitted. Figure 6's `#Results`.
+    pub results: u64,
+    /// Peak number of materialized tuple *vertices* held at once by
+    /// join-style algorithms (0 for pure DFS). Table 7's partial-result
+    /// memory is `4 bytes x` this.
+    pub peak_materialized_vertices: u64,
+}
+
+impl Counters {
+    /// Merges another counter set into this one (peak takes the max).
+    pub fn merge(&mut self, other: &Counters) {
+        self.edges_accessed += other.edges_accessed;
+        self.invalid_partial_results += other.invalid_partial_results;
+        self.partial_results += other.partial_results;
+        self.results += other.results;
+        self.peak_materialized_vertices =
+            self.peak_materialized_vertices.max(other.peak_materialized_vertices);
+    }
+
+    /// Peak memory attributable to materialized partial results, in bytes.
+    pub fn peak_materialized_bytes(&self) -> u64 {
+        self.peak_materialized_vertices * std::mem::size_of::<u32>() as u64
+    }
+}
+
+/// Which enumeration strategy evaluated the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Depth-first search on the index (Algorithm 4).
+    IdxDfs,
+    /// Two-sided join on the index (Algorithm 6).
+    IdxJoin,
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Method::IdxDfs => write!(f, "IDX-DFS"),
+            Method::IdxJoin => write!(f, "IDX-JOIN"),
+        }
+    }
+}
+
+/// Wall-clock breakdown of one PathEnum query (Figures 7, 12, 17).
+#[derive(Debug, Default, Clone)]
+pub struct PhaseTimings {
+    /// The two boundary BFS traversals (part of index construction).
+    pub bfs: Duration,
+    /// Full index construction including the BFS time.
+    pub index_build: Duration,
+    /// Preliminary estimation (Equation 5). Essentially free.
+    pub preliminary_estimation: Duration,
+    /// Join-order optimization (Algorithm 5), when it ran.
+    pub optimization: Duration,
+    /// Result enumeration.
+    pub enumeration: Duration,
+}
+
+impl PhaseTimings {
+    /// Total query time.
+    pub fn total(&self) -> Duration {
+        // index_build already includes bfs.
+        self.index_build + self.preliminary_estimation + self.optimization + self.enumeration
+    }
+
+    /// Preprocessing = everything before enumeration.
+    pub fn preprocessing(&self) -> Duration {
+        self.index_build + self.preliminary_estimation + self.optimization
+    }
+}
+
+/// Full report of one PathEnum run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Strategy the optimizer selected.
+    pub method: Method,
+    /// Phase timings.
+    pub timings: PhaseTimings,
+    /// Enumeration counters.
+    pub counters: Counters,
+    /// Preliminary search-space estimate (Equation 5).
+    pub preliminary_estimate: u64,
+    /// Full-fledged estimate of `|Q|` (walk count), when computed.
+    pub full_estimate: Option<u64>,
+    /// Chosen cut position `i*`, when IDX-JOIN was selected.
+    pub cut_position: Option<u32>,
+    /// Index footprint in bytes.
+    pub index_bytes: usize,
+    /// Number of edges stored in the index's forward table.
+    pub index_edges: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = Counters {
+            edges_accessed: 10,
+            invalid_partial_results: 1,
+            partial_results: 20,
+            results: 5,
+            peak_materialized_vertices: 100,
+        };
+        let b = Counters {
+            edges_accessed: 5,
+            invalid_partial_results: 2,
+            partial_results: 7,
+            results: 3,
+            peak_materialized_vertices: 40,
+        };
+        a.merge(&b);
+        assert_eq!(a.edges_accessed, 15);
+        assert_eq!(a.invalid_partial_results, 3);
+        assert_eq!(a.results, 8);
+        assert_eq!(a.peak_materialized_vertices, 100);
+    }
+
+    #[test]
+    fn peak_bytes_scales_by_vertex_width() {
+        let c = Counters { peak_materialized_vertices: 8, ..Counters::default() };
+        assert_eq!(c.peak_materialized_bytes(), 32);
+    }
+
+    #[test]
+    fn timing_totals_compose() {
+        let t = PhaseTimings {
+            bfs: Duration::from_millis(1),
+            index_build: Duration::from_millis(3),
+            preliminary_estimation: Duration::from_millis(1),
+            optimization: Duration::from_millis(2),
+            enumeration: Duration::from_millis(10),
+        };
+        assert_eq!(t.preprocessing(), Duration::from_millis(6));
+        assert_eq!(t.total(), Duration::from_millis(16));
+    }
+
+    #[test]
+    fn method_display() {
+        assert_eq!(Method::IdxDfs.to_string(), "IDX-DFS");
+        assert_eq!(Method::IdxJoin.to_string(), "IDX-JOIN");
+    }
+}

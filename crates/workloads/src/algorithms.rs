@@ -1,0 +1,227 @@
+//! A uniform interface over every competing algorithm (Section 7.1's
+//! "Comparisons" list plus the weaker framework baselines).
+
+use std::time::Duration;
+
+use pathenum::query::Query;
+use pathenum::sink::PathSink;
+use pathenum::stats::{Counters, Method};
+use pathenum::{path_enum, PathEnumConfig};
+use pathenum_baselines::{bc_dfs, bc_join, generic_dfs, t_dfs, yen_ksp};
+use pathenum_graph::CsrGraph;
+
+/// One competing algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Algorithm 1 with a static distance bound.
+    GenericDfs,
+    /// Peng et al.'s barrier-based DFS.
+    BcDfs,
+    /// Peng et al.'s middle-vertex join.
+    BcJoin,
+    /// Rizzi et al.'s certificate-based DFS.
+    TDfs,
+    /// Yen's top-K loopless shortest paths, stopped past `k` (KRE/KPJ).
+    YenKsp,
+    /// PathEnum forced to depth-first search on the index.
+    IdxDfs,
+    /// PathEnum forced to the index join.
+    IdxJoin,
+    /// Full PathEnum with the cost-based optimizer.
+    PathEnum,
+}
+
+impl Algorithm {
+    /// The five algorithms of Table 3, in its column order.
+    pub fn table3() -> [Algorithm; 5] {
+        [
+            Algorithm::BcDfs,
+            Algorithm::BcJoin,
+            Algorithm::IdxDfs,
+            Algorithm::IdxJoin,
+            Algorithm::PathEnum,
+        ]
+    }
+
+    /// Every implemented algorithm.
+    pub fn all() -> [Algorithm; 8] {
+        [
+            Algorithm::GenericDfs,
+            Algorithm::BcDfs,
+            Algorithm::BcJoin,
+            Algorithm::TDfs,
+            Algorithm::YenKsp,
+            Algorithm::IdxDfs,
+            Algorithm::IdxJoin,
+            Algorithm::PathEnum,
+        ]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::GenericDfs => "GEN-DFS",
+            Algorithm::BcDfs => "BC-DFS",
+            Algorithm::BcJoin => "BC-JOIN",
+            Algorithm::TDfs => "T-DFS",
+            Algorithm::YenKsp => "YEN-KSP",
+            Algorithm::IdxDfs => "IDX-DFS",
+            Algorithm::IdxJoin => "IDX-JOIN",
+            Algorithm::PathEnum => "PathEnum",
+        }
+    }
+
+    /// Whether this algorithm streams results (short response time) as
+    /// opposed to materializing sub-query results first. The paper only
+    /// reports response time for the streaming algorithms.
+    pub fn is_streaming(&self) -> bool {
+        !matches!(self, Algorithm::BcJoin | Algorithm::IdxJoin)
+    }
+
+    /// Runs the algorithm on one query, streaming into `sink`.
+    pub fn run(
+        &self,
+        graph: &CsrGraph,
+        query: Query,
+        sink: &mut dyn PathSink,
+    ) -> AlgoReport {
+        match self {
+            Algorithm::GenericDfs => from_baseline(generic_dfs(graph, query, sink)),
+            Algorithm::BcDfs => from_baseline(bc_dfs(graph, query, sink)),
+            Algorithm::BcJoin => from_baseline(bc_join(graph, query, sink)),
+            Algorithm::TDfs => from_baseline(t_dfs(graph, query, sink)),
+            Algorithm::YenKsp => from_baseline(yen_ksp(graph, query, sink)),
+            Algorithm::IdxDfs => {
+                from_pathenum(path_enum(
+                    graph,
+                    query,
+                    PathEnumConfig { force: Some(Method::IdxDfs), ..Default::default() },
+                    sink,
+                ))
+            }
+            Algorithm::IdxJoin => {
+                from_pathenum(path_enum(
+                    graph,
+                    query,
+                    PathEnumConfig { force: Some(Method::IdxJoin), ..Default::default() },
+                    sink,
+                ))
+            }
+            Algorithm::PathEnum => {
+                from_pathenum(path_enum(graph, query, PathEnumConfig::default(), sink))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Unified per-run report across baselines and PathEnum variants.
+#[derive(Debug, Clone)]
+pub struct AlgoReport {
+    /// Preprocessing: distance BFS for baselines, index build for ours.
+    pub preprocessing: Duration,
+    /// Join-order optimization time (zero for baselines).
+    pub optimization: Duration,
+    /// Enumeration time.
+    pub enumeration: Duration,
+    /// Shared counters.
+    pub counters: Counters,
+    /// Method PathEnum selected, if the run went through the optimizer.
+    pub method: Option<Method>,
+    /// Index size in edges (PathEnum variants only).
+    pub index_edges: Option<usize>,
+    /// Index footprint in bytes (PathEnum variants only).
+    pub index_bytes: Option<usize>,
+}
+
+impl AlgoReport {
+    /// Total query time.
+    pub fn total(&self) -> Duration {
+        self.preprocessing + self.optimization + self.enumeration
+    }
+}
+
+fn from_baseline(report: pathenum_baselines::BaselineReport) -> AlgoReport {
+    AlgoReport {
+        preprocessing: report.preprocessing,
+        optimization: Duration::ZERO,
+        enumeration: report.enumeration,
+        counters: report.counters,
+        method: None,
+        index_edges: None,
+        index_bytes: None,
+    }
+}
+
+fn from_pathenum(report: pathenum::RunReport) -> AlgoReport {
+    AlgoReport {
+        preprocessing: report.timings.index_build + report.timings.preliminary_estimation,
+        optimization: report.timings.optimization,
+        enumeration: report.timings.enumeration,
+        counters: report.counters,
+        method: Some(report.method),
+        index_edges: Some(report.index_edges),
+        index_bytes: Some(report.index_bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathenum::sink::CollectingSink;
+    use pathenum_graph::generators::erdos_renyi;
+
+    #[test]
+    fn all_algorithms_agree_on_random_graphs() {
+        for seed in 0..3u64 {
+            let g = erdos_renyi(40, 250, seed);
+            let q = Query::new(0, 1, 5).unwrap();
+            let mut reference: Option<Vec<Vec<u32>>> = None;
+            for algo in Algorithm::all() {
+                let mut sink = CollectingSink::default();
+                algo.run(&g, q, &mut sink);
+                let paths = sink.sorted_paths();
+                match &reference {
+                    None => reference = Some(paths),
+                    Some(expected) => {
+                        assert_eq!(&paths, expected, "algorithm {algo} disagrees (seed {seed})")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Algorithm::all().iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn reports_carry_index_stats_for_index_variants() {
+        let g = erdos_renyi(30, 150, 1);
+        let q = Query::new(0, 1, 4).unwrap();
+        let mut sink = CollectingSink::default();
+        let report = Algorithm::IdxDfs.run(&g, q, &mut sink);
+        assert!(report.index_edges.is_some());
+        assert!(report.index_bytes.is_some());
+        let mut sink = CollectingSink::default();
+        let report = Algorithm::BcDfs.run(&g, q, &mut sink);
+        assert!(report.index_edges.is_none());
+    }
+
+    #[test]
+    fn streaming_classification() {
+        assert!(Algorithm::BcDfs.is_streaming());
+        assert!(Algorithm::IdxDfs.is_streaming());
+        assert!(!Algorithm::BcJoin.is_streaming());
+        assert!(!Algorithm::IdxJoin.is_streaming());
+    }
+}

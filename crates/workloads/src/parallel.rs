@@ -1,0 +1,150 @@
+//! Parallel query-set evaluation.
+//!
+//! The paper's algorithms are single-threaded per query, but an online
+//! service answers many independent queries at once; per-query indexes
+//! (no shared mutable state) make HcPE embarrassingly parallel across
+//! queries. This runner fans a query set out over a worker pool using
+//! scoped threads — each worker owns a [`pathenum::QueryEngine`] so
+//! construction scratch is reused within a worker — and preserves the
+//! query order in its output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use pathenum::query::Query;
+use pathenum::{PathEnumConfig, QueryEngine};
+use pathenum_graph::CsrGraph;
+
+use crate::runner::{BoundedSink, MeasureConfig};
+
+/// Result counts and timings of one parallel run.
+#[derive(Debug, Clone)]
+pub struct ParallelOutcome {
+    /// Per-query result counts, in input order (censored at the limit).
+    pub results: Vec<u64>,
+    /// Per-query timeout flags, in input order.
+    pub timed_out: Vec<bool>,
+    /// Wall-clock time of the whole batch.
+    pub wall: std::time::Duration,
+    /// Number of worker threads used.
+    pub workers: usize,
+}
+
+impl ParallelOutcome {
+    /// Aggregate throughput: total results per wall-clock second.
+    pub fn batch_throughput(&self) -> f64 {
+        let total: u64 = self.results.iter().sum();
+        total as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Evaluates `queries` with PathEnum on `workers` threads.
+///
+/// `workers == 0` selects the available parallelism. Work is distributed
+/// by an atomic cursor, so stragglers (heavy queries) do not serialize
+/// the batch.
+pub fn run_parallel(
+    graph: &CsrGraph,
+    queries: &[Query],
+    config: PathEnumConfig,
+    measure: MeasureConfig,
+    workers: usize,
+) -> ParallelOutcome {
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        workers
+    };
+    let workers = workers.min(queries.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<Mutex<(u64, bool)>> =
+        (0..queries.len()).map(|_| Mutex::new((0, false))).collect();
+
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut engine = QueryEngine::new(graph, config);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let mut sink = BoundedSink::new(None, Some(measure.time_limit));
+                    engine.run(queries[i], &mut sink);
+                    *results[i].lock().expect("no poisoned result slot") =
+                        (sink.count, sink.timed_out);
+                }
+            });
+        }
+    });
+    let wall = start.elapsed();
+
+    let mut counts = Vec::with_capacity(queries.len());
+    let mut flags = Vec::with_capacity(queries.len());
+    for slot in results {
+        let (count, timed_out) = slot.into_inner().expect("no poisoned result slot");
+        counts.push(count);
+        flags.push(timed_out);
+    }
+    ParallelOutcome { results: counts, timed_out: flags, wall, workers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+    use crate::querygen::{generate_queries, QueryGenConfig};
+    use pathenum::CountingSink;
+
+    #[test]
+    fn parallel_counts_match_serial() {
+        let g = datasets::gg();
+        let queries = generate_queries(&g, QueryGenConfig::paper_default(12, 5, 3));
+        let measure = MeasureConfig {
+            time_limit: std::time::Duration::from_secs(5),
+            response_limit: 1000,
+        };
+        let outcome = run_parallel(&g, &queries, PathEnumConfig::default(), measure, 4);
+        assert_eq!(outcome.results.len(), queries.len());
+        for (i, &q) in queries.iter().enumerate() {
+            let mut sink = CountingSink::default();
+            pathenum::path_enum(&g, q, PathEnumConfig::default(), &mut sink);
+            assert_eq!(outcome.results[i], sink.count, "query {i}");
+            assert!(!outcome.timed_out[i]);
+        }
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        let g = datasets::gg();
+        let queries = generate_queries(&g, QueryGenConfig::paper_default(2, 4, 5));
+        let outcome = run_parallel(
+            &g,
+            &queries,
+            PathEnumConfig::default(),
+            MeasureConfig::default(),
+            64,
+        );
+        assert!(outcome.workers <= 2);
+        assert!(outcome.batch_throughput() >= 0.0);
+    }
+
+    #[test]
+    fn zero_workers_selects_available_parallelism() {
+        let g = datasets::gg();
+        let queries = generate_queries(&g, QueryGenConfig::paper_default(4, 4, 7));
+        let outcome =
+            run_parallel(&g, &queries, PathEnumConfig::default(), MeasureConfig::default(), 0);
+        assert!(outcome.workers >= 1);
+        assert_eq!(outcome.results.len(), 4);
+    }
+
+    #[test]
+    fn empty_query_set_is_fine() {
+        let g = datasets::gg();
+        let outcome =
+            run_parallel(&g, &[], PathEnumConfig::default(), MeasureConfig::default(), 3);
+        assert!(outcome.results.is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: enumerate hop-constrained s-t paths on a small graph.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pathenum_repro::prelude::*;
+
+fn main() {
+    // The running example of the paper (Figure 1a): s = 0, t = 1,
+    // v0..v7 = 2..9.
+    let mut builder = GraphBuilder::new(10);
+    let (s, t) = (0u32, 1u32);
+    let v = |i: u32| i + 2;
+    builder
+        .add_edges([
+            (s, v(0)),
+            (s, v(1)),
+            (s, v(3)),
+            (v(0), v(1)),
+            (v(0), v(6)),
+            (v(0), t),
+            (v(1), v(2)),
+            (v(1), v(3)),
+            (v(2), v(0)),
+            (v(2), t),
+            (v(3), v(4)),
+            (v(4), v(5)),
+            (v(5), v(2)),
+            (v(5), t),
+            (v(6), v(0)),
+            (v(7), s),
+        ])
+        .expect("static edge list is valid");
+    let graph = builder.finish();
+
+    // q(s, t, 4): all simple paths from s to t with at most 4 edges.
+    let query = Query::new(s, t, 4).expect("valid query");
+    let mut sink = CollectingSink::default();
+    let report = path_enum(&graph, query, PathEnumConfig::default(), &mut sink);
+
+    println!("query q(s={}, t={}, k={})", query.s, query.t, query.k);
+    println!("method selected: {}", report.method);
+    println!(
+        "index: {} edges, {} bytes; preliminary estimate: {} partial results",
+        report.index_edges, report.index_bytes, report.preliminary_estimate
+    );
+    println!("found {} paths:", sink.paths.len());
+    for path in sink.sorted_paths() {
+        let pretty: Vec<String> = path
+            .iter()
+            .map(|&u| match u {
+                0 => "s".to_string(),
+                1 => "t".to_string(),
+                other => format!("v{}", other - 2),
+            })
+            .collect();
+        println!("  {}", pretty.join(" -> "));
+    }
+    println!(
+        "timing: index {:?}, enumeration {:?}",
+        report.timings.index_build, report.timings.enumeration
+    );
+}

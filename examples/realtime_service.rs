@@ -1,0 +1,85 @@
+//! A real-time HcPE query service in miniature.
+//!
+//! Simulates the serving pattern the paper's title targets: a stream of
+//! path queries against one in-memory graph under a latency budget.
+//! Demonstrates the production-oriented layers built around the core
+//! algorithm: the scratch-reusing [`QueryEngine`], the PLL-backed global
+//! existence filter (paper §7.5), and the parallel batch runner.
+//!
+//! ```text
+//! cargo run --release --example realtime_service
+//! ```
+
+use std::time::{Duration, Instant};
+
+use pathenum_repro::core::global::GlobalIndexedGraph;
+use pathenum_repro::prelude::*;
+use pathenum_repro::workloads::runner::percentile_ms;
+use pathenum_repro::workloads::{datasets, generate_queries, parallel, QueryGenConfig};
+
+fn main() {
+    let graph = datasets::build("ep").expect("registered dataset");
+    println!(
+        "serving graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // A stream of 200 queries: mostly well-formed (admissible endpoint
+    // pairs), mixed with random pairs that often have no answer.
+    let mut stream = generate_queries(&graph, QueryGenConfig::paper_default(150, 4, 99));
+    let n = graph.num_vertices() as u32;
+    for i in 0..50u32 {
+        if let Ok(q) = Query::new((i * 37) % n, (i * 101 + 13) % n, 4) {
+            stream.push(q);
+        }
+    }
+
+    // Offline preprocessing: the global distance oracle.
+    let offline_start = Instant::now();
+    let service = GlobalIndexedGraph::new(graph.clone());
+    println!(
+        "offline PLL oracle built in {:.2?} ({:.1} labels/vertex)",
+        offline_start.elapsed(),
+        service.oracle().average_label_size()
+    );
+
+    // Serial serving loop with an engine (reused scratch) + the filter.
+    let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+    let mut latencies: Vec<Duration> = Vec::with_capacity(stream.len());
+    let mut served = 0u64;
+    let mut filtered = 0u64;
+    let mut results = 0u64;
+    for &query in &stream {
+        let start = Instant::now();
+        if !service.may_have_results(query) {
+            filtered += 1;
+            latencies.push(start.elapsed());
+            continue;
+        }
+        let mut sink = LimitSink::new(1000); // respond with the first 1000
+        engine.run(query, &mut sink);
+        results += sink.count;
+        served += 1;
+        latencies.push(start.elapsed());
+    }
+    println!("\nserial service: {} queries ({} filtered as provably empty)", stream.len(), filtered);
+    println!("  paths returned: {results} (first-1000 cap per query)");
+    println!(
+        "  latency p50 = {:.3} ms, p99 = {:.3} ms, p99.9 = {:.3} ms",
+        percentile_ms(&latencies, 50.0),
+        percentile_ms(&latencies, 99.0),
+        percentile_ms(&latencies, 99.9),
+    );
+    let _ = served;
+
+    // Parallel batch mode: the same stream fanned over a worker pool.
+    let measure = MeasureConfig { time_limit: Duration::from_millis(250), response_limit: 1000 };
+    let outcome = parallel::run_parallel(&graph, &stream, PathEnumConfig::default(), measure, 0);
+    println!(
+        "\nparallel batch: {} workers, wall {:.2?}, {:.2e} results/s aggregate",
+        outcome.workers,
+        outcome.wall,
+        outcome.batch_throughput()
+    );
+}

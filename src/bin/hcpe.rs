@@ -1,0 +1,156 @@
+//! `hcpe` — ad-hoc hop-constrained s-t path enumeration on an edge list.
+//!
+//! ```text
+//! hcpe <edge-list-file> <s> <t> <k> [--limit N] [--count-only]
+//!      [--algorithm pathenum|idx-dfs|idx-join|bc-dfs|bc-join|t-dfs|yen]
+//! ```
+//!
+//! The edge list is whitespace-separated `from to` pairs; `#`/`%`
+//! comment lines are ignored (SNAP / networkrepository format).
+
+use std::process::ExitCode;
+
+use pathenum_repro::graph::io::read_edge_list_file;
+use pathenum_repro::prelude::*;
+use pathenum_repro::workloads::runner::BoundedSink;
+
+struct Args {
+    path: std::path::PathBuf,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+    limit: Option<u64>,
+    count_only: bool,
+    algorithm: Algorithm,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut limit = None;
+    let mut count_only = false;
+    let mut algorithm = Algorithm::PathEnum;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--limit" => {
+                limit = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--limit expects a positive integer")?,
+                );
+            }
+            "--count-only" => count_only = true,
+            "--algorithm" => {
+                let name = iter.next().ok_or("--algorithm expects a name")?;
+                algorithm = match name.as_str() {
+                    "pathenum" => Algorithm::PathEnum,
+                    "idx-dfs" => Algorithm::IdxDfs,
+                    "idx-join" => Algorithm::IdxJoin,
+                    "bc-dfs" => Algorithm::BcDfs,
+                    "bc-join" => Algorithm::BcJoin,
+                    "t-dfs" => Algorithm::TDfs,
+                    "yen" => Algorithm::YenKsp,
+                    other => return Err(format!("unknown algorithm: {other}")),
+                };
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 4 {
+        return Err("expected: <edge-list-file> <s> <t> <k>".to_string());
+    }
+    Ok(Args {
+        path: positional[0].clone().into(),
+        s: positional[1].parse().map_err(|_| "s must be a vertex id")?,
+        t: positional[2].parse().map_err(|_| "t must be a vertex id")?,
+        k: positional[3].parse().map_err(|_| "k must be a hop count")?,
+        limit,
+        count_only,
+        algorithm,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!(
+                "usage: hcpe <edge-list-file> <s> <t> <k> [--limit N] [--count-only] \
+                 [--algorithm pathenum|idx-dfs|idx-join|bc-dfs|bc-join|t-dfs|yen]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let parsed = match read_edge_list_file(&args.path) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args.path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if parsed.skipped_self_loops > 0 {
+        eprintln!("note: skipped {} self-loop(s)", parsed.skipped_self_loops);
+    }
+    let graph = parsed.graph;
+    eprintln!(
+        "loaded {}: {} vertices, {} edges",
+        args.path.display(),
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let query = match Query::new(args.s, args.t, args.k)
+        .and_then(|q| q.validate(graph.num_vertices()).map(|()| q))
+    {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("error: invalid query: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let start = std::time::Instant::now();
+    let count = if args.count_only {
+        let mut sink = BoundedSink::new(args.limit, None);
+        args.algorithm.run(&graph, query, &mut sink);
+        sink.count
+    } else {
+        let mut printed = 0u64;
+        let limit = args.limit.unwrap_or(u64::MAX);
+        let mut sink = FnSinkAdapter(|path: &[VertexId]| {
+            println!(
+                "{}",
+                path.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" -> ")
+            );
+            printed += 1;
+            if printed >= limit {
+                SearchControl::Stop
+            } else {
+                SearchControl::Continue
+            }
+        });
+        args.algorithm.run(&graph, query, &mut sink);
+        printed
+    };
+    eprintln!(
+        "{count} path(s) from {} to {} within {} hops via {} in {:.3?}",
+        args.s,
+        args.t,
+        args.k,
+        args.algorithm,
+        start.elapsed()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Local closure adapter (the library's `FnSink` has an explicit type
+/// parameter; this keeps the binary self-contained).
+struct FnSinkAdapter<F: FnMut(&[VertexId]) -> SearchControl>(F);
+
+impl<F: FnMut(&[VertexId]) -> SearchControl> PathSink for FnSinkAdapter<F> {
+    fn emit(&mut self, path: &[VertexId]) -> SearchControl {
+        (self.0)(path)
+    }
+}

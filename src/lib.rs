@@ -1,0 +1,45 @@
+//! Umbrella crate for the PathEnum reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so examples and
+//! integration tests can use one import root:
+//!
+//! * [`graph`] — the directed-graph substrate (`pathenum-graph`);
+//! * [`core`] — the PathEnum algorithm itself (`pathenum`);
+//! * [`baselines`] — competing algorithms (`pathenum-baselines`);
+//! * [`workloads`] — datasets, query generation, measurement
+//!   (`pathenum-workloads`).
+//!
+//! See the README for a tour and `examples/` for runnable entry points.
+
+pub use pathenum as core;
+pub use pathenum_baselines as baselines;
+pub use pathenum_graph as graph;
+pub use pathenum_workloads as workloads;
+
+/// Convenience re-exports of the most common types.
+pub mod prelude {
+    pub use pathenum::constraints::{
+        accumulative_dfs, automaton_dfs, path_enum_with_predicate, AccumulativeQuery, Automaton,
+    };
+    pub use pathenum::sink::{CollectingSink, CountingSink, LimitSink, PathSink, SearchControl};
+    pub use pathenum::{
+        path_enum, Counters, Index, Method, PathEnumConfig, Query, QueryEngine, RunReport,
+    };
+    pub use pathenum_graph::{CsrGraph, GraphBuilder, VertexId};
+    pub use pathenum_workloads::{Algorithm, MeasureConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_a_working_pipeline() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edges([(0, 1), (1, 2), (0, 2)]).unwrap();
+        let g = b.finish();
+        let mut sink = CollectingSink::default();
+        let report = path_enum(&g, Query::new(0, 2, 2).unwrap(), PathEnumConfig::default(), &mut sink);
+        assert_eq!(report.counters.results, 2);
+    }
+}

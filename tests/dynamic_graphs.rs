@@ -1,0 +1,94 @@
+//! Dynamic-graph integration: overlay snapshots must behave exactly like
+//! graphs rebuilt from scratch, and the fraud-cycle pattern (query
+//! `q(v', v, k-1)` per inserted edge) must find exactly the cycles the
+//! insertion closes.
+
+use proptest::prelude::*;
+
+use pathenum_repro::graph::DynamicGraph;
+use pathenum_repro::prelude::*;
+
+fn graph_from_edges(n: u32, edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new(n as usize);
+    for &(u, v) in edges {
+        if u != v {
+            b.add_edge(u, v).expect("in-range edge");
+        }
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn snapshot_equals_rebuild(
+        n in 4u32..12,
+        base in proptest::collection::vec((0u32..12, 0u32..12), 0..40),
+        inserts in proptest::collection::vec((0u32..12, 0u32..12), 0..15),
+        k in 2u32..5,
+    ) {
+        let base: Vec<(u32, u32)> =
+            base.into_iter().filter(|&(u, v)| u < n && v < n).collect();
+        let inserts: Vec<(u32, u32)> =
+            inserts.into_iter().filter(|&(u, v)| u < n && v < n).collect();
+
+        let mut dynamic = DynamicGraph::new(graph_from_edges(n, &base));
+        for &(u, v) in &inserts {
+            dynamic.insert_edge(u, v);
+        }
+        let snapshot = dynamic.snapshot();
+
+        let mut combined = base.clone();
+        combined.extend(inserts.iter().copied());
+        let rebuilt = graph_from_edges(n, &combined);
+
+        prop_assert_eq!(snapshot.num_edges(), rebuilt.num_edges());
+        let q = Query::new(0, 1, k).expect("valid");
+        let mut a = CollectingSink::default();
+        let mut b = CollectingSink::default();
+        path_enum(&snapshot, q, PathEnumConfig::default(), &mut a);
+        path_enum(&rebuilt, q, PathEnumConfig::default(), &mut b);
+        prop_assert_eq!(a.sorted_paths(), b.sorted_paths());
+    }
+
+    #[test]
+    fn inserted_edge_closes_exactly_the_reported_cycles(
+        n in 4u32..10,
+        base in proptest::collection::vec((0u32..10, 0u32..10), 0..30),
+        (u, v) in (0u32..10, 0u32..10),
+        k in 3u32..6,
+    ) {
+        prop_assume!(u != v && u < n && v < n);
+        let base: Vec<(u32, u32)> =
+            base.into_iter().filter(|&(a, b)| a < n && b < n && (a, b) != (u, v)).collect();
+        let graph = graph_from_edges(n, &base);
+
+        // Cycles through the new edge (u, v) = paths v -> u of <= k-1
+        // edges in the pre-insertion graph.
+        let q = Query::new(v, u, k - 1).expect("u != v");
+        let mut sink = CollectingSink::default();
+        path_enum(&graph, q, PathEnumConfig::default(), &mut sink);
+
+        // Each reported path closed by (u, v) is a simple cycle of <= k
+        // edges containing the new edge.
+        for path in &sink.paths {
+            prop_assert_eq!(path[0], v);
+            prop_assert_eq!(*path.last().unwrap(), u);
+            prop_assert!(path.len() as u32 <= k);
+            for w in path.windows(2) {
+                prop_assert!(graph.has_edge(w[0], w[1]));
+            }
+        }
+    }
+}
+
+#[test]
+fn overlay_rejects_duplicates_against_base_and_itself() {
+    let g = graph_from_edges(4, &[(0, 1), (1, 2)]);
+    let mut d = DynamicGraph::new(g);
+    assert!(!d.insert_edge(0, 1));
+    assert!(d.insert_edge(2, 3));
+    assert!(!d.insert_edge(2, 3));
+    assert_eq!(d.num_edges(), 3);
+}

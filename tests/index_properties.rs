@@ -1,0 +1,174 @@
+//! Property tests for the light-weight index: it must match its paper
+//! definitions exactly (Proposition 4.3 membership, the `I_t`/`I_s`
+//! lookup semantics) and store the same per-position neighbor sets as
+//! Algorithm 2's fully reduced relations (Appendix B).
+
+use proptest::prelude::*;
+
+use pathenum_repro::core::relations::Relations;
+use pathenum_repro::graph::bfs::{distances_from_source, distances_to_target};
+use pathenum_repro::graph::types::{dist_add, INFINITE_DISTANCE};
+use pathenum_repro::prelude::*;
+
+fn graph_from_edges(n: u32, edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new(n as usize);
+    for &(u, v) in edges {
+        if u != v {
+            b.add_edge(u, v).expect("in-range edge");
+        }
+    }
+    b.finish()
+}
+
+fn arb_graph() -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (4u32..14).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..60);
+        (Just(n), edges)
+    })
+}
+
+/// Reference boundary distances with the paper's endpoint conventions.
+fn boundary_distances(g: &CsrGraph, s: u32, t: u32, k: u32) -> (Vec<u32>, Vec<u32>) {
+    let mut ds = distances_from_source(g, s, t, k);
+    let mut dt = distances_to_target(g, s, t, k);
+    ds[t as usize] = g
+        .in_neighbors(t)
+        .iter()
+        .map(|&u| dist_add(ds[u as usize], 1))
+        .min()
+        .unwrap_or(INFINITE_DISTANCE);
+    dt[s as usize] = g
+        .out_neighbors(s)
+        .iter()
+        .map(|&w| dist_add(dt[w as usize], 1))
+        .min()
+        .unwrap_or(INFINITE_DISTANCE);
+    (ds, dt)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    #[test]
+    fn index_membership_matches_proposition_4_3(
+        (n, edges) in arb_graph(),
+        k in 2u32..7,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let q = Query::new(0, 1, k).expect("valid");
+        let idx = Index::build(&g, q);
+        let (ds, dt) = boundary_distances(&g, 0, 1, k);
+
+        let indexed: std::collections::HashSet<u32> =
+            (0..idx.num_vertices() as u32).map(|l| idx.global(l)).collect();
+        if dist_add(ds[0], dt[0]) > k || dist_add(ds[1], dt[1]) > k {
+            prop_assert!(idx.is_empty());
+            return Ok(());
+        }
+        for v in g.vertices() {
+            let member = dist_add(ds[v as usize], dt[v as usize]) <= k;
+            prop_assert_eq!(
+                indexed.contains(&v),
+                member,
+                "vertex {} membership mismatch (v.s={}, v.t={})",
+                v, ds[v as usize], dt[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn i_t_lookup_matches_definition(
+        (n, edges) in arb_graph(),
+        k in 2u32..7,
+        budget in 0u32..7,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let q = Query::new(0, 1, k).expect("valid");
+        let idx = Index::build(&g, q);
+        if idx.is_empty() {
+            return Ok(());
+        }
+        let (ds, dt) = boundary_distances(&g, 0, 1, k);
+        for local in 0..idx.num_vertices() as u32 {
+            let v = idx.global(local);
+            if v == 1 {
+                continue; // t holds only the synthetic padding loop
+            }
+            let mut expected: Vec<u32> = g
+                .out_neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&w| w != 0) // never s
+                .filter(|&w| dist_add(dist_add(ds[v as usize], dt[w as usize]), 1) <= k)
+                .filter(|&w| dt[w as usize] <= budget)
+                .collect();
+            expected.sort_unstable();
+            let mut got: Vec<u32> =
+                idx.i_t(local, budget).iter().map(|&l| idx.global(l)).collect();
+            got.sort_unstable();
+            prop_assert_eq!(got, expected, "I_t({}, {}) mismatch", v, budget);
+        }
+    }
+
+    #[test]
+    fn index_equals_reduced_relations_per_position(
+        (n, edges) in arb_graph(),
+        k in 2u32..6,
+    ) {
+        // Appendix B: for v in the heads of R_i (v != t),
+        // R_i(v, .) == I_t(v, k - i).
+        let g = graph_from_edges(n, &edges);
+        let q = Query::new(0, 1, k).expect("valid");
+        let idx = Index::build(&g, q);
+        let rel = Relations::build_reduced(&g, q);
+        let local_of = |v: u32| (0..idx.num_vertices() as u32).find(|&l| idx.global(l) == v);
+        for i in 1..=k {
+            let heads: std::collections::HashSet<u32> =
+                rel.relation(i).iter().map(|&(a, _)| a).collect();
+            for &v in heads.iter().filter(|&&v| v != 1) {
+                let mut from_rel: Vec<u32> = rel.successors(i, v).collect();
+                from_rel.sort_unstable();
+                let Some(local) = local_of(v) else {
+                    prop_assert!(from_rel.is_empty() || idx.is_empty(),
+                        "vertex {} in relations but not in index", v);
+                    continue;
+                };
+                let mut from_idx: Vec<u32> =
+                    idx.i_t(local, k - i).iter().map(|&l| idx.global(l)).collect();
+                // The relations include the (t, t) padding tuple in
+                // R_2..R_k; I_t(t, .) does too, so only non-t heads are
+                // compared and no adjustment is needed.
+                from_idx.sort_unstable();
+                prop_assert_eq!(from_idx, from_rel, "position {} vertex {}", i, v);
+            }
+        }
+    }
+
+    #[test]
+    fn level_lookup_matches_c_i(
+        (n, edges) in arb_graph(),
+        k in 2u32..7,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let q = Query::new(0, 1, k).expect("valid");
+        let idx = Index::build(&g, q);
+        if idx.is_empty() {
+            return Ok(());
+        }
+        let (ds, dt) = boundary_distances(&g, 0, 1, k);
+        for i in 0..=k {
+            let mut level: Vec<u32> = idx.level(i).map(|l| idx.global(l)).collect();
+            level.sort_unstable();
+            let mut expected: Vec<u32> = g
+                .vertices()
+                .filter(|&v| {
+                    dist_add(ds[v as usize], dt[v as usize]) <= k
+                        && ds[v as usize] <= i
+                        && dt[v as usize] <= k - i
+                })
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(level, expected, "level {}", i);
+        }
+    }
+}
