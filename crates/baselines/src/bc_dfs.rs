@@ -19,11 +19,11 @@
 
 use std::time::Instant;
 
-use pathenum_graph::types::{Distance, INFINITE_DISTANCE};
-use pathenum_graph::{CsrGraph, VertexId};
 use pathenum::query::Query;
 use pathenum::sink::{PathSink, SearchControl};
 use pathenum::stats::Counters;
+use pathenum_graph::types::{Distance, INFINITE_DISTANCE};
+use pathenum_graph::{CsrGraph, VertexId};
 
 use crate::common::{base_distances_to_t, empty_report, query_is_runnable, BaselineReport};
 
@@ -60,7 +60,11 @@ pub fn bc_dfs(graph: &CsrGraph, query: Query, sink: &mut dyn PathSink) -> Baseli
     }
     let enumeration = enum_start.elapsed();
 
-    BaselineReport { preprocessing, enumeration, counters }
+    BaselineReport {
+        preprocessing,
+        enumeration,
+        counters,
+    }
 }
 
 struct BarrierSearch<'a> {
@@ -164,7 +168,8 @@ impl BarrierSearch<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pathenum::sink::{CollectingSink, CountingSink, LimitSink};
+    use pathenum::request::ControlledSink;
+    use pathenum::sink::{CollectingSink, CountingSink};
     use pathenum_graph::generators::{complete_digraph, erdos_renyi};
     use pathenum_graph::GraphBuilder;
 
@@ -200,7 +205,8 @@ mod tests {
         // that blocks its only route, then revisited after the blocker
         // pops: 0 -> 1 -> 2 -> 3 and 0 -> 2, 2 -> 1, 1 -> 3.
         let mut b = GraphBuilder::new(4);
-        b.add_edges([(0, 1), (1, 2), (2, 3), (0, 2), (2, 1), (1, 3)]).unwrap();
+        b.add_edges([(0, 1), (1, 2), (2, 3), (0, 2), (2, 1), (1, 3)])
+            .unwrap();
         let g = b.finish();
         for k in 2..=4u32 {
             check_against_bruteforce(&g, Query::new(0, 3, k).unwrap());
@@ -248,9 +254,9 @@ mod tests {
     fn early_stop_works() {
         let g = complete_digraph(8);
         let q = Query::new(0, 7, 4).unwrap();
-        let mut sink = LimitSink::new(5);
+        let mut sink = ControlledSink::new(CountingSink::default(), Some(5), None, None);
         bc_dfs(&g, q, &mut sink);
-        assert_eq!(sink.count, 5);
+        assert_eq!(sink.emitted(), 5);
     }
 
     #[test]

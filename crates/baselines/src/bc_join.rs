@@ -10,12 +10,12 @@
 
 use std::time::Instant;
 
-use pathenum_graph::hashing::FxHashMap;
-use pathenum_graph::types::Distance;
-use pathenum_graph::{CsrGraph, VertexId};
 use pathenum::query::Query;
 use pathenum::sink::{PathSink, SearchControl};
 use pathenum::stats::Counters;
+use pathenum_graph::hashing::FxHashMap;
+use pathenum_graph::types::Distance;
+use pathenum_graph::{CsrGraph, VertexId};
 
 use crate::common::{base_distances_to_t, empty_report, query_is_runnable, BaselineReport};
 
@@ -34,7 +34,11 @@ pub fn bc_join(graph: &CsrGraph, query: Query, sink: &mut dyn PathSink) -> Basel
     let enumeration = enum_start.elapsed();
     let _ = control;
 
-    BaselineReport { preprocessing, enumeration, counters }
+    BaselineReport {
+        preprocessing,
+        enumeration,
+        counters,
+    }
 }
 
 fn run_join(
@@ -48,7 +52,14 @@ fn run_join(
     let m = k.div_ceil(2);
 
     // Short results: fewer than m edges, enumerated directly.
-    let mut short = ShortDfs { graph, query, dist_t, limit: m - 1, sink, counters };
+    let mut short = ShortDfs {
+        graph,
+        query,
+        dist_t,
+        limit: m - 1,
+        sink,
+        counters,
+    };
     let mut partial = vec![query.s];
     if short.search(&mut partial) == SearchControl::Stop {
         return SearchControl::Stop;
@@ -57,7 +68,15 @@ fn run_join(
     // Long results: prefixes of exactly m edges (simple, not touching t
     // before the end) ...
     let mut prefixes: Vec<Vec<VertexId>> = Vec::new();
-    collect_prefixes(graph, query, dist_t, m, &mut vec![query.s], &mut prefixes, counters);
+    collect_prefixes(
+        graph,
+        query,
+        dist_t,
+        m,
+        &mut vec![query.s],
+        &mut prefixes,
+        counters,
+    );
 
     // ... suffixes of 1..=(k - m) edges from each observed middle vertex.
     let mut middles: Vec<VertexId> = prefixes.iter().map(|p| *p.last().unwrap()).collect();
@@ -66,14 +85,26 @@ fn run_join(
     let mut suffixes: FxHashMap<VertexId, Vec<Vec<VertexId>>> = FxHashMap::default();
     for &mid in &middles {
         let mut list = Vec::new();
-        collect_suffixes(graph, query, dist_t, k - m, &mut vec![mid], &mut list, counters);
+        collect_suffixes(
+            graph,
+            query,
+            dist_t,
+            k - m,
+            &mut vec![mid],
+            &mut list,
+            counters,
+        );
         if !list.is_empty() {
             suffixes.insert(mid, list);
         }
     }
 
     let materialized: u64 = prefixes.iter().map(|p| p.len() as u64).sum::<u64>()
-        + suffixes.values().flatten().map(|sfx| sfx.len() as u64).sum::<u64>();
+        + suffixes
+            .values()
+            .flatten()
+            .map(|sfx| sfx.len() as u64)
+            .sum::<u64>();
     counters.peak_materialized_vertices = counters.peak_materialized_vertices.max(materialized);
 
     // Join on the middle vertex, keeping vertex-disjoint pairs.
@@ -218,7 +249,8 @@ fn collect_suffixes(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pathenum::sink::{CollectingSink, LimitSink};
+    use pathenum::request::ControlledSink;
+    use pathenum::sink::{CollectingSink, CountingSink};
     use pathenum_graph::generators::{complete_digraph, erdos_renyi};
 
     fn check(g: &CsrGraph, q: Query) {
@@ -255,7 +287,7 @@ mod tests {
     }
 
     #[test]
-    fn records_materialization(){
+    fn records_materialization() {
         let g = complete_digraph(8);
         let q = Query::new(0, 7, 5).unwrap();
         let mut sink = CollectingSink::default();
@@ -267,8 +299,8 @@ mod tests {
     fn early_stop_works() {
         let g = complete_digraph(8);
         let q = Query::new(0, 7, 5).unwrap();
-        let mut sink = LimitSink::new(3);
+        let mut sink = ControlledSink::new(CountingSink::default(), Some(3), None, None);
         bc_join(&g, q, &mut sink);
-        assert_eq!(sink.count, 3);
+        assert_eq!(sink.emitted(), 3);
     }
 }

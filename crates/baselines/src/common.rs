@@ -2,11 +2,11 @@
 
 use std::time::Duration;
 
+use pathenum::query::Query;
+use pathenum::stats::Counters;
 use pathenum_graph::bfs::{distances, BfsOptions, Direction};
 use pathenum_graph::types::Distance;
 use pathenum_graph::CsrGraph;
-use pathenum::query::Query;
-use pathenum::stats::Counters;
 
 /// Phase breakdown and counters of one baseline run, mirroring
 /// [`pathenum::RunReport`] for fair comparison.
@@ -35,7 +35,11 @@ pub fn base_distances_to_t(graph: &CsrGraph, t: u32, k: u32) -> Vec<Distance> {
     distances(
         graph,
         t,
-        BfsOptions { direction: Direction::Backward, excluded: None, max_depth: Some(k) },
+        BfsOptions {
+            direction: Direction::Backward,
+            excluded: None,
+            max_depth: Some(k),
+        },
     )
 }
 

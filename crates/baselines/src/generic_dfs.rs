@@ -2,12 +2,14 @@
 
 use std::time::Instant;
 
-use pathenum_graph::{CsrGraph, VertexId};
 use pathenum::query::Query;
 use pathenum::sink::{PathSink, SearchControl};
 use pathenum::stats::Counters;
+use pathenum_graph::{CsrGraph, VertexId};
 
-use crate::common::{base_distances_to_t, empty_report, query_is_runnable, within_budget, BaselineReport};
+use crate::common::{
+    base_distances_to_t, empty_report, query_is_runnable, within_budget, BaselineReport,
+};
 
 /// Algorithm 1: backtracking over the raw graph, pruning with the *static*
 /// distances `B(v) = S(v, t | G)` computed by one BFS before enumeration.
@@ -29,7 +31,11 @@ pub fn generic_dfs(graph: &CsrGraph, query: Query, sink: &mut dyn PathSink) -> B
     search(graph, query, &dist, &mut partial, sink, &mut counters);
     let enumeration = enum_start.elapsed();
 
-    BaselineReport { preprocessing, enumeration, counters }
+    BaselineReport {
+        preprocessing,
+        enumeration,
+        counters,
+    }
 }
 
 fn search(
@@ -71,12 +77,14 @@ fn search(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pathenum::sink::{CollectingSink, LimitSink};
+    use pathenum::request::ControlledSink;
+    use pathenum::sink::{CollectingSink, CountingSink};
     use pathenum_graph::GraphBuilder;
 
     fn diamond() -> CsrGraph {
         let mut b = GraphBuilder::new(5);
-        b.add_edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (1, 2)]).unwrap();
+        b.add_edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (1, 2)])
+            .unwrap();
         b.finish()
     }
 
@@ -105,9 +113,9 @@ mod tests {
     fn early_stop_works() {
         let g = diamond();
         let q = Query::new(0, 4, 4).unwrap();
-        let mut sink = LimitSink::new(1);
+        let mut sink = ControlledSink::new(CountingSink::default(), Some(1), None, None);
         let report = generic_dfs(&g, q, &mut sink);
-        assert_eq!(sink.count, 1);
+        assert_eq!(sink.emitted(), 1);
         assert_eq!(report.counters.results, 1);
     }
 

@@ -23,12 +23,12 @@
 
 use std::time::Instant;
 
-use pathenum_graph::hashing::FxHashMap;
-use pathenum_graph::properties::degree_split;
-use pathenum_graph::{CsrGraph, VertexId};
 use pathenum::query::Query;
 use pathenum::sink::{PathSink, SearchControl};
 use pathenum::stats::Counters;
+use pathenum_graph::hashing::FxHashMap;
+use pathenum_graph::properties::degree_split;
+use pathenum_graph::{CsrGraph, VertexId};
 
 use crate::common::{empty_report, query_is_runnable, BaselineReport};
 
@@ -70,7 +70,11 @@ impl HotIndex {
                 segments.insert(h, out);
             }
         }
-        HotIndex { hot, segments, k_max }
+        HotIndex {
+            hot,
+            segments,
+            k_max,
+        }
     }
 
     /// Whether `v` is hot.
@@ -153,7 +157,14 @@ pub fn hot_index_enumerate(
     }
     let mut counters = Counters::default();
     let enum_start = Instant::now();
-    let mut search = HotSearch { graph, index, query, partial: vec![query.s], sink, counters: &mut counters };
+    let mut search = HotSearch {
+        graph,
+        index,
+        query,
+        partial: vec![query.s],
+        sink,
+        counters: &mut counters,
+    };
     search.cold_step();
     BaselineReport {
         preprocessing: std::time::Duration::ZERO,
@@ -241,7 +252,10 @@ impl HotSearch<'_> {
             // Disjointness: nothing after the shared start may repeat a
             // partial vertex or pass through t.
             let tail = &segment.path[1..];
-            if tail.iter().any(|&v| v == self.query.t || self.partial.contains(&v)) {
+            if tail
+                .iter()
+                .any(|&v| v == self.query.t || self.partial.contains(&v))
+            {
                 continue;
             }
             let base_len = self.partial.len();
@@ -379,9 +393,14 @@ mod tests {
     fn early_stop_works() {
         let g = erdos_renyi(25, 160, 4);
         let index = HotIndex::build(&g, 0.2, 4);
-        let mut sink = pathenum::sink::LimitSink::new(1);
+        let mut sink = pathenum::request::ControlledSink::new(
+            pathenum::sink::CountingSink::default(),
+            Some(1),
+            None,
+            None,
+        );
         hot_index_enumerate(&g, &index, Query::new(0, 1, 4).unwrap(), &mut sink);
-        assert!(sink.count <= 1);
+        assert!(sink.emitted() <= 1);
     }
 
     #[test]

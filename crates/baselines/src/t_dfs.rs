@@ -11,10 +11,10 @@
 use std::collections::VecDeque;
 use std::time::Instant;
 
-use pathenum_graph::{CsrGraph, VertexId};
 use pathenum::query::Query;
 use pathenum::sink::{PathSink, SearchControl};
 use pathenum::stats::Counters;
+use pathenum_graph::{CsrGraph, VertexId};
 
 use crate::common::{empty_report, query_is_runnable, BaselineReport};
 
@@ -144,7 +144,8 @@ impl TDfs<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pathenum::sink::{CollectingSink, CountingSink, LimitSink};
+    use pathenum::request::ControlledSink;
+    use pathenum::sink::{CollectingSink, CountingSink};
     use pathenum_graph::generators::{complete_digraph, erdos_renyi};
 
     fn check(g: &CsrGraph, q: Query) {
@@ -188,8 +189,8 @@ mod tests {
     fn early_stop_works() {
         let g = complete_digraph(8);
         let q = Query::new(0, 7, 4).unwrap();
-        let mut sink = LimitSink::new(2);
+        let mut sink = ControlledSink::new(CountingSink::default(), Some(2), None, None);
         t_dfs(&g, q, &mut sink);
-        assert_eq!(sink.count, 2);
+        assert_eq!(sink.emitted(), 2);
     }
 }

@@ -13,11 +13,11 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::time::Instant;
 
-use pathenum_graph::hashing::FxHashSet;
-use pathenum_graph::{CsrGraph, VertexId};
 use pathenum::query::Query;
 use pathenum::sink::{PathSink, SearchControl};
 use pathenum::stats::Counters;
+use pathenum_graph::hashing::FxHashSet;
+use pathenum_graph::{CsrGraph, VertexId};
 
 use crate::common::{empty_report, query_is_runnable, BaselineReport};
 
@@ -47,7 +47,10 @@ struct Candidate(Vec<VertexId>);
 
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.len().cmp(&other.0.len()).then_with(|| self.0.cmp(&other.0))
+        self.0
+            .len()
+            .cmp(&other.0.len())
+            .then_with(|| self.0.cmp(&other.0))
     }
 }
 
@@ -98,7 +101,11 @@ fn run(graph: &CsrGraph, query: Query, sink: &mut dyn PathSink, counters: &mut C
             let remaining_budget = k - spur_idx as u32;
             let Some(spur) = shortest_path_avoiding_with_budget(
                 graph,
-                Query { s: path[spur_idx], t: query.t, k: query.k },
+                Query {
+                    s: path[spur_idx],
+                    t: query.t,
+                    k: query.k,
+                },
                 &path[..spur_idx], // root vertices are off limits (loopless)
                 Some(&banned_edges),
                 remaining_budget,
@@ -191,7 +198,8 @@ fn shortest_path_avoiding_with_budget(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pathenum::sink::{CollectingSink, LimitSink};
+    use pathenum::request::ControlledSink;
+    use pathenum::sink::{CollectingSink, CountingSink};
     use pathenum_graph::generators::{complete_digraph, erdos_renyi};
 
     fn check(g: &CsrGraph, q: Query) {
@@ -227,16 +235,19 @@ mod tests {
         let mut sink = CollectingSink::default();
         yen_ksp(&g, q, &mut sink);
         let lengths: Vec<usize> = sink.paths.iter().map(Vec::len).collect();
-        assert!(lengths.windows(2).all(|w| w[0] <= w[1]), "not ascending: {lengths:?}");
+        assert!(
+            lengths.windows(2).all(|w| w[0] <= w[1]),
+            "not ascending: {lengths:?}"
+        );
     }
 
     #[test]
     fn early_stop_works() {
         let g = complete_digraph(7);
         let q = Query::new(0, 6, 4).unwrap();
-        let mut sink = LimitSink::new(3);
+        let mut sink = ControlledSink::new(CountingSink::default(), Some(3), None, None);
         yen_ksp(&g, q, &mut sink);
-        assert_eq!(sink.count, 3);
+        assert_eq!(sink.emitted(), 3);
     }
 
     #[test]

@@ -17,7 +17,8 @@ fn bench_engine_vs_oneshot(c: &mut Criterion) {
             let mut total = 0u64;
             for &q in &queries {
                 let mut sink = CountingSink::default();
-                path_enum(&graph, q, PathEnumConfig::default(), &mut sink);
+                path_enum(&graph, q, PathEnumConfig::default(), &mut sink)
+                    .expect("generated queries are in range");
                 total += sink.count;
             }
             std::hint::black_box(total)
@@ -29,7 +30,9 @@ fn bench_engine_vs_oneshot(c: &mut Criterion) {
             let mut total = 0u64;
             for &q in &queries {
                 let mut sink = CountingSink::default();
-                engine.run(q, &mut sink);
+                engine
+                    .run(q, &mut sink)
+                    .expect("generated queries are in range");
                 total += sink.count;
             }
             std::hint::black_box(total)

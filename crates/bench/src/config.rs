@@ -48,7 +48,10 @@ impl ExperimentConfig {
 
     /// The equivalent per-query measurement configuration.
     pub fn measure(&self) -> MeasureConfig {
-        MeasureConfig { time_limit: self.time_limit, response_limit: self.response_limit }
+        MeasureConfig {
+            time_limit: self.time_limit,
+            response_limit: self.response_limit,
+        }
     }
 
     /// The `k` sweep the paper uses (3..=8), trimmed in quick mode.

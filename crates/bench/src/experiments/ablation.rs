@@ -36,8 +36,14 @@ fn pruning_power(config: &ExperimentConfig) {
     let k = config.default_k.min(5); // Algorithm 2 scans k copies of E
     let queries = default_queries(&graph, k, config);
     let sample = &queries[..queries.len().min(5)];
-    let mut table =
-        Table::new(["query", "raw edges", "reduced tuples", "index edges", "reducer ms", "index ms"]);
+    let mut table = Table::new([
+        "query",
+        "raw edges",
+        "reduced tuples",
+        "index edges",
+        "reducer ms",
+        "index ms",
+    ]);
     for &q in sample {
         let q = Query::new(q.s, q.t, k).expect("validated endpoints");
         let reducer_start = Instant::now();
@@ -142,7 +148,8 @@ fn global_index_filter(config: &ExperimentConfig) {
     let mut direct_results = 0u64;
     for &q in &queries {
         let mut sink = CountingSink::default();
-        pathenum::path_enum(&graph, q, PathEnumConfig::default(), &mut sink);
+        pathenum::path_enum(&graph, q, PathEnumConfig::default(), &mut sink)
+            .expect("generated queries are in range");
         direct_results += sink.count;
     }
     let direct_time = direct_start.elapsed();
@@ -156,14 +163,23 @@ fn global_index_filter(config: &ExperimentConfig) {
             continue;
         }
         let mut sink = CountingSink::default();
-        indexed.path_enum(q, PathEnumConfig::default(), &mut sink);
+        indexed
+            .path_enum(q, PathEnumConfig::default(), &mut sink)
+            .expect("generated queries are in range");
         filtered_results += sink.count;
     }
     let filtered_time = filtered_start.elapsed();
 
-    assert_eq!(direct_results, filtered_results, "filter must not change results");
+    assert_eq!(
+        direct_results, filtered_results,
+        "filter must not change results"
+    );
     let mut table = Table::new(["variant", "total ms", "queries skipped"]);
-    table.row(["per-query index only".to_string(), sci_ms(direct_time), "0".to_string()]);
+    table.row([
+        "per-query index only".to_string(),
+        sci_ms(direct_time),
+        "0".to_string(),
+    ]);
     table.row([
         "PLL existence filter".to_string(),
         sci_ms(filtered_time),
@@ -185,8 +201,13 @@ fn hot_index_memory(config: &ExperimentConfig) {
 
     let graph = datasets::build("sl").expect("registered");
     let queries = default_queries(&graph, config.default_k, config);
-    let mut table =
-        Table::new(["k", "HPI segments", "HPI KiB", "HPI build ms", "PathEnum index KiB (max)"]);
+    let mut table = Table::new([
+        "k",
+        "HPI segments",
+        "HPI KiB",
+        "HPI build ms",
+        "PathEnum index KiB (max)",
+    ]);
     for k in [2u32, 3, 4, 5] {
         let build_start = Instant::now();
         let hpi = HotIndex::build(&graph, 0.1, k);

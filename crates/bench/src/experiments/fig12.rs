@@ -4,8 +4,8 @@
 
 use pathenum::estimator::FullEstimate;
 use pathenum::{enumerate, optimize_join_order, Counters, Index};
-use pathenum_workloads::runner::BoundedSink;
 use pathenum_workloads::datasets;
+use pathenum_workloads::runner::BoundedSink;
 
 use crate::config::ExperimentConfig;
 use crate::experiments::support::default_queries;
@@ -27,7 +27,14 @@ pub fn run(config: &ExperimentConfig) {
     };
 
     let mut table = Table::new([
-        "k", "BFS", "index build", "optimize", "DFS enum", "JOIN enum", "tput DFS", "tput JOIN",
+        "k",
+        "BFS",
+        "index build",
+        "optimize",
+        "DFS enum",
+        "JOIN enum",
+        "tput DFS",
+        "tput JOIN",
     ]);
     for &k in &ks {
         let q = pathenum::Query::new(query.s, query.t, k).expect("validated endpoints");

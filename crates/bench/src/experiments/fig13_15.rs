@@ -14,10 +14,14 @@ pub fn run(config: &ExperimentConfig) {
     let algos = Algorithm::table3();
     for (name, graph) in representative_graphs() {
         let mut time_table = Table::new(
-            ["k".to_string()].into_iter().chain(algos.iter().map(|a| a.name().to_string())),
+            ["k".to_string()]
+                .into_iter()
+                .chain(algos.iter().map(|a| a.name().to_string())),
         );
         let mut tput_table = Table::new(
-            ["k".to_string()].into_iter().chain(algos.iter().map(|a| a.name().to_string())),
+            ["k".to_string()]
+                .into_iter()
+                .chain(algos.iter().map(|a| a.name().to_string())),
         );
         let mut resp_table = Table::new(["k", "BC-DFS", "IDX-DFS"]);
         for k in config.k_sweep() {
@@ -29,7 +33,11 @@ pub fn run(config: &ExperimentConfig) {
             let mut tput_cells = vec![k.to_string()];
             for algo in algos {
                 let summary = run_query_set(algo, &graph, &queries, config.measure());
-                let star = if summary.timeout_fraction > 0.2 { "*" } else { "" };
+                let star = if summary.timeout_fraction > 0.2 {
+                    "*"
+                } else {
+                    ""
+                };
                 time_cells.push(format!("{}{}", sci(summary.mean_query_time_ms), star));
                 tput_cells.push(sci(summary.mean_throughput));
             }
@@ -41,8 +49,7 @@ pub fn run(config: &ExperimentConfig) {
                 let mean: f64 = queries
                     .iter()
                     .map(|&q| {
-                        measure_response_time(algo, &graph, q, config.measure()).as_secs_f64()
-                            * 1e3
+                        measure_response_time(algo, &graph, q, config.measure()).as_secs_f64() * 1e3
                     })
                     .sum::<f64>()
                     / queries.len() as f64;

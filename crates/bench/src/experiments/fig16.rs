@@ -27,8 +27,7 @@ pub fn run(config: &ExperimentConfig) {
         let mut per_algo: Vec<Vec<Duration>> = Vec::new();
         for algo in algos {
             let summary = run_query_set(algo, &graph, &queries, config.measure());
-            let mut times: Vec<Duration> =
-                summary.measurements.iter().map(|m| m.elapsed).collect();
+            let mut times: Vec<Duration> = summary.measurements.iter().map(|m| m.elapsed).collect();
             times.sort_unstable();
             per_algo.push(times);
         }

@@ -14,8 +14,7 @@ use crate::output::{banner, sci, Table};
 pub fn run(config: &ExperimentConfig) {
     banner("Figure 17: per-technique execution time (mean ms per query)");
     for (name, graph) in representative_graphs() {
-        let mut table =
-            Table::new(["k", "BFS", "index build", "optimize", "DFS", "JOIN"]);
+        let mut table = Table::new(["k", "BFS", "index build", "optimize", "DFS", "JOIN"]);
         for k in config.k_sweep() {
             let queries = default_queries(&graph, k, config);
             if queries.is_empty() {

@@ -27,7 +27,9 @@ pub fn run(config: &ExperimentConfig) {
         let keep = all_edges.len() - updates.min(all_edges.len() / 10);
         let (base_edges, stream) = all_edges.split_at(keep);
         let mut builder = GraphBuilder::new(base_graph.num_vertices());
-        builder.add_edges(base_edges.iter().copied()).expect("base edges are valid");
+        builder
+            .add_edges(base_edges.iter().copied())
+            .expect("base edges are valid");
         let mut dynamic = DynamicGraph::new(builder.finish());
 
         let mut table = Table::new(["k", "BC-DFS p99.9", "IDX-DFS p99.9"]);
@@ -39,8 +41,18 @@ pub fn run(config: &ExperimentConfig) {
             let mut graph_now = dynamic.snapshot();
             for &(v, v2) in stream {
                 if let Ok(query) = Query::new(v2, v, k.saturating_sub(1).max(2)) {
-                    bc.push(measure_response_time(Algorithm::BcDfs, &graph_now, query, config.measure()));
-                    idx.push(measure_response_time(Algorithm::IdxDfs, &graph_now, query, config.measure()));
+                    bc.push(measure_response_time(
+                        Algorithm::BcDfs,
+                        &graph_now,
+                        query,
+                        config.measure(),
+                    ));
+                    idx.push(measure_response_time(
+                        Algorithm::IdxDfs,
+                        &graph_now,
+                        query,
+                        config.measure(),
+                    ));
                 }
                 dynamic.insert_edge(v, v2);
                 graph_now = dynamic.snapshot();
@@ -52,7 +64,9 @@ pub fn run(config: &ExperimentConfig) {
             ]);
             // Reset the overlay for the next k.
             let mut builder = GraphBuilder::new(base_graph.num_vertices());
-            builder.add_edges(base_edges.iter().copied()).expect("base edges are valid");
+            builder
+                .add_edges(base_edges.iter().copied())
+                .expect("base edges are valid");
             dynamic = DynamicGraph::new(builder.finish());
         }
         println!("--- {name} ---");

@@ -64,9 +64,10 @@ pub fn run(config: &ExperimentConfig) {
 
         println!("--- {name}: query q({}, {}, {k}) ---", query.s, query.t);
         let mut table = Table::new(["plan family", "min", "median", "max"]);
-        for (family, times) in
-            [("left-deep (2^(k-1))", &mut left_deep_times), ("bushy (k-1 cuts)", &mut bushy_times)]
-        {
+        for (family, times) in [
+            ("left-deep (2^(k-1))", &mut left_deep_times),
+            ("bushy (k-1 cuts)", &mut bushy_times),
+        ] {
             times.sort_unstable();
             table.row([
                 family.to_string(),

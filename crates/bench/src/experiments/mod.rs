@@ -27,21 +27,69 @@ pub type ExperimentEntry = (&'static str, &'static str, fn(&ExperimentConfig));
 /// All experiments with their subcommand names, in paper order.
 pub fn registry() -> Vec<ExperimentEntry> {
     vec![
-        ("table3", "Overall comparison: query time / throughput / response time", table3::run),
-        ("table4", "Query-time distribution (BC-DFS vs IDX-DFS, k varied)", table4::run),
-        ("table5", "Performance on short vs out-of-time queries (ep, k=8)", table5::run),
-        ("table6", "Average and maximum number of results (k varied)", table6::run),
-        ("table7", "Memory: index vs IDX-JOIN partial results (k varied)", table7::run),
-        ("fig6", "Detailed metrics: #edges, #invalid, #results (k varied)", fig6::run),
-        ("fig7", "Query-time breakdown: preprocessing vs enumeration", fig7::run),
-        ("fig8", "99.9% response latency on dynamic graphs", fig8::run),
+        (
+            "table3",
+            "Overall comparison: query time / throughput / response time",
+            table3::run,
+        ),
+        (
+            "table4",
+            "Query-time distribution (BC-DFS vs IDX-DFS, k varied)",
+            table4::run,
+        ),
+        (
+            "table5",
+            "Performance on short vs out-of-time queries (ep, k=8)",
+            table5::run,
+        ),
+        (
+            "table6",
+            "Average and maximum number of results (k varied)",
+            table6::run,
+        ),
+        (
+            "table7",
+            "Memory: index vs IDX-JOIN partial results (k varied)",
+            table7::run,
+        ),
+        (
+            "fig6",
+            "Detailed metrics: #edges, #invalid, #results (k varied)",
+            fig6::run,
+        ),
+        (
+            "fig7",
+            "Query-time breakdown: preprocessing vs enumeration",
+            fig7::run,
+        ),
+        (
+            "fig8",
+            "99.9% response latency on dynamic graphs",
+            fig8::run,
+        ),
         ("fig9", "Spectrum analysis of join plans", fig9::run),
-        ("fig10_11", "Regression: enumeration time vs index size / #results", fig10_11::run),
-        ("fig12", "Scalability on the tm proxy (k = 3..6)", fig12::run),
-        ("fig13_15", "Query time / throughput / response time vs k", fig13_15::run),
+        (
+            "fig10_11",
+            "Regression: enumeration time vs index size / #results",
+            fig10_11::run,
+        ),
+        (
+            "fig12",
+            "Scalability on the tm proxy (k = 3..6)",
+            fig12::run,
+        ),
+        (
+            "fig13_15",
+            "Query time / throughput / response time vs k",
+            fig13_15::run,
+        ),
         ("fig16", "Cumulative distribution of query time", fig16::run),
         ("fig17", "Per-technique execution time vs k", fig17::run),
         ("fig18", "Cardinality estimation accuracy vs k", fig18::run),
-        ("ablation", "Extra ablations: pruning power, barriers, T-DFS", ablation::run),
+        (
+            "ablation",
+            "Extra ablations: pruning power, barriers, T-DFS",
+            ablation::run,
+        ),
     ]
 }

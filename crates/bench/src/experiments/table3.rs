@@ -39,7 +39,11 @@ pub fn run(config: &ExperimentConfig) {
         let mut tput_cells: Vec<String> = Vec::new();
         for algo in algos {
             let summary = run_query_set(algo, &graph, &queries, config.measure());
-            let star = if summary.timeout_fraction > 0.2 { "*" } else { "" };
+            let star = if summary.timeout_fraction > 0.2 {
+                "*"
+            } else {
+                ""
+            };
             cells.push(format!("{}{}", sci(summary.mean_query_time_ms), star));
             tput_cells.push(sci(summary.mean_throughput));
         }

@@ -34,8 +34,12 @@ pub fn run(config: &ExperimentConfig) {
             for algo in [Algorithm::BcDfs, Algorithm::IdxDfs] {
                 let summary = run_query_set(algo, &graph, &queries, config.measure());
                 let n = summary.measurements.len() as f64;
-                let fast =
-                    summary.measurements.iter().filter(|m| m.elapsed <= half).count() as f64 / n;
+                let fast = summary
+                    .measurements
+                    .iter()
+                    .filter(|m| m.elapsed <= half)
+                    .count() as f64
+                    / n;
                 cells.push(format!("{fast:.3}"));
                 cells.push(format!("{:.3}", summary.timeout_fraction));
             }

@@ -11,11 +11,18 @@ use crate::output::{banner, sci, Table};
 /// Runs the experiment and prints the table.
 pub fn run(config: &ExperimentConfig) {
     let k = *config.k_sweep().last().expect("sweep is non-empty");
-    banner(&format!("Table 5: short vs out-of-time queries (ep, k = {k})"));
+    banner(&format!(
+        "Table 5: short vs out-of-time queries (ep, k = {k})"
+    ));
     let graph = datasets::ep();
     let queries = default_queries(&graph, k, config);
-    let mut table =
-        Table::new(["method", "tput <limit", "tput >limit", "resp ms <limit", "resp ms >limit"]);
+    let mut table = Table::new([
+        "method",
+        "tput <limit",
+        "tput >limit",
+        "resp ms <limit",
+        "resp ms >limit",
+    ]);
     for algo in [Algorithm::BcDfs, Algorithm::IdxDfs] {
         let measurements: Vec<(QueryMeasurement, f64)> = queries
             .iter()
@@ -26,8 +33,10 @@ pub fn run(config: &ExperimentConfig) {
                 (m, resp)
             })
             .collect();
-        let (long, short): (Vec<_>, Vec<_>) = measurements.into_iter().partition(|(m, _)| m.timed_out);
-        let mean = |items: &[(QueryMeasurement, f64)], f: &dyn Fn(&(QueryMeasurement, f64)) -> f64| {
+        let (long, short): (Vec<_>, Vec<_>) =
+            measurements.into_iter().partition(|(m, _)| m.timed_out);
+        let mean = |items: &[(QueryMeasurement, f64)],
+                    f: &dyn Fn(&(QueryMeasurement, f64)) -> f64| {
             if items.is_empty() {
                 f64::NAN
             } else {

@@ -20,10 +20,23 @@ pub fn run(config: &ExperimentConfig) {
                 continue;
             }
             let summary = run_query_set(Algorithm::IdxDfs, &graph, &queries, config.measure());
-            let avg = summary.measurements.iter().map(|m| m.results as f64).sum::<f64>()
+            let avg = summary
+                .measurements
+                .iter()
+                .map(|m| m.results as f64)
+                .sum::<f64>()
                 / summary.measurements.len() as f64;
-            let max = summary.measurements.iter().map(|m| m.results).max().unwrap_or(0);
-            let star = if summary.timeout_fraction > 0.0 { "*" } else { "" };
+            let max = summary
+                .measurements
+                .iter()
+                .map(|m| m.results)
+                .max()
+                .unwrap_or(0);
+            let star = if summary.timeout_fraction > 0.0 {
+                "*"
+            } else {
+                ""
+            };
             table.row([
                 name.to_string(),
                 k.to_string(),

@@ -36,7 +36,12 @@ pub fn run(config: &ExperimentConfig) {
                 .map(|m| m.report.counters.peak_materialized_bytes())
                 .max()
                 .unwrap_or(0);
-            table.row([name.to_string(), k.to_string(), mib(max_index), mib(max_partials)]);
+            table.row([
+                name.to_string(),
+                k.to_string(),
+                mib(max_index),
+                mib(max_partials),
+            ]);
         }
     }
     table.print();

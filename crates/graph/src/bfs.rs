@@ -36,7 +36,11 @@ pub struct BfsOptions {
 
 impl Default for BfsOptions {
     fn default() -> Self {
-        BfsOptions { direction: Direction::Forward, excluded: None, max_depth: None }
+        BfsOptions {
+            direction: Direction::Forward,
+            excluded: None,
+            max_depth: None,
+        }
     }
 }
 
@@ -102,7 +106,11 @@ pub fn distances_from_source(
     distances(
         graph,
         s,
-        BfsOptions { direction: Direction::Forward, excluded: Some(t), max_depth: Some(max_depth) },
+        BfsOptions {
+            direction: Direction::Forward,
+            excluded: Some(t),
+            max_depth: Some(max_depth),
+        },
     )
 }
 
@@ -117,7 +125,11 @@ pub fn distances_to_target(
     distances(
         graph,
         t,
-        BfsOptions { direction: Direction::Backward, excluded: Some(s), max_depth: Some(max_depth) },
+        BfsOptions {
+            direction: Direction::Backward,
+            excluded: Some(s),
+            max_depth: Some(max_depth),
+        },
     )
 }
 
@@ -133,7 +145,11 @@ pub fn st_distance(graph: &CsrGraph, s: VertexId, t: VertexId, max_depth: Distan
     let dist = distances(
         graph,
         s,
-        BfsOptions { direction: Direction::Forward, excluded: None, max_depth: Some(max_depth) },
+        BfsOptions {
+            direction: Direction::Forward,
+            excluded: None,
+            max_depth: Some(max_depth),
+        },
     );
     dist[t as usize]
 }
@@ -214,7 +230,10 @@ mod tests {
         let d = distances(
             &g,
             0,
-            BfsOptions { max_depth: Some(1), ..BfsOptions::default() },
+            BfsOptions {
+                max_depth: Some(1),
+                ..BfsOptions::default()
+            },
         );
         assert_eq!(d[2], 1);
         assert_eq!(d[1], INFINITE_DISTANCE); // t is at depth 2
@@ -246,7 +265,10 @@ mod tests {
         let d = distances(
             &g,
             0,
-            BfsOptions { excluded: Some(0), ..BfsOptions::default() },
+            BfsOptions {
+                excluded: Some(0),
+                ..BfsOptions::default()
+            },
         );
         assert!(d.iter().all(|&x| x == INFINITE_DISTANCE));
     }

@@ -9,15 +9,24 @@ pub enum BuildError {
     /// A self-loop `(v, v)` was offered; HcPE is defined on simple digraphs.
     SelfLoop(VertexId),
     /// An endpoint is `>=` the declared vertex count.
-    VertexOutOfRange { vertex: VertexId, num_vertices: usize },
+    VertexOutOfRange {
+        vertex: VertexId,
+        num_vertices: usize,
+    },
 }
 
 impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BuildError::SelfLoop(v) => write!(f, "self-loop on vertex {v} is not allowed"),
-            BuildError::VertexOutOfRange { vertex, num_vertices } => {
-                write!(f, "vertex {vertex} out of range for graph with {num_vertices} vertices")
+            BuildError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => {
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {num_vertices} vertices"
+                )
             }
         }
     }
@@ -41,12 +50,20 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Builder for a graph with exactly `num_vertices` vertices.
     pub fn new(num_vertices: usize) -> Self {
-        GraphBuilder { num_vertices, fixed: true, edges: Vec::new() }
+        GraphBuilder {
+            num_vertices,
+            fixed: true,
+            edges: Vec::new(),
+        }
     }
 
     /// Builder whose vertex count is `1 + max(endpoint)` at finish time.
     pub fn growable() -> Self {
-        GraphBuilder { num_vertices: 0, fixed: false, edges: Vec::new() }
+        GraphBuilder {
+            num_vertices: 0,
+            fixed: false,
+            edges: Vec::new(),
+        }
     }
 
     /// Pre-allocates capacity for `additional` more edges.
@@ -79,7 +96,10 @@ impl GraphBuilder {
                 }
             }
         } else {
-            self.num_vertices = self.num_vertices.max(from as usize + 1).max(to as usize + 1);
+            self.num_vertices = self
+                .num_vertices
+                .max(from as usize + 1)
+                .max(to as usize + 1);
         }
         self.edges.push((from, to));
         Ok(())
@@ -114,8 +134,14 @@ mod tests {
     #[test]
     fn rejects_out_of_range_vertices() {
         let mut b = GraphBuilder::new(3);
-        assert!(matches!(b.add_edge(0, 3), Err(BuildError::VertexOutOfRange { .. })));
-        assert!(matches!(b.add_edge(7, 1), Err(BuildError::VertexOutOfRange { .. })));
+        assert!(matches!(
+            b.add_edge(0, 3),
+            Err(BuildError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(7, 1),
+            Err(BuildError::VertexOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -151,7 +177,11 @@ mod tests {
     fn display_of_errors_is_informative() {
         let e = BuildError::SelfLoop(3).to_string();
         assert!(e.contains("self-loop"));
-        let e = BuildError::VertexOutOfRange { vertex: 9, num_vertices: 4 }.to_string();
+        let e = BuildError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 4,
+        }
+        .to_string();
         assert!(e.contains("out of range"));
     }
 }

@@ -50,7 +50,13 @@ impl CsrGraph {
         // Edges were sorted by (from, to); filling in_sources in that order
         // already yields sorted in-neighbor lists, since sources are visited
         // in ascending order for each target.
-        CsrGraph { num_vertices, out_offsets, out_targets, in_offsets, in_sources }
+        CsrGraph {
+            num_vertices,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
     }
 
     /// Number of vertices; vertex ids are `0..num_vertices`.

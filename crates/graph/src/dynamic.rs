@@ -29,7 +29,11 @@ fn edge_key(from: VertexId, to: VertexId) -> u64 {
 impl DynamicGraph {
     /// Wraps a base graph with an empty overlay.
     pub fn new(base: CsrGraph) -> Self {
-        DynamicGraph { base, inserted: Vec::new(), present: FxHashSet::default() }
+        DynamicGraph {
+            base,
+            inserted: Vec::new(),
+            present: FxHashSet::default(),
+        }
     }
 
     /// The base graph the overlay started from.
@@ -79,8 +83,12 @@ impl DynamicGraph {
     pub fn snapshot(&self) -> CsrGraph {
         let mut builder = GraphBuilder::new(self.base.num_vertices());
         builder.reserve(self.num_edges());
-        builder.add_edges(self.base.edges()).expect("base edges are valid");
-        builder.add_edges(self.inserted.iter().copied()).expect("overlay edges are valid");
+        builder
+            .add_edges(self.base.edges())
+            .expect("base edges are valid");
+        builder
+            .add_edges(self.inserted.iter().copied())
+            .expect("overlay edges are valid");
         builder.finish()
     }
 }

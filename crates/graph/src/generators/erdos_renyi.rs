@@ -14,7 +14,10 @@ use crate::types::VertexId;
 /// `m` is clamped to `n * (n - 1)`, the maximum number of directed edges.
 /// Deterministic for a fixed `seed`.
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
-    assert!(n >= 2 || m == 0, "need at least two vertices to place edges");
+    assert!(
+        n >= 2 || m == 0,
+        "need at least two vertices to place edges"
+    );
     let max_edges = n.saturating_mul(n.saturating_sub(1));
     let m = m.min(max_edges);
     let mut rng = StdRng::seed_from_u64(seed);

@@ -68,7 +68,10 @@ pub fn power_law(config: PowerLawConfig) -> CsrGraph {
         seed,
     } = config;
     assert!(d >= 1, "edges_per_vertex must be at least 1");
-    assert!(n > d + 1, "need more vertices than the attachment seed clique");
+    assert!(
+        n > d + 1,
+        "need more vertices than the attachment seed clique"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut builder = GraphBuilder::new(n);
     builder.reserve(n * d);
@@ -82,7 +85,9 @@ pub fn power_law(config: PowerLawConfig) -> CsrGraph {
     for i in 0..seed_size {
         let from = i as VertexId;
         let to = ((i + 1) % seed_size) as VertexId;
-        builder.add_edge(from, to).expect("seed edges are in range and loop-free");
+        builder
+            .add_edge(from, to)
+            .expect("seed edges are in range and loop-free");
         pool.push(to);
         pool.push(from);
     }
@@ -101,11 +106,15 @@ pub fn power_law(config: PowerLawConfig) -> CsrGraph {
             if target == v {
                 continue;
             }
-            builder.add_edge(v, target).expect("in-range, non-loop edge");
+            builder
+                .add_edge(v, target)
+                .expect("in-range, non-loop edge");
             pool.push(target);
             pool.push(v);
             if rng.gen_bool(reciprocal_probability) {
-                builder.add_edge(target, v).expect("in-range, non-loop edge");
+                builder
+                    .add_edge(target, v)
+                    .expect("in-range, non-loop edge");
                 pool.push(v);
                 pool.push(target);
             }

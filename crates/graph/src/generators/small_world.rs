@@ -31,8 +31,12 @@ pub struct SmallWorldConfig {
 
 /// Generates a directed Watts–Strogatz small-world graph.
 pub fn watts_strogatz(config: SmallWorldConfig) -> CsrGraph {
-    let SmallWorldConfig { num_vertices: n, neighbors_per_side: half, rewire_probability, seed } =
-        config;
+    let SmallWorldConfig {
+        num_vertices: n,
+        neighbors_per_side: half,
+        rewire_probability,
+        seed,
+    } = config;
     assert!(n >= 4, "need at least 4 vertices");
     assert!(half >= 1 && 2 * half < n, "lattice width must fit the ring");
     assert!((0.0..=1.0).contains(&rewire_probability));
@@ -74,7 +78,12 @@ mod tests {
     use crate::types::INFINITE_DISTANCE;
 
     fn config(p: f64) -> SmallWorldConfig {
-        SmallWorldConfig { num_vertices: 200, neighbors_per_side: 3, rewire_probability: p, seed: 5 }
+        SmallWorldConfig {
+            num_vertices: 200,
+            neighbors_per_side: 3,
+            rewire_probability: p,
+            seed: 5,
+        }
     }
 
     #[test]

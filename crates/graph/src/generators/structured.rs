@@ -45,10 +45,14 @@ pub fn directed_grid(rows: usize, cols: usize) -> CsrGraph {
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                builder.add_edge(id(r, c), id(r, c + 1)).expect("in-range edge");
+                builder
+                    .add_edge(id(r, c), id(r, c + 1))
+                    .expect("in-range edge");
             }
             if r + 1 < rows {
-                builder.add_edge(id(r, c), id(r + 1, c)).expect("in-range edge");
+                builder
+                    .add_edge(id(r, c), id(r + 1, c))
+                    .expect("in-range edge");
             }
         }
     }
@@ -81,12 +85,15 @@ pub fn layered_dag(
     let mut builder = GraphBuilder::new(n);
     let mut slots: Vec<usize> = (0..width).collect();
 
-    let mut connect = |builder: &mut GraphBuilder, from: VertexId, layer: usize, rng: &mut StdRng| {
-        slots.shuffle(rng);
-        for &slot in slots.iter().take(fanout) {
-            builder.add_edge(from, layer_vertex(layer, slot)).expect("in-range edge");
-        }
-    };
+    let mut connect =
+        |builder: &mut GraphBuilder, from: VertexId, layer: usize, rng: &mut StdRng| {
+            slots.shuffle(rng);
+            for &slot in slots.iter().take(fanout) {
+                builder
+                    .add_edge(from, layer_vertex(layer, slot))
+                    .expect("in-range edge");
+            }
+        };
 
     connect(&mut builder, source, 0, &mut rng);
     for layer in 0..layers - 1 {
@@ -96,7 +103,9 @@ pub fn layered_dag(
         }
     }
     for slot in 0..width {
-        builder.add_edge(layer_vertex(layers - 1, slot), sink).expect("in-range edge");
+        builder
+            .add_edge(layer_vertex(layers - 1, slot), sink)
+            .expect("in-range edge");
     }
     (builder.finish(), source, sink)
 }

@@ -33,7 +33,10 @@ impl std::fmt::Display for ReadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ReadError::Io(e) => write!(f, "io error: {e}"),
-            ReadError::Malformed { line_number, content } => {
+            ReadError::Malformed {
+                line_number,
+                content,
+            } => {
                 write!(f, "malformed edge on line {line_number}: {content:?}")
             }
         }
@@ -86,7 +89,10 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<ParsedGraph, ReadError> {
             .add_edge(from, to)
             .expect("growable builder only rejects self-loops, which are filtered above");
     }
-    Ok(ParsedGraph { graph: builder.finish(), skipped_self_loops })
+    Ok(ParsedGraph {
+        graph: builder.finish(),
+        skipped_self_loops,
+    })
 }
 
 /// Parses an edge list from a file on disk.
@@ -97,7 +103,12 @@ pub fn read_edge_list_file(path: &std::path::Path) -> Result<ParsedGraph, ReadEr
 
 /// Writes a graph as a `# vertices edges` header plus one edge per line.
 pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> std::io::Result<()> {
-    writeln!(writer, "# vertices={} edges={}", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        writer,
+        "# vertices={} edges={}",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for (from, to) in graph.edges() {
         writeln!(writer, "{from} {to}")?;
     }

@@ -124,7 +124,10 @@ mod tests {
         let back = read_binary(buf.as_slice()).unwrap();
         assert_eq!(back.num_vertices(), g.num_vertices());
         assert_eq!(back.num_edges(), g.num_edges());
-        assert_eq!(back.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+        assert_eq!(
+            back.edges().collect::<Vec<_>>(),
+            g.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]

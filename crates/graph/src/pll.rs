@@ -59,7 +59,10 @@ impl DistanceOracle {
         let n = graph.num_vertices();
         let mut order: Vec<VertexId> = graph.vertices().collect();
         order.sort_unstable_by(|&a, &b| {
-            graph.degree(b).cmp(&graph.degree(a)).then_with(|| a.cmp(&b))
+            graph
+                .degree(b)
+                .cmp(&graph.degree(a))
+                .then_with(|| a.cmp(&b))
         });
         let mut rank_of = vec![0u32; n];
         for (rank, &v) in order.iter().enumerate() {
@@ -119,8 +122,11 @@ impl DistanceOracle {
                     self.out_labels[v as usize].push((rank, d));
                 }
             }
-            let neighbors =
-                if forward { graph.out_neighbors(v) } else { graph.in_neighbors(v) };
+            let neighbors = if forward {
+                graph.out_neighbors(v)
+            } else {
+                graph.in_neighbors(v)
+            };
             for &next in neighbors {
                 if dist[next as usize] == INFINITE_DISTANCE {
                     dist[next as usize] = d + 1;
@@ -251,7 +257,8 @@ mod tests {
     #[test]
     fn exact_on_directed_chain() {
         let mut b = GraphBuilder::new(6);
-        b.add_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        b.add_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+            .unwrap();
         let g = b.finish();
         let oracle = DistanceOracle::build(&g);
         assert_eq!(oracle.distance(0, 5), 5);

@@ -46,10 +46,16 @@ pub fn degree_stats(graph: &CsrGraph) -> DegreeStats {
 /// Ties at the cut are broken by vertex id to keep the split deterministic.
 /// Returns `(high_degree, low_degree)`.
 pub fn degree_split(graph: &CsrGraph, fraction: f64) -> (Vec<VertexId>, Vec<VertexId>) {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
     let mut order: Vec<VertexId> = graph.vertices().collect();
     order.sort_unstable_by(|&a, &b| {
-        graph.degree(b).cmp(&graph.degree(a)).then_with(|| a.cmp(&b))
+        graph
+            .degree(b)
+            .cmp(&graph.degree(a))
+            .then_with(|| a.cmp(&b))
     });
     let cut = ((graph.num_vertices() as f64) * fraction).round() as usize;
     let cut = cut.min(order.len());
@@ -65,7 +71,8 @@ mod tests {
     fn star_plus_chain() -> CsrGraph {
         // Vertex 0 is a hub with 5 out-edges; 6..8 form a chain; 9 isolated.
         let mut b = GraphBuilder::new(10);
-        b.add_edges([(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (6, 7), (7, 8)]).unwrap();
+        b.add_edges([(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (6, 7), (7, 8)])
+            .unwrap();
         b.finish()
     }
 

@@ -51,7 +51,18 @@ where
     let mut partial: Vec<LocalId> = Vec::with_capacity(index.k() as usize + 1);
     let mut scratch: Vec<VertexId> = Vec::new();
     partial.push(s_local);
-    search(index, query, t_local, &mut partial, query.identity, &mut scratch, sink, counters)
+    let mut probe_tick = 0u32;
+    search(
+        index,
+        query,
+        t_local,
+        &mut partial,
+        query.identity,
+        &mut scratch,
+        sink,
+        &mut probe_tick,
+        counters,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -63,6 +74,7 @@ fn search<V, W, C>(
     acc: V,
     scratch: &mut Vec<VertexId>,
     sink: &mut dyn PathSink,
+    probe_tick: &mut u32,
     counters: &mut Counters,
 ) -> SearchControl
 where
@@ -70,6 +82,12 @@ where
     W: Fn(VertexId, VertexId) -> V,
     C: Fn(&V) -> bool,
 {
+    if *probe_tick & (crate::enumerate::PROBE_STRIDE - 1) == 0
+        && sink.probe() == SearchControl::Stop
+    {
+        return SearchControl::Stop;
+    }
+    *probe_tick = probe_tick.wrapping_add(1);
     let v = *partial.last().expect("partial contains s");
     if v == t_local {
         if (query.check)(&acc) {
@@ -96,8 +114,9 @@ where
         }
         partial.push(next);
         counters.partial_results += 1;
-        let control =
-            search(index, query, t_local, partial, new_acc, scratch, sink, counters);
+        let control = search(
+            index, query, t_local, partial, new_acc, scratch, sink, probe_tick, counters,
+        );
         partial.pop();
         if control == SearchControl::Stop {
             return SearchControl::Stop;
@@ -118,7 +137,11 @@ mod tests {
         1
     }
 
-    fn run<C: Fn(&u64) -> bool>(k: u32, check: C, prune: Option<fn(&u64) -> bool>) -> Vec<Vec<VertexId>> {
+    fn run<C: Fn(&u64) -> bool>(
+        k: u32,
+        check: C,
+        prune: Option<fn(&u64) -> bool>,
+    ) -> Vec<Vec<VertexId>> {
         let g = figure1_graph();
         let idx = Index::build(&g, Query::new(S, T, k).unwrap());
         let q = AccumulativeQuery {

@@ -55,7 +55,11 @@ const NO_TRANSITION: StateId = StateId::MAX;
 impl Automaton {
     /// Creates an automaton with `num_states` states (start state included)
     /// and `num_labels` labels, with every transition undefined.
-    pub fn new(num_states: usize, num_labels: usize, start: StateId) -> Result<Self, AutomatonError> {
+    pub fn new(
+        num_states: usize,
+        num_labels: usize,
+        start: StateId,
+    ) -> Result<Self, AutomatonError> {
         if start as usize >= num_states {
             return Err(AutomatonError::StateOutOfRange(start));
         }
@@ -151,6 +155,7 @@ where
     let mut partial: Vec<LocalId> = Vec::with_capacity(index.k() as usize + 1);
     let mut scratch: Vec<VertexId> = Vec::new();
     partial.push(s_local);
+    let mut probe_tick = 0u32;
     search(
         index,
         automaton,
@@ -160,6 +165,7 @@ where
         automaton.start(),
         &mut scratch,
         sink,
+        &mut probe_tick,
         counters,
     )
 }
@@ -174,11 +180,18 @@ fn search<L>(
     state: StateId,
     scratch: &mut Vec<VertexId>,
     sink: &mut dyn PathSink,
+    probe_tick: &mut u32,
     counters: &mut Counters,
 ) -> SearchControl
 where
     L: Fn(VertexId, VertexId) -> LabelId,
 {
+    if *probe_tick & (crate::enumerate::PROBE_STRIDE - 1) == 0
+        && sink.probe() == SearchControl::Stop
+    {
+        return SearchControl::Stop;
+    }
+    *probe_tick = probe_tick.wrapping_add(1);
     let v = *partial.last().expect("partial contains s");
     if v == t_local {
         if automaton.accepts(state) {
@@ -203,7 +216,8 @@ where
         partial.push(next);
         counters.partial_results += 1;
         let control = search(
-            index, automaton, label_of, t_local, partial, next_state, scratch, sink, counters,
+            index, automaton, label_of, t_local, partial, next_state, scratch, sink, probe_tick,
+            counters,
         );
         partial.pop();
         if control == SearchControl::Stop {
@@ -289,10 +303,19 @@ mod tests {
 
     #[test]
     fn construction_validates_ranges() {
-        assert_eq!(Automaton::new(2, 2, 5).unwrap_err(), AutomatonError::StateOutOfRange(5));
+        assert_eq!(
+            Automaton::new(2, 2, 5).unwrap_err(),
+            AutomatonError::StateOutOfRange(5)
+        );
         let mut a = Automaton::new(2, 2, 0).unwrap();
-        assert_eq!(a.add_transition(0, 7, 1), Err(AutomatonError::LabelOutOfRange(7)));
-        assert_eq!(a.add_transition(0, 1, 9), Err(AutomatonError::StateOutOfRange(9)));
+        assert_eq!(
+            a.add_transition(0, 7, 1),
+            Err(AutomatonError::LabelOutOfRange(7))
+        );
+        assert_eq!(
+            a.add_transition(0, 1, 9),
+            Err(AutomatonError::StateOutOfRange(9))
+        );
         assert_eq!(a.set_accepting(4), Err(AutomatonError::StateOutOfRange(4)));
     }
 

@@ -29,7 +29,11 @@ pub struct FilterSink<'a, F: FnMut(&[VertexId]) -> bool> {
 impl<'a, F: FnMut(&[VertexId]) -> bool> FilterSink<'a, F> {
     /// Wraps `inner`, forwarding only paths where `predicate` holds.
     pub fn new(predicate: F, inner: &'a mut dyn PathSink) -> Self {
-        FilterSink { predicate, inner, rejected: 0 }
+        FilterSink {
+            predicate,
+            inner,
+            rejected: 0,
+        }
     }
 }
 
@@ -41,6 +45,10 @@ impl<F: FnMut(&[VertexId]) -> bool> PathSink for FilterSink<'_, F> {
             self.rejected += 1;
             SearchControl::Continue
         }
+    }
+
+    fn probe(&mut self) -> SearchControl {
+        self.inner.probe()
     }
 }
 

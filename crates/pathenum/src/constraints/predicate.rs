@@ -10,6 +10,7 @@ use pathenum_graph::{CsrGraph, GraphBuilder, VertexId};
 
 use crate::optimizer::{path_enum, PathEnumConfig};
 use crate::query::Query;
+use crate::request::PathEnumError;
 use crate::sink::PathSink;
 use crate::stats::RunReport;
 
@@ -22,23 +23,30 @@ where
     let mut builder = GraphBuilder::new(graph.num_vertices());
     for (from, to) in graph.edges() {
         if predicate(from, to) {
-            builder.add_edge(from, to).expect("edges of a valid graph stay valid");
+            builder
+                .add_edge(from, to)
+                .expect("edges of a valid graph stay valid");
         }
     }
     builder.finish()
 }
 
 /// Runs PathEnum restricted to edges satisfying `predicate`.
+///
+/// Prefer [`QueryRequest::predicate`](crate::request::QueryRequest::predicate)
+/// for service callers; this free function survives as the migration
+/// oracle the request layer is tested against.
 pub fn path_enum_with_predicate<F>(
     graph: &CsrGraph,
     query: Query,
     config: PathEnumConfig,
     predicate: F,
     sink: &mut dyn PathSink,
-) -> RunReport
+) -> Result<RunReport, PathEnumError>
 where
     F: FnMut(VertexId, VertexId) -> bool,
 {
+    query.validate(graph.num_vertices())?;
     let filtered = filtered_graph(graph, predicate);
     path_enum(&filtered, query, config, sink)
 }
@@ -67,7 +75,7 @@ mod tests {
         let pred = |from: VertexId, to: VertexId| from != V[2] && to != V[2];
 
         let mut constrained = CollectingSink::default();
-        path_enum_with_predicate(&g, q, PathEnumConfig::default(), pred, &mut constrained);
+        path_enum_with_predicate(&g, q, PathEnumConfig::default(), pred, &mut constrained).unwrap();
 
         let mut all = CollectingSink::default();
         crate::reference::brute_force_paths(&g, q, &mut all);
@@ -85,7 +93,14 @@ mod tests {
         let g = figure1_graph();
         let q = Query::new(S, T, 4).unwrap();
         let mut constrained = CollectingSink::default();
-        path_enum_with_predicate(&g, q, PathEnumConfig::default(), |_, _| true, &mut constrained);
+        path_enum_with_predicate(
+            &g,
+            q,
+            PathEnumConfig::default(),
+            |_, _| true,
+            &mut constrained,
+        )
+        .unwrap();
         assert_eq!(constrained.paths.len(), 5);
     }
 }

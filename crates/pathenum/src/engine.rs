@@ -1,26 +1,48 @@
-//! A reusable query engine for back-to-back HcPE queries.
+//! A reusable query engine for back-to-back HcPE queries — the
+//! service front end of the reproduction.
 //!
 //! The paper's motivating workloads (streaming fraud detection, online
-//! risk scoring) issue many queries against the same graph. Each
-//! [`crate::optimizer::path_enum`] call allocates three `O(|V|)` buffers
-//! for the boundary BFS and the id mapping; [`QueryEngine`] hoists those
-//! into persistent scratch so the steady-state per-query cost is the BFS
-//! traversal itself plus the (small) index allocation.
+//! risk scoring) issue many queries against the same graph under latency
+//! budgets. [`QueryEngine`] serves them three ways:
+//!
+//! * [`execute`](QueryEngine::execute) — evaluate a
+//!   [`QueryRequest`] end-to-end, returning a
+//!   [`QueryResponse`] with counts, phase timings, and an explicit
+//!   [`Termination`](crate::request::Termination) reason;
+//! * [`execute_into`](QueryEngine::execute_into) — the same, streaming
+//!   paths into a caller-supplied [`PathSink`];
+//! * [`stream`](QueryEngine::stream) — a pull-based
+//!   [`PathStream`](crate::request::PathStream) iterator for lazy
+//!   consumption.
+//!
+//! Every [`crate::optimizer::path_enum`] call allocates three `O(|V|)`
+//! buffers for the boundary BFS and the id mapping; the engine hoists
+//! those into persistent scratch so the steady-state per-query cost is
+//! the BFS traversal itself plus the (small) index allocation. The
+//! Appendix E constraints attached to a request run through the same
+//! scratch-reusing index build.
+
+use std::time::Instant;
 
 use pathenum_graph::CsrGraph;
 
+use crate::constraints::automaton_join;
+use crate::constraints::filtered_graph;
 use crate::index::{BuildScratch, Index};
-use crate::optimizer::{path_enum_on_index_with_build, PathEnumConfig};
+use crate::optimizer::{choose_method, path_enum_on_index_with_build, PathEnumConfig};
 use crate::query::Query;
-use crate::sink::PathSink;
-use crate::stats::RunReport;
+use crate::request::{
+    ConstraintSpec, ControlledSink, PathEnumError, PathStream, QueryRequest, QueryResponse,
+    Termination,
+};
+use crate::sink::{FnSink, PathSink, SearchControl};
+use crate::stats::{Counters, Method, PhaseTimings, RunReport};
 
 /// A PathEnum engine bound to one graph, reusing construction buffers
 /// across queries.
 ///
 /// ```
-/// use pathenum::{PathEnumConfig, Query, QueryEngine};
-/// use pathenum::sink::CountingSink;
+/// use pathenum::{PathEnumConfig, QueryEngine, QueryRequest};
 /// use pathenum_graph::GraphBuilder;
 ///
 /// let mut b = GraphBuilder::new(4);
@@ -29,8 +51,8 @@ use crate::stats::RunReport;
 ///
 /// let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
 /// for t in [3u32, 2, 1] {
-///     let mut sink = CountingSink::default();
-///     engine.run(Query::new(0, t, 3).unwrap(), &mut sink);
+///     let response = engine.execute(&QueryRequest::paths(0, t).max_hops(3)).unwrap();
+///     assert!(!response.termination.is_early());
 /// }
 /// assert_eq!(engine.queries_served(), 3);
 /// ```
@@ -46,7 +68,12 @@ impl<'g> QueryEngine<'g> {
     /// Creates an engine over `graph` with the given orchestrator
     /// configuration.
     pub fn new(graph: &'g CsrGraph, config: PathEnumConfig) -> Self {
-        QueryEngine { graph, config, scratch: BuildScratch::default(), queries_served: 0 }
+        QueryEngine {
+            graph,
+            config,
+            scratch: BuildScratch::default(),
+            queries_served: 0,
+        }
     }
 
     /// The graph this engine serves.
@@ -66,12 +93,208 @@ impl<'g> QueryEngine<'g> {
 
     /// Evaluates one query end-to-end (Figure 2 pipeline), streaming
     /// results into `sink`.
-    pub fn run(&mut self, query: Query, sink: &mut dyn PathSink) -> RunReport {
+    ///
+    /// The query is validated against the serving graph; an out-of-range
+    /// endpoint returns [`PathEnumError::VertexOutOfRange`] instead of
+    /// panicking inside the index build.
+    pub fn run(
+        &mut self,
+        query: Query,
+        sink: &mut dyn PathSink,
+    ) -> Result<RunReport, PathEnumError> {
+        query.validate(self.graph.num_vertices())?;
         self.queries_served += 1;
-        let build_start = std::time::Instant::now();
+        let build_start = Instant::now();
         let (index, bfs_time) = Index::build_reusing(self.graph, query, &mut self.scratch);
         let build_time = build_start.elapsed();
-        path_enum_on_index_with_build(&index, self.config, sink, build_time, bfs_time)
+        Ok(path_enum_on_index_with_build(
+            &index,
+            self.config,
+            sink,
+            build_time,
+            bfs_time,
+        ))
+    }
+
+    /// Evaluates a [`QueryRequest`], collecting result paths into the
+    /// response when the request asked for
+    /// [`collect_paths`](QueryRequest::collect_paths).
+    pub fn execute(&mut self, request: &QueryRequest<'_>) -> Result<QueryResponse, PathEnumError> {
+        let mut collected: Vec<Vec<u32>> = Vec::new();
+        let collect = request.collect;
+        let mut sink = FnSink(|path: &[u32]| {
+            if collect {
+                collected.push(path.to_vec());
+            }
+            SearchControl::Continue
+        });
+        let mut response = self.execute_into(request, &mut sink)?;
+        response.paths = collected;
+        Ok(response)
+    }
+
+    /// Evaluates a [`QueryRequest`], streaming result paths into `sink`.
+    ///
+    /// The request's `limit` / `time_budget` / `CancelToken` wrap `sink`
+    /// (via [`ControlledSink`]), so the inner sink only sees results the
+    /// stopping rules admit; [`QueryResponse::termination`] reports
+    /// which rule, if any, cut the run short.
+    ///
+    /// Termination reflects *request-level* rules only: a `sink` that
+    /// itself returns [`SearchControl::Stop`] ends the run, but the
+    /// response still reads [`Termination::Completed`] — the caller
+    /// issued that stop and already knows the result set is truncated.
+    /// Prefer [`QueryRequest::limit`] when the cut-off should be
+    /// reported.
+    pub fn execute_into(
+        &mut self,
+        request: &QueryRequest<'_>,
+        sink: &mut dyn PathSink,
+    ) -> Result<QueryResponse, PathEnumError> {
+        let query = request.validate(self.graph.num_vertices())?;
+        self.queries_served += 1;
+
+        // Pre-flight: a request that is already cancelled, already past
+        // its deadline, or limited to zero results never starts.
+        let deadline = request.time_budget.map(|b| Instant::now() + b);
+        if request.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            return Ok(QueryResponse::empty(Termination::Cancelled));
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Ok(QueryResponse::empty(Termination::DeadlineExceeded));
+        }
+        if request.limit == Some(0) {
+            return Ok(QueryResponse::empty(Termination::LimitReached));
+        }
+
+        let config = PathEnumConfig {
+            tau: request.tau.unwrap_or(self.config.tau),
+            force: request.method.or(self.config.force),
+        };
+        let mut control =
+            ControlledSink::new(sink, request.limit, deadline, request.cancel.clone());
+
+        let report = match &request.constraint {
+            ConstraintSpec::None => {
+                let build_start = Instant::now();
+                let (index, bfs_time) = Index::build_reusing(self.graph, query, &mut self.scratch);
+                let build_time = build_start.elapsed();
+                path_enum_on_index_with_build(&index, config, &mut control, build_time, bfs_time)
+            }
+            ConstraintSpec::Predicate(predicate) => {
+                // Appendix E: apply the predicate to G, then run the
+                // regular pipeline on the surviving subgraph. The filter
+                // pass is attributed to index build time.
+                let build_start = Instant::now();
+                let filtered = filtered_graph(self.graph, predicate);
+                let (index, bfs_time) = Index::build_reusing(&filtered, query, &mut self.scratch);
+                let build_time = build_start.elapsed();
+                path_enum_on_index_with_build(&index, config, &mut control, build_time, bfs_time)
+            }
+            ConstraintSpec::Accumulative(_) | ConstraintSpec::Automaton { .. } => {
+                let build_start = Instant::now();
+                let (index, bfs_time) = Index::build_reusing(self.graph, query, &mut self.scratch);
+                let mut timings = PhaseTimings {
+                    bfs: bfs_time,
+                    index_build: build_start.elapsed(),
+                    ..PhaseTimings::default()
+                };
+                let choice = choose_method(&index, config, &mut timings);
+                let mut counters = Counters::default();
+                let enum_start = Instant::now();
+                match (&request.constraint, choice.method) {
+                    (ConstraintSpec::Accumulative(acc), Method::IdxDfs) => {
+                        acc.dfs(&index, &mut control, &mut counters);
+                    }
+                    (ConstraintSpec::Accumulative(acc), Method::IdxJoin) => {
+                        let cut = choice.cut.expect("choose_method sets the cut for IDX-JOIN");
+                        acc.join(&index, cut, &mut control, &mut counters);
+                    }
+                    (
+                        ConstraintSpec::Automaton {
+                            automaton,
+                            label_of,
+                        },
+                        Method::IdxDfs,
+                    ) => {
+                        crate::constraints::automaton_dfs(
+                            &index,
+                            automaton,
+                            label_of,
+                            &mut control,
+                            &mut counters,
+                        );
+                    }
+                    (
+                        ConstraintSpec::Automaton {
+                            automaton,
+                            label_of,
+                        },
+                        Method::IdxJoin,
+                    ) => {
+                        let cut = choice.cut.expect("choose_method sets the cut for IDX-JOIN");
+                        automaton_join(
+                            &index,
+                            cut,
+                            automaton,
+                            label_of.as_ref(),
+                            &mut control,
+                            &mut counters,
+                        );
+                    }
+                    _ => unreachable!("outer match restricts the constraint"),
+                }
+                timings.enumeration = enum_start.elapsed();
+                RunReport {
+                    method: choice.method,
+                    timings,
+                    counters,
+                    preliminary_estimate: choice.preliminary,
+                    full_estimate: choice.full_estimate,
+                    cut_position: choice.cut,
+                    index_bytes: index.heap_bytes(),
+                    index_edges: index.num_edges(),
+                }
+            }
+        };
+
+        let termination = control.termination();
+        let mut report = report;
+        if termination.is_early() {
+            // Enumerators count a result *before* offering it to the
+            // sink; when a stopping rule refuses that emission the
+            // delivered count is authoritative.
+            report.counters.results = control.emitted();
+        }
+        Ok(QueryResponse {
+            report,
+            termination,
+            paths: Vec::new(),
+        })
+    }
+
+    /// Builds the index for a [`QueryRequest`] (reusing scratch) and
+    /// returns a pull-based [`PathStream`] over its results.
+    ///
+    /// The DFS advances only while the caller pulls; dropping the stream
+    /// abandons the remaining search at zero cost. Constraint requests
+    /// yield exactly the constrained path set (predicates restrict the
+    /// enumerated subgraph; accumulative/automaton checks filter
+    /// complete paths).
+    pub fn stream<'q>(
+        &mut self,
+        request: &'q QueryRequest<'q>,
+    ) -> Result<PathStream<'q>, PathEnumError> {
+        let query = request.validate(self.graph.num_vertices())?;
+        self.queries_served += 1;
+        let index = match &request.constraint {
+            ConstraintSpec::Predicate(predicate) => {
+                let filtered = filtered_graph(self.graph, predicate);
+                Index::build_reusing(&filtered, query, &mut self.scratch).0
+            }
+            _ => Index::build_reusing(self.graph, query, &mut self.scratch).0,
+        };
+        Ok(PathStream::new(index, request))
     }
 }
 
@@ -90,11 +313,14 @@ mod tests {
         for t in 1..30u32 {
             let q = Query::new(0, t, 4).unwrap();
             let mut from_engine = CollectingSink::default();
-            let engine_report = engine.run(q, &mut from_engine);
+            let engine_report = engine.run(q, &mut from_engine).unwrap();
             let mut one_shot = CollectingSink::default();
-            let direct_report = path_enum(&g, q, PathEnumConfig::default(), &mut one_shot);
+            let direct_report = path_enum(&g, q, PathEnumConfig::default(), &mut one_shot).unwrap();
             assert_eq!(from_engine.sorted_paths(), one_shot.sorted_paths(), "t={t}");
-            assert_eq!(engine_report.counters.results, direct_report.counters.results);
+            assert_eq!(
+                engine_report.counters.results,
+                direct_report.counters.results
+            );
             assert_eq!(engine_report.index_edges, direct_report.index_edges);
         }
         assert_eq!(engine.queries_served(), 29);
@@ -107,10 +333,10 @@ mod tests {
         // Empty (reverse) query, then a real one: stale scratch must not
         // leak between them.
         let mut sink = CollectingSink::default();
-        engine.run(Query::new(T, S, 4).unwrap(), &mut sink);
+        engine.run(Query::new(T, S, 4).unwrap(), &mut sink).unwrap();
         assert!(sink.paths.is_empty());
         let mut sink = CollectingSink::default();
-        engine.run(Query::new(S, T, 4).unwrap(), &mut sink);
+        engine.run(Query::new(S, T, 4).unwrap(), &mut sink).unwrap();
         assert_eq!(sink.paths.len(), 5);
     }
 
@@ -123,5 +349,133 @@ mod tests {
         let standalone = Index::build(&g, q);
         assert_eq!(from_engine.num_vertices(), standalone.num_vertices());
         assert_eq!(from_engine.num_edges(), standalone.num_edges());
+    }
+
+    #[test]
+    fn run_rejects_out_of_range_endpoints_instead_of_panicking() {
+        let g = figure1_graph();
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        let mut sink = CollectingSink::default();
+        let err = engine
+            .run(Query::new(0, 999, 4).unwrap(), &mut sink)
+            .unwrap_err();
+        assert_eq!(err, PathEnumError::VertexOutOfRange(999));
+        assert_eq!(
+            engine.queries_served(),
+            0,
+            "rejected queries are not served"
+        );
+    }
+
+    #[test]
+    fn execute_matches_run_on_figure1() {
+        let g = figure1_graph();
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        let request = QueryRequest::paths(S, T).max_hops(4).collect_paths(true);
+        let response = engine.execute(&request).unwrap();
+        assert_eq!(response.termination, Termination::Completed);
+        assert_eq!(response.num_results(), 5);
+        assert_eq!(response.paths.len(), 5);
+
+        let mut sink = CollectingSink::default();
+        engine.run(Query::new(S, T, 4).unwrap(), &mut sink).unwrap();
+        let mut from_execute = response.paths;
+        from_execute.sort_unstable();
+        assert_eq!(from_execute, sink.sorted_paths());
+    }
+
+    #[test]
+    fn execute_reports_limit() {
+        let g = figure1_graph();
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        let request = QueryRequest::paths(S, T)
+            .max_hops(4)
+            .limit(2)
+            .collect_paths(true);
+        let response = engine.execute(&request).unwrap();
+        assert_eq!(response.termination, Termination::LimitReached);
+        assert_eq!(response.paths.len(), 2);
+        // A limit of zero never starts the search.
+        let response = engine
+            .execute(&QueryRequest::paths(S, T).max_hops(4).limit(0))
+            .unwrap();
+        assert_eq!(response.termination, Termination::LimitReached);
+        assert_eq!(response.num_results(), 0);
+    }
+
+    #[test]
+    fn execute_reports_zero_deadline_without_panicking() {
+        let g = figure1_graph();
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        let request = QueryRequest::paths(S, T)
+            .max_hops(4)
+            .time_budget(std::time::Duration::ZERO);
+        let response = engine.execute(&request).unwrap();
+        assert_eq!(response.termination, Termination::DeadlineExceeded);
+        assert_eq!(response.num_results(), 0);
+    }
+
+    #[test]
+    fn execute_reports_pre_cancelled_token() {
+        let g = figure1_graph();
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        let token = crate::request::CancelToken::new();
+        token.cancel();
+        let request = QueryRequest::paths(S, T).max_hops(4).cancel_token(token);
+        let response = engine.execute(&request).unwrap();
+        assert_eq!(response.termination, Termination::Cancelled);
+        assert_eq!(response.num_results(), 0);
+    }
+
+    #[test]
+    fn early_termination_reports_delivered_count() {
+        // num_results must equal the paths actually delivered, even
+        // though enumerators count a result before offering it to the
+        // sink (the refused emission must not be counted).
+        let g = pathenum_graph::generators::complete_digraph(8);
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        for limit in [1u64, 3, 7] {
+            let request = QueryRequest::paths(0, 7)
+                .max_hops(4)
+                .limit(limit)
+                .collect_paths(true);
+            let response = engine.execute(&request).unwrap();
+            assert_eq!(response.termination, Termination::LimitReached);
+            assert_eq!(response.num_results(), limit);
+            assert_eq!(response.paths.len() as u64, limit);
+        }
+    }
+
+    #[test]
+    fn stream_agrees_with_execute() {
+        let g = erdos_renyi(40, 220, 3);
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        for t in 1..10u32 {
+            let request = QueryRequest::paths(0, t).max_hops(4).collect_paths(true);
+            let mut from_execute = engine.execute(&request).unwrap().paths;
+            from_execute.sort_unstable();
+            let mut from_stream: Vec<Vec<u32>> = engine.stream(&request).unwrap().collect();
+            from_stream.sort_unstable();
+            assert_eq!(from_execute, from_stream, "t={t}");
+        }
+    }
+
+    #[test]
+    fn forced_method_override_is_respected() {
+        let g = erdos_renyi(40, 260, 5);
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        let dfs = engine
+            .execute(&QueryRequest::paths(0, 1).max_hops(4).method(Method::IdxDfs))
+            .unwrap();
+        let join = engine
+            .execute(
+                &QueryRequest::paths(0, 1)
+                    .max_hops(4)
+                    .method(Method::IdxJoin),
+            )
+            .unwrap();
+        assert_eq!(dfs.report.method, Method::IdxDfs);
+        assert_eq!(join.report.method, Method::IdxJoin);
+        assert_eq!(dfs.num_results(), join.num_results());
     }
 }

@@ -47,6 +47,7 @@ pub fn idx_dfs(index: &Index, sink: &mut dyn PathSink, counters: &mut Counters) 
         scratch: Vec::with_capacity(index.k() as usize + 1),
         sink,
         counters,
+        probe_tick: 0,
     };
     dfs.partial.push(s_local);
     let (_, control) = dfs.search();
@@ -62,16 +63,29 @@ struct DfsState<'a> {
     scratch: Vec<VertexId>,
     sink: &'a mut dyn PathSink,
     counters: &'a mut Counters,
+    probe_tick: u32,
 }
 
 impl DfsState<'_> {
     /// Recursive `Search` procedure. Returns `(found_any_result, control)`.
     fn search(&mut self) -> (bool, SearchControl) {
-        let v = *self.partial.last().expect("partial result always contains s");
+        // A strided probe lets deadline/cancellation sinks interrupt
+        // barren regions that never emit, without taxing every node.
+        if self.probe_tick & (super::PROBE_STRIDE - 1) == 0
+            && self.sink.probe() == SearchControl::Stop
+        {
+            return (false, SearchControl::Stop);
+        }
+        self.probe_tick = self.probe_tick.wrapping_add(1);
+        let v = *self
+            .partial
+            .last()
+            .expect("partial result always contains s");
         if v == self.t_local {
             self.counters.results += 1;
             self.scratch.clear();
-            self.scratch.extend(self.partial.iter().map(|&l| self.index.global(l)));
+            self.scratch
+                .extend(self.partial.iter().map(|&l| self.index.global(l)));
             return (true, self.sink.emit(&self.scratch));
         }
         let budget = self.index.k() - (self.partial.len() as u32 - 1) - 1;
@@ -105,7 +119,8 @@ mod tests {
     use super::*;
     use crate::index::test_support::*;
     use crate::query::Query;
-    use crate::sink::{CollectingSink, CountingSink, LimitSink};
+    use crate::request::ControlledSink;
+    use crate::sink::{CollectingSink, CountingSink};
 
     fn run_collect(k: u32) -> Vec<Vec<VertexId>> {
         let g = figure1_graph();
@@ -154,11 +169,11 @@ mod tests {
     fn limit_sink_stops_enumeration() {
         let g = figure1_graph();
         let idx = Index::build(&g, Query::new(S, T, 4).unwrap());
-        let mut sink = LimitSink::new(2);
+        let mut sink = ControlledSink::new(CountingSink::default(), Some(2), None, None);
         let mut counters = Counters::default();
         let control = idx_dfs(&idx, &mut sink, &mut counters);
         assert_eq!(control, SearchControl::Stop);
-        assert_eq!(sink.count, 2);
+        assert_eq!(sink.emitted(), 2);
     }
 
     #[test]

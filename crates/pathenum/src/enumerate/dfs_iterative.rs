@@ -39,14 +39,23 @@ pub fn idx_dfs_iterative(
     let k = index.k();
     let mut stack: Vec<Frame> = Vec::with_capacity(k as usize + 1);
     let mut scratch: Vec<VertexId> = Vec::with_capacity(k as usize + 1);
-    stack.push(Frame { vertex: s_local, cursor: 0, found: false });
+    stack.push(Frame {
+        vertex: s_local,
+        cursor: 0,
+        found: false,
+    });
 
     // Count the root's neighbor scan once, mirroring the recursive entry.
     if s_local != t_local {
         counters.edges_accessed += index.i_t(s_local, k - 1).len() as u64;
     }
 
+    let mut probe_tick = 0u32;
     while let Some(top) = stack.last().copied() {
+        if probe_tick & (super::PROBE_STRIDE - 1) == 0 && sink.probe() == SearchControl::Stop {
+            return SearchControl::Stop;
+        }
+        probe_tick = probe_tick.wrapping_add(1);
         let depth = stack.len() as u32 - 1; // edges used so far
         if top.vertex == t_local && depth > 0 {
             // Emit and force-backtrack: t's only neighbor is the padding
@@ -77,7 +86,11 @@ pub fn idx_dfs_iterative(
             let top_mut = stack.last_mut().expect("stack is non-empty");
             top_mut.cursor = cursor as u32;
             counters.partial_results += 1;
-            stack.push(Frame { vertex: next, cursor: 0, found: false });
+            stack.push(Frame {
+                vertex: next,
+                cursor: 0,
+                found: false,
+            });
             if next != t_local {
                 let child_budget = k - (stack.len() as u32 - 1) - 1;
                 counters.edges_accessed += index.i_t(next, child_budget).len() as u64;
@@ -106,7 +119,8 @@ mod tests {
     use super::*;
     use crate::index::test_support::*;
     use crate::query::Query;
-    use crate::sink::{CollectingSink, LimitSink};
+    use crate::request::ControlledSink;
+    use crate::sink::{CollectingSink, CountingSink};
     use pathenum_graph::generators::{complete_digraph, erdos_renyi};
 
     fn both(index: &Index) -> (Vec<Vec<VertexId>>, Counters, Vec<Vec<VertexId>>, Counters) {
@@ -158,11 +172,11 @@ mod tests {
     fn early_stop_works() {
         let g = complete_digraph(8);
         let index = Index::build(&g, Query::new(0, 7, 4).unwrap());
-        let mut sink = LimitSink::new(3);
+        let mut sink = ControlledSink::new(CountingSink::default(), Some(3), None, None);
         let mut counters = Counters::default();
         let control = idx_dfs_iterative(&index, &mut sink, &mut counters);
         assert_eq!(control, SearchControl::Stop);
-        assert_eq!(sink.count, 3);
+        assert_eq!(sink.emitted(), 3);
     }
 
     #[test]

@@ -36,8 +36,21 @@ pub fn idx_join(
     let suffix_width = (k - cut) as usize + 1;
 
     // Step 1: R_a = Q[0 : cut], walks from s with `cut` edges.
+    let mut side_tick = 0u32;
     let mut r_a = TupleBuffer::new(prefix_width);
-    enumerate_side(index, s_local, 0, cut, &mut r_a, counters);
+    if enumerate_side(
+        index,
+        s_local,
+        0,
+        cut,
+        &mut r_a,
+        sink,
+        &mut side_tick,
+        counters,
+    ) == SearchControl::Stop
+    {
+        return SearchControl::Stop;
+    }
 
     // Step 2: distinct join keys, then R_b = Q[cut : k] from each key.
     let mut seen = vec![false; index.num_vertices()];
@@ -51,7 +64,11 @@ pub fn idx_join(
     }
     let mut r_b = TupleBuffer::new(suffix_width);
     for &key in &keys {
-        enumerate_side(index, key, cut, k, &mut r_b, counters);
+        if enumerate_side(index, key, cut, k, &mut r_b, sink, &mut side_tick, counters)
+            == SearchControl::Stop
+        {
+            return SearchControl::Stop;
+        }
     }
 
     counters.peak_materialized_vertices = counters
@@ -66,6 +83,7 @@ pub fn idx_join(
 
     let mut combined: Vec<LocalId> = Vec::with_capacity(k as usize + 1);
     let mut scratch: Vec<VertexId> = Vec::with_capacity(k as usize + 1);
+    let mut probe_tick = 0u32;
     for prefix in r_a.iter() {
         let key = *prefix.last().expect("tuples are non-empty");
         let Some(bucket) = buckets.get(&key) else {
@@ -73,6 +91,13 @@ pub fn idx_join(
             continue;
         };
         for &suffix_idx in bucket {
+            // Probe per joined combination: a filter sink can reject
+            // every tuple, in which case `emit` never runs and this is
+            // the only point where stopping rules are observed.
+            if probe_tick & (super::PROBE_STRIDE - 1) == 0 && sink.probe() == SearchControl::Stop {
+                return SearchControl::Stop;
+            }
+            probe_tick = probe_tick.wrapping_add(1);
             let suffix = r_b.get(suffix_idx as usize);
             combined.clear();
             combined.extend_from_slice(prefix);
@@ -100,7 +125,10 @@ struct TupleBuffer {
 
 impl TupleBuffer {
     fn new(width: usize) -> Self {
-        TupleBuffer { width, storage: Vec::new() }
+        TupleBuffer {
+            width,
+            storage: Vec::new(),
+        }
     }
 
     fn push(&mut self, tuple: &[LocalId]) {
@@ -123,22 +151,38 @@ impl TupleBuffer {
 }
 
 /// DFS enumerating the tuples of `Q[from : to]` that start at `root`
-/// (the `Search` procedure of Algorithm 6).
+/// (the `Search` procedure of Algorithm 6). The sink is consulted only
+/// through [`PathSink::probe`] — materialization emits nothing, but
+/// deadline/cancellation rules must still be able to interrupt it.
+#[allow(clippy::too_many_arguments)]
 fn enumerate_side(
     index: &Index,
     root: LocalId,
     from: u32,
     to: u32,
     out: &mut TupleBuffer,
+    sink: &mut dyn PathSink,
+    probe_tick: &mut u32,
     counters: &mut Counters,
-) {
+) -> SearchControl {
     let k = index.k();
     let target_len = (to - from) as usize + 1;
     let mut partial: Vec<LocalId> = Vec::with_capacity(target_len);
     partial.push(root);
-    side_search(index, k, from, target_len, &mut partial, out, counters);
+    side_search(
+        index,
+        k,
+        from,
+        target_len,
+        &mut partial,
+        out,
+        sink,
+        probe_tick,
+        counters,
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn side_search(
     index: &Index,
     k: u32,
@@ -146,11 +190,17 @@ fn side_search(
     target_len: usize,
     partial: &mut Vec<LocalId>,
     out: &mut TupleBuffer,
+    sink: &mut dyn PathSink,
+    probe_tick: &mut u32,
     counters: &mut Counters,
-) {
+) -> SearchControl {
+    if *probe_tick & (super::PROBE_STRIDE - 1) == 0 && sink.probe() == SearchControl::Stop {
+        return SearchControl::Stop;
+    }
+    *probe_tick = probe_tick.wrapping_add(1);
     if partial.len() == target_len {
         out.push(partial);
-        return;
+        return SearchControl::Continue;
     }
     let v = *partial.last().expect("partial is non-empty");
     // Remaining distance budget: the tuple occupies absolute positions
@@ -162,9 +212,15 @@ fn side_search(
     for &next in neighbors {
         partial.push(next);
         counters.partial_results += 1;
-        side_search(index, k, from, target_len, partial, out, counters);
+        let control = side_search(
+            index, k, from, target_len, partial, out, sink, probe_tick, counters,
+        );
         partial.pop();
+        if control == SearchControl::Stop {
+            return SearchControl::Stop;
+        }
     }
+    SearchControl::Continue
 }
 
 /// If `tuple` (a full-width joined walk) is a valid simple s-t path after
@@ -191,7 +247,8 @@ mod tests {
     use crate::enumerate::dfs::idx_dfs;
     use crate::index::test_support::*;
     use crate::query::Query;
-    use crate::sink::{CollectingSink, LimitSink};
+    use crate::request::ControlledSink;
+    use crate::sink::{CollectingSink, CountingSink};
 
     fn join_paths(k: u32, cut: u32) -> Vec<Vec<VertexId>> {
         let g = figure1_graph();
@@ -244,11 +301,11 @@ mod tests {
     fn early_stop_propagates() {
         let g = figure1_graph();
         let idx = Index::build(&g, Query::new(S, T, 4).unwrap());
-        let mut sink = LimitSink::new(1);
+        let mut sink = ControlledSink::new(CountingSink::default(), Some(1), None, None);
         let mut counters = Counters::default();
         let control = idx_join(&idx, 2, &mut sink, &mut counters);
         assert_eq!(control, SearchControl::Stop);
-        assert_eq!(sink.count, 1);
+        assert_eq!(sink.emitted(), 1);
     }
 
     #[test]
@@ -267,7 +324,10 @@ mod tests {
         let idx = Index::build(&g, Query::new(T, S, 4).unwrap());
         let mut sink = CollectingSink::default();
         let mut counters = Counters::default();
-        assert_eq!(idx_join(&idx, 2, &mut sink, &mut counters), SearchControl::Continue);
+        assert_eq!(
+            idx_join(&idx, 2, &mut sink, &mut counters),
+            SearchControl::Continue
+        );
         assert!(sink.paths.is_empty());
     }
 

@@ -11,6 +11,12 @@ pub mod dfs;
 pub mod dfs_iterative;
 pub mod join;
 
+/// How many search-tree nodes pass between [`crate::sink::PathSink::probe`]
+/// calls in the enumeration kernels (power of two; the first node always
+/// probes). Keeps the virtual probe call off the per-node hot path while
+/// bounding how long a deadline/cancellation rule can go unobserved.
+pub(crate) const PROBE_STRIDE: u32 = 64;
+
 pub use dfs::idx_dfs;
 pub use dfs_iterative::idx_dfs_iterative;
 pub use join::idx_join;

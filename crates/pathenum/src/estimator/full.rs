@@ -79,7 +79,13 @@ impl FullEstimate {
             .iter()
             .map(|row| row.iter().fold(0u64, |acc, &x| acc.saturating_add(x)))
             .collect();
-        FullEstimate { k, prefix, suffix, prefix_sums, suffix_sums }
+        FullEstimate {
+            k,
+            prefix,
+            suffix,
+            prefix_sums,
+            suffix_sums,
+        }
     }
 
     /// `c_i^k(v)`: tuples of `Q[i:k]` starting at `v`.

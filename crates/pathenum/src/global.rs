@@ -22,6 +22,7 @@ use pathenum_graph::{CsrGraph, DistanceOracle};
 
 use crate::optimizer::{path_enum, PathEnumConfig};
 use crate::query::Query;
+use crate::request::PathEnumError;
 use crate::sink::PathSink;
 use crate::stats::{Counters, Method, PhaseTimings, RunReport};
 
@@ -62,9 +63,10 @@ impl GlobalIndexedGraph {
         query: Query,
         config: PathEnumConfig,
         sink: &mut dyn PathSink,
-    ) -> RunReport {
+    ) -> Result<RunReport, PathEnumError> {
+        query.validate(self.graph.num_vertices())?;
         if !self.may_have_results(query) {
-            return RunReport {
+            return Ok(RunReport {
                 method: Method::IdxDfs,
                 timings: PhaseTimings::default(),
                 counters: Counters::default(),
@@ -73,7 +75,7 @@ impl GlobalIndexedGraph {
                 cut_position: None,
                 index_bytes: 0,
                 index_edges: 0,
-            };
+            });
         }
         path_enum(&self.graph, query, config, sink)
     }
@@ -93,9 +95,11 @@ mod tests {
         for t in 1..20u32 {
             let q = Query::new(0, t, 4).unwrap();
             let mut direct = CollectingSink::default();
-            path_enum(&g, q, PathEnumConfig::default(), &mut direct);
+            path_enum(&g, q, PathEnumConfig::default(), &mut direct).unwrap();
             let mut filtered = CollectingSink::default();
-            indexed.path_enum(q, PathEnumConfig::default(), &mut filtered);
+            indexed
+                .path_enum(q, PathEnumConfig::default(), &mut filtered)
+                .unwrap();
             assert_eq!(direct.sorted_paths(), filtered.sorted_paths(), "t={t}");
         }
     }
@@ -108,7 +112,9 @@ mod tests {
         let q = Query::new(S, V[7], 6).unwrap();
         assert!(!indexed.may_have_results(q));
         let mut sink = CountingSink::default();
-        let report = indexed.path_enum(q, PathEnumConfig::default(), &mut sink);
+        let report = indexed
+            .path_enum(q, PathEnumConfig::default(), &mut sink)
+            .unwrap();
         assert_eq!(sink.count, 0);
         assert_eq!(report.index_edges, 0);
         assert_eq!(report.timings.total(), std::time::Duration::ZERO);

@@ -263,8 +263,9 @@ mod tests {
         assert!(!idx.is_empty());
         // Vertex 1 sits at (v.s = 1, v.t = 2), sum 3 > 2: excluded.
         // Vertex 2 sits at (v.s = 2, v.t = 1), sum 3 > 2: excluded.
-        let globals: Vec<VertexId> =
-            (0..idx.num_vertices() as LocalId).map(|l| idx.global(l)).collect();
+        let globals: Vec<VertexId> = (0..idx.num_vertices() as LocalId)
+            .map(|l| idx.global(l))
+            .collect();
         assert_eq!(globals, vec![0, 3]);
     }
 
@@ -273,8 +274,10 @@ mod tests {
         let g = figure1_graph();
         let idx = Index::build(&g, Query::new(S, T, 4).unwrap());
         for i in 0..4u32 {
-            let manual: u64 =
-                idx.level(i).map(|v| idx.i_t(v, 4 - i - 1).len() as u64).sum();
+            let manual: u64 = idx
+                .level(i)
+                .map(|v| idx.i_t(v, 4 - i - 1).len() as u64)
+                .sum();
             assert_eq!(idx.level_expansion(i), manual, "level {i}");
         }
     }

@@ -248,12 +248,19 @@ mod tests {
         let v0_local = (0..idx.num_vertices() as LocalId)
             .find(|&l| idx.global(l) == V[0])
             .unwrap();
-        let mut got: Vec<VertexId> =
-            idx.i_t(v0_local, 2).iter().map(|&l| idx.global(l)).collect();
+        let mut got: Vec<VertexId> = idx
+            .i_t(v0_local, 2)
+            .iter()
+            .map(|&l| idx.global(l))
+            .collect();
         got.sort_unstable();
         assert_eq!(got, vec![T, V[1], V[6]]);
         // Within distance 0: only t.
-        let got0: Vec<VertexId> = idx.i_t(v0_local, 0).iter().map(|&l| idx.global(l)).collect();
+        let got0: Vec<VertexId> = idx
+            .i_t(v0_local, 0)
+            .iter()
+            .map(|&l| idx.global(l))
+            .collect();
         assert_eq!(got0, vec![T]);
     }
 
@@ -308,7 +315,8 @@ mod tests {
     fn empty_index_when_k_too_small_for_distance() {
         let mut b = pathenum_graph::GraphBuilder::new(6);
         // A single path of length 5: 0->1->2->3->4->5.
-        b.add_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        b.add_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+            .unwrap();
         let g = b.finish();
         let idx = Index::build(&g, Query::new(0, 5, 4).unwrap());
         assert!(idx.is_empty());
@@ -357,7 +365,9 @@ mod tests {
     #[test]
     fn index_edge_count_excludes_padding_loop() {
         let idx = index_k4();
-        let total: usize = (0..idx.num_vertices() as LocalId).map(|v| idx.i_t(v, 4).len()).sum();
+        let total: usize = (0..idx.num_vertices() as LocalId)
+            .map(|v| idx.i_t(v, 4).len())
+            .sum();
         assert_eq!(idx.num_edges(), total - 1);
     }
 

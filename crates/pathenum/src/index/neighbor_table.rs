@@ -59,7 +59,12 @@ impl NeighborTable {
             debug_assert_eq!(cursor, scratch.len(), "a key distance exceeded k");
             starts.push(neighbors.len() as u32);
         }
-        NeighborTable { k, neighbors, starts, cuts }
+        NeighborTable {
+            k,
+            neighbors,
+            starts,
+            cuts,
+        }
     }
 
     /// Neighbors of `owner` whose key distance is `<= budget`
@@ -105,7 +110,11 @@ mod tests {
         // vertex 2 has one at distance 2.
         NeighborTable::build(
             3,
-            &[vec![(10, 1), (11, 0), (12, 3), (13, 1)], vec![], vec![(14, 2)]],
+            &[
+                vec![(10, 1), (11, 0), (12, 3), (13, 1)],
+                vec![],
+                vec![(14, 2)],
+            ],
         )
     }
 

@@ -17,7 +17,38 @@
 //!    may select **IDX-JOIN** ([`enumerate::idx_join`], Algorithm 6).
 //!
 //! The paper's Appendix E constraint extensions (edge predicates,
-//! accumulative values, action-sequence automata) live in [`constraints`].
+//! accumulative values, action-sequence automata) live in [`constraints`]
+//! and attach to requests as first-class options.
+//!
+//! # Serving queries
+//!
+//! Services talk to the engine through the [`request`] layer: build a
+//! [`QueryRequest`], execute it (or [`stream`](QueryEngine::stream) it),
+//! and inspect the [`Termination`] reason — "at most 1000 paths within
+//! 50 ms" is one chained expression, and malformed requests come back as
+//! a [`PathEnumError`] instead of a panic:
+//!
+//! ```
+//! use std::time::Duration;
+//! use pathenum::{PathEnumConfig, QueryEngine, QueryRequest};
+//! use pathenum_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edges([(0, 1), (1, 3), (0, 2), (2, 3), (1, 2)]).unwrap();
+//! let graph = b.finish();
+//!
+//! let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+//! let request = QueryRequest::paths(0, 3)
+//!     .max_hops(3)
+//!     .limit(1000)
+//!     .time_budget(Duration::from_millis(50));
+//! let response = engine.execute(&request).unwrap();
+//! assert_eq!(response.num_results(), 3); // 0-1-3, 0-2-3, 0-1-2-3
+//! assert!(!response.termination.is_early());
+//! ```
+//!
+//! The one-shot [`path_enum`] survives as a thin validated wrapper for
+//! single queries and as the migration oracle for the request API:
 //!
 //! ```
 //! use pathenum::{path_enum, PathEnumConfig, Query};
@@ -30,8 +61,8 @@
 //!
 //! let query = Query::new(0, 3, 3).unwrap();
 //! let mut sink = CollectingSink::default();
-//! let report = path_enum(&graph, query, PathEnumConfig::default(), &mut sink);
-//! assert_eq!(report.counters.results, 3); // 0-1-3, 0-2-3, 0-1-2-3
+//! let report = path_enum(&graph, query, PathEnumConfig::default(), &mut sink).unwrap();
+//! assert_eq!(report.counters.results, 3);
 //! ```
 
 pub mod constraints;
@@ -44,6 +75,7 @@ pub mod optimizer;
 pub mod query;
 pub mod reference;
 pub mod relations;
+pub mod request;
 pub mod sink;
 pub mod spectrum;
 pub mod stats;
@@ -52,5 +84,11 @@ pub use engine::QueryEngine;
 pub use index::Index;
 pub use optimizer::{optimize_join_order, path_enum, path_enum_on_index, JoinPlan, PathEnumConfig};
 pub use query::Query;
-pub use sink::{CollectingSink, CountingSink, LimitSink, PathSink, SearchControl};
+pub use request::{
+    CancelToken, ControlledSink, PathEnumError, PathStream, QueryRequest, QueryResponse,
+    Termination,
+};
+#[allow(deprecated)]
+pub use sink::LimitSink;
+pub use sink::{CollectingSink, CountingSink, PathSink, SearchControl};
 pub use stats::{Counters, Method, PhaseTimings, RunReport};

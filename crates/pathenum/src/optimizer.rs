@@ -9,6 +9,7 @@ use crate::enumerate::{idx_dfs, idx_join};
 use crate::estimator::{preliminary_estimate, FullEstimate};
 use crate::index::Index;
 use crate::query::Query;
+use crate::request::PathEnumError;
 use crate::sink::PathSink;
 use crate::stats::{Counters, Method, PhaseTimings, RunReport};
 
@@ -49,7 +50,9 @@ pub fn optimize_join_order(index: &Index, estimate: &FullEstimate) -> Option<Joi
     let mut best_cut = 1u32;
     let mut best_cost = u64::MAX;
     for i in 1..k {
-        let cost = estimate.prefix_sum(i).saturating_add(estimate.suffix_sum(i));
+        let cost = estimate
+            .prefix_sum(i)
+            .saturating_add(estimate.suffix_sum(i));
         if cost < best_cost {
             best_cost = cost;
             best_cut = i;
@@ -63,7 +66,12 @@ pub fn optimize_join_order(index: &Index, estimate: &FullEstimate) -> Option<Joi
     for i in best_cut..=k {
         t_join = t_join.saturating_add(estimate.suffix_sum(i));
     }
-    Some(JoinPlan { cut: best_cut, t_dfs, t_join, estimated_walks: estimate.total_walks() })
+    Some(JoinPlan {
+        cut: best_cut,
+        t_dfs,
+        t_join,
+        estimated_walks: estimate.total_walks(),
+    })
 }
 
 /// Configuration of the PathEnum orchestrator.
@@ -80,19 +88,30 @@ pub struct PathEnumConfig {
 
 impl Default for PathEnumConfig {
     fn default() -> Self {
-        PathEnumConfig { tau: 100_000, force: None }
+        PathEnumConfig {
+            tau: 100_000,
+            force: None,
+        }
     }
 }
 
 /// Runs the full PathEnum pipeline of Figure 2 on one query:
 /// build index → preliminary estimate → (maybe) optimize join order →
 /// enumerate with the cheaper method. Results stream into `sink`.
+///
+/// The query is validated against the graph first; an endpoint outside
+/// `0..graph.num_vertices()` returns
+/// [`PathEnumError::VertexOutOfRange`] instead of panicking deep inside
+/// the index build. Prefer [`crate::QueryEngine::execute`] for
+/// back-to-back queries — this one-shot survives as its migration
+/// oracle.
 pub fn path_enum(
     graph: &CsrGraph,
     query: Query,
     config: PathEnumConfig,
     sink: &mut dyn PathSink,
-) -> RunReport {
+) -> Result<RunReport, PathEnumError> {
+    query.validate(graph.num_vertices())?;
     let mut timings = PhaseTimings::default();
 
     let build_start = Instant::now();
@@ -100,7 +119,7 @@ pub fn path_enum(
     timings.index_build = build_start.elapsed();
     timings.bfs = bfs_time;
 
-    run_on_index(&index, config, sink, timings)
+    Ok(run_on_index(&index, config, sink, timings))
 }
 
 /// As [`path_enum`] but on a prebuilt index (used when benchmarking phases
@@ -123,8 +142,93 @@ pub fn path_enum_on_index_with_build(
     index_build: std::time::Duration,
     bfs: std::time::Duration,
 ) -> RunReport {
-    let timings = PhaseTimings { bfs, index_build, ..PhaseTimings::default() };
+    let timings = PhaseTimings {
+        bfs,
+        index_build,
+        ..PhaseTimings::default()
+    };
     run_on_index(index, config, sink, timings)
+}
+
+/// Outcome of the estimate-then-optimize front half of Figure 2, shared
+/// by the plain pipeline and the constrained executors in
+/// [`crate::request`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MethodChoice {
+    /// The strategy to enumerate with.
+    pub method: Method,
+    /// Cut position, populated (and clamped into `1..k`) exactly when
+    /// `method` is [`Method::IdxJoin`].
+    pub cut: Option<u32>,
+    /// The preliminary estimate (Equation 5).
+    pub preliminary: u64,
+    /// The full-fledged estimate of `|Q|`, when the optimizer ran.
+    pub full_estimate: Option<u64>,
+}
+
+/// Runs the preliminary estimator and — when forced or when the estimate
+/// exceeds `tau` — the full-fledged estimator plus Algorithm 5, recording
+/// both phases into `timings`.
+pub(crate) fn choose_method(
+    index: &Index,
+    config: PathEnumConfig,
+    timings: &mut PhaseTimings,
+) -> MethodChoice {
+    let prelim_start = Instant::now();
+    let preliminary = preliminary_estimate(index);
+    timings.preliminary_estimation = prelim_start.elapsed();
+
+    let mut full_estimate = None;
+    let mut cut = None;
+
+    let method = match config.force {
+        Some(m) => {
+            // Forced IDX-JOIN still needs the optimizer to pick a cut.
+            if m == Method::IdxJoin {
+                let opt_start = Instant::now();
+                let estimate = FullEstimate::compute(index);
+                let plan = optimize_join_order(index, &estimate);
+                timings.optimization = opt_start.elapsed();
+                full_estimate = Some(estimate.total_walks());
+                cut = plan.map(|p| p.cut);
+            }
+            m
+        }
+        None if preliminary <= config.tau => Method::IdxDfs,
+        None => {
+            let opt_start = Instant::now();
+            let estimate = FullEstimate::compute(index);
+            let plan = optimize_join_order(index, &estimate);
+            timings.optimization = opt_start.elapsed();
+            match plan {
+                Some(plan) => {
+                    full_estimate = Some(plan.estimated_walks);
+                    if plan.preferred() == Method::IdxJoin {
+                        cut = Some(plan.cut);
+                        Method::IdxJoin
+                    } else {
+                        Method::IdxDfs
+                    }
+                }
+                None => Method::IdxDfs,
+            }
+        }
+    };
+
+    if method == Method::IdxJoin {
+        cut = Some(
+            cut.unwrap_or(index.k() / 2)
+                .clamp(1, index.k().saturating_sub(1).max(1)),
+        );
+    } else {
+        cut = None;
+    }
+    MethodChoice {
+        method,
+        cut,
+        preliminary,
+        full_estimate,
+    }
 }
 
 fn run_on_index(
@@ -137,67 +241,27 @@ fn run_on_index(
     let index_bytes = index.heap_bytes();
     let index_edges = index.num_edges();
 
-    let prelim_start = Instant::now();
-    let preliminary = preliminary_estimate(index);
-    timings.preliminary_estimation = prelim_start.elapsed();
-
-    let mut full_estimate_value = None;
-    let mut cut_position = None;
-
-    let method = match config.force {
-        Some(m) => {
-            // Forced IDX-JOIN still needs the optimizer to pick a cut.
-            if m == Method::IdxJoin {
-                let opt_start = Instant::now();
-                let estimate = FullEstimate::compute(index);
-                let plan = optimize_join_order(index, &estimate);
-                timings.optimization = opt_start.elapsed();
-                full_estimate_value = Some(estimate.total_walks());
-                cut_position = plan.map(|p| p.cut);
-            }
-            m
-        }
-        None if preliminary <= config.tau => Method::IdxDfs,
-        None => {
-            let opt_start = Instant::now();
-            let estimate = FullEstimate::compute(index);
-            let plan = optimize_join_order(index, &estimate);
-            timings.optimization = opt_start.elapsed();
-            match plan {
-                Some(plan) => {
-                    full_estimate_value = Some(plan.estimated_walks);
-                    if plan.preferred() == Method::IdxJoin {
-                        cut_position = Some(plan.cut);
-                        Method::IdxJoin
-                    } else {
-                        Method::IdxDfs
-                    }
-                }
-                None => Method::IdxDfs,
-            }
-        }
-    };
+    let choice = choose_method(index, config, &mut timings);
 
     let enum_start = Instant::now();
-    match method {
+    match choice.method {
         Method::IdxDfs => {
             idx_dfs(index, sink, &mut counters);
         }
         Method::IdxJoin => {
-            let cut = cut_position.unwrap_or(index.k() / 2).clamp(1, index.k() - 1);
-            cut_position = Some(cut);
+            let cut = choice.cut.expect("choose_method sets the cut for IDX-JOIN");
             idx_join(index, cut, sink, &mut counters);
         }
     }
     timings.enumeration = enum_start.elapsed();
 
     RunReport {
-        method,
+        method: choice.method,
         timings,
         counters,
-        preliminary_estimate: preliminary,
-        full_estimate: full_estimate_value,
-        cut_position,
+        preliminary_estimate: choice.preliminary,
+        full_estimate: choice.full_estimate,
+        cut_position: choice.cut,
         index_bytes,
         index_edges,
     }
@@ -214,7 +278,7 @@ mod tests {
         let g = figure1_graph();
         let q = Query::new(S, T, 4).unwrap();
         let mut sink = CollectingSink::default();
-        let report = path_enum(&g, q, PathEnumConfig::default(), &mut sink);
+        let report = path_enum(&g, q, PathEnumConfig::default(), &mut sink).unwrap();
         assert_eq!(report.method, Method::IdxDfs);
         assert_eq!(report.counters.results, 5);
         assert_eq!(sink.paths.len(), 5);
@@ -226,8 +290,11 @@ mod tests {
         let g = figure1_graph();
         let q = Query::new(S, T, 4).unwrap();
         let mut sink = CountingSink::default();
-        let config = PathEnumConfig { tau: 0, force: None };
-        let report = path_enum(&g, q, config, &mut sink);
+        let config = PathEnumConfig {
+            tau: 0,
+            force: None,
+        };
+        let report = path_enum(&g, q, config, &mut sink).unwrap();
         assert_eq!(sink.count, 5);
         assert!(report.full_estimate.is_some());
         // The exact walk count on Figure 1, k=4 is 6 (5 paths + 1 walk
@@ -241,10 +308,16 @@ mod tests {
         let q = Query::new(0, 1, 4).unwrap();
         let mut dfs_sink = CollectingSink::default();
         let mut join_sink = CollectingSink::default();
-        let dfs_cfg = PathEnumConfig { force: Some(Method::IdxDfs), ..Default::default() };
-        let join_cfg = PathEnumConfig { force: Some(Method::IdxJoin), ..Default::default() };
-        let r1 = path_enum(&g, q, dfs_cfg, &mut dfs_sink);
-        let r2 = path_enum(&g, q, join_cfg, &mut join_sink);
+        let dfs_cfg = PathEnumConfig {
+            force: Some(Method::IdxDfs),
+            ..Default::default()
+        };
+        let join_cfg = PathEnumConfig {
+            force: Some(Method::IdxJoin),
+            ..Default::default()
+        };
+        let r1 = path_enum(&g, q, dfs_cfg, &mut dfs_sink).unwrap();
+        let r2 = path_enum(&g, q, join_cfg, &mut join_sink).unwrap();
         assert_eq!(r1.method, Method::IdxDfs);
         assert_eq!(r2.method, Method::IdxJoin);
         assert_eq!(dfs_sink.sorted_paths(), join_sink.sorted_paths());
@@ -259,7 +332,10 @@ mod tests {
         let plan = optimize_join_order(&index, &estimate).unwrap();
         assert!(plan.cut >= 1 && plan.cut < 5);
         assert!(plan.t_join >= plan.estimated_walks);
-        assert!(plan.t_dfs >= plan.estimated_walks, "DFS cost includes the final level");
+        assert!(
+            plan.t_dfs >= plan.estimated_walks,
+            "DFS cost includes the final level"
+        );
     }
 
     #[test]
@@ -267,7 +343,7 @@ mod tests {
         let g = figure1_graph();
         let q = Query::new(T, S, 4).unwrap();
         let mut sink = CountingSink::default();
-        let report = path_enum(&g, q, PathEnumConfig::default(), &mut sink);
+        let report = path_enum(&g, q, PathEnumConfig::default(), &mut sink).unwrap();
         assert_eq!(report.counters.results, 0);
         assert_eq!(report.preliminary_estimate, 0);
         assert_eq!(report.index_edges, 0);

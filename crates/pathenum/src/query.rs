@@ -94,9 +94,18 @@ mod tests {
 
     #[test]
     fn rejects_bad_hop_constraints() {
-        assert_eq!(Query::new(0, 1, 1), Err(QueryError::HopConstraintTooSmall(1)));
-        assert_eq!(Query::new(0, 1, 0), Err(QueryError::HopConstraintTooSmall(0)));
-        assert_eq!(Query::new(0, 1, 99), Err(QueryError::HopConstraintTooLarge(99)));
+        assert_eq!(
+            Query::new(0, 1, 1),
+            Err(QueryError::HopConstraintTooSmall(1))
+        );
+        assert_eq!(
+            Query::new(0, 1, 0),
+            Err(QueryError::HopConstraintTooSmall(0))
+        );
+        assert_eq!(
+            Query::new(0, 1, 99),
+            Err(QueryError::HopConstraintTooLarge(99))
+        );
     }
 
     #[test]

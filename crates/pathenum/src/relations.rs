@@ -64,15 +64,13 @@ impl Relations {
         // Forward pass (Lines 5-8): keep tuples of R_{i+1} whose head
         // appears among the tails of R_i.
         for i in 0..k - 1 {
-            let heads: FxHashSet<VertexId> =
-                rel.relations[i].iter().map(|&(_, v2)| v2).collect();
+            let heads: FxHashSet<VertexId> = rel.relations[i].iter().map(|&(_, v2)| v2).collect();
             rel.relations[i + 1].retain(|&(v, _)| heads.contains(&v));
         }
         // Backward pass (Lines 9-12): keep tuples of R_i whose tail
         // appears among the heads of R_{i+1}.
         for i in (0..k - 1).rev() {
-            let tails: FxHashSet<VertexId> =
-                rel.relations[i + 1].iter().map(|&(v, _)| v).collect();
+            let tails: FxHashSet<VertexId> = rel.relations[i + 1].iter().map(|&(v, _)| v).collect();
             rel.relations[i].retain(|&(_, v2)| tails.contains(&v2));
         }
         rel
@@ -99,7 +97,10 @@ impl Relations {
     pub fn successors(&self, position: u32, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
         let rel = self.relation(position);
         let start = rel.partition_point(|&(a, _)| a < v);
-        rel[start..].iter().take_while(move |&&(a, _)| a == v).map(|&(_, b)| b)
+        rel[start..]
+            .iter()
+            .take_while(move |&&(a, _)| a == v)
+            .map(|&(_, b)| b)
     }
 
     /// Evaluates the chain join by backtracking over the relations and
@@ -110,7 +111,12 @@ impl Relations {
         self.eval_rec(1, &mut tuple, sink);
     }
 
-    fn eval_rec(&self, position: u32, tuple: &mut Vec<VertexId>, sink: &mut dyn PathSink) -> SearchControl {
+    fn eval_rec(
+        &self,
+        position: u32,
+        tuple: &mut Vec<VertexId>,
+        sink: &mut dyn PathSink,
+    ) -> SearchControl {
         if position > self.query.k {
             return self.emit_if_path(tuple, sink);
         }

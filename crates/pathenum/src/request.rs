@@ -1,0 +1,1036 @@
+//! The service-grade request/response layer.
+//!
+//! The paper's motivating workloads — streaming fraud detection, online
+//! risk scoring — are request/response services with latency budgets, not
+//! batch jobs. This module is the front door for that shape of caller:
+//!
+//! * [`QueryRequest`] — a builder capturing *what* to enumerate (`s`, `t`,
+//!   `max_hops`) and *how far to go* (`limit`, `time_budget`,
+//!   [`CancelToken`]), plus the Appendix E constraint extensions
+//!   (edge [`predicate`](QueryRequest::predicate),
+//!   [`accumulative`](QueryRequest::accumulative) values,
+//!   action-sequence [`automaton`](QueryRequest::automaton)) as
+//!   first-class request options;
+//! * [`PathEnumError`] — the single error enum every entry point returns,
+//!   absorbing [`QueryError`] plus graph-validation and constraint-config
+//!   errors;
+//! * [`QueryResponse`] — the existing [`RunReport`] plus an explicit
+//!   [`Termination`] reason, so an early cut-off is *reported*, never
+//!   silent;
+//! * [`PathStream`] — a pull-based iterator over results (built on the
+//!   suspended-frame DFS of [`crate::enumerate::dfs_iterative`]) for
+//!   callers that want paths lazily without writing a
+//!   [`PathSink`](crate::sink::PathSink).
+//!
+//! Evaluate a request with [`QueryEngine::execute`],
+//! [`QueryEngine::execute_into`], or [`QueryEngine::stream`]
+//! (see [`crate::engine`]).
+//!
+//! ```
+//! use pathenum::{PathEnumConfig, QueryEngine, QueryRequest, Termination};
+//! use pathenum_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edges([(0, 1), (1, 3), (0, 2), (2, 3), (1, 2)]).unwrap();
+//! let graph = b.finish();
+//! let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+//!
+//! let request = QueryRequest::paths(0, 3).max_hops(3).limit(2).collect_paths(true);
+//! let response = engine.execute(&request).unwrap();
+//! assert_eq!(response.termination, Termination::LimitReached);
+//! assert_eq!(response.paths.len(), 2);
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pathenum_graph::VertexId;
+
+use crate::constraints::automaton::{Automaton, LabelId};
+use crate::constraints::{accumulative_join, AccumulativeQuery};
+use crate::index::Index;
+use crate::query::{Query, QueryError};
+use crate::sink::{PathSink, SearchControl};
+use crate::stats::{Counters, Method, RunReport};
+
+/// Unified error type of the request/response API.
+///
+/// Absorbs every way a request can be malformed: the graph-independent
+/// invariants of [`QueryError`], endpoint validation against the serving
+/// graph, and constraint-configuration mistakes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathEnumError {
+    /// `s == t`; the problem requires distinct endpoints.
+    EqualEndpoints,
+    /// `max_hops < 2` (or never set on the builder).
+    HopConstraintTooSmall(u32),
+    /// `max_hops` exceeds [`crate::query::MAX_HOPS`].
+    HopConstraintTooLarge(u32),
+    /// An endpoint is not a vertex of the serving graph.
+    VertexOutOfRange(VertexId),
+    /// More than one constraint was set on the request; predicate,
+    /// accumulative, and automaton constraints are mutually exclusive.
+    ConflictingConstraints {
+        /// The constraint that was already present.
+        first: &'static str,
+        /// The constraint whose setter detected the conflict.
+        second: &'static str,
+    },
+}
+
+impl std::fmt::Display for PathEnumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathEnumError::EqualEndpoints => write!(f, "source and target must be distinct"),
+            PathEnumError::HopConstraintTooSmall(k) => {
+                write!(f, "hop constraint {k} < 2 (did you call max_hops?)")
+            }
+            PathEnumError::HopConstraintTooLarge(k) => {
+                write!(
+                    f,
+                    "hop constraint {k} exceeds MAX_HOPS = {}",
+                    crate::query::MAX_HOPS
+                )
+            }
+            PathEnumError::VertexOutOfRange(v) => write!(f, "vertex {v} not in graph"),
+            PathEnumError::ConflictingConstraints { first, second } => {
+                write!(
+                    f,
+                    "request already has a {first} constraint; cannot also set {second}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathEnumError {}
+
+impl From<QueryError> for PathEnumError {
+    fn from(e: QueryError) -> Self {
+        match e {
+            QueryError::EqualEndpoints => PathEnumError::EqualEndpoints,
+            QueryError::HopConstraintTooSmall(k) => PathEnumError::HopConstraintTooSmall(k),
+            QueryError::HopConstraintTooLarge(k) => PathEnumError::HopConstraintTooLarge(k),
+            QueryError::VertexOutOfRange(v) => PathEnumError::VertexOutOfRange(v),
+        }
+    }
+}
+
+/// Why an evaluation stopped producing results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// The search space was exhausted: every result was produced.
+    Completed,
+    /// The request's [`limit`](QueryRequest::limit) was reached.
+    LimitReached,
+    /// The request's [`time_budget`](QueryRequest::time_budget) expired.
+    DeadlineExceeded,
+    /// The request's [`CancelToken`] was triggered.
+    Cancelled,
+}
+
+impl Termination {
+    /// Whether the result set may be incomplete.
+    pub fn is_early(&self) -> bool {
+        !matches!(self, Termination::Completed)
+    }
+}
+
+/// Shared cancellation flag for cooperative early termination.
+///
+/// Clone the token, hand one copy to the request via
+/// [`QueryRequest::cancel_token`], keep the other, and call
+/// [`cancel`](CancelToken::cancel) from any thread; the evaluation
+/// observes the flag at every emission (and periodically inside
+/// [`PathStream`]) and stops with [`Termination::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-triggered token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Object-safe facade over [`AccumulativeQuery`], letting the request
+/// hold the constraint without propagating its three type parameters.
+pub trait DynAccumulative {
+    /// Algorithm 7 on `index`, streaming accepted paths into `sink`.
+    fn dfs(&self, index: &Index, sink: &mut dyn PathSink, counters: &mut Counters)
+        -> SearchControl;
+
+    /// The IDX-JOIN variant at `cut`.
+    fn join(
+        &self,
+        index: &Index,
+        cut: u32,
+        sink: &mut dyn PathSink,
+        counters: &mut Counters,
+    ) -> SearchControl;
+
+    /// Whether a complete path's accumulated value passes the check
+    /// (used by [`PathStream`]'s post-filter).
+    fn accepts(&self, path: &[VertexId]) -> bool;
+}
+
+impl<V, W, C> DynAccumulative for AccumulativeQuery<V, W, C>
+where
+    V: Copy,
+    W: Fn(VertexId, VertexId) -> V,
+    C: Fn(&V) -> bool,
+{
+    fn dfs(
+        &self,
+        index: &Index,
+        sink: &mut dyn PathSink,
+        counters: &mut Counters,
+    ) -> SearchControl {
+        crate::constraints::accumulative_dfs(index, self, sink, counters)
+    }
+
+    fn join(
+        &self,
+        index: &Index,
+        cut: u32,
+        sink: &mut dyn PathSink,
+        counters: &mut Counters,
+    ) -> SearchControl {
+        accumulative_join(index, cut, self, sink, counters)
+    }
+
+    fn accepts(&self, path: &[VertexId]) -> bool {
+        let mut acc = self.identity;
+        for w in path.windows(2) {
+            acc = (self.combine)(acc, (self.weight)(w[0], w[1]));
+        }
+        (self.check)(&acc)
+    }
+}
+
+/// The constraint attached to a request, if any.
+pub(crate) enum ConstraintSpec<'a> {
+    /// Plain HcPE.
+    None,
+    /// Every edge must satisfy the predicate (Appendix E).
+    Predicate(Box<dyn Fn(VertexId, VertexId) -> bool + 'a>),
+    /// An accumulated edge value must pass a final check (Algorithm 7).
+    Accumulative(Box<dyn DynAccumulative + 'a>),
+    /// The edge-label sequence must be accepted by a DFA (Algorithm 8).
+    Automaton {
+        automaton: Automaton,
+        label_of: Box<dyn Fn(VertexId, VertexId) -> LabelId + 'a>,
+    },
+}
+
+impl ConstraintSpec<'_> {
+    fn name(&self) -> &'static str {
+        match self {
+            ConstraintSpec::None => "none",
+            ConstraintSpec::Predicate(_) => "predicate",
+            ConstraintSpec::Accumulative(_) => "accumulative",
+            ConstraintSpec::Automaton { .. } => "automaton",
+        }
+    }
+}
+
+/// A hop-constrained s-t path enumeration request.
+///
+/// Build with [`QueryRequest::paths`] and chain the options; evaluate
+/// with [`QueryEngine::execute`](crate::QueryEngine::execute) (counts,
+/// optionally collected paths), `execute_into` (stream into your own
+/// sink), or [`QueryEngine::stream`](crate::QueryEngine::stream) (pull
+/// paths lazily).
+///
+/// The lifetime `'a` bounds the constraint closures; requests built from
+/// plain functions or capture-free closures are `QueryRequest<'static>`.
+pub struct QueryRequest<'a> {
+    pub(crate) s: VertexId,
+    pub(crate) t: VertexId,
+    pub(crate) k: u32,
+    pub(crate) limit: Option<u64>,
+    pub(crate) time_budget: Option<Duration>,
+    pub(crate) cancel: Option<CancelToken>,
+    pub(crate) method: Option<Method>,
+    pub(crate) tau: Option<u64>,
+    pub(crate) collect: bool,
+    pub(crate) constraint: ConstraintSpec<'a>,
+    /// Set when a second constraint setter ran; surfaced at validation.
+    pub(crate) conflict: Option<(&'static str, &'static str)>,
+}
+
+impl std::fmt::Debug for QueryRequest<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryRequest")
+            .field("s", &self.s)
+            .field("t", &self.t)
+            .field("max_hops", &self.k)
+            .field("limit", &self.limit)
+            .field("time_budget", &self.time_budget)
+            .field("cancellable", &self.cancel.is_some())
+            .field("method", &self.method)
+            .field("constraint", &self.constraint.name())
+            .finish()
+    }
+}
+
+impl<'a> QueryRequest<'a> {
+    /// Starts a request for simple paths from `s` to `t`.
+    ///
+    /// Call [`max_hops`](Self::max_hops) before evaluating; a request
+    /// without a hop constraint fails validation with
+    /// [`PathEnumError::HopConstraintTooSmall`].
+    pub fn paths(s: VertexId, t: VertexId) -> Self {
+        QueryRequest {
+            s,
+            t,
+            k: 0,
+            limit: None,
+            time_budget: None,
+            cancel: None,
+            method: None,
+            tau: None,
+            collect: false,
+            constraint: ConstraintSpec::None,
+            conflict: None,
+        }
+    }
+
+    /// Promotes an existing [`Query`] into a request.
+    pub fn from_query(query: Query) -> Self {
+        QueryRequest::paths(query.s, query.t).max_hops(query.k)
+    }
+
+    /// Sets the hop constraint `k`: paths may use at most `k` edges.
+    pub fn max_hops(mut self, k: u32) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Stops after `n` results with [`Termination::LimitReached`] — the
+    /// request-level form of the paper's first-1000 response metric.
+    pub fn limit(mut self, n: u64) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Stops with [`Termination::DeadlineExceeded`] once `budget` of
+    /// wall-clock time has elapsed. Checked cooperatively: at every
+    /// emission and, via [`PathSink::probe`], periodically while the
+    /// search traverses barren regions that emit nothing — so the
+    /// overrun is bounded by a few hundred search steps, not by the
+    /// gap between results.
+    pub fn time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Attaches a cancellation token; see [`CancelToken`].
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Forces an enumeration method, bypassing the cost-based optimizer
+    /// (ablations and tests; production callers should let the
+    /// optimizer decide).
+    pub fn method(mut self, method: Method) -> Self {
+        self.method = Some(method);
+        self
+    }
+
+    /// Overrides the preliminary-estimate threshold `tau` (Section 6.2).
+    pub fn tau(mut self, tau: u64) -> Self {
+        self.tau = Some(tau);
+        self
+    }
+
+    /// Also materialize result paths into
+    /// [`QueryResponse::paths`]. Off by default: counting workloads
+    /// should not pay for path copies. Combine with
+    /// [`limit`](Self::limit) to bound the response size, or use
+    /// [`QueryEngine::stream`](crate::QueryEngine::stream) to consume
+    /// lazily.
+    pub fn collect_paths(mut self, collect: bool) -> Self {
+        self.collect = collect;
+        self
+    }
+
+    /// Restricts results to paths whose every edge satisfies
+    /// `predicate` (Appendix E). Mutually exclusive with the other
+    /// constraints.
+    pub fn predicate<F>(mut self, predicate: F) -> Self
+    where
+        F: Fn(VertexId, VertexId) -> bool + 'a,
+    {
+        self.record_constraint("predicate");
+        self.constraint = ConstraintSpec::Predicate(Box::new(predicate));
+        self
+    }
+
+    /// Restricts results to paths whose accumulated edge value passes
+    /// the query's check (Algorithm 7). Mutually exclusive with the
+    /// other constraints.
+    pub fn accumulative<V, W, C>(mut self, query: AccumulativeQuery<V, W, C>) -> Self
+    where
+        V: Copy + 'a,
+        W: Fn(VertexId, VertexId) -> V + 'a,
+        C: Fn(&V) -> bool + 'a,
+    {
+        self.record_constraint("accumulative");
+        self.constraint = ConstraintSpec::Accumulative(Box::new(query));
+        self
+    }
+
+    /// Restricts results to paths whose edge-label sequence the
+    /// automaton accepts (Algorithm 8). Mutually exclusive with the
+    /// other constraints.
+    pub fn automaton<L>(mut self, automaton: Automaton, label_of: L) -> Self
+    where
+        L: Fn(VertexId, VertexId) -> LabelId + 'a,
+    {
+        self.record_constraint("automaton");
+        self.constraint = ConstraintSpec::Automaton {
+            automaton,
+            label_of: Box::new(label_of),
+        };
+        self
+    }
+
+    fn record_constraint(&mut self, incoming: &'static str) {
+        if !matches!(self.constraint, ConstraintSpec::None) && self.conflict.is_none() {
+            self.conflict = Some((self.constraint.name(), incoming));
+        }
+    }
+
+    /// Validates the request against a graph of `num_vertices` vertices,
+    /// producing the core [`Query`].
+    pub fn validate(&self, num_vertices: usize) -> Result<Query, PathEnumError> {
+        if let Some((first, second)) = self.conflict {
+            return Err(PathEnumError::ConflictingConstraints { first, second });
+        }
+        let query = Query::new(self.s, self.t, self.k)?;
+        query.validate(num_vertices)?;
+        Ok(query)
+    }
+}
+
+/// The response to an executed [`QueryRequest`].
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The pipeline report (method, phase timings, counters, estimates).
+    pub report: RunReport,
+    /// Why result production stopped.
+    pub termination: Termination,
+    /// Result paths, populated only when the request asked for
+    /// [`collect_paths`](QueryRequest::collect_paths).
+    pub paths: Vec<Vec<VertexId>>,
+}
+
+impl QueryResponse {
+    /// Number of results produced (whether or not paths were collected).
+    pub fn num_results(&self) -> u64 {
+        self.report.counters.results
+    }
+
+    pub(crate) fn empty(termination: Termination) -> Self {
+        QueryResponse {
+            report: RunReport::default(),
+            termination,
+            paths: Vec::new(),
+        }
+    }
+}
+
+/// A [`PathSink`] adapter enforcing the request-level stopping rules —
+/// result limit, deadline, cancellation — around an inner sink, and
+/// recording which rule fired.
+///
+/// This is the mechanism behind [`QueryRequest::limit`] /
+/// [`QueryRequest::time_budget`] / [`CancelToken`]; the deprecated
+/// [`LimitSink`](crate::sink::LimitSink) is a thin adapter over it.
+#[derive(Debug)]
+pub struct ControlledSink<S> {
+    inner: S,
+    limit: Option<u64>,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    emitted: u64,
+    probes: u64,
+    stopped: Option<Termination>,
+}
+
+/// How many emissions pass between deadline checks at `emit`, and how
+/// many probes pass between cancellation/deadline checks at `probe`.
+const DEADLINE_CHECK_INTERVAL: u64 = 64;
+
+impl<S: PathSink> ControlledSink<S> {
+    /// Wraps `inner` with the given stopping rules (each optional).
+    pub fn new(
+        inner: S,
+        limit: Option<u64>,
+        deadline: Option<Instant>,
+        cancel: Option<CancelToken>,
+    ) -> Self {
+        ControlledSink {
+            inner,
+            limit,
+            deadline,
+            cancel,
+            emitted: 0,
+            probes: 0,
+            stopped: None,
+        }
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Consumes the adapter, returning the wrapped sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Results forwarded to the inner sink so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Why this sink stopped the search, or [`Termination::Completed`]
+    /// if it never did (including when the *inner* sink stopped it).
+    pub fn termination(&self) -> Termination {
+        self.stopped.unwrap_or(Termination::Completed)
+    }
+}
+
+impl<S: PathSink> PathSink for ControlledSink<S> {
+    fn emit(&mut self, path: &[VertexId]) -> SearchControl {
+        if self.stopped.is_some() {
+            return SearchControl::Stop;
+        }
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            self.stopped = Some(Termination::Cancelled);
+            return SearchControl::Stop;
+        }
+        if self.emitted.is_multiple_of(DEADLINE_CHECK_INTERVAL)
+            && self.deadline.is_some_and(|d| Instant::now() >= d)
+        {
+            self.stopped = Some(Termination::DeadlineExceeded);
+            return SearchControl::Stop;
+        }
+        let control = self.inner.emit(path);
+        self.emitted += 1;
+        if self.limit.is_some_and(|l| self.emitted >= l) {
+            self.stopped = Some(Termination::LimitReached);
+            return SearchControl::Stop;
+        }
+        control
+    }
+
+    /// Enumerators call this periodically (every
+    /// [`PROBE_STRIDE`](crate::enumerate) search-tree nodes), so
+    /// cancellation and the deadline are observed even while the search
+    /// traverses a barren region that emits nothing.
+    fn probe(&mut self) -> SearchControl {
+        if self.stopped.is_some() {
+            return SearchControl::Stop;
+        }
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            self.stopped = Some(Termination::Cancelled);
+            return SearchControl::Stop;
+        }
+        if self.probes.is_multiple_of(DEADLINE_CHECK_INTERVAL)
+            && self.deadline.is_some_and(|d| Instant::now() >= d)
+        {
+            self.stopped = Some(Termination::DeadlineExceeded);
+            return SearchControl::Stop;
+        }
+        self.probes += 1;
+        self.inner.probe()
+    }
+}
+
+/// One suspended DFS frame of a [`PathStream`].
+#[derive(Debug, Clone, Copy)]
+struct StreamFrame {
+    vertex: crate::index::LocalId,
+    cursor: u32,
+}
+
+/// Per-path acceptance check applied by [`PathStream`] before yielding.
+///
+/// Predicate constraints need no filter here — the stream enumerates the
+/// predicate-filtered graph directly, mirroring Appendix E. The
+/// accumulative and automaton constraints are checked per complete path,
+/// which yields exactly the same path set as Algorithms 7/8 (those
+/// thread the state through the search purely to prune earlier).
+enum StreamFilter<'q> {
+    None,
+    Accumulative(&'q dyn DynAccumulative),
+    Automaton {
+        automaton: &'q Automaton,
+        label_of: &'q (dyn Fn(VertexId, VertexId) -> LabelId + 'q),
+    },
+}
+
+impl StreamFilter<'_> {
+    fn accepts(&self, path: &[VertexId]) -> bool {
+        match self {
+            StreamFilter::None => true,
+            StreamFilter::Accumulative(acc) => acc.accepts(path),
+            StreamFilter::Automaton {
+                automaton,
+                label_of,
+            } => automaton.accepts_sequence(path.windows(2).map(|w| label_of(w[0], w[1]))),
+        }
+    }
+}
+
+/// How many DFS steps a [`PathStream`] takes between deadline /
+/// cancellation checks while no results are being produced.
+const STREAM_CHECK_INTERVAL: u32 = 1024;
+
+/// A pull-based iterator over the results of a [`QueryRequest`],
+/// produced by [`QueryEngine::stream`](crate::QueryEngine::stream).
+///
+/// The underlying explicit-stack DFS (the suspended form of
+/// [`crate::enumerate::idx_dfs_iterative`]) advances only while the
+/// caller pulls, so a service can interleave result delivery with other
+/// work and abandon the stream at any point without wasted enumeration.
+/// The request's `limit`, `time_budget`, and `CancelToken` are honored;
+/// [`termination`](PathStream::termination) reports how the stream
+/// ended.
+///
+/// ```
+/// use pathenum::{PathEnumConfig, QueryEngine, QueryRequest, Termination};
+/// use pathenum_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edges([(0, 1), (1, 3), (0, 2), (2, 3), (1, 2)]).unwrap();
+/// let graph = b.finish();
+/// let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+///
+/// let request = QueryRequest::paths(0, 3).max_hops(3);
+/// let mut stream = engine.stream(&request).unwrap();
+/// let first = stream.next().unwrap();
+/// assert_eq!(first.first(), Some(&0));
+/// assert_eq!(first.last(), Some(&3));
+/// assert_eq!(stream.by_ref().count(), 2); // two more paths
+/// assert_eq!(stream.termination(), Some(Termination::Completed));
+/// ```
+pub struct PathStream<'q> {
+    index: Index,
+    stack: Vec<StreamFrame>,
+    filter: StreamFilter<'q>,
+    limit: Option<u64>,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    emitted: u64,
+    steps_since_check: u32,
+    termination: Option<Termination>,
+}
+
+impl<'q> PathStream<'q> {
+    pub(crate) fn new(index: Index, request: &'q QueryRequest<'_>) -> Self {
+        let filter = match &request.constraint {
+            // Predicate requests enumerate the filtered graph's index.
+            ConstraintSpec::None | ConstraintSpec::Predicate(_) => StreamFilter::None,
+            ConstraintSpec::Accumulative(acc) => StreamFilter::Accumulative(acc.as_ref()),
+            ConstraintSpec::Automaton {
+                automaton,
+                label_of,
+            } => StreamFilter::Automaton {
+                automaton,
+                label_of: label_of.as_ref(),
+            },
+        };
+        let mut stack = Vec::with_capacity(index.k() as usize + 1);
+        if let Some(s_local) = index.s_local() {
+            stack.push(StreamFrame {
+                vertex: s_local,
+                cursor: 0,
+            });
+        }
+        PathStream {
+            index,
+            stack,
+            filter,
+            limit: request.limit,
+            deadline: request.time_budget.map(|b| Instant::now() + b),
+            cancel: request.cancel.clone(),
+            emitted: 0,
+            steps_since_check: 0,
+            termination: None,
+        }
+    }
+
+    /// Results yielded so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// How the stream ended; `None` while results may still come.
+    pub fn termination(&self) -> Option<Termination> {
+        self.termination
+    }
+
+    /// The light-weight index the stream enumerates.
+    pub fn index(&self) -> &Index {
+        &self.index
+    }
+
+    /// Checks cancellation and deadline; on trigger records the
+    /// termination and returns `true`.
+    fn interrupted(&mut self) -> bool {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            self.termination = Some(Termination::Cancelled);
+            return true;
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.termination = Some(Termination::DeadlineExceeded);
+            return true;
+        }
+        false
+    }
+
+    /// Advances the suspended DFS until the next complete s-t path
+    /// (ignoring the filter), or `None` when the search is exhausted.
+    fn next_raw(&mut self) -> Option<Vec<VertexId>> {
+        let t_local = self.index.t_local()?;
+        let k = self.index.k();
+        while let Some(top) = self.stack.last().copied() {
+            self.steps_since_check += 1;
+            if self.steps_since_check >= STREAM_CHECK_INTERVAL {
+                self.steps_since_check = 0;
+                if self.interrupted() {
+                    return None;
+                }
+            }
+            let depth = self.stack.len() as u32 - 1; // edges used so far
+            if top.vertex == t_local && depth > 0 {
+                // Emit and force-backtrack: t's only forward neighbor is
+                // the padding loop, which the DFS never follows.
+                let path: Vec<VertexId> = self
+                    .stack
+                    .iter()
+                    .map(|f| self.index.global(f.vertex))
+                    .collect();
+                self.stack.pop();
+                return Some(path);
+            }
+            let budget = k - depth - 1;
+            let neighbors = self.index.i_t(top.vertex, budget);
+            let mut advanced = false;
+            let mut cursor = top.cursor as usize;
+            while cursor < neighbors.len() {
+                let next = neighbors[cursor];
+                cursor += 1;
+                if self.stack.iter().any(|f| f.vertex == next) {
+                    continue;
+                }
+                let top_mut = self.stack.last_mut().expect("stack is non-empty");
+                top_mut.cursor = cursor as u32;
+                self.stack.push(StreamFrame {
+                    vertex: next,
+                    cursor: 0,
+                });
+                advanced = true;
+                break;
+            }
+            if !advanced {
+                self.stack.pop();
+            }
+        }
+        None
+    }
+}
+
+impl Iterator for PathStream<'_> {
+    type Item = Vec<VertexId>;
+
+    fn next(&mut self) -> Option<Vec<VertexId>> {
+        if self.termination.is_some() {
+            return None;
+        }
+        // A saturated (or zero) limit stops before any further search,
+        // matching `execute`'s pre-flight semantics.
+        if self.limit.is_some_and(|l| self.emitted >= l) {
+            self.termination = Some(Termination::LimitReached);
+            return None;
+        }
+        if self.interrupted() {
+            return None;
+        }
+        loop {
+            let Some(path) = self.next_raw() else {
+                if self.termination.is_none() {
+                    self.termination = Some(Termination::Completed);
+                }
+                return None;
+            };
+            if !self.filter.accepts(&path) {
+                continue;
+            }
+            self.emitted += 1;
+            if self.limit.is_some_and(|l| self.emitted >= l) {
+                self.termination = Some(Termination::LimitReached);
+            }
+            return Some(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::test_support::*;
+    use crate::sink::{CollectingSink, CountingSink};
+
+    #[test]
+    fn builder_records_every_option() {
+        let token = CancelToken::new();
+        let req = QueryRequest::paths(0, 1)
+            .max_hops(4)
+            .limit(10)
+            .time_budget(Duration::from_millis(50))
+            .cancel_token(token.clone())
+            .method(Method::IdxJoin)
+            .tau(7)
+            .collect_paths(true);
+        assert_eq!(req.s, 0);
+        assert_eq!(req.t, 1);
+        assert_eq!(req.k, 4);
+        assert_eq!(req.limit, Some(10));
+        assert_eq!(req.time_budget, Some(Duration::from_millis(50)));
+        assert_eq!(req.method, Some(Method::IdxJoin));
+        assert_eq!(req.tau, Some(7));
+        assert!(req.collect);
+        assert!(req.validate(10).is_ok());
+    }
+
+    #[test]
+    fn validation_absorbs_query_errors() {
+        assert_eq!(
+            QueryRequest::paths(3, 3).max_hops(4).validate(10),
+            Err(PathEnumError::EqualEndpoints)
+        );
+        assert_eq!(
+            QueryRequest::paths(0, 1).validate(10),
+            Err(PathEnumError::HopConstraintTooSmall(0)),
+            "max_hops never set"
+        );
+        assert_eq!(
+            QueryRequest::paths(0, 1).max_hops(99).validate(10),
+            Err(PathEnumError::HopConstraintTooLarge(99))
+        );
+        assert_eq!(
+            QueryRequest::paths(0, 42).max_hops(4).validate(10),
+            Err(PathEnumError::VertexOutOfRange(42))
+        );
+    }
+
+    #[test]
+    fn conflicting_constraints_are_rejected() {
+        let req = QueryRequest::paths(0, 1)
+            .max_hops(4)
+            .predicate(|_, _| true)
+            .automaton(Automaton::new(1, 1, 0).unwrap(), |_, _| 0);
+        assert_eq!(
+            req.validate(10),
+            Err(PathEnumError::ConflictingConstraints {
+                first: "predicate",
+                second: "automaton"
+            })
+        );
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn controlled_sink_enforces_limit_and_reports_it() {
+        let mut sink = ControlledSink::new(CountingSink::default(), Some(3), None, None);
+        assert_eq!(sink.emit(&[0, 1]), SearchControl::Continue);
+        assert_eq!(sink.emit(&[0, 1]), SearchControl::Continue);
+        assert_eq!(sink.emit(&[0, 1]), SearchControl::Stop);
+        assert_eq!(sink.emitted(), 3);
+        assert_eq!(sink.termination(), Termination::LimitReached);
+        // Saturated: further emissions are refused without forwarding.
+        assert_eq!(sink.emit(&[0, 1]), SearchControl::Stop);
+        assert_eq!(sink.into_inner().count, 3);
+    }
+
+    #[test]
+    fn controlled_sink_observes_cancellation() {
+        let token = CancelToken::new();
+        let mut sink =
+            ControlledSink::new(CollectingSink::default(), None, None, Some(token.clone()));
+        assert_eq!(sink.emit(&[0, 1]), SearchControl::Continue);
+        token.cancel();
+        assert_eq!(sink.emit(&[0, 1]), SearchControl::Stop);
+        assert_eq!(sink.termination(), Termination::Cancelled);
+        assert_eq!(
+            sink.inner().paths.len(),
+            1,
+            "cancelled emission is not forwarded"
+        );
+    }
+
+    #[test]
+    fn controlled_sink_observes_deadline() {
+        let mut sink = ControlledSink::new(
+            CountingSink::default(),
+            None,
+            Some(Instant::now() - Duration::from_millis(1)),
+            None,
+        );
+        assert_eq!(sink.emit(&[0, 1]), SearchControl::Stop);
+        assert_eq!(sink.termination(), Termination::DeadlineExceeded);
+        assert_eq!(sink.emitted(), 0);
+    }
+
+    #[test]
+    fn controlled_sink_without_rules_is_transparent() {
+        let mut sink = ControlledSink::new(CountingSink::default(), None, None, None);
+        for _ in 0..1000 {
+            assert_eq!(sink.emit(&[0, 1]), SearchControl::Continue);
+            assert_eq!(sink.probe(), SearchControl::Continue);
+        }
+        assert_eq!(sink.termination(), Termination::Completed);
+        assert_eq!(sink.emitted(), 1000);
+    }
+
+    #[test]
+    fn probe_interrupts_barren_searches() {
+        // A cancelled token stops the DFS at the very first search-tree
+        // node — before any result is counted, let alone emitted.
+        let g = figure1_graph();
+        let index = Index::build(&g, crate::query::Query::new(S, T, 4).unwrap());
+        let token = CancelToken::new();
+        token.cancel();
+        let mut sink = ControlledSink::new(CountingSink::default(), None, None, Some(token));
+        let mut counters = Counters::default();
+        let control = crate::enumerate::idx_dfs(&index, &mut sink, &mut counters);
+        assert_eq!(control, SearchControl::Stop);
+        assert_eq!(counters.results, 0, "no result was ever counted");
+        assert_eq!(sink.emitted(), 0);
+        assert_eq!(sink.termination(), Termination::Cancelled);
+
+        // The same holds during IDX-JOIN's silent materialization phase.
+        let mut sink = ControlledSink::new(
+            CountingSink::default(),
+            None,
+            Some(Instant::now() - Duration::from_millis(1)),
+            None,
+        );
+        let mut counters = Counters::default();
+        let control = crate::enumerate::idx_join(&index, 2, &mut sink, &mut counters);
+        assert_eq!(control, SearchControl::Stop);
+        assert_eq!(sink.emitted(), 0);
+        assert_eq!(sink.termination(), Termination::DeadlineExceeded);
+    }
+
+    #[test]
+    fn stream_filter_accepts_by_accumulation() {
+        let acc = AccumulativeQuery {
+            identity: 0u64,
+            combine: |a, b| a + b,
+            weight: |_, _| 1u64,
+            check: |&v: &u64| v >= 3,
+            prune: None,
+        };
+        assert!(acc.accepts(&[0, 1, 2, 3]));
+        assert!(!acc.accepts(&[0, 1]));
+    }
+
+    #[test]
+    fn path_stream_enumerates_figure1() {
+        let g = figure1_graph();
+        let req = QueryRequest::paths(S, T).max_hops(4);
+        let query = req.validate(g.num_vertices()).unwrap();
+        let index = Index::build(&g, query);
+        let stream = PathStream::new(index, &req);
+        let mut paths: Vec<Vec<VertexId>> = stream.collect();
+        paths.sort_unstable();
+        assert_eq!(paths.len(), 5);
+        for p in &paths {
+            assert_eq!(p[0], S);
+            assert_eq!(*p.last().unwrap(), T);
+        }
+    }
+
+    #[test]
+    fn path_stream_respects_limit() {
+        let g = figure1_graph();
+        let req = QueryRequest::paths(S, T).max_hops(4).limit(2);
+        let query = req.validate(g.num_vertices()).unwrap();
+        let index = Index::build(&g, query);
+        let mut stream = PathStream::new(index, &req);
+        assert!(stream.next().is_some());
+        assert!(stream.next().is_some());
+        assert!(stream.next().is_none());
+        assert_eq!(stream.termination(), Some(Termination::LimitReached));
+        assert_eq!(stream.emitted(), 2);
+    }
+
+    #[test]
+    fn path_stream_limit_zero_yields_nothing() {
+        let g = figure1_graph();
+        let req = QueryRequest::paths(S, T).max_hops(4).limit(0);
+        let query = req.validate(g.num_vertices()).unwrap();
+        let index = Index::build(&g, query);
+        let mut stream = PathStream::new(index, &req);
+        assert!(stream.next().is_none());
+        assert_eq!(stream.termination(), Some(Termination::LimitReached));
+        assert_eq!(stream.emitted(), 0);
+    }
+
+    #[test]
+    fn path_stream_on_empty_index_completes_immediately() {
+        let g = figure1_graph();
+        let req = QueryRequest::paths(T, S).max_hops(4);
+        let query = req.validate(g.num_vertices()).unwrap();
+        let index = Index::build(&g, query);
+        let mut stream = PathStream::new(index, &req);
+        assert!(stream.next().is_none());
+        assert_eq!(stream.termination(), Some(Termination::Completed));
+    }
+
+    #[test]
+    fn errors_display_something_useful() {
+        let errors: Vec<PathEnumError> = vec![
+            PathEnumError::EqualEndpoints,
+            PathEnumError::HopConstraintTooSmall(1),
+            PathEnumError::HopConstraintTooLarge(99),
+            PathEnumError::VertexOutOfRange(7),
+            PathEnumError::ConflictingConstraints {
+                first: "predicate",
+                second: "automaton",
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

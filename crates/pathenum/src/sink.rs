@@ -3,8 +3,12 @@
 //! Every enumerator in this workspace emits paths through a [`PathSink`]
 //! instead of materializing a `Vec<Vec<VertexId>>`. This is what makes the
 //! paper's metrics cheap to collect: *throughput* is a [`CountingSink`],
-//! *response time* is a [`LimitSink`] stopping at the first 1000 results,
-//! and the constraint extensions of Appendix E are sinks/filters too.
+//! *response time* is a request with
+//! [`limit(1000)`](crate::request::QueryRequest::limit), and the
+//! constraint extensions of Appendix E are sinks/filters too. The
+//! request layer's stopping rules (limit, deadline, cancellation) live
+//! in [`ControlledSink`](crate::request::ControlledSink), which wraps
+//! any sink here.
 
 use pathenum_graph::VertexId;
 
@@ -25,6 +29,28 @@ pub enum SearchControl {
 pub trait PathSink {
     /// Called once per enumerated path.
     fn emit(&mut self, path: &[VertexId]) -> SearchControl;
+
+    /// Called periodically by enumerators *between* emissions (once per
+    /// search-tree node) so that sinks enforcing wall-clock or
+    /// cancellation rules can interrupt barren stretches of the search —
+    /// a query that emits rarely still observes its deadline. The
+    /// default keeps searching.
+    #[inline]
+    fn probe(&mut self) -> SearchControl {
+        SearchControl::Continue
+    }
+}
+
+impl<S: PathSink + ?Sized> PathSink for &mut S {
+    #[inline]
+    fn emit(&mut self, path: &[VertexId]) -> SearchControl {
+        (**self).emit(path)
+    }
+
+    #[inline]
+    fn probe(&mut self) -> SearchControl {
+        (**self).probe()
+    }
 }
 
 /// Counts results without storing them.
@@ -67,35 +93,60 @@ impl CollectingSink {
 }
 
 /// Counts results and stops after `limit` of them.
-#[derive(Debug, Clone)]
+///
+/// Deprecated: the stop-at-N rule is now a request-level option —
+/// [`QueryRequest::limit`](crate::request::QueryRequest::limit) with
+/// [`Termination::LimitReached`](crate::request::Termination) — enforced
+/// by [`ControlledSink`](crate::request::ControlledSink). This type
+/// survives as a thin adapter over that mechanism for existing callers.
+#[deprecated(
+    since = "0.2.0",
+    note = "use QueryRequest::limit (Termination::LimitReached) or wrap a sink in ControlledSink"
+)]
+#[derive(Debug)]
 pub struct LimitSink {
     /// Number of paths emitted so far.
     pub count: u64,
-    limit: u64,
+    inner: crate::request::ControlledSink<CountingSink>,
 }
 
+#[allow(deprecated)]
 impl LimitSink {
     /// Sink that stops after `limit` results (the paper's response-time
     /// metric uses 1000).
     pub fn new(limit: u64) -> Self {
-        LimitSink { count: 0, limit }
+        LimitSink {
+            count: 0,
+            inner: crate::request::ControlledSink::new(
+                CountingSink::default(),
+                Some(limit),
+                None,
+                None,
+            ),
+        }
     }
 
     /// Whether the limit was reached.
     pub fn saturated(&self) -> bool {
-        self.count >= self.limit
+        matches!(
+            self.inner.termination(),
+            crate::request::Termination::LimitReached
+        )
     }
 }
 
+#[allow(deprecated)]
 impl PathSink for LimitSink {
     #[inline]
-    fn emit(&mut self, _path: &[VertexId]) -> SearchControl {
-        self.count += 1;
-        if self.count >= self.limit {
-            SearchControl::Stop
-        } else {
-            SearchControl::Continue
-        }
+    fn emit(&mut self, path: &[VertexId]) -> SearchControl {
+        let control = self.inner.emit(path);
+        self.count = self.inner.emitted();
+        control
+    }
+
+    #[inline]
+    fn probe(&mut self) -> SearchControl {
+        self.inner.probe()
     }
 }
 
@@ -120,6 +171,7 @@ pub struct DeadlineSink {
     pub count: u64,
     deadline: std::time::Instant,
     check_interval: u64,
+    probes: u64,
     /// Set to true if the deadline fired.
     pub timed_out: bool,
 }
@@ -131,6 +183,7 @@ impl DeadlineSink {
             count: 0,
             deadline: std::time::Instant::now() + budget,
             check_interval: 1024,
+            probes: 0,
             timed_out: false,
         }
     }
@@ -140,10 +193,27 @@ impl PathSink for DeadlineSink {
     #[inline]
     fn emit(&mut self, _path: &[VertexId]) -> SearchControl {
         self.count += 1;
-        if self.count.is_multiple_of(self.check_interval) && std::time::Instant::now() >= self.deadline {
+        if self.count.is_multiple_of(self.check_interval)
+            && std::time::Instant::now() >= self.deadline
+        {
             self.timed_out = true;
             return SearchControl::Stop;
         }
+        SearchControl::Continue
+    }
+
+    #[inline]
+    fn probe(&mut self) -> SearchControl {
+        if self.timed_out {
+            return SearchControl::Stop;
+        }
+        if self.probes.is_multiple_of(self.check_interval)
+            && std::time::Instant::now() >= self.deadline
+        {
+            self.timed_out = true;
+            return SearchControl::Stop;
+        }
+        self.probes += 1;
         SearchControl::Continue
     }
 }
@@ -162,6 +232,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn limit_sink_stops_at_limit() {
         let mut sink = LimitSink::new(3);
         assert_eq!(sink.emit(&[0]), SearchControl::Continue);

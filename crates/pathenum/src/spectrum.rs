@@ -42,12 +42,18 @@ pub struct LeftDeepPlan {
 impl LeftDeepPlan {
     /// The plan equivalent to IDX-DFS: anchor at `R_1`, extend right.
     pub fn forward(k: u32) -> LeftDeepPlan {
-        LeftDeepPlan { first: 1, moves: vec![Extend::Right; k as usize - 1] }
+        LeftDeepPlan {
+            first: 1,
+            moves: vec![Extend::Right; k as usize - 1],
+        }
     }
 
     /// The mirror plan: anchor at `R_k`, extend left.
     pub fn backward(k: u32) -> LeftDeepPlan {
-        LeftDeepPlan { first: k, moves: vec![Extend::Left; k as usize - 1] }
+        LeftDeepPlan {
+            first: k,
+            moves: vec![Extend::Left; k as usize - 1],
+        }
     }
 }
 
@@ -69,7 +75,10 @@ fn gather(
     plans: &mut Vec<LeftDeepPlan>,
 ) {
     if lefts == 0 && rights == 0 {
-        plans.push(LeftDeepPlan { first, moves: moves.clone() });
+        plans.push(LeftDeepPlan {
+            first,
+            moves: moves.clone(),
+        });
         return;
     }
     if lefts > 0 {
@@ -93,8 +102,15 @@ pub fn execute_left_deep(
     counters: &mut Counters,
 ) -> SearchControl {
     let k = index.k();
-    assert!(plan.first >= 1 && plan.first <= k, "anchor relation out of range");
-    assert_eq!(plan.moves.len() as u32, k - 1, "plan must cover all relations");
+    assert!(
+        plan.first >= 1 && plan.first <= k,
+        "anchor relation out of range"
+    );
+    assert_eq!(
+        plan.moves.len() as u32,
+        k - 1,
+        "plan must cover all relations"
+    );
     let (Some(_), Some(t_local)) = (index.s_local(), index.t_local()) else {
         return SearchControl::Continue;
     };
@@ -195,7 +211,8 @@ impl Executor<'_> {
         }
         self.counters.results += 1;
         self.scratch.clear();
-        self.scratch.extend(tuple[..len].iter().map(|&l| self.index.global(l)));
+        self.scratch
+            .extend(tuple[..len].iter().map(|&l| self.index.global(l)));
         self.sink.emit(&self.scratch)
     }
 }
@@ -260,7 +277,10 @@ mod tests {
     fn rejects_malformed_plans() {
         let g = figure1_graph();
         let idx = Index::build(&g, Query::new(S, T, 4).unwrap());
-        let plan = LeftDeepPlan { first: 1, moves: vec![Extend::Right] };
+        let plan = LeftDeepPlan {
+            first: 1,
+            moves: vec![Extend::Right],
+        };
         let mut sink = CollectingSink::default();
         let mut counters = Counters::default();
         execute_left_deep(&idx, &plan, &mut sink, &mut counters);

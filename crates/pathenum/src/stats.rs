@@ -32,8 +32,9 @@ impl Counters {
         self.invalid_partial_results += other.invalid_partial_results;
         self.partial_results += other.partial_results;
         self.results += other.results;
-        self.peak_materialized_vertices =
-            self.peak_materialized_vertices.max(other.peak_materialized_vertices);
+        self.peak_materialized_vertices = self
+            .peak_materialized_vertices
+            .max(other.peak_materialized_vertices);
     }
 
     /// Peak memory attributable to materialized partial results, in bytes.
@@ -43,9 +44,10 @@ impl Counters {
 }
 
 /// Which enumeration strategy evaluated the query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Method {
     /// Depth-first search on the index (Algorithm 4).
+    #[default]
     IdxDfs,
     /// Two-sided join on the index (Algorithm 6).
     IdxJoin,
@@ -89,7 +91,11 @@ impl PhaseTimings {
 }
 
 /// Full report of one PathEnum run.
-#[derive(Debug, Clone)]
+///
+/// The `Default` value describes a run that never started (used by the
+/// request layer when a pre-flight stopping rule — an expired deadline,
+/// a cancelled token, a zero limit — fires before the pipeline runs).
+#[derive(Debug, Clone, Default)]
 pub struct RunReport {
     /// Strategy the optimizer selected.
     pub method: Method,
@@ -138,7 +144,10 @@ mod tests {
 
     #[test]
     fn peak_bytes_scales_by_vertex_width() {
-        let c = Counters { peak_materialized_vertices: 8, ..Counters::default() };
+        let c = Counters {
+            peak_materialized_vertices: 8,
+            ..Counters::default()
+        };
         assert_eq!(c.peak_materialized_bytes(), 32);
     }
 

@@ -79,36 +79,41 @@ impl Algorithm {
     }
 
     /// Runs the algorithm on one query, streaming into `sink`.
-    pub fn run(
-        &self,
-        graph: &CsrGraph,
-        query: Query,
-        sink: &mut dyn PathSink,
-    ) -> AlgoReport {
+    ///
+    /// The measurement harness generates queries from the graph itself,
+    /// so the PathEnum variants' validation cannot fail here; an
+    /// out-of-range query is a harness bug and panics with the
+    /// validation error.
+    pub fn run(&self, graph: &CsrGraph, query: Query, sink: &mut dyn PathSink) -> AlgoReport {
+        let validated = |result: Result<pathenum::RunReport, pathenum::PathEnumError>| {
+            from_pathenum(result.expect("harness queries are in range for the graph"))
+        };
         match self {
             Algorithm::GenericDfs => from_baseline(generic_dfs(graph, query, sink)),
             Algorithm::BcDfs => from_baseline(bc_dfs(graph, query, sink)),
             Algorithm::BcJoin => from_baseline(bc_join(graph, query, sink)),
             Algorithm::TDfs => from_baseline(t_dfs(graph, query, sink)),
             Algorithm::YenKsp => from_baseline(yen_ksp(graph, query, sink)),
-            Algorithm::IdxDfs => {
-                from_pathenum(path_enum(
-                    graph,
-                    query,
-                    PathEnumConfig { force: Some(Method::IdxDfs), ..Default::default() },
-                    sink,
-                ))
-            }
-            Algorithm::IdxJoin => {
-                from_pathenum(path_enum(
-                    graph,
-                    query,
-                    PathEnumConfig { force: Some(Method::IdxJoin), ..Default::default() },
-                    sink,
-                ))
-            }
+            Algorithm::IdxDfs => validated(path_enum(
+                graph,
+                query,
+                PathEnumConfig {
+                    force: Some(Method::IdxDfs),
+                    ..Default::default()
+                },
+                sink,
+            )),
+            Algorithm::IdxJoin => validated(path_enum(
+                graph,
+                query,
+                PathEnumConfig {
+                    force: Some(Method::IdxJoin),
+                    ..Default::default()
+                },
+                sink,
+            )),
             Algorithm::PathEnum => {
-                from_pathenum(path_enum(graph, query, PathEnumConfig::default(), sink))
+                validated(path_enum(graph, query, PathEnumConfig::default(), sink))
             }
         }
     }

@@ -81,21 +81,126 @@ impl DatasetSpec {
 
 /// The 15 dataset proxies, in Table 2 order.
 pub const DATASETS: &[DatasetSpec] = &[
-    DatasetSpec { name: "up", stands_for: "US Patents (4M/17M, citation)", kind: GraphKind::Citation, vertices: 8000, avg_degree: 9, seed: 101 },
-    DatasetSpec { name: "db", stands_for: "DBpedia (4M/14M, misc)", kind: GraphKind::Web, vertices: 8000, avg_degree: 6, seed: 102 },
-    DatasetSpec { name: "gg", stands_for: "Web-google (876K/5M, web)", kind: GraphKind::Web, vertices: 6000, avg_degree: 6, seed: 103 },
-    DatasetSpec { name: "st", stands_for: "Web-stanford (282K/2.3M, web)", kind: GraphKind::Web, vertices: 3000, avg_degree: 9, seed: 104 },
-    DatasetSpec { name: "tw", stands_for: "Twitter-social (465K/835K)", kind: GraphKind::Social, vertices: 5000, avg_degree: 3, seed: 105 },
-    DatasetSpec { name: "bk", stands_for: "Baidu-baike (416K/3M, web)", kind: GraphKind::Web, vertices: 4000, avg_degree: 9, seed: 106 },
-    DatasetSpec { name: "tr", stands_for: "Wiki-trust (139K/740K, interaction)", kind: GraphKind::Interaction, vertices: 2200, avg_degree: 6, seed: 107 },
-    DatasetSpec { name: "ep", stands_for: "Soc-Epinions1 (75K/508K, social)", kind: GraphKind::Social, vertices: 2500, avg_degree: 8, seed: 108 },
-    DatasetSpec { name: "uk", stands_for: "Web-uk-2005 (121K/334K, d=181)", kind: GraphKind::Dense, vertices: 800, avg_degree: 60, seed: 109 },
-    DatasetSpec { name: "wt", stands_for: "WikiTalk (2M/5M)", kind: GraphKind::Social, vertices: 6000, avg_degree: 3, seed: 110 },
-    DatasetSpec { name: "sl", stands_for: "Soc-Slashdot0922 (82K/948K)", kind: GraphKind::Social, vertices: 2000, avg_degree: 12, seed: 111 },
-    DatasetSpec { name: "lj", stands_for: "LiveJournal (5M/69M, social)", kind: GraphKind::Social, vertices: 4000, avg_degree: 16, seed: 112 },
-    DatasetSpec { name: "da", stands_for: "Rec-dating (169K/17M, d=206)", kind: GraphKind::Dense, vertices: 700, avg_degree: 80, seed: 113 },
-    DatasetSpec { name: "ye", stands_for: "Bio-grid-yeast (6K/314K, d=105)", kind: GraphKind::Dense, vertices: 600, avg_degree: 55, seed: 114 },
-    DatasetSpec { name: "tm", stands_for: "Twitter-mpi (52M/1.96B, scalability)", kind: GraphKind::Social, vertices: 50_000, avg_degree: 20, seed: 115 },
+    DatasetSpec {
+        name: "up",
+        stands_for: "US Patents (4M/17M, citation)",
+        kind: GraphKind::Citation,
+        vertices: 8000,
+        avg_degree: 9,
+        seed: 101,
+    },
+    DatasetSpec {
+        name: "db",
+        stands_for: "DBpedia (4M/14M, misc)",
+        kind: GraphKind::Web,
+        vertices: 8000,
+        avg_degree: 6,
+        seed: 102,
+    },
+    DatasetSpec {
+        name: "gg",
+        stands_for: "Web-google (876K/5M, web)",
+        kind: GraphKind::Web,
+        vertices: 6000,
+        avg_degree: 6,
+        seed: 103,
+    },
+    DatasetSpec {
+        name: "st",
+        stands_for: "Web-stanford (282K/2.3M, web)",
+        kind: GraphKind::Web,
+        vertices: 3000,
+        avg_degree: 9,
+        seed: 104,
+    },
+    DatasetSpec {
+        name: "tw",
+        stands_for: "Twitter-social (465K/835K)",
+        kind: GraphKind::Social,
+        vertices: 5000,
+        avg_degree: 3,
+        seed: 105,
+    },
+    DatasetSpec {
+        name: "bk",
+        stands_for: "Baidu-baike (416K/3M, web)",
+        kind: GraphKind::Web,
+        vertices: 4000,
+        avg_degree: 9,
+        seed: 106,
+    },
+    DatasetSpec {
+        name: "tr",
+        stands_for: "Wiki-trust (139K/740K, interaction)",
+        kind: GraphKind::Interaction,
+        vertices: 2200,
+        avg_degree: 6,
+        seed: 107,
+    },
+    DatasetSpec {
+        name: "ep",
+        stands_for: "Soc-Epinions1 (75K/508K, social)",
+        kind: GraphKind::Social,
+        vertices: 2500,
+        avg_degree: 8,
+        seed: 108,
+    },
+    DatasetSpec {
+        name: "uk",
+        stands_for: "Web-uk-2005 (121K/334K, d=181)",
+        kind: GraphKind::Dense,
+        vertices: 800,
+        avg_degree: 60,
+        seed: 109,
+    },
+    DatasetSpec {
+        name: "wt",
+        stands_for: "WikiTalk (2M/5M)",
+        kind: GraphKind::Social,
+        vertices: 6000,
+        avg_degree: 3,
+        seed: 110,
+    },
+    DatasetSpec {
+        name: "sl",
+        stands_for: "Soc-Slashdot0922 (82K/948K)",
+        kind: GraphKind::Social,
+        vertices: 2000,
+        avg_degree: 12,
+        seed: 111,
+    },
+    DatasetSpec {
+        name: "lj",
+        stands_for: "LiveJournal (5M/69M, social)",
+        kind: GraphKind::Social,
+        vertices: 4000,
+        avg_degree: 16,
+        seed: 112,
+    },
+    DatasetSpec {
+        name: "da",
+        stands_for: "Rec-dating (169K/17M, d=206)",
+        kind: GraphKind::Dense,
+        vertices: 700,
+        avg_degree: 80,
+        seed: 113,
+    },
+    DatasetSpec {
+        name: "ye",
+        stands_for: "Bio-grid-yeast (6K/314K, d=105)",
+        kind: GraphKind::Dense,
+        vertices: 600,
+        avg_degree: 55,
+        seed: 114,
+    },
+    DatasetSpec {
+        name: "tm",
+        stands_for: "Twitter-mpi (52M/1.96B, scalability)",
+        kind: GraphKind::Social,
+        vertices: 50_000,
+        avg_degree: 20,
+        seed: 115,
+    },
 ];
 
 /// Looks a dataset up by its Table 2 short name.
@@ -175,6 +280,9 @@ mod tests {
         let a = ep();
         let b = ep();
         assert_eq!(a.num_edges(), b.num_edges());
-        assert_eq!(a.edges().take(50).collect::<Vec<_>>(), b.edges().take(50).collect::<Vec<_>>());
+        assert_eq!(
+            a.edges().take(50).collect::<Vec<_>>(),
+            b.edges().take(50).collect::<Vec<_>>()
+        );
     }
 }

@@ -51,7 +51,9 @@ pub fn run_parallel(
     workers: usize,
 ) -> ParallelOutcome {
     let workers = if workers == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         workers
     };
@@ -71,7 +73,9 @@ pub fn run_parallel(
                         break;
                     }
                     let mut sink = BoundedSink::new(None, Some(measure.time_limit));
-                    engine.run(queries[i], &mut sink);
+                    engine
+                        .run(queries[i], &mut sink)
+                        .expect("parallel batch queries are in range");
                     *results[i].lock().expect("no poisoned result slot") =
                         (sink.count, sink.timed_out);
                 }
@@ -87,7 +91,12 @@ pub fn run_parallel(
         counts.push(count);
         flags.push(timed_out);
     }
-    ParallelOutcome { results: counts, timed_out: flags, wall, workers }
+    ParallelOutcome {
+        results: counts,
+        timed_out: flags,
+        wall,
+        workers,
+    }
 }
 
 #[cfg(test)]
@@ -109,7 +118,7 @@ mod tests {
         assert_eq!(outcome.results.len(), queries.len());
         for (i, &q) in queries.iter().enumerate() {
             let mut sink = CountingSink::default();
-            pathenum::path_enum(&g, q, PathEnumConfig::default(), &mut sink);
+            pathenum::path_enum(&g, q, PathEnumConfig::default(), &mut sink).unwrap();
             assert_eq!(outcome.results[i], sink.count, "query {i}");
             assert!(!outcome.timed_out[i]);
         }
@@ -134,8 +143,13 @@ mod tests {
     fn zero_workers_selects_available_parallelism() {
         let g = datasets::gg();
         let queries = generate_queries(&g, QueryGenConfig::paper_default(4, 4, 7));
-        let outcome =
-            run_parallel(&g, &queries, PathEnumConfig::default(), MeasureConfig::default(), 0);
+        let outcome = run_parallel(
+            &g,
+            &queries,
+            PathEnumConfig::default(),
+            MeasureConfig::default(),
+            0,
+        );
         assert!(outcome.workers >= 1);
         assert_eq!(outcome.results.len(), 4);
     }
@@ -143,8 +157,13 @@ mod tests {
     #[test]
     fn empty_query_set_is_fine() {
         let g = datasets::gg();
-        let outcome =
-            run_parallel(&g, &[], PathEnumConfig::default(), MeasureConfig::default(), 3);
+        let outcome = run_parallel(
+            &g,
+            &[],
+            PathEnumConfig::default(),
+            MeasureConfig::default(),
+            3,
+        );
         assert!(outcome.results.is_empty());
     }
 }

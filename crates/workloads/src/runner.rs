@@ -31,7 +31,10 @@ pub struct MeasureConfig {
 
 impl Default for MeasureConfig {
     fn default() -> Self {
-        MeasureConfig { time_limit: Duration::from_secs(2), response_limit: 1000 }
+        MeasureConfig {
+            time_limit: Duration::from_secs(2),
+            response_limit: 1000,
+        }
     }
 }
 
@@ -72,6 +75,7 @@ pub struct BoundedSink {
     /// Set when the deadline aborted the run.
     pub timed_out: bool,
     check_mask: u64,
+    probes: u64,
 }
 
 impl BoundedSink {
@@ -84,6 +88,7 @@ impl BoundedSink {
             timed_out: false,
             // Check the clock every 256 emissions: cheap yet responsive.
             check_mask: 0xff,
+            probes: 0,
         }
     }
 }
@@ -105,6 +110,21 @@ impl PathSink for BoundedSink {
         }
         SearchControl::Continue
     }
+
+    #[inline]
+    fn probe(&mut self) -> SearchControl {
+        if self.timed_out {
+            return SearchControl::Stop;
+        }
+        if let Some(deadline) = self.deadline {
+            if self.probes & self.check_mask == 0 && Instant::now() >= deadline {
+                self.timed_out = true;
+                return SearchControl::Stop;
+            }
+        }
+        self.probes += 1;
+        SearchControl::Continue
+    }
 }
 
 /// Measures the *query time* metric: full enumeration under the time cap.
@@ -123,7 +143,13 @@ pub fn run_query(
         // The paper sets the query time of killed queries to the limit.
         elapsed = config.time_limit;
     }
-    QueryMeasurement { query, elapsed, results: sink.count, timed_out, report }
+    QueryMeasurement {
+        query,
+        elapsed,
+        results: sink.count,
+        timed_out,
+        report,
+    }
 }
 
 /// Measures the *response time* metric: time to the first
@@ -161,19 +187,29 @@ pub fn run_query_set(
     queries: &[Query],
     config: MeasureConfig,
 ) -> SetSummary {
-    let measurements: Vec<QueryMeasurement> =
-        queries.iter().map(|&q| run_query(algo, graph, q, config)).collect();
+    let measurements: Vec<QueryMeasurement> = queries
+        .iter()
+        .map(|&q| run_query(algo, graph, q, config))
+        .collect();
     summarize(measurements)
 }
 
 /// Builds a [`SetSummary`] from raw measurements.
 pub fn summarize(measurements: Vec<QueryMeasurement>) -> SetSummary {
     let n = measurements.len().max(1) as f64;
-    let mean_query_time_ms =
-        measurements.iter().map(|m| m.elapsed.as_secs_f64() * 1e3).sum::<f64>() / n;
+    let mean_query_time_ms = measurements
+        .iter()
+        .map(|m| m.elapsed.as_secs_f64() * 1e3)
+        .sum::<f64>()
+        / n;
     let mean_throughput = measurements.iter().map(|m| m.throughput()).sum::<f64>() / n;
     let timeout_fraction = measurements.iter().filter(|m| m.timed_out).count() as f64 / n;
-    SetSummary { measurements, mean_query_time_ms, mean_throughput, timeout_fraction }
+    SetSummary {
+        measurements,
+        mean_query_time_ms,
+        mean_throughput,
+        timeout_fraction,
+    }
 }
 
 /// Mean of durations in milliseconds.
@@ -245,8 +281,16 @@ pub fn linear_regression(xs: &[f64], ys: &[f64]) -> Option<Regression> {
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    Some(Regression { slope, intercept, r_squared })
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(Regression {
+        slope,
+        intercept,
+        r_squared,
+    })
 }
 
 #[cfg(test)]
@@ -320,7 +364,10 @@ mod tests {
 
     #[test]
     fn cdf_is_monotone() {
-        let ds: Vec<Duration> = [5u64, 1, 3, 2, 4].iter().map(|&m| Duration::from_millis(m)).collect();
+        let ds: Vec<Duration> = [5u64, 1, 3, 2, 4]
+            .iter()
+            .map(|&m| Duration::from_millis(m))
+            .collect();
         let cdf = cdf_points(&ds);
         assert_eq!(cdf.len(), 5);
         assert_eq!(cdf[0], (1.0, 0.2));

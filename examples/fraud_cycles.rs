@@ -22,7 +22,9 @@ fn main() {
     let (base_edges, stream) = all_edges.split_at(all_edges.len() - 200);
 
     let mut builder = GraphBuilder::new(full.num_vertices());
-    builder.add_edges(base_edges.iter().copied()).expect("base edges are valid");
+    builder
+        .add_edges(base_edges.iter().copied())
+        .expect("base edges are valid");
     let mut network = DynamicGraph::new(builder.finish());
 
     let hop_limit = 6u32; // the paper's fraud example uses k = 6 cycles
@@ -36,22 +38,28 @@ fn main() {
         network.insert_edge(payer, payee);
 
         // Cycles through (payer -> payee) = paths payee -> payer of at
-        // most k - 1 hops.
-        let Ok(query) = Query::new(payee, payer, hop_limit - 1) else {
+        // most k - 1 hops. The request layer rejects self-loop-ish
+        // updates (payer == payee) as EqualEndpoints instead of needing
+        // a pre-check.
+        let mut engine = QueryEngine::new(&snapshot, PathEnumConfig::default());
+        let request = QueryRequest::paths(payee, payer).max_hops(hop_limit - 1);
+        let Ok(response) = engine.execute(&request) else {
             continue; // self-loop-ish update, not a valid query
         };
-        let mut sink = CountingSink::default();
-        path_enum(&snapshot, query, PathEnumConfig::default(), &mut sink);
-        if sink.count > 0 {
+        let cycles = response.num_results();
+        if cycles > 0 {
             alerts += 1;
-            total_cycles += sink.count;
-            if worst.is_none_or(|(_, _, c)| sink.count > c) {
-                worst = Some((payer, payee, sink.count));
+            total_cycles += cycles;
+            if worst.is_none_or(|(_, _, c)| cycles > c) {
+                worst = Some((payer, payee, cycles));
             }
         }
     }
 
-    println!("replayed {} transaction insertions (k = {hop_limit})", stream.len());
+    println!(
+        "replayed {} transaction insertions (k = {hop_limit})",
+        stream.len()
+    );
     println!("alerts raised (new edge closes >= 1 cycle): {alerts}");
     println!("total cycles detected: {total_cycles}");
     if let Some((payer, payee, count)) = worst {

@@ -47,31 +47,39 @@ fn main() {
     schema.set_accepting(2).expect("in range");
 
     let queries = generate_queries(&kg, QueryGenConfig::paper_default(8, hop_limit, 11));
+    let mut engine = QueryEngine::new(&kg, PathEnumConfig::default());
     let mut total_matching = 0usize;
+    let mut pairs_with_matches = 0usize;
     for query in &queries {
-        let index = Index::build(&kg, *query);
-        let mut matching = CollectingSink::default();
-        let mut counters = Counters::default();
-        automaton_dfs(&index, &schema, label, &mut matching, &mut counters);
-        if matching.paths.is_empty() {
+        // The schema automaton rides on the request; lazily pull the
+        // matching paths instead of materializing them all.
+        let request = QueryRequest::from_query(*query).automaton(schema.clone(), label);
+        let matching: Vec<_> = engine
+            .stream(&request)
+            .expect("generated queries are in range")
+            .collect();
+        if matching.is_empty() {
             continue;
         }
-        total_matching += matching.paths.len();
+        pairs_with_matches += 1;
+        total_matching += matching.len();
         println!(
             "entities {} -> {}: {} path(s) matching write->mention+",
             query.s,
             query.t,
-            matching.paths.len()
+            matching.len()
         );
-        if let Some(path) = matching.paths.first() {
-            let labels: Vec<&str> =
-                path.windows(2).map(|w| label_name(label(w[0], w[1]))).collect();
+        if let Some(path) = matching.first() {
+            let labels: Vec<&str> = path
+                .windows(2)
+                .map(|w| label_name(label(w[0], w[1])))
+                .collect();
             println!("  e.g. {:?} via [{}]", path, labels.join(", "));
         }
     }
     println!(
         "{} of {} entity pairs have schema-conforming paths ({} paths total)",
-        queries.iter().len().min(queries.len()),
+        pairs_with_matches,
         queries.len(),
         total_matching
     );

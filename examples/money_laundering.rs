@@ -30,29 +30,36 @@ fn main() {
     // proposes.
     let queries = generate_queries(&network, QueryGenConfig::paper_default(5, hop_limit, 7));
 
+    let mut engine = QueryEngine::new(&network, PathEnumConfig::default());
     for query in queries {
-        let index = Index::build(&network, query);
-        let constrained = AccumulativeQuery {
-            identity: 0u64,
-            combine: |a, b| a + b,
-            weight: risk,
-            check: |&total: &u64| total >= risk_threshold,
-            prune: None, // risk must *exceed* a floor: no monotone prune
-        };
-        let mut suspicious = CollectingSink::default();
-        let mut counters = Counters::default();
-        accumulative_dfs(&index, &constrained, &mut suspicious, &mut counters);
+        // The accumulative constraint is a first-class request option;
+        // the engine routes it through its scratch-reusing index build.
+        let request = QueryRequest::from_query(query)
+            .accumulative(AccumulativeQuery {
+                identity: 0u64,
+                combine: |a, b| a + b,
+                weight: risk,
+                check: |&total: &u64| total >= risk_threshold,
+                prune: None, // risk must *exceed* a floor: no monotone prune
+            })
+            .collect_paths(true);
+        let suspicious = engine
+            .execute(&request)
+            .expect("generated queries are in range");
 
-        let mut all = CountingSink::default();
-        let mut all_counters = Counters::default();
-        pathenum_repro::core::enumerate::idx_dfs(&index, &mut all, &mut all_counters);
+        // Each request builds its own query-local index (the paper's
+        // design); the engine's reused scratch keeps the second build
+        // allocation-free.
+        let all = engine
+            .execute(&QueryRequest::from_query(query))
+            .expect("generated queries are in range");
 
         println!(
             "accounts {} -> {} (k = {hop_limit}): {} of {} chains have total risk >= {risk_threshold}",
             query.s,
             query.t,
-            suspicious.paths.len(),
-            all.count,
+            suspicious.num_results(),
+            all.num_results(),
         );
         if let Some(path) = suspicious.paths.first() {
             let total: u64 = path.windows(2).map(|w| risk(w[0], w[1])).sum();

@@ -1,4 +1,5 @@
-//! Quickstart: enumerate hop-constrained s-t paths on a small graph.
+//! Quickstart: enumerate hop-constrained s-t paths on a small graph
+//! through the `QueryRequest` service API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -34,19 +35,28 @@ fn main() {
         .expect("static edge list is valid");
     let graph = builder.finish();
 
-    // q(s, t, 4): all simple paths from s to t with at most 4 edges.
-    let query = Query::new(s, t, 4).expect("valid query");
-    let mut sink = CollectingSink::default();
-    let report = path_enum(&graph, query, PathEnumConfig::default(), &mut sink);
+    // q(s, t, 4): all simple paths from s to t with at most 4 edges,
+    // phrased as a service request.
+    let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+    let request = QueryRequest::paths(s, t).max_hops(4).collect_paths(true);
+    let response = engine
+        .execute(&request)
+        .expect("endpoints are in the graph");
+    let report = &response.report;
 
-    println!("query q(s={}, t={}, k={})", query.s, query.t, query.k);
-    println!("method selected: {}", report.method);
+    println!("request: paths({s}, {t}).max_hops(4)");
+    println!(
+        "method selected: {}; termination: {:?}",
+        report.method, response.termination
+    );
     println!(
         "index: {} edges, {} bytes; preliminary estimate: {} partial results",
         report.index_edges, report.index_bytes, report.preliminary_estimate
     );
-    println!("found {} paths:", sink.paths.len());
-    for path in sink.sorted_paths() {
+    println!("found {} paths:", response.paths.len());
+    let mut paths = response.paths;
+    paths.sort_unstable();
+    for path in paths {
         let pretty: Vec<String> = path
             .iter()
             .map(|&u| match u {

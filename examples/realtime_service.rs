@@ -3,8 +3,10 @@
 //! Simulates the serving pattern the paper's title targets: a stream of
 //! path queries against one in-memory graph under a latency budget.
 //! Demonstrates the production-oriented layers built around the core
-//! algorithm: the scratch-reusing [`QueryEngine`], the PLL-backed global
-//! existence filter (paper §7.5), and the parallel batch runner.
+//! algorithm: the [`QueryRequest`] builder expressing "at most 1000
+//! paths within 20 ms" directly, the scratch-reusing [`QueryEngine`],
+//! the PLL-backed global existence filter (paper §7.5), and the
+//! parallel batch runner.
 //!
 //! ```text
 //! cargo run --release --example realtime_service
@@ -25,7 +27,7 @@ fn main() {
         graph.num_edges()
     );
 
-    // A stream of 200 queries: mostly well-formed (admissible endpoint
+    // A stream of queries: mostly well-formed (admissible endpoint
     // pairs), mixed with random pairs that often have no answer.
     let mut stream = generate_queries(&graph, QueryGenConfig::paper_default(150, 4, 99));
     let n = graph.num_vertices() as u32;
@@ -45,11 +47,14 @@ fn main() {
     );
 
     // Serial serving loop with an engine (reused scratch) + the filter.
+    // The per-query SLA — respond with the first 1000 paths, never
+    // spend more than 20 ms — is the request itself.
     let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
     let mut latencies: Vec<Duration> = Vec::with_capacity(stream.len());
-    let mut served = 0u64;
     let mut filtered = 0u64;
     let mut results = 0u64;
+    let mut capped = 0u64;
+    let mut deadline_hit = 0u64;
     for &query in &stream {
         let start = Instant::now();
         if !service.may_have_results(query) {
@@ -57,24 +62,69 @@ fn main() {
             latencies.push(start.elapsed());
             continue;
         }
-        let mut sink = LimitSink::new(1000); // respond with the first 1000
-        engine.run(query, &mut sink);
-        results += sink.count;
-        served += 1;
+        let request = QueryRequest::from_query(query)
+            .limit(1000)
+            .time_budget(Duration::from_millis(20));
+        let response = engine
+            .execute(&request)
+            .expect("generated queries are in range");
+        results += response.num_results();
+        match response.termination {
+            Termination::LimitReached => capped += 1,
+            Termination::DeadlineExceeded => deadline_hit += 1,
+            _ => {}
+        }
         latencies.push(start.elapsed());
     }
-    println!("\nserial service: {} queries ({} filtered as provably empty)", stream.len(), filtered);
-    println!("  paths returned: {results} (first-1000 cap per query)");
+    println!(
+        "\nserial service: {} queries ({} filtered as provably empty)",
+        stream.len(),
+        filtered
+    );
+    println!(
+        "  paths returned: {results} ({capped} hit the 1000-path cap, {deadline_hit} the 20 ms budget)"
+    );
     println!(
         "  latency p50 = {:.3} ms, p99 = {:.3} ms, p99.9 = {:.3} ms",
         percentile_ms(&latencies, 50.0),
         percentile_ms(&latencies, 99.0),
         percentile_ms(&latencies, 99.9),
     );
-    let _ = served;
+
+    // Pull-based streaming: page through one query's results lazily —
+    // the enumeration advances only as far as the consumer reads.
+    if let Some(&query) = stream.first() {
+        let request = QueryRequest::from_query(query);
+        let mut pages = 0usize;
+        let mut rows = 0usize;
+        let mut stream = engine.stream(&request).expect("in range");
+        loop {
+            let page: Vec<_> = stream.by_ref().take(100).collect();
+            if page.is_empty() {
+                break;
+            }
+            pages += 1;
+            rows += page.len();
+            if pages >= 3 {
+                break; // client paged away; the rest is never enumerated
+            }
+        }
+        println!(
+            "\npull-based stream of q({}, {}, {}): {} rows over {} pages, termination {:?}",
+            query.s,
+            query.t,
+            query.k,
+            rows,
+            pages,
+            stream.termination()
+        );
+    }
 
     // Parallel batch mode: the same stream fanned over a worker pool.
-    let measure = MeasureConfig { time_limit: Duration::from_millis(250), response_limit: 1000 };
+    let measure = MeasureConfig {
+        time_limit: Duration::from_millis(250),
+        response_limit: 1000,
+    };
     let outcome = parallel::run_parallel(&graph, &stream, PathEnumConfig::default(), measure, 0);
     println!(
         "\nparallel batch: {} workers, wall {:.2?}, {:.2e} results/s aggregate",

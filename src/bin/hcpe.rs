@@ -122,7 +122,10 @@ fn main() -> ExitCode {
         let mut sink = FnSinkAdapter(|path: &[VertexId]| {
             println!(
                 "{}",
-                path.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" -> ")
+                path.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
             );
             printed += 1;
             if printed >= limit {

@@ -21,9 +21,13 @@ pub mod prelude {
     pub use pathenum::constraints::{
         accumulative_dfs, automaton_dfs, path_enum_with_predicate, AccumulativeQuery, Automaton,
     };
-    pub use pathenum::sink::{CollectingSink, CountingSink, LimitSink, PathSink, SearchControl};
+    #[allow(deprecated)]
+    pub use pathenum::sink::LimitSink;
+    pub use pathenum::sink::{CollectingSink, CountingSink, PathSink, SearchControl};
     pub use pathenum::{
-        path_enum, Counters, Index, Method, PathEnumConfig, Query, QueryEngine, RunReport,
+        path_enum, CancelToken, ControlledSink, Counters, Index, Method, PathEnumConfig,
+        PathEnumError, PathStream, Query, QueryEngine, QueryRequest, QueryResponse, RunReport,
+        Termination,
     };
     pub use pathenum_graph::{CsrGraph, GraphBuilder, VertexId};
     pub use pathenum_workloads::{Algorithm, MeasureConfig};
@@ -39,7 +43,26 @@ mod tests {
         b.add_edges([(0, 1), (1, 2), (0, 2)]).unwrap();
         let g = b.finish();
         let mut sink = CollectingSink::default();
-        let report = path_enum(&g, Query::new(0, 2, 2).unwrap(), PathEnumConfig::default(), &mut sink);
+        let report = path_enum(
+            &g,
+            Query::new(0, 2, 2).unwrap(),
+            PathEnumConfig::default(),
+            &mut sink,
+        )
+        .unwrap();
         assert_eq!(report.counters.results, 2);
+    }
+
+    #[test]
+    fn prelude_exposes_the_request_api() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edges([(0, 1), (1, 2), (0, 2)]).unwrap();
+        let g = b.finish();
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        let response = engine
+            .execute(&QueryRequest::paths(0, 2).max_hops(2).collect_paths(true))
+            .unwrap();
+        assert_eq!(response.termination, Termination::Completed);
+        assert_eq!(response.paths.len(), 2);
     }
 }

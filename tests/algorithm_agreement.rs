@@ -65,7 +65,7 @@ proptest! {
         let q = Query::new(0, 1, k).expect("valid");
         let expected = reference_paths(&g, q);
         let mut sink = CollectingSink::default();
-        path_enum(&g, q, PathEnumConfig { tau: 0, force: None }, &mut sink);
+        path_enum(&g, q, PathEnumConfig { tau: 0, force: None }, &mut sink).expect("valid");
         prop_assert_eq!(sink.sorted_paths(), expected);
     }
 
@@ -77,7 +77,7 @@ proptest! {
         let g = graph_from_edges(n, &edges);
         let q = Query::new(0, 1, k).expect("valid");
         let mut sink = CollectingSink::default();
-        path_enum(&g, q, PathEnumConfig::default(), &mut sink);
+        path_enum(&g, q, PathEnumConfig::default(), &mut sink).expect("valid");
         for path in &sink.paths {
             prop_assert!(path.len() as u32 - 1 <= k);
             prop_assert_eq!(path[0], 0);
@@ -101,7 +101,12 @@ fn agreement_on_the_dataset_proxies() {
     let queries = generate_queries(&g, QueryGenConfig::paper_default(3, 4, 5));
     for q in queries {
         let mut reference: Option<Vec<Vec<VertexId>>> = None;
-        for algo in [Algorithm::BcDfs, Algorithm::BcJoin, Algorithm::IdxDfs, Algorithm::IdxJoin] {
+        for algo in [
+            Algorithm::BcDfs,
+            Algorithm::BcJoin,
+            Algorithm::IdxDfs,
+            Algorithm::IdxJoin,
+        ] {
             let mut sink = CollectingSink::default();
             algo.run(&g, q, &mut sink);
             let paths = sink.sorted_paths();

@@ -26,7 +26,7 @@ fn arb_graph() -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
 
 /// Deterministic pseudo-weight per edge in 0..8.
 fn weight(u: u32, v: u32) -> u64 {
-    ((u64::from(u) << 32 | u64::from(v)).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 61)
+    (u64::from(u) << 32 | u64::from(v)).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 61
 }
 
 /// Deterministic binary label per edge.
@@ -55,7 +55,8 @@ proptest! {
         let mut constrained = CollectingSink::default();
         pathenum_repro::core::constraints::path_enum_with_predicate(
             &g, q, PathEnumConfig::default(), pred, &mut constrained,
-        );
+        )
+        .expect("valid query");
         let mut expected: Vec<Vec<VertexId>> = all_paths(&g, q)
             .into_iter()
             .filter(|p| p.windows(2).all(|w| pred(w[0], w[1])))

@@ -47,8 +47,8 @@ proptest! {
         let q = Query::new(0, 1, k).expect("valid");
         let mut a = CollectingSink::default();
         let mut b = CollectingSink::default();
-        path_enum(&snapshot, q, PathEnumConfig::default(), &mut a);
-        path_enum(&rebuilt, q, PathEnumConfig::default(), &mut b);
+        path_enum(&snapshot, q, PathEnumConfig::default(), &mut a).expect("valid query");
+        path_enum(&rebuilt, q, PathEnumConfig::default(), &mut b).expect("valid query");
         prop_assert_eq!(a.sorted_paths(), b.sorted_paths());
     }
 
@@ -68,7 +68,7 @@ proptest! {
         // edges in the pre-insertion graph.
         let q = Query::new(v, u, k - 1).expect("u != v");
         let mut sink = CollectingSink::default();
-        path_enum(&graph, q, PathEnumConfig::default(), &mut sink);
+        path_enum(&graph, q, PathEnumConfig::default(), &mut sink).expect("valid query");
 
         // Each reported path closed by (u, v) is a simple cycle of <= k
         // edges containing the new edge.

@@ -15,7 +15,10 @@ fn full_pipeline_on_gg() {
     let graph = datasets::gg();
     let queries = generate_queries(&graph, QueryGenConfig::paper_default(6, 5, 17));
     assert_eq!(queries.len(), 6);
-    let config = MeasureConfig { time_limit: Duration::from_millis(200), response_limit: 100 };
+    let config = MeasureConfig {
+        time_limit: Duration::from_millis(200),
+        response_limit: 100,
+    };
 
     // Every algorithm of Table 3 completes and agrees on result counts
     // for queries that do not time out.
@@ -44,7 +47,10 @@ fn full_pipeline_on_gg() {
 fn response_time_is_bounded_by_query_time_limit() {
     let graph = datasets::ep();
     let queries = generate_queries(&graph, QueryGenConfig::paper_default(3, 6, 23));
-    let config = MeasureConfig { time_limit: Duration::from_millis(150), response_limit: 50 };
+    let config = MeasureConfig {
+        time_limit: Duration::from_millis(150),
+        response_limit: 50,
+    };
     for q in queries {
         let response = measure_response_time(Algorithm::IdxDfs, &graph, q, config);
         assert!(response <= config.time_limit + Duration::from_millis(50));
@@ -57,7 +63,10 @@ fn timeouts_are_reported_on_hostile_workloads() {
     // runner must censor rather than hang.
     let graph = datasets::build("ye").expect("registered");
     let queries = generate_queries(&graph, QueryGenConfig::paper_default(2, 8, 31));
-    let config = MeasureConfig { time_limit: Duration::from_millis(50), response_limit: 1000 };
+    let config = MeasureConfig {
+        time_limit: Duration::from_millis(50),
+        response_limit: 1000,
+    };
     for q in queries {
         let m = run_query(Algorithm::IdxDfs, &graph, q, config);
         assert!(m.elapsed <= config.time_limit + Duration::from_millis(100));
@@ -80,7 +89,7 @@ fn pathenum_optimizer_picks_join_somewhere_on_dense_graphs() {
             Some(2000),
             Some(Duration::from_millis(100)),
         );
-        let report = path_enum(&graph, q, PathEnumConfig::default(), &mut sink);
+        let report = path_enum(&graph, q, PathEnumConfig::default(), &mut sink).expect("valid");
         methods.insert(report.method);
     }
     assert!(!methods.is_empty());

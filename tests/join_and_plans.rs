@@ -101,9 +101,9 @@ proptest! {
         let q = Query::new(0, 1, k).expect("valid");
         let index = Index::build(&g, q);
         let total = dfs_paths(&index).len() as u64;
-        let mut sink = LimitSink::new(limit);
+        let mut sink = ControlledSink::new(CountingSink::default(), Some(limit), None, None);
         let mut counters = Counters::default();
         idx_join(&index, (k / 2).max(1).min(k - 1), &mut sink, &mut counters);
-        prop_assert_eq!(sink.count, total.min(limit));
+        prop_assert_eq!(sink.emitted(), total.min(limit));
     }
 }
