@@ -12,6 +12,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod scaling;
 pub mod support;
 pub mod table3;
 pub mod table4;
@@ -90,6 +91,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "ablation",
             "Extra ablations: pruning power, barriers, T-DFS",
             ablation::run,
+        ),
+        (
+            "scaling",
+            "Intra-query parallel scaling (threads 1/2/4/8)",
+            scaling::run,
         ),
     ]
 }

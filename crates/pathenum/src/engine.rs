@@ -171,6 +171,15 @@ impl<'g> QueryEngine<'g> {
             tau: request.tau.unwrap_or(self.config.tau),
             force: request.method.or(self.config.force),
         };
+
+        // Intra-query parallelism: plain (unconstrained) requests with
+        // threads != 1 fan the search out over a scoped worker pool; the
+        // constraint executors below stay sequential for now.
+        let threads = crate::parallel::resolve_threads(request.threads);
+        if threads > 1 && matches!(request.constraint, ConstraintSpec::None) {
+            return Ok(self.execute_parallel(query, config, request, deadline, threads, sink));
+        }
+
         let mut control =
             ControlledSink::new(sink, request.limit, deadline, request.cancel.clone());
 
@@ -271,6 +280,67 @@ impl<'g> QueryEngine<'g> {
             termination,
             paths: Vec::new(),
         })
+    }
+
+    /// The parallel arm of [`execute_into`](Self::execute_into): same
+    /// pipeline front half (scratch-reusing index build, estimate,
+    /// method choice), then a scoped worker pool under one
+    /// [`SharedControl`](crate::parallel::SharedControl) instead of a
+    /// [`ControlledSink`]. Results reach `sink` pre-merged in the
+    /// canonical partition order.
+    fn execute_parallel(
+        &mut self,
+        query: Query,
+        config: PathEnumConfig,
+        request: &QueryRequest<'_>,
+        deadline: Option<Instant>,
+        threads: usize,
+        sink: &mut dyn PathSink,
+    ) -> QueryResponse {
+        let build_start = Instant::now();
+        let (index, bfs_time) = Index::build_reusing(self.graph, query, &mut self.scratch);
+        let mut timings = PhaseTimings {
+            bfs: bfs_time,
+            index_build: build_start.elapsed(),
+            ..PhaseTimings::default()
+        };
+        let choice = choose_method(&index, config, &mut timings);
+        let control =
+            crate::parallel::SharedControl::new(request.limit, deadline, request.cancel.clone());
+        let mut counters = Counters::default();
+        let enum_start = Instant::now();
+        match choice.method {
+            Method::IdxDfs => {
+                crate::parallel::parallel_dfs(&index, threads, &control, sink, &mut counters);
+            }
+            Method::IdxJoin => {
+                let cut = choice.cut.expect("choose_method sets the cut for IDX-JOIN");
+                crate::parallel::parallel_join(&index, cut, threads, &control, sink, &mut counters);
+            }
+        }
+        timings.enumeration = enum_start.elapsed();
+
+        let termination = control.termination();
+        let mut report = RunReport {
+            method: choice.method,
+            timings,
+            counters,
+            preliminary_estimate: choice.preliminary,
+            full_estimate: choice.full_estimate,
+            cut_position: choice.cut,
+            index_bytes: index.heap_bytes(),
+            index_edges: index.num_edges(),
+        };
+        if termination.is_early() {
+            // Workers count a result before the shared budget can refuse
+            // it; the admitted count is authoritative.
+            report.counters.results = control.delivered();
+        }
+        QueryResponse {
+            report,
+            termination,
+            paths: Vec::new(),
+        }
     }
 
     /// Builds the index for a [`QueryRequest`] (reusing scratch) and
@@ -458,6 +528,105 @@ mod tests {
             from_stream.sort_unstable();
             assert_eq!(from_execute, from_stream, "t={t}");
         }
+    }
+
+    #[test]
+    fn threaded_execute_matches_sequential_set_and_order() {
+        let g = erdos_renyi(50, 320, 11);
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        for t in 1..8u32 {
+            let sequential = engine
+                .execute(&QueryRequest::paths(0, t).max_hops(5).collect_paths(true))
+                .unwrap();
+            let mut orders: Vec<Vec<Vec<u32>>> = Vec::new();
+            for threads in [2usize, 4, 8] {
+                let parallel = engine
+                    .execute(
+                        &QueryRequest::paths(0, t)
+                            .max_hops(5)
+                            .threads(threads)
+                            .collect_paths(true),
+                    )
+                    .unwrap();
+                assert_eq!(parallel.termination, Termination::Completed);
+                assert_eq!(parallel.num_results(), sequential.num_results(), "t={t}");
+                let mut sorted = parallel.paths.clone();
+                sorted.sort_unstable();
+                let mut expected = sequential.paths.clone();
+                expected.sort_unstable();
+                assert_eq!(sorted, expected, "t={t} threads={threads}");
+                orders.push(parallel.paths);
+            }
+            for pair in orders.windows(2) {
+                assert_eq!(pair[0], pair[1], "merge order varies with thread count");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_execute_reports_exact_limit() {
+        let g = pathenum_graph::generators::complete_digraph(9);
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        for limit in [1u64, 5, 40] {
+            let response = engine
+                .execute(
+                    &QueryRequest::paths(0, 8)
+                        .max_hops(4)
+                        .threads(4)
+                        .limit(limit)
+                        .collect_paths(true),
+                )
+                .unwrap();
+            assert_eq!(response.termination, Termination::LimitReached);
+            assert_eq!(response.num_results(), limit);
+            assert_eq!(response.paths.len() as u64, limit);
+        }
+    }
+
+    #[test]
+    fn threaded_execute_honors_forced_methods() {
+        let g = erdos_renyi(40, 260, 5);
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        for method in [Method::IdxDfs, Method::IdxJoin] {
+            let sequential = engine
+                .execute(
+                    &QueryRequest::paths(0, 1)
+                        .max_hops(4)
+                        .method(method)
+                        .collect_paths(true),
+                )
+                .unwrap();
+            let parallel = engine
+                .execute(
+                    &QueryRequest::paths(0, 1)
+                        .max_hops(4)
+                        .method(method)
+                        .threads(4)
+                        .collect_paths(true),
+                )
+                .unwrap();
+            assert_eq!(parallel.report.method, method);
+            let mut a = sequential.paths;
+            let mut b = parallel.paths;
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{method}");
+        }
+    }
+
+    #[test]
+    fn threaded_execute_with_auto_thread_count_works() {
+        let g = figure1_graph();
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        let response = engine
+            .execute(
+                &QueryRequest::paths(S, T)
+                    .max_hops(4)
+                    .threads(0)
+                    .collect_paths(true),
+            )
+            .unwrap();
+        assert_eq!(response.num_results(), 5);
     }
 
     #[test]

@@ -1,4 +1,10 @@
 //! IDX-DFS: depth-first search on the index (Algorithm 4).
+//!
+//! This recursive form is the reference implementation;
+//! [`super::dfs_iterative`] is the explicit-stack equivalent whose
+//! seeded variant powers the intra-query parallel executor
+//! ([`crate::parallel::parallel_dfs`]) — the emission order produced
+//! here is exactly the order the parallel merge reproduces.
 
 use pathenum_graph::VertexId;
 

@@ -25,6 +25,15 @@ struct Frame {
     found: bool,
 }
 
+/// Reusable buffers of [`idx_dfs_seeded`], so a worker that runs many
+/// seeded searches back-to-back (the intra-query parallel tasks of
+/// [`crate::parallel`]) allocates its stack and path scratch once.
+#[derive(Debug, Default)]
+pub(crate) struct SeededScratch {
+    stack: Vec<Frame>,
+    path: Vec<VertexId>,
+}
+
 /// Enumerates all hop-constrained s-t paths by an explicit-stack DFS on
 /// the index. Emission and counter semantics match
 /// [`super::dfs::idx_dfs`] exactly.
@@ -36,19 +45,50 @@ pub fn idx_dfs_iterative(
     let (Some(s_local), Some(t_local)) = (index.s_local(), index.t_local()) else {
         return SearchControl::Continue;
     };
-    let k = index.k();
-    let mut stack: Vec<Frame> = Vec::with_capacity(k as usize + 1);
-    let mut scratch: Vec<VertexId> = Vec::with_capacity(k as usize + 1);
-    stack.push(Frame {
-        vertex: s_local,
-        cursor: 0,
-        found: false,
-    });
-
     // Count the root's neighbor scan once, mirroring the recursive entry.
     if s_local != t_local {
-        counters.edges_accessed += index.i_t(s_local, k - 1).len() as u64;
+        counters.edges_accessed += index.i_t(s_local, index.k() - 1).len() as u64;
     }
+    let mut scratch = SeededScratch::default();
+    idx_dfs_seeded(index, &[s_local], &mut scratch, sink, counters)
+}
+
+/// The DFS continuation below a fixed prefix: enumerates every
+/// hop-constrained s-t path that starts with `prefix` (local ids,
+/// `prefix[0] == s`), never backtracking past the prefix boundary.
+///
+/// `idx_dfs_iterative` is the `prefix == [s]` special case; the
+/// intra-query parallel executor runs one seeded search per frontier
+/// partition and concatenates the outputs, which reproduces the full
+/// sequential DFS emission order. A prefix that already ends at `t`
+/// emits exactly that path. The prefix's own neighbor scan is *not*
+/// charged to `counters` (the caller decides whether the split phase or
+/// the task accounts for it).
+pub(crate) fn idx_dfs_seeded(
+    index: &Index,
+    prefix: &[LocalId],
+    scratch: &mut SeededScratch,
+    sink: &mut dyn PathSink,
+    counters: &mut Counters,
+) -> SearchControl {
+    let Some(t_local) = index.t_local() else {
+        return SearchControl::Continue;
+    };
+    debug_assert!(!prefix.is_empty(), "seeded DFS needs a non-empty prefix");
+    debug_assert_eq!(Some(prefix[0]), index.s_local(), "prefix starts at s");
+    let k = index.k();
+    let floor = prefix.len();
+    let stack = &mut scratch.stack;
+    stack.clear();
+    // Frames below the top of the seed are frozen: their cursors are
+    // never consulted because the search stops before popping past the
+    // prefix boundary.
+    stack.extend(prefix.iter().map(|&vertex| Frame {
+        vertex,
+        cursor: u32::MAX,
+        found: false,
+    }));
+    stack.last_mut().expect("prefix is non-empty").cursor = 0;
 
     let mut probe_tick = 0u32;
     while let Some(top) = stack.last().copied() {
@@ -61,10 +101,17 @@ pub fn idx_dfs_iterative(
             // Emit and force-backtrack: t's only neighbor is the padding
             // loop, which the plain DFS never follows.
             counters.results += 1;
-            scratch.clear();
-            scratch.extend(stack.iter().map(|f| index.global(f.vertex)));
-            if sink.emit(&scratch) == SearchControl::Stop {
+            scratch.path.clear();
+            scratch
+                .path
+                .extend(stack.iter().map(|f| index.global(f.vertex)));
+            if sink.emit(&scratch.path) == SearchControl::Stop {
                 return SearchControl::Stop;
+            }
+            if stack.len() == floor {
+                // The seed itself was a complete path; nothing below it
+                // belongs to this task.
+                break;
             }
             stack.pop();
             if let Some(parent) = stack.last_mut() {
@@ -99,6 +146,10 @@ pub fn idx_dfs_iterative(
             break;
         }
         if !advanced {
+            if stack.len() == floor {
+                // Never backtrack past the seed prefix.
+                break;
+            }
             // Exhausted: pop and account. The root (s) is not a generated
             // partial result, so it is never counted as invalid.
             let frame = stack.pop().expect("stack is non-empty");
@@ -177,6 +228,59 @@ mod tests {
         let control = idx_dfs_iterative(&index, &mut sink, &mut counters);
         assert_eq!(control, SearchControl::Stop);
         assert_eq!(sink.emitted(), 3);
+    }
+
+    #[test]
+    fn seeded_first_hop_partitions_concatenate_to_the_full_emission_order() {
+        // The defining property behind intra-query parallel DFS: running
+        // one seeded search per admissible first hop of s and
+        // concatenating the outputs in neighbor order reproduces the
+        // sequential emission order exactly.
+        for (g, k) in [
+            (figure1_graph(), 4),
+            (figure1_graph(), 6),
+            (erdos_renyi(30, 160, 3), 5),
+            (complete_digraph(7), 4),
+        ] {
+            let index = Index::build(&g, Query::new(0, 1, k).unwrap());
+            let mut full_sink = CollectingSink::default();
+            let mut counters = Counters::default();
+            idx_dfs_iterative(&index, &mut full_sink, &mut counters);
+
+            let mut merged = CollectingSink::default();
+            let mut scratch = SeededScratch::default();
+            if let Some(s) = index.s_local() {
+                for &first in index.i_t(s, k - 1) {
+                    let mut task_counters = Counters::default();
+                    idx_dfs_seeded(
+                        &index,
+                        &[s, first],
+                        &mut scratch,
+                        &mut merged,
+                        &mut task_counters,
+                    );
+                }
+            }
+            assert_eq!(full_sink.paths, merged.paths, "k={k}");
+        }
+    }
+
+    #[test]
+    fn seeded_complete_prefix_emits_exactly_itself() {
+        let g = figure1_graph();
+        let index = Index::build(&g, Query::new(S, T, 4).unwrap());
+        let s = index.s_local().unwrap();
+        let t = index.t_local().unwrap();
+        // Find the local id of v0, the direct predecessor of t.
+        let v0 = (0..index.num_vertices() as LocalId)
+            .find(|&l| index.global(l) == V[0])
+            .unwrap();
+        let mut sink = CollectingSink::default();
+        let mut counters = Counters::default();
+        let mut scratch = SeededScratch::default();
+        idx_dfs_seeded(&index, &[s, v0, t], &mut scratch, &mut sink, &mut counters);
+        assert_eq!(sink.paths, vec![vec![S, V[0], T]]);
+        assert_eq!(counters.results, 1);
     }
 
     #[test]

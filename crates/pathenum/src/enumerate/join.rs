@@ -118,34 +118,47 @@ pub fn idx_join(
 }
 
 /// Flat storage for fixed-width tuples of local ids.
-struct TupleBuffer {
+///
+/// Crate-visible so the intra-query parallel join ([`crate::parallel`])
+/// can materialize its per-partition suffix relations with the same
+/// representation (and reuse one buffer per worker across join keys).
+pub(crate) struct TupleBuffer {
     width: usize,
     storage: Vec<LocalId>,
 }
 
 impl TupleBuffer {
-    fn new(width: usize) -> Self {
+    pub(crate) fn new(width: usize) -> Self {
         TupleBuffer {
             width,
             storage: Vec::new(),
         }
     }
 
-    fn push(&mut self, tuple: &[LocalId]) {
+    pub(crate) fn push(&mut self, tuple: &[LocalId]) {
         debug_assert_eq!(tuple.len(), self.width);
         self.storage.extend_from_slice(tuple);
     }
 
-    #[cfg(test)]
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.storage.len() / self.width
     }
 
-    fn get(&self, i: usize) -> &[LocalId] {
+    /// Total vertices stored (the materialized-memory statistic).
+    pub(crate) fn flat_len(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// Drops every tuple, keeping the allocation.
+    pub(crate) fn clear(&mut self) {
+        self.storage.clear();
+    }
+
+    pub(crate) fn get(&self, i: usize) -> &[LocalId] {
         &self.storage[i * self.width..(i + 1) * self.width]
     }
 
-    fn iter(&self) -> impl Iterator<Item = &[LocalId]> {
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &[LocalId]> {
         self.storage.chunks_exact(self.width)
     }
 }
@@ -155,7 +168,7 @@ impl TupleBuffer {
 /// through [`PathSink::probe`] — materialization emits nothing, but
 /// deadline/cancellation rules must still be able to interrupt it.
 #[allow(clippy::too_many_arguments)]
-fn enumerate_side(
+pub(crate) fn enumerate_side(
     index: &Index,
     root: LocalId,
     from: u32,
@@ -225,7 +238,7 @@ fn side_search(
 
 /// If `tuple` (a full-width joined walk) is a valid simple s-t path after
 /// stripping `t`-padding, returns the path length in vertices; else `None`.
-fn valid_path_len(tuple: &[LocalId], t_local: LocalId) -> Option<usize> {
+pub(crate) fn valid_path_len(tuple: &[LocalId], t_local: LocalId) -> Option<usize> {
     let first_t = tuple.iter().position(|&v| v == t_local)?;
     let len = first_t + 1;
     // By index construction everything after the first t is t; the real

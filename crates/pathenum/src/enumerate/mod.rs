@@ -6,6 +6,11 @@
 //! * [`join`] — Algorithm 6: cut the chain query at position `i*`, evaluate
 //!   both sides by DFS on the index, and hash-join the intermediate
 //!   relations.
+//!
+//! Both kernels have intra-query parallel counterparts in
+//! [`crate::parallel`], which split the search space into independent
+//! partitions (prefix subtrees for DFS, join-key ranges for the join)
+//! and merge deterministically.
 
 pub mod dfs;
 pub mod dfs_iterative;

@@ -20,6 +20,11 @@
 //! accumulative values, action-sequence automata) live in [`constraints`]
 //! and attach to requests as first-class options.
 //!
+//! A single heavy query can also fan its search out over an intra-query
+//! worker pool ([`parallel`], surfaced as
+//! [`QueryRequest::threads`](request::QueryRequest::threads)) with a
+//! deterministic merged output.
+//!
 //! # Serving queries
 //!
 //! Services talk to the engine through the [`request`] layer: build a
@@ -72,6 +77,7 @@ pub mod estimator;
 pub mod global;
 pub mod index;
 pub mod optimizer;
+pub mod parallel;
 pub mod query;
 pub mod reference;
 pub mod relations;
@@ -83,6 +89,7 @@ pub mod stats;
 pub use engine::QueryEngine;
 pub use index::Index;
 pub use optimizer::{optimize_join_order, path_enum, path_enum_on_index, JoinPlan, PathEnumConfig};
+pub use parallel::SharedControl;
 pub use query::Query;
 pub use request::{
     CancelToken, ControlledSink, PathEnumError, PathStream, QueryRequest, QueryResponse,
@@ -90,5 +97,5 @@ pub use request::{
 };
 #[allow(deprecated)]
 pub use sink::LimitSink;
-pub use sink::{CollectingSink, CountingSink, PathSink, SearchControl};
+pub use sink::{CollectingSink, CountingSink, PathBuffer, PathSink, SearchControl};
 pub use stats::{Counters, Method, PhaseTimings, RunReport};

@@ -266,6 +266,7 @@ pub struct QueryRequest<'a> {
     pub(crate) cancel: Option<CancelToken>,
     pub(crate) method: Option<Method>,
     pub(crate) tau: Option<u64>,
+    pub(crate) threads: usize,
     pub(crate) collect: bool,
     pub(crate) constraint: ConstraintSpec<'a>,
     /// Set when a second constraint setter ran; surfaced at validation.
@@ -282,6 +283,7 @@ impl std::fmt::Debug for QueryRequest<'_> {
             .field("time_budget", &self.time_budget)
             .field("cancellable", &self.cancel.is_some())
             .field("method", &self.method)
+            .field("threads", &self.threads)
             .field("constraint", &self.constraint.name())
             .finish()
     }
@@ -303,6 +305,7 @@ impl<'a> QueryRequest<'a> {
             cancel: None,
             method: None,
             tau: None,
+            threads: 1,
             collect: false,
             constraint: ConstraintSpec::None,
             conflict: None,
@@ -355,6 +358,34 @@ impl<'a> QueryRequest<'a> {
     /// Overrides the preliminary-estimate threshold `tau` (Section 6.2).
     pub fn tau(mut self, tau: u64) -> Self {
         self.tau = Some(tau);
+        self
+    }
+
+    /// Evaluates the request with `n` intra-query worker threads (see
+    /// [`crate::parallel`]).
+    ///
+    /// * `1` (the default) — sequential evaluation;
+    /// * `0` — one worker per available core;
+    /// * `n >= 2` — a scoped pool of `n` workers splitting this query's
+    ///   search space (first-hop partitions for T-DFS, join-key ranges
+    ///   for IDX-JOIN).
+    ///
+    /// The merged output is deterministic: identical set *and* order for
+    /// every `n >= 2` (and for the DFS method, identical to the
+    /// sequential order). Determinism costs buffering — an unbounded
+    /// parallel run holds all results in memory until the merge, and a
+    /// `Stop` from the caller's sink bounds delivery but not the search;
+    /// bound heavy queries with [`limit`](Self::limit) /
+    /// [`time_budget`](Self::time_budget) instead (see
+    /// [`crate::parallel`], "Cost of the deterministic merge").
+    ///
+    /// Requests with a constraint attached
+    /// ([`predicate`](Self::predicate), [`accumulative`](Self::accumulative),
+    /// [`automaton`](Self::automaton)) and
+    /// [`stream`](crate::QueryEngine::stream) evaluation currently run
+    /// sequentially regardless of this setting.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
         self
     }
 
@@ -811,6 +842,7 @@ mod tests {
             .cancel_token(token.clone())
             .method(Method::IdxJoin)
             .tau(7)
+            .threads(4)
             .collect_paths(true);
         assert_eq!(req.s, 0);
         assert_eq!(req.t, 1);
@@ -819,6 +851,7 @@ mod tests {
         assert_eq!(req.time_budget, Some(Duration::from_millis(50)));
         assert_eq!(req.method, Some(Method::IdxJoin));
         assert_eq!(req.tau, Some(7));
+        assert_eq!(req.threads, 4);
         assert!(req.collect);
         assert!(req.validate(10).is_ok());
     }

@@ -150,6 +150,73 @@ impl PathSink for LimitSink {
     }
 }
 
+/// Flat storage for variable-length paths: one contiguous `data` vector
+/// plus per-path end offsets.
+///
+/// A `Vec<Vec<VertexId>>` pays one heap allocation per path; enumeration
+/// workloads emit millions of short paths, so the intra-query parallel
+/// workers ([`crate::parallel`]) buffer their partition's results here
+/// and the coordinator replays them into the caller's sink in canonical
+/// order. Also usable directly as a [`PathSink`].
+#[derive(Debug, Default, Clone)]
+pub struct PathBuffer {
+    /// End offset (exclusive) of each stored path within `data`.
+    /// Full-width offsets: a buffer past 2^32 total vertices must not
+    /// silently wrap (offsets are one word per *path*, so the overhead
+    /// relative to the vertex data is small).
+    ends: Vec<usize>,
+    /// Concatenated vertex sequences.
+    data: Vec<VertexId>,
+}
+
+impl PathBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        PathBuffer::default()
+    }
+
+    /// Appends one path.
+    pub fn push(&mut self, path: &[VertexId]) {
+        self.data.extend_from_slice(path);
+        self.ends.push(self.data.len());
+    }
+
+    /// Number of stored paths.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Whether no path is stored.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Removes every stored path, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.ends.clear();
+        self.data.clear();
+    }
+
+    /// The `i`-th stored path.
+    pub fn get(&self, i: usize) -> &[VertexId] {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] };
+        &self.data[start..self.ends[i]]
+    }
+
+    /// Iterates the stored paths in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &[VertexId]> {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+impl PathSink for PathBuffer {
+    #[inline]
+    fn emit(&mut self, path: &[VertexId]) -> SearchControl {
+        self.push(path);
+        SearchControl::Continue
+    }
+}
+
 /// Adapts a closure into a sink.
 pub struct FnSink<F: FnMut(&[VertexId]) -> SearchControl>(pub F);
 
@@ -247,6 +314,25 @@ mod tests {
         sink.emit(&[0, 2, 1]);
         sink.emit(&[0, 1, 2]);
         assert_eq!(sink.sorted_paths(), vec![vec![0, 1, 2], vec![0, 2, 1]]);
+    }
+
+    #[test]
+    fn path_buffer_round_trips_variable_length_paths() {
+        let mut buf = PathBuffer::new();
+        assert!(buf.is_empty());
+        buf.push(&[0, 1, 2]);
+        buf.push(&[3, 4]);
+        assert_eq!(buf.emit(&[5, 6, 7, 8]), SearchControl::Continue);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.get(0), &[0, 1, 2]);
+        assert_eq!(buf.get(1), &[3, 4]);
+        assert_eq!(buf.get(2), &[5, 6, 7, 8]);
+        let collected: Vec<Vec<VertexId>> = buf.iter().map(<[VertexId]>::to_vec).collect();
+        assert_eq!(collected, vec![vec![0, 1, 2], vec![3, 4], vec![5, 6, 7, 8]]);
+        buf.clear();
+        assert!(buf.is_empty());
+        buf.push(&[9]);
+        assert_eq!(buf.get(0), &[9]);
     }
 
     #[test]

@@ -18,6 +18,6 @@ pub mod querygen;
 pub mod runner;
 
 pub use algorithms::{AlgoReport, Algorithm};
-pub use parallel::{run_parallel, ParallelOutcome};
+pub use parallel::{run_parallel, run_parallel_intra, ParallelOutcome};
 pub use querygen::{generate_queries, QueryGenConfig, QuerySetting};
 pub use runner::{run_query, MeasureConfig, QueryMeasurement};

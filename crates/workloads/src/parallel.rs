@@ -1,21 +1,29 @@
 //! Parallel query-set evaluation.
 //!
-//! The paper's algorithms are single-threaded per query, but an online
-//! service answers many independent queries at once; per-query indexes
-//! (no shared mutable state) make HcPE embarrassingly parallel across
-//! queries. This runner fans a query set out over a worker pool using
-//! scoped threads — each worker owns a [`pathenum::QueryEngine`] so
-//! construction scratch is reused within a worker — and preserves the
-//! query order in its output.
+//! An online service answers many independent queries at once;
+//! per-query indexes (no shared mutable state) make HcPE embarrassingly
+//! parallel across queries. This runner fans a query set out over a
+//! worker pool using scoped threads — each worker owns a
+//! [`pathenum::QueryEngine`] so construction scratch is reused within a
+//! worker — and preserves the query order in its output.
+//!
+//! Since the core engine gained *intra*-query parallelism
+//! ([`pathenum::parallel`]), this runner is a thin shell over the
+//! request layer: each query becomes a
+//! [`QueryRequest`](pathenum::QueryRequest) with the batch time limit as
+//! its [`time_budget`](pathenum::QueryRequest::time_budget), and
+//! [`run_parallel_intra`] can additionally give every query its own
+//! worker pool — the right trade when the batch is small but individual
+//! queries are heavy (see the README's "Parallel execution" section).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use pathenum::query::Query;
-use pathenum::{PathEnumConfig, QueryEngine};
+use pathenum::{CountingSink, PathEnumConfig, QueryEngine, QueryRequest, Termination};
 use pathenum_graph::CsrGraph;
 
-use crate::runner::{BoundedSink, MeasureConfig};
+use crate::runner::MeasureConfig;
 
 /// Result counts and timings of one parallel run.
 #[derive(Debug, Clone)]
@@ -38,7 +46,8 @@ impl ParallelOutcome {
     }
 }
 
-/// Evaluates `queries` with PathEnum on `workers` threads.
+/// Evaluates `queries` with PathEnum on `workers` threads, one thread
+/// per in-flight query.
 ///
 /// `workers == 0` selects the available parallelism. Work is distributed
 /// by an atomic cursor, so stragglers (heavy queries) do not serialize
@@ -50,14 +59,25 @@ pub fn run_parallel(
     measure: MeasureConfig,
     workers: usize,
 ) -> ParallelOutcome {
-    let workers = if workers == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        workers
-    };
-    let workers = workers.min(queries.len().max(1));
+    run_parallel_intra(graph, queries, config, measure, workers, 1)
+}
+
+/// Two-level parallel evaluation: `workers` engines answer queries
+/// concurrently, and each query additionally runs on `intra_threads`
+/// intra-query workers (`QueryRequest::threads`).
+///
+/// `intra_threads == 1` reduces to [`run_parallel`]. Oversubscription is
+/// the caller's responsibility: `workers * intra_threads` should not
+/// exceed the machine by much.
+pub fn run_parallel_intra(
+    graph: &CsrGraph,
+    queries: &[Query],
+    config: PathEnumConfig,
+    measure: MeasureConfig,
+    workers: usize,
+    intra_threads: usize,
+) -> ParallelOutcome {
+    let workers = pathenum::parallel::resolve_threads(workers).min(queries.len().max(1));
     let cursor = AtomicUsize::new(0);
     let results: Vec<Mutex<(u64, bool)>> =
         (0..queries.len()).map(|_| Mutex::new((0, false))).collect();
@@ -72,12 +92,17 @@ pub fn run_parallel(
                     if i >= queries.len() {
                         break;
                     }
-                    let mut sink = BoundedSink::new(None, Some(measure.time_limit));
-                    engine
-                        .run(queries[i], &mut sink)
+                    let request = QueryRequest::from_query(queries[i])
+                        .time_budget(measure.time_limit)
+                        .threads(intra_threads);
+                    let mut sink = CountingSink::default();
+                    let response = engine
+                        .execute_into(&request, &mut sink)
                         .expect("parallel batch queries are in range");
-                    *results[i].lock().expect("no poisoned result slot") =
-                        (sink.count, sink.timed_out);
+                    *results[i].lock().expect("no poisoned result slot") = (
+                        response.num_results(),
+                        response.termination == Termination::DeadlineExceeded,
+                    );
                 }
             });
         }
@@ -122,6 +147,19 @@ mod tests {
             assert_eq!(outcome.results[i], sink.count, "query {i}");
             assert!(!outcome.timed_out[i]);
         }
+    }
+
+    #[test]
+    fn intra_query_threads_do_not_change_counts() {
+        let g = datasets::gg();
+        let queries = generate_queries(&g, QueryGenConfig::paper_default(6, 5, 9));
+        let measure = MeasureConfig {
+            time_limit: std::time::Duration::from_secs(5),
+            response_limit: 1000,
+        };
+        let flat = run_parallel(&g, &queries, PathEnumConfig::default(), measure, 2);
+        let nested = run_parallel_intra(&g, &queries, PathEnumConfig::default(), measure, 2, 4);
+        assert_eq!(flat.results, nested.results);
     }
 
     #[test]

@@ -14,7 +14,8 @@
 use std::time::{Duration, Instant};
 
 use pathenum::query::Query;
-use pathenum::sink::{PathSink, SearchControl};
+use pathenum::sink::{CountingSink, PathSink, SearchControl};
+use pathenum::{ControlledSink, Termination};
 use pathenum_graph::CsrGraph;
 
 use crate::algorithms::{AlgoReport, Algorithm};
@@ -67,15 +68,18 @@ impl QueryMeasurement {
 
 /// A sink that counts results and aborts on a deadline and/or an emission
 /// limit — the measuring instrument for all three paper metrics.
+///
+/// Reimplemented as a thin adapter over the request layer's
+/// [`ControlledSink`] (mirroring the deprecated
+/// [`LimitSink`](pathenum::sink::LimitSink) treatment), so the workload
+/// runner and the service API share one set of stopping-rule semantics
+/// instead of two near-identical censoring implementations.
 pub struct BoundedSink {
-    /// Results seen.
+    /// Results seen (censored at the limit).
     pub count: u64,
-    limit: Option<u64>,
-    deadline: Option<Instant>,
     /// Set when the deadline aborted the run.
     pub timed_out: bool,
-    check_mask: u64,
-    probes: u64,
+    inner: ControlledSink<CountingSink>,
 }
 
 impl BoundedSink {
@@ -83,47 +87,35 @@ impl BoundedSink {
     pub fn new(limit: Option<u64>, budget: Option<Duration>) -> Self {
         BoundedSink {
             count: 0,
-            limit,
-            deadline: budget.map(|b| Instant::now() + b),
             timed_out: false,
-            // Check the clock every 256 emissions: cheap yet responsive.
-            check_mask: 0xff,
-            probes: 0,
+            inner: ControlledSink::new(
+                CountingSink::default(),
+                limit,
+                budget.map(|b| Instant::now() + b),
+                None,
+            ),
         }
+    }
+
+    fn sync(&mut self) {
+        self.count = self.inner.emitted();
+        self.timed_out = self.inner.termination() == Termination::DeadlineExceeded;
     }
 }
 
 impl PathSink for BoundedSink {
     #[inline]
-    fn emit(&mut self, _path: &[u32]) -> SearchControl {
-        self.count += 1;
-        if let Some(limit) = self.limit {
-            if self.count >= limit {
-                return SearchControl::Stop;
-            }
-        }
-        if let Some(deadline) = self.deadline {
-            if self.count & self.check_mask == 0 && Instant::now() >= deadline {
-                self.timed_out = true;
-                return SearchControl::Stop;
-            }
-        }
-        SearchControl::Continue
+    fn emit(&mut self, path: &[u32]) -> SearchControl {
+        let control = self.inner.emit(path);
+        self.sync();
+        control
     }
 
     #[inline]
     fn probe(&mut self) -> SearchControl {
-        if self.timed_out {
-            return SearchControl::Stop;
-        }
-        if let Some(deadline) = self.deadline {
-            if self.probes & self.check_mask == 0 && Instant::now() >= deadline {
-                self.timed_out = true;
-                return SearchControl::Stop;
-            }
-        }
-        self.probes += 1;
-        SearchControl::Continue
+        let control = self.inner.probe();
+        self.sync();
+        control
     }
 }
 
@@ -326,6 +318,38 @@ mod tests {
         assert_eq!(sink.emit(&[0]), SearchControl::Continue);
         assert_eq!(sink.emit(&[0]), SearchControl::Stop);
         assert!(!sink.timed_out);
+    }
+
+    #[test]
+    fn bounded_sink_censors_identically_to_controlled_sink() {
+        // Regression for the adapter rewrite: on the same enumeration,
+        // BoundedSink (the workload instrument) and a raw ControlledSink
+        // (the request-layer rule) must admit exactly the same number of
+        // results and stop at the same emission.
+        use pathenum::{CountingSink, Index};
+        let g = datasets::gg();
+        for limit in [1u64, 10, 100, 1_000] {
+            let q = generate_queries(&g, QueryGenConfig::paper_default(1, 5, 7))[0];
+            let index = Index::build(&g, q);
+
+            let mut bounded = BoundedSink::new(Some(limit), None);
+            let mut counters = pathenum::Counters::default();
+            let bounded_control = pathenum::enumerate::idx_dfs(&index, &mut bounded, &mut counters);
+
+            let mut controlled =
+                pathenum::ControlledSink::new(CountingSink::default(), Some(limit), None, None);
+            let mut counters = pathenum::Counters::default();
+            let controlled_control =
+                pathenum::enumerate::idx_dfs(&index, &mut controlled, &mut counters);
+
+            assert_eq!(bounded.count, controlled.emitted(), "limit={limit}");
+            assert_eq!(bounded_control, controlled_control, "limit={limit}");
+            assert_eq!(
+                controlled.emitted() == limit,
+                controlled.termination() == pathenum::Termination::LimitReached,
+                "limit={limit}"
+            );
+        }
     }
 
     #[test]

@@ -25,9 +25,9 @@ pub mod prelude {
     pub use pathenum::sink::LimitSink;
     pub use pathenum::sink::{CollectingSink, CountingSink, PathSink, SearchControl};
     pub use pathenum::{
-        path_enum, CancelToken, ControlledSink, Counters, Index, Method, PathEnumConfig,
-        PathEnumError, PathStream, Query, QueryEngine, QueryRequest, QueryResponse, RunReport,
-        Termination,
+        path_enum, CancelToken, ControlledSink, Counters, Index, Method, PathBuffer,
+        PathEnumConfig, PathEnumError, PathStream, Query, QueryEngine, QueryRequest, QueryResponse,
+        RunReport, SharedControl, Termination,
     };
     pub use pathenum_graph::{CsrGraph, GraphBuilder, VertexId};
     pub use pathenum_workloads::{Algorithm, MeasureConfig};

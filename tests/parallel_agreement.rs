@@ -1,0 +1,181 @@
+//! Parallel/sequential agreement: for random Erdős–Rényi and power-law
+//! graphs, the *set* of paths produced by `QueryRequest::threads(n)`
+//! equals the sequential oracle for every n in {1, 2, 4, 8}, and the
+//! merged *order* is identical across thread counts (the determinism
+//! guarantee of `pathenum::parallel`).
+//!
+//! Case budget: 96 ER cases + 64 power-law cases + 64 forced-method
+//! cases = 224 distinct random graph/query instances (each evaluated at
+//! every thread count), clearing the 200-instance floor this suite is
+//! required to cover.
+
+use proptest::prelude::*;
+
+use pathenum_repro::graph::generators::{power_law, PowerLawConfig};
+use pathenum_repro::prelude::*;
+
+fn graph_from_edges(n: u32, edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new(n as usize);
+    for &(u, v) in edges {
+        if u != v {
+            b.add_edge(u, v).expect("in-range edge");
+        }
+    }
+    b.finish()
+}
+
+fn arb_graph() -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (4u32..14).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..70);
+        (Just(n), edges)
+    })
+}
+
+/// Sequential oracle: the sorted path set of the plain one-shot API.
+fn oracle_paths(g: &CsrGraph, q: Query) -> Vec<Vec<VertexId>> {
+    let mut sink = CollectingSink::default();
+    path_enum(g, q, PathEnumConfig::default(), &mut sink).expect("valid query");
+    sink.sorted_paths()
+}
+
+/// Paths delivered by `threads(n)`, in merged emission order.
+fn threaded_paths(
+    engine: &mut QueryEngine<'_>,
+    q: Query,
+    threads: usize,
+    method: Option<Method>,
+) -> Vec<Vec<VertexId>> {
+    let mut request = QueryRequest::from_query(q)
+        .threads(threads)
+        .collect_paths(true);
+    if let Some(m) = method {
+        request = request.method(m);
+    }
+    let response = engine.execute(&request).expect("valid request");
+    assert_eq!(
+        response.termination,
+        Termination::Completed,
+        "unbounded request completes"
+    );
+    response.paths
+}
+
+/// The core agreement check, shared by every property below.
+fn check_agreement(g: &CsrGraph, q: Query, method: Option<Method>) -> Result<(), TestCaseError> {
+    let expected = oracle_paths(g, q);
+    let mut engine = QueryEngine::new(g, PathEnumConfig::default());
+    let mut merged_orders: Vec<Vec<Vec<VertexId>>> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let paths = threaded_paths(&mut engine, q, threads, method);
+        let mut sorted = paths.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&sorted, &expected, "threads={} set mismatch", threads);
+        if threads >= 2 {
+            merged_orders.push(paths);
+        }
+    }
+    // Determinism: the merged order is identical for every parallel
+    // thread count.
+    for pair in merged_orders.windows(2) {
+        prop_assert_eq!(&pair[0], &pair[1], "merged order varies with thread count");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn erdos_renyi_agreement(
+        (n, edges) in arb_graph(),
+        k in 2u32..7,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let q = Query::new(0, 1, k).expect("valid query");
+        check_agreement(&g, q, None)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn power_law_agreement(
+        seed in 0u64..1_000_000,
+        k in 3u32..6,
+        t in 1u32..40,
+    ) {
+        // Preferential-attachment graphs exercise hub-heavy first-hop
+        // partitions (one task much larger than the rest).
+        let g = power_law(PowerLawConfig::social(120, 3, seed));
+        let q = Query::new(0, t, k).expect("valid query");
+        check_agreement(&g, q, None)?;
+    }
+
+    #[test]
+    fn forced_method_agreement(
+        (n, edges) in arb_graph(),
+        k in 2u32..6,
+        pick_join in 0u32..2,
+    ) {
+        // Cover both parallel executors explicitly, independent of what
+        // the cost model would choose.
+        let g = graph_from_edges(n, &edges);
+        let q = Query::new(0, 1, k).expect("valid query");
+        let method = if pick_join == 1 { Method::IdxJoin } else { Method::IdxDfs };
+
+        // The oracle must use the same forced method for an
+        // order-insensitive set comparison to be meaningful.
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        let sequential = engine
+            .execute(
+                &QueryRequest::from_query(q)
+                    .method(method)
+                    .collect_paths(true),
+            )
+            .expect("valid request");
+        let mut expected = sequential.paths;
+        expected.sort_unstable();
+
+        let mut merged_orders: Vec<Vec<Vec<VertexId>>> = Vec::new();
+        for threads in [2usize, 4, 8] {
+            let paths = threaded_paths(&mut engine, q, threads, Some(method));
+            let mut sorted = paths.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&sorted, &expected, "threads={} {:?}", threads, method);
+            merged_orders.push(paths);
+        }
+        for pair in merged_orders.windows(2) {
+            prop_assert_eq!(&pair[0], &pair[1], "merged order varies with thread count");
+        }
+    }
+}
+
+#[test]
+fn dfs_merged_order_equals_sequential_emission_order() {
+    // Stronger than the cross-thread-count guarantee: for the DFS
+    // method the canonical parallel order *is* the sequential order.
+    let g = power_law(PowerLawConfig::social(200, 4, 17));
+    let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+    for t in [1u32, 5, 23] {
+        let q = Query::new(0, t, 5).expect("valid query");
+        let sequential = engine
+            .execute(
+                &QueryRequest::from_query(q)
+                    .method(Method::IdxDfs)
+                    .collect_paths(true),
+            )
+            .expect("valid")
+            .paths;
+        let parallel = engine
+            .execute(
+                &QueryRequest::from_query(q)
+                    .method(Method::IdxDfs)
+                    .threads(4)
+                    .collect_paths(true),
+            )
+            .expect("valid")
+            .paths;
+        assert_eq!(sequential, parallel, "t={t}");
+    }
+}

@@ -1,0 +1,199 @@
+//! Cross-thread stopping rules for intra-query parallel enumeration:
+//! a `CancelToken` fired mid-run stops every worker and is *reported*
+//! as `Termination::Cancelled`; a deadline expiring mid-run reports
+//! `Termination::DeadlineExceeded`; and `limit(n)` never over-delivers
+//! even when multiple workers emit concurrently.
+//!
+//! CI runs this file under `--test-threads=1` so the timing-sensitive
+//! deadline assertions are not perturbed by sibling tests.
+
+use std::time::{Duration, Instant};
+
+use pathenum_repro::graph::generators::complete_digraph;
+use pathenum_repro::prelude::*;
+
+/// A dense graph whose k-hop search space is far too large to exhaust
+/// quickly: the mid-run rules below must fire while workers are busy.
+fn heavy_graph() -> CsrGraph {
+    complete_digraph(15)
+}
+
+fn heavy_request() -> QueryRequest<'static> {
+    QueryRequest::paths(0, 14).max_hops(8)
+}
+
+#[test]
+fn cancel_fired_mid_run_stops_all_workers() {
+    let graph = heavy_graph();
+    let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+    let token = CancelToken::new();
+    let trigger = token.clone();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(30));
+        trigger.cancel();
+    });
+
+    let start = Instant::now();
+    let response = engine
+        .execute(&heavy_request().threads(4).cancel_token(token))
+        .expect("valid request");
+    let wall = start.elapsed();
+    canceller.join().expect("canceller thread exits");
+
+    assert_eq!(response.termination, Termination::Cancelled);
+    // The pool observed the token through the probe stride: the run
+    // ended within a small multiple of the trigger delay, nowhere near
+    // the (effectively unbounded) full enumeration.
+    assert!(
+        wall < Duration::from_secs(20),
+        "cancellation took {wall:?} to propagate"
+    );
+}
+
+#[test]
+fn pre_cancelled_token_stops_before_any_result() {
+    let graph = heavy_graph();
+    let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+    let token = CancelToken::new();
+    token.cancel();
+    let response = engine
+        .execute(&heavy_request().threads(4).cancel_token(token))
+        .expect("valid request");
+    assert_eq!(response.termination, Termination::Cancelled);
+    assert_eq!(response.num_results(), 0);
+}
+
+#[test]
+fn deadline_mid_run_is_reported_and_bounded() {
+    let graph = heavy_graph();
+    let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+    let budget = Duration::from_millis(50);
+    let start = Instant::now();
+    let response = engine
+        .execute(&heavy_request().threads(4).time_budget(budget))
+        .expect("valid request");
+    let wall = start.elapsed();
+    assert_eq!(response.termination, Termination::DeadlineExceeded);
+    // Overrun is bounded by the probe stride, not by the search size.
+    assert!(
+        wall < Duration::from_secs(20),
+        "deadline took {wall:?} to propagate"
+    );
+}
+
+#[test]
+fn shared_limit_never_over_delivers_under_concurrency() {
+    let graph = complete_digraph(10);
+    let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+    // Total result count for q(0, 9, 5) on K10 is far above every limit
+    // tried here, so the limit always bites.
+    for threads in [2usize, 4, 8] {
+        for limit in [1u64, 17, 256, 1000] {
+            let response = engine
+                .execute(
+                    &QueryRequest::paths(0, 9)
+                        .max_hops(5)
+                        .threads(threads)
+                        .limit(limit)
+                        .collect_paths(true),
+                )
+                .expect("valid request");
+            assert_eq!(
+                response.termination,
+                Termination::LimitReached,
+                "threads={threads} limit={limit}"
+            );
+            assert_eq!(response.num_results(), limit, "threads={threads}");
+            assert_eq!(response.paths.len() as u64, limit, "threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn limit_above_total_completes_with_full_set() {
+    let graph = complete_digraph(7);
+    let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+    let total = engine
+        .execute(&QueryRequest::paths(0, 6).max_hops(4))
+        .expect("valid request")
+        .num_results();
+    let response = engine
+        .execute(
+            &QueryRequest::paths(0, 6)
+                .max_hops(4)
+                .threads(4)
+                .limit(total + 100),
+        )
+        .expect("valid request");
+    assert_eq!(response.termination, Termination::Completed);
+    assert_eq!(response.num_results(), total);
+}
+
+#[test]
+fn parallel_join_observes_limits_too() {
+    let graph = complete_digraph(10);
+    let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+    for limit in [1u64, 50] {
+        let response = engine
+            .execute(
+                &QueryRequest::paths(0, 9)
+                    .max_hops(5)
+                    .method(Method::IdxJoin)
+                    .threads(4)
+                    .limit(limit)
+                    .collect_paths(true),
+            )
+            .expect("valid request");
+        assert_eq!(response.termination, Termination::LimitReached);
+        assert_eq!(response.paths.len() as u64, limit);
+    }
+}
+
+#[test]
+fn parallel_join_observes_cancellation() {
+    let graph = heavy_graph();
+    let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+    let token = CancelToken::new();
+    let trigger = token.clone();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(30));
+        trigger.cancel();
+    });
+    let response = engine
+        .execute(
+            &heavy_request()
+                .method(Method::IdxJoin)
+                .threads(4)
+                .cancel_token(token),
+        )
+        .expect("valid request");
+    canceller.join().expect("canceller thread exits");
+    assert_eq!(response.termination, Termination::Cancelled);
+}
+
+#[test]
+fn delivered_paths_are_valid_under_early_termination() {
+    // Whatever subset survives a tripped limit must still be real
+    // simple s-t paths within the hop bound.
+    let graph = complete_digraph(9);
+    let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+    let response = engine
+        .execute(
+            &QueryRequest::paths(0, 8)
+                .max_hops(4)
+                .threads(8)
+                .limit(64)
+                .collect_paths(true),
+        )
+        .expect("valid request");
+    assert_eq!(response.paths.len(), 64);
+    for path in &response.paths {
+        assert_eq!(path.first(), Some(&0));
+        assert_eq!(path.last(), Some(&8));
+        assert!(path.len() <= 5, "at most 4 edges: {path:?}");
+        let mut sorted = path.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), path.len(), "simple path: {path:?}");
+    }
+}
