@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce <experiment|all|list> [--quick] [--queries N]
-//!           [--time-limit-ms M] [--seed S]
+//!           [--time-limit-ms M] [--seed S] [--method idx-dfs|idx-join]
 //! ```
 //!
 //! Experiments: table3 table4 table5 table6 table7 fig6 fig7 fig8 fig9
@@ -16,7 +16,7 @@ use pathenum_bench::ExperimentConfig;
 
 fn usage() {
     eprintln!("usage: reproduce <experiment|all|list> [--quick] [--queries N]");
-    eprintln!("                 [--time-limit-ms M] [--seed S]");
+    eprintln!("                 [--time-limit-ms M] [--seed S] [--method idx-dfs|idx-join]");
     eprintln!();
     eprintln!("experiments:");
     for (name, description, _) in registry() {
@@ -56,6 +56,27 @@ fn main() -> ExitCode {
                 Some(s) => config.seed = s,
                 None => {
                     eprintln!("--seed expects an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--method" => match iter.next().map(|v| v.parse::<pathenum::Method>()) {
+                Some(Ok(method)) => {
+                    // The table/figure experiments compare algorithms via
+                    // the explicit Algorithm enum (which has forced
+                    // variants as columns); only the full-pipeline
+                    // experiments read this override.
+                    eprintln!(
+                        "note: --method {method} applies to experiments running the full \
+                         PathEnum pipeline (currently: cache); others ignore it"
+                    );
+                    config.force_method = Some(method);
+                }
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--method expects idx-dfs or idx-join");
                     return ExitCode::FAILURE;
                 }
             },

@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use pathenum::Method;
 use pathenum_workloads::MeasureConfig;
 
 /// Knobs shared by every experiment. The defaults are scaled so that the
@@ -19,6 +20,11 @@ pub struct ExperimentConfig {
     pub default_k: u32,
     /// Base RNG seed for query generation.
     pub seed: u64,
+    /// Force one enumeration method (`reproduce --method idx-dfs|idx-join`),
+    /// bypassing the cost-based optimizer in the experiments that run the
+    /// full PathEnum pipeline (currently `cache`). `None` lets the
+    /// optimizer decide.
+    pub force_method: Option<Method>,
 }
 
 impl Default for ExperimentConfig {
@@ -29,6 +35,7 @@ impl Default for ExperimentConfig {
             response_limit: 1000,
             default_k: 6,
             seed: 42,
+            force_method: None,
         }
     }
 }
@@ -43,6 +50,7 @@ impl ExperimentConfig {
             response_limit: 200,
             default_k: 4,
             seed: 42,
+            force_method: None,
         }
     }
 

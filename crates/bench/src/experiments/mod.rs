@@ -2,6 +2,7 @@
 //! `run(&ExperimentConfig)`.
 
 pub mod ablation;
+pub mod cache;
 pub mod fig10_11;
 pub mod fig12;
 pub mod fig13_15;
@@ -96,6 +97,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "scaling",
             "Intra-query parallel scaling (threads 1/2/4/8)",
             scaling::run,
+        ),
+        (
+            "cache",
+            "Repeated-query serving: cold vs warm plan cache",
+            cache::run,
         ),
     ]
 }

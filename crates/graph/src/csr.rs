@@ -1,6 +1,7 @@
 //! Immutable compressed-sparse-row digraph with forward and reverse adjacency.
 
 use crate::types::{Edge, VertexId};
+use crate::version::GraphVersion;
 
 /// An immutable directed graph in CSR form.
 ///
@@ -18,6 +19,9 @@ pub struct CsrGraph {
     out_targets: Vec<VertexId>,
     in_offsets: Vec<usize>,
     in_sources: Vec<VertexId>,
+    /// Epoch identifying this edge set; see [`GraphVersion`]. Fresh per
+    /// construction (clones keep it — they are the same edge set).
+    version: GraphVersion,
 }
 
 impl CsrGraph {
@@ -56,7 +60,23 @@ impl CsrGraph {
             out_targets,
             in_offsets,
             in_sources,
+            version: GraphVersion::next(),
         }
+    }
+
+    /// The version epoch of this graph's edge set. Cache entries keyed by
+    /// a graph should record this and treat a mismatch as stale.
+    #[inline]
+    pub fn version(&self) -> GraphVersion {
+        self.version
+    }
+
+    /// Stamps an externally managed version (used by
+    /// [`DynamicGraph::snapshot`](crate::DynamicGraph::snapshot) so that
+    /// snapshots of an unmutated overlay share a version and stay
+    /// cache-compatible).
+    pub(crate) fn set_version(&mut self, version: GraphVersion) {
+        self.version = version;
     }
 
     /// Number of vertices; vertex ids are `0..num_vertices`.

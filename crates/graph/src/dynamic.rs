@@ -1,25 +1,37 @@
-//! Dynamic-graph support: a base graph plus buffered edge insertions.
+//! Dynamic-graph support: a base graph plus buffered edge mutations.
 //!
 //! The paper's Figure 8 experiment replays 10% of a graph's edges as
 //! insertions: for each new edge `e(v, v')` it runs the query
 //! `q(v', v, k-1)` on the graph *as of that moment* to surface the cycles
 //! the insertion closes. Because the PathEnum index is rebuilt per query,
 //! "dynamic support" only requires a graph view that reflects pending
-//! insertions. [`DynamicGraph`] keeps an overlay of inserted edges and can
-//! snapshot into a [`CsrGraph`]; since the per-query index build already
-//! scans adjacency, algorithms simply run on the snapshot.
+//! mutations. [`DynamicGraph`] keeps an overlay of inserted and deleted
+//! edges and can snapshot into a [`CsrGraph`]; since the per-query index
+//! build already scans adjacency, algorithms simply run on the snapshot.
+//!
+//! Every successful mutation advances the overlay's [`GraphVersion`]
+//! epoch, and [`snapshot`](DynamicGraph::snapshot) stamps that epoch onto
+//! the produced [`CsrGraph`]. Downstream per-query caches (the plan/index
+//! cache in `pathenum::plan`) key their entries by this version, so a
+//! mutation invalidates exactly the state computed against older
+//! snapshots, while snapshots taken with no intervening mutation keep
+//! sharing cached state.
 
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
 use crate::hashing::FxHashSet;
 use crate::types::{Edge, VertexId};
+use crate::version::GraphVersion;
 
-/// A base [`CsrGraph`] plus an insertion overlay.
+/// A base [`CsrGraph`] plus insertion/deletion overlays.
 #[derive(Debug, Clone)]
 pub struct DynamicGraph {
     base: CsrGraph,
     inserted: Vec<Edge>,
     present: FxHashSet<u64>,
+    /// Base edges masked out by [`remove_edge`](DynamicGraph::remove_edge).
+    deleted: FxHashSet<u64>,
+    version: GraphVersion,
 }
 
 fn edge_key(from: VertexId, to: VertexId) -> u64 {
@@ -27,12 +39,16 @@ fn edge_key(from: VertexId, to: VertexId) -> u64 {
 }
 
 impl DynamicGraph {
-    /// Wraps a base graph with an empty overlay.
+    /// Wraps a base graph with an empty overlay. The overlay starts at
+    /// the base graph's version (no mutation has happened yet).
     pub fn new(base: CsrGraph) -> Self {
+        let version = base.version();
         DynamicGraph {
             base,
             inserted: Vec::new(),
             present: FxHashSet::default(),
+            deleted: FxHashSet::default(),
+            version,
         }
     }
 
@@ -41,13 +57,21 @@ impl DynamicGraph {
         &self.base
     }
 
-    /// Edges inserted since construction, in insertion order.
+    /// The current version epoch; advances on every successful mutation.
+    pub fn version(&self) -> GraphVersion {
+        self.version
+    }
+
+    /// Edges inserted since construction, in insertion order. Edges later
+    /// removed again by [`remove_edge`](DynamicGraph::remove_edge) do not
+    /// appear.
     pub fn inserted_edges(&self) -> &[Edge] {
         &self.inserted
     }
 
-    /// Inserts a directed edge. Returns `false` if the edge already exists
-    /// (in the base or the overlay) or is a self-loop.
+    /// Inserts a directed edge. Returns `false` (and does not advance the
+    /// version) if the edge already exists or is a self-loop / out of
+    /// range. Re-inserting a base edge that was deleted restores it.
     pub fn insert_edge(&mut self, from: VertexId, to: VertexId) -> bool {
         if from == to {
             return false;
@@ -57,26 +81,61 @@ impl DynamicGraph {
             return false;
         }
         if self.base.has_edge(from, to) {
+            // Restoring a deleted base edge is a mutation; a live base
+            // edge is a duplicate.
+            if self.deleted.remove(&edge_key(from, to)) {
+                self.version = GraphVersion::next();
+                return true;
+            }
             return false;
         }
         if !self.present.insert(edge_key(from, to)) {
             return false;
         }
         self.inserted.push((from, to));
+        self.version = GraphVersion::next();
         true
+    }
+
+    /// Deletes a directed edge (from the base or the overlay). Returns
+    /// `false` (and does not advance the version) if the edge is not in
+    /// the current graph.
+    pub fn remove_edge(&mut self, from: VertexId, to: VertexId) -> bool {
+        let n = self.base.num_vertices() as VertexId;
+        if from >= n || to >= n {
+            return false;
+        }
+        let key = edge_key(from, to);
+        if self.present.remove(&key) {
+            self.inserted.retain(|&e| e != (from, to));
+            self.version = GraphVersion::next();
+            return true;
+        }
+        if self.base.has_edge(from, to) && self.deleted.insert(key) {
+            self.version = GraphVersion::next();
+            return true;
+        }
+        false
     }
 
     /// Whether the edge exists in the current (base + overlay) graph.
     pub fn has_edge(&self, from: VertexId, to: VertexId) -> bool {
-        self.base.has_edge(from, to) || self.present.contains(&edge_key(from, to))
+        let key = edge_key(from, to);
+        if self.present.contains(&key) {
+            return true;
+        }
+        self.base.has_edge(from, to) && !self.deleted.contains(&key)
     }
 
     /// Total edge count of the current graph.
     pub fn num_edges(&self) -> usize {
-        self.base.num_edges() + self.inserted.len()
+        self.base.num_edges() + self.inserted.len() - self.deleted.len()
     }
 
-    /// Materializes the current graph as an immutable [`CsrGraph`].
+    /// Materializes the current graph as an immutable [`CsrGraph`],
+    /// stamped with the overlay's current [`GraphVersion`] — snapshots of
+    /// an unmutated overlay are version-identical and can share cached
+    /// per-query state.
     ///
     /// Cost is linear in the graph size; the Figure 8 harness snapshots in
     /// batches rather than per insertion.
@@ -84,12 +143,18 @@ impl DynamicGraph {
         let mut builder = GraphBuilder::new(self.base.num_vertices());
         builder.reserve(self.num_edges());
         builder
-            .add_edges(self.base.edges())
+            .add_edges(
+                self.base
+                    .edges()
+                    .filter(|&(from, to)| !self.deleted.contains(&edge_key(from, to))),
+            )
             .expect("base edges are valid");
         builder
             .add_edges(self.inserted.iter().copied())
             .expect("overlay edges are valid");
-        builder.finish()
+        let mut snapshot = builder.finish();
+        snapshot.set_version(self.version);
+        snapshot
     }
 }
 
@@ -140,5 +205,72 @@ mod tests {
         assert_eq!(d.num_edges(), 2);
         d.insert_edge(0, 2);
         assert_eq!(d.num_edges(), 3);
+    }
+
+    #[test]
+    fn deletions_mask_base_and_overlay_edges() {
+        let mut d = DynamicGraph::new(base());
+        assert!(d.remove_edge(0, 1), "base edge");
+        assert!(!d.has_edge(0, 1));
+        assert!(!d.remove_edge(0, 1), "already deleted");
+        assert_eq!(d.num_edges(), 1);
+
+        assert!(d.insert_edge(2, 3));
+        assert!(d.remove_edge(2, 3), "overlay edge");
+        assert!(!d.has_edge(2, 3));
+        assert!(d.inserted_edges().is_empty());
+
+        assert!(!d.remove_edge(3, 0), "never existed");
+        assert!(!d.remove_edge(9, 0), "out of range returns false");
+        assert!(!d.remove_edge(0, 9), "out of range returns false");
+
+        let g = d.snapshot();
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn reinserting_a_deleted_base_edge_restores_it() {
+        let mut d = DynamicGraph::new(base());
+        assert!(d.remove_edge(0, 1));
+        assert!(d.insert_edge(0, 1));
+        assert!(d.has_edge(0, 1));
+        assert_eq!(d.num_edges(), 2);
+        assert!(
+            d.inserted_edges().is_empty(),
+            "restored base edges are not overlay insertions"
+        );
+    }
+
+    #[test]
+    fn mutations_advance_the_version_and_rejections_do_not() {
+        let mut d = DynamicGraph::new(base());
+        let v0 = d.version();
+        assert_eq!(v0, d.base().version());
+
+        assert!(!d.insert_edge(0, 1));
+        assert!(!d.remove_edge(3, 0));
+        assert_eq!(d.version(), v0, "no-op mutations keep the version");
+
+        assert!(d.insert_edge(2, 3));
+        let v1 = d.version();
+        assert!(v1 > v0);
+        assert!(d.remove_edge(0, 1));
+        assert!(d.version() > v1);
+    }
+
+    #[test]
+    fn snapshots_share_the_version_until_the_next_mutation() {
+        let mut d = DynamicGraph::new(base());
+        d.insert_edge(2, 3);
+        let a = d.snapshot();
+        let b = d.snapshot();
+        assert_eq!(a.version(), b.version());
+        assert_eq!(a.version(), d.version());
+
+        d.insert_edge(3, 0);
+        let c = d.snapshot();
+        assert_ne!(c.version(), a.version());
     }
 }

@@ -34,9 +34,11 @@ pub mod io_binary;
 pub mod pll;
 pub mod properties;
 pub mod types;
+pub mod version;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use dynamic::DynamicGraph;
 pub use pll::DistanceOracle;
 pub use types::{VertexId, INFINITE_DISTANCE};
+pub use version::GraphVersion;

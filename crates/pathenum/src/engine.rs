@@ -15,31 +15,41 @@
 //!   [`PathStream`](crate::request::PathStream) iterator for lazy
 //!   consumption.
 //!
-//! Every [`crate::optimizer::path_enum`] call allocates three `O(|V|)`
-//! buffers for the boundary BFS and the id mapping; the engine hoists
-//! those into persistent scratch so the steady-state per-query cost is
-//! the BFS traversal itself plus the (small) index allocation. The
-//! Appendix E constraints attached to a request run through the same
-//! scratch-reusing index build.
+//! Every entry point is a thin driver over the planner/executor split of
+//! [`crate::plan`]: acquire a [`PhysicalPlan`] (from the engine's
+//! version-aware [`PlanCache`], or by planning from scratch), then let
+//! the [`Executor`](crate::plan::Executor) interpret it against the
+//! sink. [`explain`](QueryEngine::explain) stops after the first half —
+//! the plan with its modeled costs, without enumerating.
+//!
+//! Two levels of reuse keep steady-state per-query cost down:
+//! persistent build scratch (the three `O(|V|)` BFS/id-mapping buffers
+//! are hoisted out of every build), and the plan cache (a repeated
+//! `(s, t, k)` request skips the boundary BFS and index build entirely —
+//! the dominant per-query cost the paper measures). The cache is
+//! invalidated by the serving graph's
+//! [`GraphVersion`](pathenum_graph::GraphVersion) epoch and can be moved
+//! across engines over successive
+//! [`DynamicGraph`](pathenum_graph::DynamicGraph) snapshots.
 
 use std::time::Instant;
 
 use pathenum_graph::CsrGraph;
 
-use crate::constraints::automaton_join;
-use crate::constraints::filtered_graph;
 use crate::index::{BuildScratch, Index};
-use crate::optimizer::{choose_method, path_enum_on_index_with_build, PathEnumConfig};
+use crate::optimizer::{path_enum_on_index_with_build, PathEnumConfig};
+use crate::plan::{
+    CacheOutcome, Executor, PhysicalPlan, PlanCache, PlanKey, Planner, StoppingRules,
+};
 use crate::query::Query;
 use crate::request::{
-    ConstraintSpec, ControlledSink, PathEnumError, PathStream, QueryRequest, QueryResponse,
-    Termination,
+    ConstraintSpec, PathEnumError, PathStream, QueryRequest, QueryResponse, Termination,
 };
 use crate::sink::{FnSink, PathSink, SearchControl};
-use crate::stats::{Counters, Method, PhaseTimings, RunReport};
+use crate::stats::{PhaseTimings, RunReport};
 
 /// A PathEnum engine bound to one graph, reusing construction buffers
-/// across queries.
+/// and cached plans across queries.
 ///
 /// ```
 /// use pathenum::{PathEnumConfig, QueryEngine, QueryRequest};
@@ -61,17 +71,28 @@ pub struct QueryEngine<'g> {
     graph: &'g CsrGraph,
     config: PathEnumConfig,
     scratch: BuildScratch,
+    cache: PlanCache,
     queries_served: u64,
 }
 
 impl<'g> QueryEngine<'g> {
     /// Creates an engine over `graph` with the given orchestrator
-    /// configuration.
+    /// configuration and a default-capacity [`PlanCache`].
     pub fn new(graph: &'g CsrGraph, config: PathEnumConfig) -> Self {
+        QueryEngine::with_cache(graph, config, PlanCache::default())
+    }
+
+    /// Creates an engine with an explicit plan cache — pass a
+    /// `PlanCache::new(0)` to disable caching, or a cache carried over
+    /// from an engine that served an earlier snapshot of the same
+    /// [`DynamicGraph`](pathenum_graph::DynamicGraph) (entries survive
+    /// exactly when no mutation happened in between).
+    pub fn with_cache(graph: &'g CsrGraph, config: PathEnumConfig, cache: PlanCache) -> Self {
         QueryEngine {
             graph,
             config,
             scratch: BuildScratch::default(),
+            cache,
             queries_served: 0,
         }
     }
@@ -86,6 +107,28 @@ impl<'g> QueryEngine<'g> {
         self.queries_served
     }
 
+    /// The engine's plan cache (entry count, statistics).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Convenience for `plan_cache().stats()`.
+    pub fn cache_stats(&self) -> crate::plan::PlanCacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached plan (statistics are kept).
+    pub fn clear_plan_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Consumes the engine, handing the plan cache to its successor
+    /// (typically an engine over the next
+    /// [`DynamicGraph::snapshot`](pathenum_graph::DynamicGraph::snapshot)).
+    pub fn into_cache(self) -> PlanCache {
+        self.cache
+    }
+
     /// Builds the light-weight index for `query`, reusing scratch.
     pub fn build_index(&mut self, query: Query) -> Index {
         Index::build_reusing(self.graph, query, &mut self.scratch).0
@@ -96,7 +139,8 @@ impl<'g> QueryEngine<'g> {
     ///
     /// The query is validated against the serving graph; an out-of-range
     /// endpoint returns [`PathEnumError::VertexOutOfRange`] instead of
-    /// panicking inside the index build.
+    /// panicking inside the index build. This legacy entry point never
+    /// consults the plan cache; prefer [`execute`](Self::execute).
     pub fn run(
         &mut self,
         query: Query,
@@ -133,12 +177,43 @@ impl<'g> QueryEngine<'g> {
         Ok(response)
     }
 
+    /// Plans a request without executing it — the `EXPLAIN` of this
+    /// engine. Returns the [`PhysicalPlan`] the next
+    /// [`execute`](Self::execute) of the same request will interpret:
+    /// same method, same join cut, plus the modeled costs
+    /// (`t_dfs`/`t_join`), estimates, and index footprint.
+    ///
+    /// Planning goes through the cache, and a cold plan is stored — so
+    /// `explain` both reports on and *warms* the cache (the index built
+    /// for the explanation is the one a later execution reuses).
+    pub fn explain(&mut self, request: &QueryRequest<'_>) -> Result<PhysicalPlan, PathEnumError> {
+        let query = request.validate(self.graph.num_vertices())?;
+        let key = self.plan_key(request);
+        let version = self.graph.version();
+        if let Some(key) = key {
+            if let Some((plan, _)) = self.cache.lookup(&key, version) {
+                let mut plan = *plan;
+                plan.constraint = request.constraint.kind();
+                plan.threads = request.resolved_threads();
+                return Ok(plan);
+            }
+        }
+        let planner = Planner::new(self.graph, self.config);
+        let (planned, _) = planner.plan_query(query, request, &mut self.scratch);
+        let plan = planned.plan;
+        if let Some(key) = key {
+            self.cache.insert(key, version, planned.plan, planned.index);
+        }
+        Ok(plan)
+    }
+
     /// Evaluates a [`QueryRequest`], streaming result paths into `sink`.
     ///
     /// The request's `limit` / `time_budget` / `CancelToken` wrap `sink`
-    /// (via [`ControlledSink`]), so the inner sink only sees results the
-    /// stopping rules admit; [`QueryResponse::termination`] reports
-    /// which rule, if any, cut the run short.
+    /// (via [`crate::request::ControlledSink`]), so the inner sink only
+    /// sees results the stopping rules admit;
+    /// [`QueryResponse::termination`] reports which rule, if any, cut the
+    /// run short.
     ///
     /// Termination reflects *request-level* rules only: a `sink` that
     /// itself returns [`SearchControl::Stop`] ends the run, but the
@@ -155,216 +230,159 @@ impl<'g> QueryEngine<'g> {
         self.queries_served += 1;
 
         // Pre-flight: a request that is already cancelled, already past
-        // its deadline, or limited to zero results never starts.
+        // its deadline, or limited to zero results never starts. Explain
+        // requests always plan — they never enumerate anyway.
         let deadline = request.time_budget.map(|b| Instant::now() + b);
-        if request.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
-            return Ok(QueryResponse::empty(Termination::Cancelled));
-        }
-        if deadline.is_some_and(|d| Instant::now() >= d) {
-            return Ok(QueryResponse::empty(Termination::DeadlineExceeded));
-        }
-        if request.limit == Some(0) {
-            return Ok(QueryResponse::empty(Termination::LimitReached));
-        }
-
-        let config = PathEnumConfig {
-            tau: request.tau.unwrap_or(self.config.tau),
-            force: request.method.or(self.config.force),
-        };
-
-        // Intra-query parallelism: plain (unconstrained) requests with
-        // threads != 1 fan the search out over a scoped worker pool; the
-        // constraint executors below stay sequential for now.
-        let threads = crate::parallel::resolve_threads(request.threads);
-        if threads > 1 && matches!(request.constraint, ConstraintSpec::None) {
-            return Ok(self.execute_parallel(query, config, request, deadline, threads, sink));
-        }
-
-        let mut control =
-            ControlledSink::new(sink, request.limit, deadline, request.cancel.clone());
-
-        let report = match &request.constraint {
-            ConstraintSpec::None => {
-                let build_start = Instant::now();
-                let (index, bfs_time) = Index::build_reusing(self.graph, query, &mut self.scratch);
-                let build_time = build_start.elapsed();
-                path_enum_on_index_with_build(&index, config, &mut control, build_time, bfs_time)
+        if !request.explain {
+            if request.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                return Ok(QueryResponse::empty(Termination::Cancelled));
             }
-            ConstraintSpec::Predicate(predicate) => {
-                // Appendix E: apply the predicate to G, then run the
-                // regular pipeline on the surviving subgraph. The filter
-                // pass is attributed to index build time.
-                let build_start = Instant::now();
-                let filtered = filtered_graph(self.graph, predicate);
-                let (index, bfs_time) = Index::build_reusing(&filtered, query, &mut self.scratch);
-                let build_time = build_start.elapsed();
-                path_enum_on_index_with_build(&index, config, &mut control, build_time, bfs_time)
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Ok(QueryResponse::empty(Termination::DeadlineExceeded));
             }
-            ConstraintSpec::Accumulative(_) | ConstraintSpec::Automaton { .. } => {
-                let build_start = Instant::now();
-                let (index, bfs_time) = Index::build_reusing(self.graph, query, &mut self.scratch);
-                let mut timings = PhaseTimings {
-                    bfs: bfs_time,
-                    index_build: build_start.elapsed(),
+            if request.limit == Some(0) {
+                return Ok(QueryResponse::empty(Termination::LimitReached));
+            }
+        }
+
+        let key = self.plan_key(request);
+        let version = self.graph.version();
+
+        // Warm path: a fresh cached entry skips BFS, index build, and
+        // estimation; only the (tiny) lookup cost lands in the timings.
+        let lookup_start = Instant::now();
+        if let Some(key) = key {
+            if let Some((plan, index)) = self.cache.lookup(&key, version) {
+                let mut plan = *plan;
+                plan.constraint = request.constraint.kind();
+                plan.threads = request.resolved_threads();
+                let timings = PhaseTimings {
+                    index_build: lookup_start.elapsed(),
                     ..PhaseTimings::default()
                 };
-                let choice = choose_method(&index, config, &mut timings);
-                let mut counters = Counters::default();
-                let enum_start = Instant::now();
-                match (&request.constraint, choice.method) {
-                    (ConstraintSpec::Accumulative(acc), Method::IdxDfs) => {
-                        acc.dfs(&index, &mut control, &mut counters);
-                    }
-                    (ConstraintSpec::Accumulative(acc), Method::IdxJoin) => {
-                        let cut = choice.cut.expect("choose_method sets the cut for IDX-JOIN");
-                        acc.join(&index, cut, &mut control, &mut counters);
-                    }
-                    (
-                        ConstraintSpec::Automaton {
-                            automaton,
-                            label_of,
-                        },
-                        Method::IdxDfs,
-                    ) => {
-                        crate::constraints::automaton_dfs(
-                            &index,
-                            automaton,
-                            label_of,
-                            &mut control,
-                            &mut counters,
-                        );
-                    }
-                    (
-                        ConstraintSpec::Automaton {
-                            automaton,
-                            label_of,
-                        },
-                        Method::IdxJoin,
-                    ) => {
-                        let cut = choice.cut.expect("choose_method sets the cut for IDX-JOIN");
-                        automaton_join(
-                            &index,
-                            cut,
-                            automaton,
-                            label_of.as_ref(),
-                            &mut control,
-                            &mut counters,
-                        );
-                    }
-                    _ => unreachable!("outer match restricts the constraint"),
-                }
-                timings.enumeration = enum_start.elapsed();
-                RunReport {
-                    method: choice.method,
+                return Ok(finish_response(
+                    index,
+                    plan,
+                    request,
+                    deadline,
+                    sink,
                     timings,
-                    counters,
-                    preliminary_estimate: choice.preliminary,
-                    full_estimate: choice.full_estimate,
-                    cut_position: choice.cut,
-                    index_bytes: index.heap_bytes(),
-                    index_edges: index.num_edges(),
-                }
-            }
-        };
-
-        let termination = control.termination();
-        let mut report = report;
-        if termination.is_early() {
-            // Enumerators count a result *before* offering it to the
-            // sink; when a stopping rule refuses that emission the
-            // delivered count is authoritative.
-            report.counters.results = control.emitted();
-        }
-        Ok(QueryResponse {
-            report,
-            termination,
-            paths: Vec::new(),
-        })
-    }
-
-    /// The parallel arm of [`execute_into`](Self::execute_into): same
-    /// pipeline front half (scratch-reusing index build, estimate,
-    /// method choice), then a scoped worker pool under one
-    /// [`SharedControl`](crate::parallel::SharedControl) instead of a
-    /// [`ControlledSink`]. Results reach `sink` pre-merged in the
-    /// canonical partition order.
-    fn execute_parallel(
-        &mut self,
-        query: Query,
-        config: PathEnumConfig,
-        request: &QueryRequest<'_>,
-        deadline: Option<Instant>,
-        threads: usize,
-        sink: &mut dyn PathSink,
-    ) -> QueryResponse {
-        let build_start = Instant::now();
-        let (index, bfs_time) = Index::build_reusing(self.graph, query, &mut self.scratch);
-        let mut timings = PhaseTimings {
-            bfs: bfs_time,
-            index_build: build_start.elapsed(),
-            ..PhaseTimings::default()
-        };
-        let choice = choose_method(&index, config, &mut timings);
-        let control =
-            crate::parallel::SharedControl::new(request.limit, deadline, request.cancel.clone());
-        let mut counters = Counters::default();
-        let enum_start = Instant::now();
-        match choice.method {
-            Method::IdxDfs => {
-                crate::parallel::parallel_dfs(&index, threads, &control, sink, &mut counters);
-            }
-            Method::IdxJoin => {
-                let cut = choice.cut.expect("choose_method sets the cut for IDX-JOIN");
-                crate::parallel::parallel_join(&index, cut, threads, &control, sink, &mut counters);
+                    CacheOutcome::Hit,
+                ));
             }
         }
-        timings.enumeration = enum_start.elapsed();
 
-        let termination = control.termination();
-        let mut report = RunReport {
-            method: choice.method,
+        // Cold path: plan from scratch, execute, then store (the index
+        // moves into the cache after the borrow for execution ends).
+        let planner = Planner::new(self.graph, self.config);
+        let (planned, timings) = planner.plan_query(query, request, &mut self.scratch);
+        let outcome = if key.is_some() {
+            CacheOutcome::Miss
+        } else {
+            CacheOutcome::Bypass
+        };
+        let response = finish_response(
+            &planned.index,
+            planned.plan,
+            request,
+            deadline,
+            sink,
             timings,
-            counters,
-            preliminary_estimate: choice.preliminary,
-            full_estimate: choice.full_estimate,
-            cut_position: choice.cut,
-            index_bytes: index.heap_bytes(),
-            index_edges: index.num_edges(),
-        };
-        if termination.is_early() {
-            // Workers count a result before the shared budget can refuse
-            // it; the admitted count is authoritative.
-            report.counters.results = control.delivered();
+            outcome,
+        );
+        if let Some(key) = key {
+            self.cache.insert(key, version, planned.plan, planned.index);
         }
-        QueryResponse {
-            report,
-            termination,
-            paths: Vec::new(),
-        }
+        Ok(response)
     }
 
-    /// Builds the index for a [`QueryRequest`] (reusing scratch) and
-    /// returns a pull-based [`PathStream`] over its results.
+    /// Builds (or fetches from the plan cache) the index for a
+    /// [`QueryRequest`] and returns a pull-based [`PathStream`] over its
+    /// results.
     ///
     /// The DFS advances only while the caller pulls; dropping the stream
     /// abandons the remaining search at zero cost. Constraint requests
     /// yield exactly the constrained path set (predicates restrict the
     /// enumerated subgraph; accumulative/automaton checks filter
-    /// complete paths).
+    /// complete paths). Streams *read* the cache (a warm index is
+    /// cloned) but do not populate it — a stream never runs the
+    /// estimators, so it has no plan to store.
     pub fn stream<'q>(
         &mut self,
         request: &'q QueryRequest<'q>,
     ) -> Result<PathStream<'q>, PathEnumError> {
         let query = request.validate(self.graph.num_vertices())?;
         self.queries_served += 1;
+        if let Some(key) = self.plan_key(request) {
+            if let Some((_, index)) = self.cache.lookup(&key, self.graph.version()) {
+                return Ok(PathStream::new(index.clone(), request));
+            }
+        }
         let index = match &request.constraint {
             ConstraintSpec::Predicate(predicate) => {
-                let filtered = filtered_graph(self.graph, predicate);
+                let filtered = crate::constraints::filtered_graph(self.graph, predicate);
                 Index::build_reusing(&filtered, query, &mut self.scratch).0
             }
             _ => Index::build_reusing(self.graph, query, &mut self.scratch).0,
         };
         Ok(PathStream::new(index, request))
+    }
+
+    /// The cache key for a request, or `None` when the request is not
+    /// cacheable (bypass flag, zero-capacity cache, or an unfingerprinted
+    /// predicate).
+    fn plan_key(&self, request: &QueryRequest<'_>) -> Option<PlanKey> {
+        if request.bypass_cache || self.cache.capacity() == 0 {
+            return None;
+        }
+        let config = Planner::new(self.graph, self.config).effective_config(request);
+        request
+            .constraint
+            .fingerprint(request.fingerprint)
+            .map(|(namespace, fingerprint)| PlanKey {
+                s: request.s,
+                t: request.t,
+                k: request.k,
+                namespace,
+                fingerprint,
+                method: config.force,
+                tau: config.tau,
+            })
+    }
+}
+
+/// The shared back half of [`QueryEngine::execute_into`]: interpret the
+/// plan (or stop before enumeration for an explain request) and assemble
+/// the response.
+fn finish_response(
+    index: &Index,
+    plan: PhysicalPlan,
+    request: &QueryRequest<'_>,
+    deadline: Option<Instant>,
+    sink: &mut dyn PathSink,
+    mut timings: PhaseTimings,
+    cache: CacheOutcome,
+) -> QueryResponse {
+    if request.explain {
+        return QueryResponse {
+            report: plan.report(timings, Default::default(), cache),
+            termination: Termination::Completed,
+            paths: Vec::new(),
+            plan: Some(plan),
+        };
+    }
+    let rules = StoppingRules {
+        limit: request.limit,
+        deadline,
+        cancel: request.cancel.clone(),
+    };
+    let execution = Executor::run(index, &plan, &request.constraint, rules, sink);
+    timings.enumeration = execution.enumeration;
+    QueryResponse {
+        report: plan.report(timings, execution.counters, cache),
+        termination: execution.termination,
+        paths: Vec::new(),
+        plan: Some(plan),
     }
 }
 
@@ -374,6 +392,7 @@ mod tests {
     use crate::index::test_support::*;
     use crate::optimizer::path_enum;
     use crate::sink::CollectingSink;
+    use crate::stats::Method;
     use pathenum_graph::generators::erdos_renyi;
 
     #[test]
@@ -646,5 +665,164 @@ mod tests {
         assert_eq!(dfs.report.method, Method::IdxDfs);
         assert_eq!(join.report.method, Method::IdxJoin);
         assert_eq!(dfs.num_results(), join.num_results());
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache_with_identical_output() {
+        let g = erdos_renyi(60, 380, 21);
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        let request = QueryRequest::paths(0, 1).max_hops(4).collect_paths(true);
+        let cold = engine.execute(&request).unwrap();
+        assert_eq!(cold.report.cache, CacheOutcome::Miss);
+        let warm = engine.execute(&request).unwrap();
+        assert_eq!(warm.report.cache, CacheOutcome::Hit);
+        assert_eq!(warm.paths, cold.paths);
+        assert_eq!(warm.report.method, cold.report.method);
+        assert_eq!(warm.report.cut_position, cold.report.cut_position);
+        assert_eq!(engine.cache_stats().hits, 1);
+        assert_eq!(engine.plan_cache().len(), 1);
+    }
+
+    #[test]
+    fn bypass_cache_requests_never_store_or_hit() {
+        let g = figure1_graph();
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        let request = QueryRequest::paths(S, T).max_hops(4).bypass_cache();
+        for _ in 0..3 {
+            let response = engine.execute(&request).unwrap();
+            assert_eq!(response.report.cache, CacheOutcome::Bypass);
+        }
+        assert!(engine.plan_cache().is_empty());
+        assert_eq!(engine.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn zero_capacity_cache_disables_caching() {
+        let g = figure1_graph();
+        let mut engine = QueryEngine::with_cache(&g, PathEnumConfig::default(), PlanCache::new(0));
+        let request = QueryRequest::paths(S, T).max_hops(4);
+        for _ in 0..2 {
+            let response = engine.execute(&request).unwrap();
+            assert_eq!(response.report.cache, CacheOutcome::Bypass);
+        }
+        assert!(engine.plan_cache().is_empty());
+    }
+
+    #[test]
+    fn explain_plans_without_enumerating_and_warms_the_cache() {
+        let g = erdos_renyi(60, 380, 9);
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        let request = QueryRequest::paths(0, 1).max_hops(4).collect_paths(true);
+        let plan = engine.explain(&request).unwrap();
+        assert_eq!(plan.query, Query::new(0, 1, 4).unwrap());
+        assert_eq!(engine.plan_cache().len(), 1);
+
+        let response = engine.execute(&request).unwrap();
+        assert_eq!(
+            response.report.cache,
+            CacheOutcome::Hit,
+            "explain warmed it"
+        );
+        assert_eq!(response.report.method, plan.method);
+        assert_eq!(response.report.cut_position, plan.cut);
+        assert_eq!(response.plan, Some(plan));
+    }
+
+    #[test]
+    fn explain_flagged_requests_return_the_plan_with_zero_results() {
+        let g = figure1_graph();
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        let response = engine
+            .execute(&QueryRequest::paths(S, T).max_hops(4).explain())
+            .unwrap();
+        assert_eq!(response.termination, Termination::Completed);
+        assert_eq!(response.num_results(), 0);
+        assert!(response.paths.is_empty());
+        let plan = response.plan.expect("explain responses carry the plan");
+        assert_eq!(plan.method, Method::IdxDfs);
+        assert!(plan.index_edges > 0);
+
+        // The real run agrees with the explanation.
+        let executed = engine
+            .execute(&QueryRequest::paths(S, T).max_hops(4))
+            .unwrap();
+        assert_eq!(executed.report.method, plan.method);
+        assert_eq!(executed.num_results(), 5);
+    }
+
+    #[test]
+    fn constrained_requests_share_the_unconstrained_plan_entry() {
+        // Accumulative/automaton constraints plan on the same index, so
+        // an unconstrained warm-up serves them too.
+        let g = figure1_graph();
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        engine
+            .execute(&QueryRequest::paths(S, T).max_hops(4))
+            .unwrap();
+        let constrained = QueryRequest::paths(S, T)
+            .max_hops(4)
+            .collect_paths(true)
+            .accumulative(crate::constraints::AccumulativeQuery {
+                identity: 0u32,
+                combine: |a: u32, b: u32| a + b,
+                weight: |_, _| 1u32,
+                check: |&len: &u32| len <= 3,
+                prune: None,
+            });
+        let response = engine.execute(&constrained).unwrap();
+        assert_eq!(response.report.cache, CacheOutcome::Hit);
+        assert!(response.paths.iter().all(|p| p.len() <= 4));
+        assert!(response.num_results() > 0);
+    }
+
+    #[test]
+    fn predicate_requests_cache_only_with_a_fingerprint() {
+        let g = figure1_graph();
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        let unfingerprinted = QueryRequest::paths(S, T)
+            .max_hops(4)
+            .predicate(|_, to| to != V[0]);
+        let response = engine.execute(&unfingerprinted).unwrap();
+        assert_eq!(response.report.cache, CacheOutcome::Bypass);
+        assert!(engine.plan_cache().is_empty());
+
+        let make = || {
+            QueryRequest::paths(S, T)
+                .max_hops(4)
+                .collect_paths(true)
+                .predicate(|_, to| to != V[0])
+                .constraint_fingerprint(7)
+        };
+        let cold = engine.execute(&make()).unwrap();
+        assert_eq!(cold.report.cache, CacheOutcome::Miss);
+        let warm = engine.execute(&make()).unwrap();
+        assert_eq!(warm.report.cache, CacheOutcome::Hit);
+        assert_eq!(warm.paths, cold.paths);
+        assert!(warm.paths.iter().all(|p| !p.contains(&V[0])));
+    }
+
+    #[test]
+    fn stream_reuses_a_warm_index() {
+        let g = figure1_graph();
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        let request = QueryRequest::paths(S, T).max_hops(4);
+        engine.execute(&request).unwrap();
+        let hits_before = engine.cache_stats().hits;
+        let paths: Vec<Vec<u32>> = engine.stream(&request).unwrap().collect();
+        assert_eq!(paths.len(), 5);
+        assert_eq!(engine.cache_stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn cache_moves_between_engines_over_the_same_graph() {
+        let g = figure1_graph();
+        let request = QueryRequest::paths(S, T).max_hops(4);
+        let mut first = QueryEngine::new(&g, PathEnumConfig::default());
+        first.execute(&request).unwrap();
+        let cache = first.into_cache();
+
+        let mut second = QueryEngine::with_cache(&g, PathEnumConfig::default(), cache);
+        let response = second.execute(&request).unwrap();
+        assert_eq!(response.report.cache, CacheOutcome::Hit);
     }
 }

@@ -8,16 +8,30 @@
 
 /// The q-error of one estimate against the truth.
 ///
-/// Both sides are clamped to 1 (an estimate of 0 against an actual 0 is a
-/// perfect 1.0; a zero against a positive count is treated as 1 vs the
-/// count, the standard convention).
+/// Always `>= 1.0` and always finite. The zero cases are handled
+/// explicitly rather than by letting the ratio divide by zero:
+///
+/// * `estimate == 0 && actual == 0` — a perfect `1.0`;
+/// * `estimate == 0 && actual > 0` — naively an *infinite*
+///   underestimate. Following the G-CARE convention, the zero side is
+///   clamped to 1, giving `q_error(0, a) == a`: a finite penalty that
+///   grows with the mass the estimator missed, and keeps the summary
+///   statistics (geometric mean in log space, percentiles) well-defined;
+/// * `estimate > 0 && actual == 0` — symmetric: `q_error(e, 0) == e`.
 pub fn q_error(estimate: u64, actual: u64) -> f64 {
-    let e = estimate.max(1) as f64;
-    let a = actual.max(1) as f64;
-    if e >= a {
-        e / a
-    } else {
-        a / e
+    match (estimate, actual) {
+        (0, 0) => 1.0,
+        (0, a) => a as f64,
+        (e, 0) => e as f64,
+        (e, a) => {
+            let e = e as f64;
+            let a = a as f64;
+            if e >= a {
+                e / a
+            } else {
+                a / e
+            }
+        }
     }
 }
 
@@ -70,6 +84,24 @@ mod tests {
         assert_eq!(q_error(0, 0), 1.0);
         assert_eq!(q_error(0, 50), 50.0);
         assert_eq!(q_error(50, 0), 50.0);
+    }
+
+    #[test]
+    fn q_error_zero_estimate_against_positive_actual_is_finite() {
+        // The documented edge case: an estimator that predicts 0 results
+        // for a query that has some is "infinitely" wrong as a ratio; the
+        // clamp turns it into a finite penalty equal to the actual count,
+        // so downstream summaries never see inf/NaN.
+        for actual in [1u64, 1_000, u64::MAX] {
+            let e = q_error(0, actual);
+            assert!(e.is_finite(), "actual={actual}");
+            assert_eq!(e, actual as f64);
+            assert!(e >= 1.0);
+        }
+        // And the summary built on top of it stays finite too.
+        let s = summarize_q_errors(&[(0, 1_000_000), (1, 1)]).unwrap();
+        assert!(s.geometric_mean.is_finite());
+        assert_eq!(s.max, 1e6);
     }
 
     #[test]

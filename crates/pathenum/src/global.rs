@@ -72,9 +72,12 @@ impl GlobalIndexedGraph {
                 counters: Counters::default(),
                 preliminary_estimate: 0,
                 full_estimate: Some(0),
+                t_dfs: None,
+                t_join: None,
                 cut_position: None,
                 index_bytes: 0,
                 index_edges: 0,
+                cache: crate::plan::CacheOutcome::Bypass,
             });
         }
         path_enum(&self.graph, query, config, sink)

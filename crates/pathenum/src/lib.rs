@@ -78,6 +78,7 @@ pub mod global;
 pub mod index;
 pub mod optimizer;
 pub mod parallel;
+pub mod plan;
 pub mod query;
 pub mod reference;
 pub mod relations;
@@ -90,6 +91,10 @@ pub use engine::QueryEngine;
 pub use index::Index;
 pub use optimizer::{optimize_join_order, path_enum, path_enum_on_index, JoinPlan, PathEnumConfig};
 pub use parallel::SharedControl;
+pub use plan::{
+    CacheOutcome, ConstraintKind, Executor, PhysicalPlan, PlanCache, PlanCacheStats, PlanKey,
+    Planner,
+};
 pub use query::Query;
 pub use request::{
     CancelToken, ControlledSink, PathEnumError, PathStream, QueryRequest, QueryResponse,

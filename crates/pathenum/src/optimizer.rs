@@ -5,13 +5,13 @@ use std::time::Instant;
 
 use pathenum_graph::CsrGraph;
 
-use crate::enumerate::{idx_dfs, idx_join};
-use crate::estimator::{preliminary_estimate, FullEstimate};
+use crate::estimator::FullEstimate;
 use crate::index::Index;
+use crate::plan::{plan_on_index, CacheOutcome, Executor};
 use crate::query::Query;
 use crate::request::PathEnumError;
 use crate::sink::PathSink;
-use crate::stats::{Counters, Method, PhaseTimings, RunReport};
+use crate::stats::{Method, PhaseTimings, RunReport};
 
 /// Output of Algorithm 5: the chosen cut and the modeled costs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,121 +150,20 @@ pub fn path_enum_on_index_with_build(
     run_on_index(index, config, sink, timings)
 }
 
-/// Outcome of the estimate-then-optimize front half of Figure 2, shared
-/// by the plain pipeline and the constrained executors in
-/// [`crate::request`].
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct MethodChoice {
-    /// The strategy to enumerate with.
-    pub method: Method,
-    /// Cut position, populated (and clamped into `1..k`) exactly when
-    /// `method` is [`Method::IdxJoin`].
-    pub cut: Option<u32>,
-    /// The preliminary estimate (Equation 5).
-    pub preliminary: u64,
-    /// The full-fledged estimate of `|Q|`, when the optimizer ran.
-    pub full_estimate: Option<u64>,
-}
-
-/// Runs the preliminary estimator and — when forced or when the estimate
-/// exceeds `tau` — the full-fledged estimator plus Algorithm 5, recording
-/// both phases into `timings`.
-pub(crate) fn choose_method(
-    index: &Index,
-    config: PathEnumConfig,
-    timings: &mut PhaseTimings,
-) -> MethodChoice {
-    let prelim_start = Instant::now();
-    let preliminary = preliminary_estimate(index);
-    timings.preliminary_estimation = prelim_start.elapsed();
-
-    let mut full_estimate = None;
-    let mut cut = None;
-
-    let method = match config.force {
-        Some(m) => {
-            // Forced IDX-JOIN still needs the optimizer to pick a cut.
-            if m == Method::IdxJoin {
-                let opt_start = Instant::now();
-                let estimate = FullEstimate::compute(index);
-                let plan = optimize_join_order(index, &estimate);
-                timings.optimization = opt_start.elapsed();
-                full_estimate = Some(estimate.total_walks());
-                cut = plan.map(|p| p.cut);
-            }
-            m
-        }
-        None if preliminary <= config.tau => Method::IdxDfs,
-        None => {
-            let opt_start = Instant::now();
-            let estimate = FullEstimate::compute(index);
-            let plan = optimize_join_order(index, &estimate);
-            timings.optimization = opt_start.elapsed();
-            match plan {
-                Some(plan) => {
-                    full_estimate = Some(plan.estimated_walks);
-                    if plan.preferred() == Method::IdxJoin {
-                        cut = Some(plan.cut);
-                        Method::IdxJoin
-                    } else {
-                        Method::IdxDfs
-                    }
-                }
-                None => Method::IdxDfs,
-            }
-        }
-    };
-
-    if method == Method::IdxJoin {
-        cut = Some(
-            cut.unwrap_or(index.k() / 2)
-                .clamp(1, index.k().saturating_sub(1).max(1)),
-        );
-    } else {
-        cut = None;
-    }
-    MethodChoice {
-        method,
-        cut,
-        preliminary,
-        full_estimate,
-    }
-}
-
+/// The classic pipeline on a prebuilt index: plan (estimate + optimize)
+/// then execute — now a thin driver over the planner/executor split of
+/// [`crate::plan`].
 fn run_on_index(
     index: &Index,
     config: PathEnumConfig,
     sink: &mut dyn PathSink,
     mut timings: PhaseTimings,
 ) -> RunReport {
-    let mut counters = Counters::default();
-    let index_bytes = index.heap_bytes();
-    let index_edges = index.num_edges();
-
-    let choice = choose_method(index, config, &mut timings);
-
+    let plan = plan_on_index(index, config, &mut timings);
     let enum_start = Instant::now();
-    match choice.method {
-        Method::IdxDfs => {
-            idx_dfs(index, sink, &mut counters);
-        }
-        Method::IdxJoin => {
-            let cut = choice.cut.expect("choose_method sets the cut for IDX-JOIN");
-            idx_join(index, cut, sink, &mut counters);
-        }
-    }
+    let counters = Executor::execute(index, &plan, sink);
     timings.enumeration = enum_start.elapsed();
-
-    RunReport {
-        method: choice.method,
-        timings,
-        counters,
-        preliminary_estimate: choice.preliminary,
-        full_estimate: choice.full_estimate,
-        cut_position: choice.cut,
-        index_bytes,
-        index_edges,
-    }
+    plan.report(timings, counters, CacheOutcome::Bypass)
 }
 
 #[cfg(test)]

@@ -1,0 +1,947 @@
+//! The planner/executor split: explicit physical plans, `EXPLAIN`, and a
+//! version-aware plan/index cache.
+//!
+//! The paper's central claim is that a per-query light-weight index plus
+//! a cost-based choice between IDX-DFS and IDX-JOIN beats either method
+//! alone. Historically that decision logic was inlined across the engine
+//! and the orchestrator; this module makes the decision a *value*:
+//!
+//! * [`PhysicalPlan`] — everything the optimizer decided about one query
+//!   (index spec and footprint, preliminary/full estimates, the modeled
+//!   costs `T_DFS`/`T_JOIN`, the chosen [`Method`] and join cut, the
+//!   constraint strategy, the parallelism degree). Plans are plain `Copy`
+//!   data: they can be logged, compared, cached, and replayed.
+//! * [`Planner`] — produces a plan (and the index backing it) from a
+//!   request: build index → preliminary estimate → (maybe) full estimate
+//!   + join-order optimization (Figure 2's front half).
+//! * [`Executor`] — interprets any plan against any
+//!   [`PathSink`](crate::sink::PathSink) (Figure 2's back half),
+//!   sequentially or through the intra-query pool when the plan carries
+//!   `threads > 1`.
+//! * [`PlanCache`] — an LRU over `(s, t, k, constraint fingerprint,
+//!   forced method, tau)` holding the plan *and* its built index,
+//!   invalidated by the serving graph's
+//!   [`GraphVersion`](pathenum_graph::GraphVersion) epoch. Real request
+//!   streams are heavily skewed; for a repeated query the dominant cost
+//!   the paper measures — the bidirectional boundary BFS of the index
+//!   build — is paid once and amortized across every warm hit.
+//!
+//! [`QueryEngine`](crate::QueryEngine) wires the three together:
+//! `execute`/`execute_into`/`stream` are thin drivers over
+//! plan-acquisition (cache lookup or [`Planner`]) followed by
+//! [`Executor`] dispatch, and
+//! [`QueryEngine::explain`](crate::QueryEngine::explain) returns the plan
+//! without enumerating at all.
+//!
+//! ```
+//! use pathenum::{PathEnumConfig, QueryEngine, QueryRequest};
+//! use pathenum_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edges([(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap();
+//! let graph = b.finish();
+//! let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+//!
+//! let request = QueryRequest::paths(0, 3).max_hops(3);
+//! let plan = engine.explain(&request).unwrap(); // no enumeration
+//! let response = engine.execute(&request).unwrap(); // warm: index reused
+//! assert_eq!(response.report.method, plan.method);
+//! assert_eq!(response.report.cache, pathenum::plan::CacheOutcome::Hit);
+//! ```
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use pathenum_graph::{CsrGraph, GraphVersion, VertexId};
+
+use crate::constraints::{automaton_join, filtered_graph};
+use crate::enumerate::{idx_dfs, idx_join};
+use crate::estimator::{preliminary_estimate, FullEstimate};
+use crate::index::{BuildScratch, Index};
+use crate::optimizer::{optimize_join_order, PathEnumConfig};
+use crate::query::Query;
+use crate::request::{
+    CancelToken, ConstraintSpec, ControlledSink, PathEnumError, QueryRequest, Termination,
+};
+use crate::sink::PathSink;
+use crate::stats::{Counters, Method, PhaseTimings};
+
+/// The constraint *strategy* a plan executes under (the request carries
+/// the actual closures; the plan only needs to know the shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ConstraintKind {
+    /// Plain HcPE.
+    #[default]
+    None,
+    /// Edge-predicate filtering (Appendix E): the index is built on the
+    /// filtered subgraph.
+    Predicate,
+    /// Accumulated edge values with a final check (Algorithm 7).
+    Accumulative,
+    /// Edge-label sequences accepted by a DFA (Algorithm 8).
+    Automaton,
+}
+
+impl std::fmt::Display for ConstraintKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstraintKind::None => write!(f, "none"),
+            ConstraintKind::Predicate => write!(f, "predicate"),
+            ConstraintKind::Accumulative => write!(f, "accumulative"),
+            ConstraintKind::Automaton => write!(f, "automaton"),
+        }
+    }
+}
+
+/// How a request's plan was obtained, reported in
+/// [`RunReport::cache`](crate::stats::RunReport::cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheOutcome {
+    /// The request was not eligible for caching (constraint without a
+    /// fingerprint, [`bypass_cache`](QueryRequest::bypass_cache), cache
+    /// capacity 0, or an entry point that never caches).
+    #[default]
+    Bypass,
+    /// Planned from scratch; plan and index were stored for reuse.
+    Miss,
+    /// Served from a cached plan and index — no BFS, no index build.
+    Hit,
+}
+
+impl std::fmt::Display for CacheOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheOutcome::Bypass => write!(f, "bypass"),
+            CacheOutcome::Miss => write!(f, "miss"),
+            CacheOutcome::Hit => write!(f, "hit"),
+        }
+    }
+}
+
+/// The physical plan for one hop-constrained path query: every decision
+/// of Figure 2's front half, as a first-class `Copy` value.
+///
+/// Produced by [`Planner`] (or [`QueryEngine::explain`](crate::QueryEngine::explain)),
+/// interpreted by [`Executor`], cached by [`PlanCache`]. The `Display`
+/// form is an `EXPLAIN`-style rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhysicalPlan {
+    /// The core query `q(s, t, k)`.
+    pub query: Query,
+    /// The enumeration strategy the optimizer (or a forced override)
+    /// selected.
+    pub method: Method,
+    /// Join cut position `i*`; `Some` exactly when `method` is
+    /// [`Method::IdxJoin`].
+    pub cut: Option<u32>,
+    /// Whether `method` was forced rather than cost-chosen.
+    pub forced: bool,
+    /// Preliminary search-space estimate (Equation 5).
+    pub preliminary_estimate: u64,
+    /// Full-fledged estimate of `|Q|` (exact walk count), when the
+    /// optimizer ran.
+    pub full_estimate: Option<u64>,
+    /// Modeled left-deep DFS cost `T_DFS` (Algorithm 5), when the
+    /// optimizer ran.
+    pub t_dfs: Option<u64>,
+    /// Modeled bushy join cost `T_JOIN` at the chosen cut, when the
+    /// optimizer ran.
+    pub t_join: Option<u64>,
+    /// The preliminary-estimate threshold the decision used (Section 6.2).
+    pub tau: u64,
+    /// The constraint strategy the execution will apply.
+    pub constraint: ConstraintKind,
+    /// Resolved intra-query parallelism degree (1 = sequential).
+    pub threads: usize,
+    /// `|X|`: vertices kept by the light-weight index.
+    pub index_vertices: usize,
+    /// Edges in the index's forward table (the paper's index-size metric).
+    pub index_edges: usize,
+    /// Index heap footprint in bytes.
+    pub index_bytes: usize,
+}
+
+impl PhysicalPlan {
+    /// Whether the index proves the query has no results (the executor
+    /// will terminate immediately).
+    pub fn is_provably_empty(&self) -> bool {
+        self.index_vertices == 0
+    }
+
+    /// Assembles a [`RunReport`](crate::stats::RunReport) for one
+    /// interpretation of this plan.
+    pub(crate) fn report(
+        &self,
+        timings: PhaseTimings,
+        counters: Counters,
+        cache: CacheOutcome,
+    ) -> crate::stats::RunReport {
+        crate::stats::RunReport {
+            method: self.method,
+            timings,
+            counters,
+            preliminary_estimate: self.preliminary_estimate,
+            full_estimate: self.full_estimate,
+            t_dfs: self.t_dfs,
+            t_join: self.t_join,
+            cut_position: self.cut,
+            index_bytes: self.index_bytes,
+            index_edges: self.index_edges,
+            cache,
+        }
+    }
+}
+
+impl std::fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "PhysicalPlan q(s={}, t={}, k={})",
+            self.query.s, self.query.t, self.query.k
+        )?;
+        write!(f, "  method: {}", self.method)?;
+        match (self.forced, self.cut) {
+            (true, Some(cut)) => writeln!(f, " (forced; cut at {cut})")?,
+            (true, None) => writeln!(f, " (forced)")?,
+            (false, Some(cut)) => writeln!(f, " (cost-based; cut at {cut})")?,
+            (false, None) => writeln!(f, " (cost-based)")?,
+        }
+        write!(
+            f,
+            "  estimates: preliminary={} (tau={})",
+            self.preliminary_estimate, self.tau
+        )?;
+        match self.full_estimate {
+            Some(walks) => writeln!(f, ", walks={walks}")?,
+            None => writeln!(f)?,
+        }
+        match (self.t_dfs, self.t_join) {
+            (Some(t_dfs), Some(t_join)) => {
+                writeln!(f, "  modeled costs: t_dfs={t_dfs}, t_join={t_join}")?
+            }
+            _ => {
+                let reason = if self.forced {
+                    "method forced"
+                } else if self.full_estimate.is_some() {
+                    "no interior cut"
+                } else {
+                    "preliminary <= tau"
+                };
+                writeln!(f, "  modeled costs: not computed ({reason})")?
+            }
+        }
+        writeln!(
+            f,
+            "  index: {} vertices, {} edges, {} bytes{}",
+            self.index_vertices,
+            self.index_edges,
+            self.index_bytes,
+            if self.is_provably_empty() {
+                " (provably empty)"
+            } else {
+                ""
+            }
+        )?;
+        write!(
+            f,
+            "  constraint: {}, threads: {}",
+            self.constraint, self.threads
+        )
+    }
+}
+
+/// Produces [`PhysicalPlan`]s: Figure 2's front half (index build →
+/// preliminary estimate → optional full estimate + Algorithm 5) as a
+/// standalone component.
+///
+/// The engine drives a `Planner` internally (with scratch reuse and the
+/// plan cache on top); it is public so tools can plan without executing:
+///
+/// ```
+/// use pathenum::plan::Planner;
+/// use pathenum::{PathEnumConfig, QueryRequest};
+/// use pathenum_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edges([(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap();
+/// let graph = b.finish();
+///
+/// let planner = Planner::new(&graph, PathEnumConfig::default());
+/// let plan = planner.plan(&QueryRequest::paths(0, 3).max_hops(3)).unwrap();
+/// println!("{plan}");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Planner<'g> {
+    graph: &'g CsrGraph,
+    config: PathEnumConfig,
+}
+
+/// A plan together with the index it was computed from.
+pub(crate) struct Planned {
+    pub plan: PhysicalPlan,
+    pub index: Index,
+}
+
+impl<'g> Planner<'g> {
+    /// A planner over `graph` with the orchestrator configuration
+    /// (request-level `tau`/`method` overrides are applied per request).
+    pub fn new(graph: &'g CsrGraph, config: PathEnumConfig) -> Self {
+        Planner { graph, config }
+    }
+
+    /// Plans a request without executing it (fresh build scratch; the
+    /// engine's cached entry points reuse scratch instead).
+    pub fn plan(&self, request: &QueryRequest<'_>) -> Result<PhysicalPlan, PathEnumError> {
+        let query = request.validate(self.graph.num_vertices())?;
+        let mut scratch = BuildScratch::default();
+        let (planned, _) = self.plan_query(query, request, &mut scratch);
+        Ok(planned.plan)
+    }
+
+    /// Effective configuration for one request (request overrides win).
+    pub(crate) fn effective_config(&self, request: &QueryRequest<'_>) -> PathEnumConfig {
+        PathEnumConfig {
+            tau: request.tau.unwrap_or(self.config.tau),
+            force: request.method.or(self.config.force),
+        }
+    }
+
+    /// Plans a validated query: builds the index (on the
+    /// predicate-filtered subgraph when the request carries a predicate),
+    /// runs the estimators, and decides method + cut. Returns the plan,
+    /// the index, and the front-half phase timings.
+    pub(crate) fn plan_query(
+        &self,
+        query: Query,
+        request: &QueryRequest<'_>,
+        scratch: &mut BuildScratch,
+    ) -> (Planned, PhaseTimings) {
+        let config = self.effective_config(request);
+        let build_start = Instant::now();
+        let (index, bfs_time) = match &request.constraint {
+            ConstraintSpec::Predicate(predicate) => {
+                // Appendix E: the filter pass is attributed to build time.
+                let filtered = filtered_graph(self.graph, predicate);
+                Index::build_reusing(&filtered, query, scratch)
+            }
+            _ => Index::build_reusing(self.graph, query, scratch),
+        };
+        let mut timings = PhaseTimings {
+            bfs: bfs_time,
+            index_build: build_start.elapsed(),
+            ..PhaseTimings::default()
+        };
+        let threads = request.resolved_threads();
+        let plan = plan_on_index_inner(
+            &index,
+            config,
+            request.constraint.kind(),
+            threads,
+            &mut timings,
+        );
+        (Planned { plan, index }, timings)
+    }
+}
+
+/// Plans on a prebuilt index: the estimate-then-optimize half of Figure 2
+/// shared by every pipeline entry point, recording the estimation and
+/// optimization phases into `timings`.
+///
+/// This is [`Planner`] without graph access — used by
+/// [`path_enum_on_index`](crate::optimizer::path_enum_on_index) style
+/// callers that benchmark phases separately.
+pub fn plan_on_index(
+    index: &Index,
+    config: PathEnumConfig,
+    timings: &mut PhaseTimings,
+) -> PhysicalPlan {
+    plan_on_index_inner(index, config, ConstraintKind::None, 1, timings)
+}
+
+fn plan_on_index_inner(
+    index: &Index,
+    config: PathEnumConfig,
+    constraint: ConstraintKind,
+    threads: usize,
+    timings: &mut PhaseTimings,
+) -> PhysicalPlan {
+    let prelim_start = Instant::now();
+    let preliminary = preliminary_estimate(index);
+    timings.preliminary_estimation = prelim_start.elapsed();
+
+    let mut full_estimate = None;
+    let mut t_dfs = None;
+    let mut t_join = None;
+    let mut cut = None;
+
+    let forced = config.force.is_some();
+    let mut optimize = |timings: &mut PhaseTimings| {
+        let opt_start = Instant::now();
+        let estimate = FullEstimate::compute(index);
+        let join_plan = optimize_join_order(index, &estimate);
+        timings.optimization = opt_start.elapsed();
+        full_estimate = Some(estimate.total_walks());
+        if let Some(p) = join_plan {
+            t_dfs = Some(p.t_dfs);
+            t_join = Some(p.t_join);
+            cut = Some(p.cut);
+        }
+        join_plan
+    };
+
+    let method = match config.force {
+        Some(m) => {
+            // Forced IDX-JOIN still needs the optimizer to pick a cut.
+            if m == Method::IdxJoin {
+                optimize(timings);
+            }
+            m
+        }
+        None if preliminary <= config.tau => Method::IdxDfs,
+        None => match optimize(timings) {
+            Some(join_plan) => join_plan.preferred(),
+            None => Method::IdxDfs,
+        },
+    };
+
+    if method == Method::IdxJoin {
+        cut = Some(
+            cut.unwrap_or(index.k() / 2)
+                .clamp(1, index.k().saturating_sub(1).max(1)),
+        );
+    } else {
+        cut = None;
+    }
+
+    PhysicalPlan {
+        query: index.query(),
+        method,
+        cut,
+        forced,
+        preliminary_estimate: preliminary,
+        full_estimate,
+        t_dfs,
+        t_join,
+        tau: config.tau,
+        constraint,
+        threads,
+        index_vertices: index.num_vertices(),
+        index_edges: index.num_edges(),
+        index_bytes: index.heap_bytes(),
+    }
+}
+
+/// The request-level stopping rules the executor enforces around the
+/// caller's sink.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StoppingRules {
+    pub limit: Option<u64>,
+    pub deadline: Option<Instant>,
+    pub cancel: Option<CancelToken>,
+}
+
+/// Outcome of interpreting one plan.
+pub(crate) struct Execution {
+    pub counters: Counters,
+    pub termination: Termination,
+    pub enumeration: Duration,
+}
+
+/// Interprets [`PhysicalPlan`]s against sinks: Figure 2's back half.
+///
+/// The executor is stateless — any plan can run against any sink, any
+/// number of times, as long as the index it is paired with was built for
+/// the plan's query (the engine's cache guarantees this via graph-version
+/// checks).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Executor;
+
+impl Executor {
+    /// Runs an unconstrained plan sequentially, streaming into `sink`
+    /// with no stopping rules. The public, minimal interpreter; the
+    /// engine uses [`Executor::run`] which adds constraints, stopping
+    /// rules, and the parallel pool.
+    pub fn execute(index: &Index, plan: &PhysicalPlan, sink: &mut dyn PathSink) -> Counters {
+        let mut counters = Counters::default();
+        match plan.method {
+            Method::IdxDfs => {
+                idx_dfs(index, sink, &mut counters);
+            }
+            Method::IdxJoin => {
+                let cut = plan.cut.expect("plans carry a cut for IDX-JOIN");
+                idx_join(index, cut, sink, &mut counters);
+            }
+        }
+        counters
+    }
+
+    /// Full interpretation: applies the request's constraint closures,
+    /// enforces the stopping rules, and fans out over the intra-query
+    /// pool when the plan carries `threads > 1` (unconstrained plans
+    /// only — the constrained executors stay sequential).
+    pub(crate) fn run(
+        index: &Index,
+        plan: &PhysicalPlan,
+        constraint: &ConstraintSpec<'_>,
+        rules: StoppingRules,
+        sink: &mut dyn PathSink,
+    ) -> Execution {
+        let mut counters = Counters::default();
+        let enum_start = Instant::now();
+
+        if plan.threads > 1 && matches!(constraint, ConstraintSpec::None) {
+            let control =
+                crate::parallel::SharedControl::new(rules.limit, rules.deadline, rules.cancel);
+            match plan.method {
+                Method::IdxDfs => {
+                    crate::parallel::parallel_dfs(
+                        index,
+                        plan.threads,
+                        &control,
+                        sink,
+                        &mut counters,
+                    );
+                }
+                Method::IdxJoin => {
+                    let cut = plan.cut.expect("plans carry a cut for IDX-JOIN");
+                    crate::parallel::parallel_join(
+                        index,
+                        cut,
+                        plan.threads,
+                        &control,
+                        sink,
+                        &mut counters,
+                    );
+                }
+            }
+            let termination = control.termination();
+            if termination.is_early() {
+                // Workers count a result before the shared budget can
+                // refuse it; the admitted count is authoritative.
+                counters.results = control.delivered();
+            }
+            return Execution {
+                counters,
+                termination,
+                enumeration: enum_start.elapsed(),
+            };
+        }
+
+        let mut control = ControlledSink::new(sink, rules.limit, rules.deadline, rules.cancel);
+        match (constraint, plan.method) {
+            // Predicate requests already enumerated the filtered graph's
+            // index — plain dispatch.
+            (ConstraintSpec::None | ConstraintSpec::Predicate(_), Method::IdxDfs) => {
+                idx_dfs(index, &mut control, &mut counters);
+            }
+            (ConstraintSpec::None | ConstraintSpec::Predicate(_), Method::IdxJoin) => {
+                let cut = plan.cut.expect("plans carry a cut for IDX-JOIN");
+                idx_join(index, cut, &mut control, &mut counters);
+            }
+            (ConstraintSpec::Accumulative(acc), Method::IdxDfs) => {
+                acc.dfs(index, &mut control, &mut counters);
+            }
+            (ConstraintSpec::Accumulative(acc), Method::IdxJoin) => {
+                let cut = plan.cut.expect("plans carry a cut for IDX-JOIN");
+                acc.join(index, cut, &mut control, &mut counters);
+            }
+            (
+                ConstraintSpec::Automaton {
+                    automaton,
+                    label_of,
+                },
+                Method::IdxDfs,
+            ) => {
+                crate::constraints::automaton_dfs(
+                    index,
+                    automaton,
+                    label_of,
+                    &mut control,
+                    &mut counters,
+                );
+            }
+            (
+                ConstraintSpec::Automaton {
+                    automaton,
+                    label_of,
+                },
+                Method::IdxJoin,
+            ) => {
+                let cut = plan.cut.expect("plans carry a cut for IDX-JOIN");
+                automaton_join(
+                    index,
+                    cut,
+                    automaton,
+                    label_of.as_ref(),
+                    &mut control,
+                    &mut counters,
+                );
+            }
+        }
+        let termination = control.termination();
+        if termination.is_early() {
+            // Enumerators count a result *before* offering it to the
+            // sink; when a stopping rule refuses that emission the
+            // delivered count is authoritative.
+            counters.results = control.emitted();
+        }
+        Execution {
+            counters,
+            termination,
+            enumeration: enum_start.elapsed(),
+        }
+    }
+}
+
+/// Cache key: one logical query shape. Includes the *effective* method
+/// force and `tau` so plan decisions made under different configurations
+/// never alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Source vertex.
+    pub s: VertexId,
+    /// Target vertex.
+    pub t: VertexId,
+    /// Hop constraint.
+    pub k: u32,
+    /// Constraint namespace: 0 for the shared unfiltered-index entry
+    /// (plain/accumulative/automaton requests), 1 for predicate-filtered
+    /// entries. A separate field — not a stolen fingerprint bit — so the
+    /// full 64-bit user tag space stays collision-free.
+    pub namespace: u8,
+    /// Constraint fingerprint within the namespace; see
+    /// [`QueryRequest::constraint_fingerprint`].
+    pub fingerprint: u64,
+    /// Effective forced method (request override or engine config).
+    pub method: Option<Method>,
+    /// Effective preliminary-estimate threshold.
+    pub tau: u64,
+}
+
+/// Aggregate statistics of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing usable (including invalidations).
+    pub misses: u64,
+    /// Entries discarded because the graph version moved on.
+    pub invalidations: u64,
+    /// Entries discarded to make room (LRU).
+    pub evictions: u64,
+}
+
+impl PlanCacheStats {
+    /// Hit fraction over all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    version: GraphVersion,
+    plan: PhysicalPlan,
+    index: Index,
+    last_used: u64,
+}
+
+/// Default number of cached plans per engine. An entry holds a
+/// light-weight index (typically a few KB; bounded by the per-query
+/// admissible subgraph), so the default keeps worst-case cache memory in
+/// the low megabytes.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
+
+/// An LRU cache of `(PhysicalPlan, Index)` pairs keyed by [`PlanKey`]
+/// and guarded by a [`GraphVersion`] epoch.
+///
+/// A lookup whose stored version differs from the serving graph's
+/// current version discards the entry (counted as an invalidation): a
+/// [`DynamicGraph`](pathenum_graph::DynamicGraph) mutation advances the
+/// epoch, so snapshots taken after a mutation can never be served stale
+/// plans, while snapshots of an unmutated overlay keep hitting.
+///
+/// The cache is an independent value so it can outlive any single
+/// engine: move it between engines over successive snapshots with
+/// [`QueryEngine::with_cache`](crate::QueryEngine::with_cache) /
+/// [`QueryEngine::into_cache`](crate::QueryEngine::into_cache).
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    entries: HashMap<PlanKey, CacheEntry>,
+    clock: u64,
+    stats: PlanCacheStats,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` entries. Capacity 0 disables
+    /// caching entirely (every lookup misses, nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            entries: HashMap::with_capacity(capacity.min(1024)),
+            clock: 0,
+            stats: PlanCacheStats::default(),
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Aggregate hit/miss/invalidation/eviction counts.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    /// Drops every entry (statistics are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Looks up a fresh entry for `key` at graph `version`. A stale
+    /// entry (older version) is removed and counted as an invalidation;
+    /// both stale and absent count as misses.
+    pub(crate) fn lookup(
+        &mut self,
+        key: &PlanKey,
+        version: GraphVersion,
+    ) -> Option<(&PhysicalPlan, &Index)> {
+        // Entry API: one hash probe whether the lookup hits, invalidates,
+        // or misses.
+        match self.entries.entry(*key) {
+            std::collections::hash_map::Entry::Occupied(occupied) => {
+                if occupied.get().version == version {
+                    self.clock += 1;
+                    self.stats.hits += 1;
+                    let entry = occupied.into_mut();
+                    entry.last_used = self.clock;
+                    Some((&entry.plan, &entry.index))
+                } else {
+                    occupied.remove();
+                    self.stats.invalidations += 1;
+                    self.stats.misses += 1;
+                    None
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(_) => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a plan + index for `key` at `version`, evicting the least
+    /// recently used entry when at capacity.
+    pub(crate) fn insert(
+        &mut self,
+        key: PlanKey,
+        version: GraphVersion,
+        plan: PhysicalPlan,
+        index: Index,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&lru);
+                self.stats.evictions += 1;
+            }
+        }
+        self.clock += 1;
+        self.entries.insert(
+            key,
+            CacheEntry {
+                version,
+                plan,
+                index,
+                last_used: self.clock,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::test_support::*;
+    use crate::sink::CollectingSink;
+
+    fn plan_for(graph: &CsrGraph, k: u32) -> (PhysicalPlan, Index) {
+        let query = Query::new(S, T, k).unwrap();
+        let index = Index::build(graph, query);
+        let mut timings = PhaseTimings::default();
+        let plan = plan_on_index(&index, PathEnumConfig::default(), &mut timings);
+        (plan, index)
+    }
+
+    #[test]
+    fn plan_records_the_decision_and_index_shape() {
+        let g = figure1_graph();
+        let (plan, index) = plan_for(&g, 4);
+        assert_eq!(plan.method, Method::IdxDfs);
+        assert_eq!(plan.cut, None);
+        assert!(!plan.forced);
+        assert_eq!(plan.constraint, ConstraintKind::None);
+        assert_eq!(plan.threads, 1);
+        assert_eq!(plan.index_edges, index.num_edges());
+        assert_eq!(plan.index_vertices, index.num_vertices());
+        assert!(!plan.is_provably_empty());
+    }
+
+    #[test]
+    fn forced_join_plans_carry_cut_and_costs() {
+        let g = figure1_graph();
+        let query = Query::new(S, T, 4).unwrap();
+        let index = Index::build(&g, query);
+        let config = PathEnumConfig {
+            force: Some(Method::IdxJoin),
+            ..PathEnumConfig::default()
+        };
+        let mut timings = PhaseTimings::default();
+        let plan = plan_on_index(&index, config, &mut timings);
+        assert_eq!(plan.method, Method::IdxJoin);
+        assert!(plan.forced);
+        let cut = plan.cut.unwrap();
+        assert!((1..4).contains(&cut));
+        assert!(plan.t_dfs.is_some() && plan.t_join.is_some());
+        assert!(plan.full_estimate.is_some());
+    }
+
+    #[test]
+    fn tau_zero_routes_through_the_optimizer() {
+        let g = figure1_graph();
+        let query = Query::new(S, T, 4).unwrap();
+        let index = Index::build(&g, query);
+        let config = PathEnumConfig {
+            tau: 0,
+            force: None,
+        };
+        let mut timings = PhaseTimings::default();
+        let plan = plan_on_index(&index, config, &mut timings);
+        assert_eq!(plan.full_estimate, Some(6), "Figure 1, k=4 has 6 walks");
+        assert!(plan.t_dfs.is_some() && plan.t_join.is_some());
+    }
+
+    #[test]
+    fn executor_interprets_a_plan_faithfully() {
+        let g = figure1_graph();
+        let (plan, index) = plan_for(&g, 4);
+        let mut sink = CollectingSink::default();
+        let counters = Executor::execute(&index, &plan, &mut sink);
+        assert_eq!(counters.results, 5);
+        assert_eq!(sink.paths.len(), 5);
+    }
+
+    #[test]
+    fn display_renders_an_explain_block() {
+        let g = figure1_graph();
+        let (plan, _) = plan_for(&g, 4);
+        let text = plan.to_string();
+        assert!(text.contains("PhysicalPlan q(s=0, t=1, k=4)"));
+        assert!(text.contains("method: IDX-DFS"));
+        assert!(text.contains("constraint: none"));
+    }
+
+    #[test]
+    fn cache_hits_misses_and_invalidates_by_version() {
+        let g = figure1_graph();
+        let (plan, index) = plan_for(&g, 4);
+        let key = PlanKey {
+            s: S,
+            t: T,
+            k: 4,
+            namespace: 0,
+            fingerprint: 0,
+            method: None,
+            tau: 100_000,
+        };
+        let mut cache = PlanCache::new(4);
+        let v1 = g.version();
+        assert!(cache.lookup(&key, v1).is_none());
+        cache.insert(key, v1, plan, index.clone());
+        assert!(cache.lookup(&key, v1).is_some());
+
+        let v2 = GraphVersion::next();
+        assert!(cache.lookup(&key, v2).is_none(), "stale entry discarded");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.invalidations, 1);
+        assert!(cache.is_empty());
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let g = figure1_graph();
+        let (plan, index) = plan_for(&g, 4);
+        let v = g.version();
+        let key = |k: u32| PlanKey {
+            s: S,
+            t: T,
+            k,
+            namespace: 0,
+            fingerprint: 0,
+            method: None,
+            tau: 100_000,
+        };
+        let mut cache = PlanCache::new(2);
+        cache.insert(key(2), v, plan, index.clone());
+        cache.insert(key(3), v, plan, index.clone());
+        assert!(cache.lookup(&key(2), v).is_some(), "refresh key 2");
+        cache.insert(key(4), v, plan, index.clone());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.lookup(&key(2), v).is_some(), "recently used survives");
+        assert!(cache.lookup(&key(3), v).is_none(), "LRU entry evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let g = figure1_graph();
+        let (plan, index) = plan_for(&g, 4);
+        let v = g.version();
+        let key = PlanKey {
+            s: S,
+            t: T,
+            k: 4,
+            namespace: 0,
+            fingerprint: 0,
+            method: None,
+            tau: 100_000,
+        };
+        let mut cache = PlanCache::new(0);
+        cache.insert(key, v, plan, index);
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&key, v).is_none());
+    }
+}

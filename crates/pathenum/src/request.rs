@@ -245,6 +245,39 @@ impl ConstraintSpec<'_> {
             ConstraintSpec::Automaton { .. } => "automaton",
         }
     }
+
+    /// The constraint *strategy* (shape without the closures), recorded
+    /// in [`PhysicalPlan`](crate::plan::PhysicalPlan).
+    pub(crate) fn kind(&self) -> crate::plan::ConstraintKind {
+        match self {
+            ConstraintSpec::None => crate::plan::ConstraintKind::None,
+            ConstraintSpec::Predicate(_) => crate::plan::ConstraintKind::Predicate,
+            ConstraintSpec::Accumulative(_) => crate::plan::ConstraintKind::Accumulative,
+            ConstraintSpec::Automaton { .. } => crate::plan::ConstraintKind::Automaton,
+        }
+    }
+
+    /// The cache `(namespace, fingerprint)` of this constraint, or
+    /// `None` when the request is not cacheable.
+    ///
+    /// Plain, accumulative, and automaton requests share one entry
+    /// (namespace 0, fingerprint 0): all three plan on (and enumerate)
+    /// the *same* unfiltered index — the constraint closures only
+    /// filter/prune at execution time, so the cached plan + index are
+    /// interchangeable. A predicate changes which index is built, and
+    /// closures cannot be compared, so predicate requests are cacheable
+    /// only when the caller vouches for predicate identity via
+    /// [`QueryRequest::constraint_fingerprint`]; the tag lives in its
+    /// own namespace so the full 64-bit tag space never aliases the
+    /// shared entry (or other tags).
+    pub(crate) fn fingerprint(&self, user_tag: Option<u64>) -> Option<(u8, u64)> {
+        match self {
+            ConstraintSpec::None
+            | ConstraintSpec::Accumulative(_)
+            | ConstraintSpec::Automaton { .. } => Some((0, 0)),
+            ConstraintSpec::Predicate(_) => user_tag.map(|tag| (1, tag)),
+        }
+    }
 }
 
 /// A hop-constrained s-t path enumeration request.
@@ -268,6 +301,9 @@ pub struct QueryRequest<'a> {
     pub(crate) tau: Option<u64>,
     pub(crate) threads: usize,
     pub(crate) collect: bool,
+    pub(crate) explain: bool,
+    pub(crate) bypass_cache: bool,
+    pub(crate) fingerprint: Option<u64>,
     pub(crate) constraint: ConstraintSpec<'a>,
     /// Set when a second constraint setter ran; surfaced at validation.
     pub(crate) conflict: Option<(&'static str, &'static str)>,
@@ -307,6 +343,9 @@ impl<'a> QueryRequest<'a> {
             tau: None,
             threads: 1,
             collect: false,
+            explain: false,
+            bypass_cache: false,
+            fingerprint: None,
             constraint: ConstraintSpec::None,
             conflict: None,
         }
@@ -389,6 +428,43 @@ impl<'a> QueryRequest<'a> {
         self
     }
 
+    /// Plan only, never enumerate: the evaluation stops after the
+    /// planner ran, returning the [`PhysicalPlan`](crate::plan::PhysicalPlan)
+    /// (with modeled costs, estimates, and index sizes) in
+    /// [`QueryResponse::plan`] with zero results — the `EXPLAIN` of this
+    /// engine. The plan is cached, so a following `execute` of the same
+    /// request runs warm. [`QueryEngine::explain`](crate::QueryEngine::explain)
+    /// is the direct form.
+    pub fn explain(mut self) -> Self {
+        self.explain = true;
+        self
+    }
+
+    /// Opts this request out of the engine's
+    /// [`PlanCache`](crate::plan::PlanCache): the plan is recomputed and
+    /// the built index is not stored. For cold-path measurements and
+    /// one-off queries that should not displace hot entries.
+    pub fn bypass_cache(mut self) -> Self {
+        self.bypass_cache = true;
+        self
+    }
+
+    /// Declares a stable identity for this request's
+    /// [`predicate`](Self::predicate), making it plan-cacheable.
+    ///
+    /// Closures cannot be compared, so predicate requests are only
+    /// cached when the caller vouches that every request carrying the
+    /// same tag uses a semantically identical predicate (e.g. hash the
+    /// predicate's parameters). Two *different* predicates under one tag
+    /// will reuse each other's filtered index and return wrong results —
+    /// the same contract as any user-keyed cache. Accumulative and
+    /// automaton requests need no tag (their plans and indices are
+    /// constraint-independent), and unconstrained requests ignore it.
+    pub fn constraint_fingerprint(mut self, tag: u64) -> Self {
+        self.fingerprint = Some(tag);
+        self
+    }
+
     /// Also materialize result paths into
     /// [`QueryResponse::paths`]. Off by default: counting workloads
     /// should not pay for path copies. Combine with
@@ -441,6 +517,16 @@ impl<'a> QueryRequest<'a> {
         self
     }
 
+    /// The intra-query parallelism degree this request executes with
+    /// (constrained requests and streams stay sequential for now).
+    pub(crate) fn resolved_threads(&self) -> usize {
+        if matches!(self.constraint, ConstraintSpec::None) {
+            crate::parallel::resolve_threads(self.threads)
+        } else {
+            1
+        }
+    }
+
     fn record_constraint(&mut self, incoming: &'static str) {
         if !matches!(self.constraint, ConstraintSpec::None) && self.conflict.is_none() {
             self.conflict = Some((self.constraint.name(), incoming));
@@ -469,6 +555,10 @@ pub struct QueryResponse {
     /// Result paths, populated only when the request asked for
     /// [`collect_paths`](QueryRequest::collect_paths).
     pub paths: Vec<Vec<VertexId>>,
+    /// The physical plan the engine executed (or, for an
+    /// [`explain`](QueryRequest::explain) request, would have executed).
+    /// `None` only when a pre-flight stopping rule fired before planning.
+    pub plan: Option<crate::plan::PhysicalPlan>,
 }
 
 impl QueryResponse {
@@ -482,6 +572,7 @@ impl QueryResponse {
             report: RunReport::default(),
             termination,
             paths: Vec::new(),
+            plan: None,
         }
     }
 }

@@ -299,13 +299,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn limit_sink_stops_at_limit() {
-        let mut sink = LimitSink::new(3);
+    fn controlled_sink_is_the_canonical_stop_at_n_adapter() {
+        // The deprecated LimitSink survives only as an adapter over this
+        // mechanism; internal code uses ControlledSink directly.
+        let mut sink =
+            crate::request::ControlledSink::new(CountingSink::default(), Some(3), None, None);
         assert_eq!(sink.emit(&[0]), SearchControl::Continue);
         assert_eq!(sink.emit(&[0]), SearchControl::Continue);
         assert_eq!(sink.emit(&[0]), SearchControl::Stop);
-        assert!(sink.saturated());
+        assert_eq!(
+            sink.termination(),
+            crate::request::Termination::LimitReached
+        );
     }
 
     #[test]

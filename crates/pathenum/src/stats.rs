@@ -62,6 +62,37 @@ impl std::fmt::Display for Method {
     }
 }
 
+/// A method name [`Method::from_str`] could not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMethodError(String);
+
+impl std::fmt::Display for ParseMethodError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown method {:?} (expected idx-dfs or idx-join)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseMethodError {}
+
+impl std::str::FromStr for Method {
+    type Err = ParseMethodError;
+
+    /// Parses the paper's method names, case-insensitively and accepting
+    /// `_` for `-`: `"IDX-DFS"`/`"dfs"` and `"IDX-JOIN"`/`"join"`. Lets
+    /// benchmark and workload CLIs force a method without code changes.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace('_', "-").as_str() {
+            "idx-dfs" | "idxdfs" | "dfs" => Ok(Method::IdxDfs),
+            "idx-join" | "idxjoin" | "join" => Ok(Method::IdxJoin),
+            _ => Err(ParseMethodError(s.to_string())),
+        }
+    }
+}
+
 /// Wall-clock breakdown of one PathEnum query (Figures 7, 12, 17).
 #[derive(Debug, Default, Clone)]
 pub struct PhaseTimings {
@@ -107,12 +138,20 @@ pub struct RunReport {
     pub preliminary_estimate: u64,
     /// Full-fledged estimate of `|Q|` (walk count), when computed.
     pub full_estimate: Option<u64>,
+    /// Modeled left-deep DFS cost `T_DFS`, when the optimizer ran.
+    pub t_dfs: Option<u64>,
+    /// Modeled bushy join cost `T_JOIN` at the chosen cut, when the
+    /// optimizer ran.
+    pub t_join: Option<u64>,
     /// Chosen cut position `i*`, when IDX-JOIN was selected.
     pub cut_position: Option<u32>,
     /// Index footprint in bytes.
     pub index_bytes: usize,
     /// Number of edges stored in the index's forward table.
     pub index_edges: usize,
+    /// Whether the plan (and index) came from the engine's
+    /// [`PlanCache`](crate::plan::PlanCache).
+    pub cache: crate::plan::CacheOutcome,
 }
 
 #[cfg(test)]
@@ -168,5 +207,17 @@ mod tests {
     fn method_display() {
         assert_eq!(Method::IdxDfs.to_string(), "IDX-DFS");
         assert_eq!(Method::IdxJoin.to_string(), "IDX-JOIN");
+    }
+
+    #[test]
+    fn method_from_str_round_trips_and_accepts_aliases() {
+        for method in [Method::IdxDfs, Method::IdxJoin] {
+            assert_eq!(method.to_string().parse::<Method>().unwrap(), method);
+        }
+        assert_eq!("dfs".parse::<Method>().unwrap(), Method::IdxDfs);
+        assert_eq!("idx_join".parse::<Method>().unwrap(), Method::IdxJoin);
+        assert_eq!("Join".parse::<Method>().unwrap(), Method::IdxJoin);
+        let err = "bfs".parse::<Method>().unwrap_err();
+        assert!(err.to_string().contains("bfs"));
     }
 }

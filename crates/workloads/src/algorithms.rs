@@ -125,6 +125,33 @@ impl std::fmt::Display for Algorithm {
     }
 }
 
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    /// Parses a CLI algorithm name (case-insensitive, `_` accepted for
+    /// `-`). The two PathEnum forced variants go through
+    /// [`Method::from_str`], so every spelling `Method` accepts
+    /// (`idx-dfs`, `dfs`, `IDX-JOIN`, ...) selects the matching forced
+    /// algorithm here.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Ok(method) = s.parse::<Method>() {
+            return Ok(match method {
+                Method::IdxDfs => Algorithm::IdxDfs,
+                Method::IdxJoin => Algorithm::IdxJoin,
+            });
+        }
+        match s.to_ascii_lowercase().replace('_', "-").as_str() {
+            "pathenum" => Ok(Algorithm::PathEnum),
+            "gen-dfs" | "generic-dfs" => Ok(Algorithm::GenericDfs),
+            "bc-dfs" => Ok(Algorithm::BcDfs),
+            "bc-join" => Ok(Algorithm::BcJoin),
+            "t-dfs" => Ok(Algorithm::TDfs),
+            "yen" | "yen-ksp" => Ok(Algorithm::YenKsp),
+            other => Err(format!("unknown algorithm: {other}")),
+        }
+    }
+}
+
 /// Unified per-run report across baselines and PathEnum variants.
 #[derive(Debug, Clone)]
 pub struct AlgoReport {

@@ -48,8 +48,15 @@ fn main() {
 
     // Serial serving loop with an engine (reused scratch) + the filter.
     // The per-query SLA — respond with the first 1000 paths, never
-    // spend more than 20 ms — is the request itself.
-    let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+    // spend more than 20 ms — is the request itself. The plan cache is
+    // sized to the stream's working set: a cache smaller than the set of
+    // distinct recurring queries thrashes under a sequential replay (LRU
+    // evicts each entry just before its repeat arrives).
+    let mut engine = QueryEngine::with_cache(
+        &graph,
+        PathEnumConfig::default(),
+        PlanCache::new(stream.len().next_power_of_two()),
+    );
     let mut latencies: Vec<Duration> = Vec::with_capacity(stream.len());
     let mut filtered = 0u64;
     let mut results = 0u64;
@@ -89,6 +96,31 @@ fn main() {
         percentile_ms(&latencies, 50.0),
         percentile_ms(&latencies, 99.0),
         percentile_ms(&latencies, 99.9),
+    );
+
+    // Real traffic repeats: replay the same stream against the now-warm
+    // plan cache. Every repeated (s, t, k) skips BFS + index build.
+    let mut warm_latencies: Vec<Duration> = Vec::with_capacity(stream.len());
+    for &query in &stream {
+        let start = Instant::now();
+        if service.may_have_results(query) {
+            let request = QueryRequest::from_query(query)
+                .limit(1000)
+                .time_budget(Duration::from_millis(20));
+            engine.execute(&request).expect("same queries as pass one");
+        }
+        warm_latencies.push(start.elapsed());
+    }
+    let stats = engine.cache_stats();
+    println!(
+        "\nwarm replay: latency p50 = {:.3} ms, p99 = {:.3} ms \
+         (plan cache: {} hits / {} lookups, {:.0}% hit rate, {} entries)",
+        percentile_ms(&warm_latencies, 50.0),
+        percentile_ms(&warm_latencies, 99.0),
+        stats.hits,
+        stats.hits + stats.misses,
+        100.0 * stats.hit_rate(),
+        engine.plan_cache().len(),
     );
 
     // Pull-based streaming: page through one query's results lazily —

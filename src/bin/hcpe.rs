@@ -41,17 +41,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--count-only" => count_only = true,
             "--algorithm" => {
+                // FromStr accepts every Method spelling too (dfs, join,
+                // IDX-DFS, ...), so runs can force a method without code
+                // changes.
                 let name = iter.next().ok_or("--algorithm expects a name")?;
-                algorithm = match name.as_str() {
-                    "pathenum" => Algorithm::PathEnum,
-                    "idx-dfs" => Algorithm::IdxDfs,
-                    "idx-join" => Algorithm::IdxJoin,
-                    "bc-dfs" => Algorithm::BcDfs,
-                    "bc-join" => Algorithm::BcJoin,
-                    "t-dfs" => Algorithm::TDfs,
-                    "yen" => Algorithm::YenKsp,
-                    other => return Err(format!("unknown algorithm: {other}")),
-                };
+                algorithm = name.parse::<Algorithm>()?;
             }
             other => positional.push(other.to_string()),
         }

@@ -21,15 +21,13 @@ pub mod prelude {
     pub use pathenum::constraints::{
         accumulative_dfs, automaton_dfs, path_enum_with_predicate, AccumulativeQuery, Automaton,
     };
-    #[allow(deprecated)]
-    pub use pathenum::sink::LimitSink;
     pub use pathenum::sink::{CollectingSink, CountingSink, PathSink, SearchControl};
     pub use pathenum::{
-        path_enum, CancelToken, ControlledSink, Counters, Index, Method, PathBuffer,
-        PathEnumConfig, PathEnumError, PathStream, Query, QueryEngine, QueryRequest, QueryResponse,
-        RunReport, SharedControl, Termination,
+        path_enum, CacheOutcome, CancelToken, ControlledSink, Counters, Index, Method, PathBuffer,
+        PathEnumConfig, PathEnumError, PathStream, PhysicalPlan, PlanCache, PlanCacheStats, Query,
+        QueryEngine, QueryRequest, QueryResponse, RunReport, SharedControl, Termination,
     };
-    pub use pathenum_graph::{CsrGraph, GraphBuilder, VertexId};
+    pub use pathenum_graph::{CsrGraph, GraphBuilder, GraphVersion, VertexId};
     pub use pathenum_workloads::{Algorithm, MeasureConfig};
 }
 

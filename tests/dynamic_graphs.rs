@@ -83,6 +83,149 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn snapshot_with_deletions_equals_rebuild(
+        n in 4u32..12,
+        base in proptest::collection::vec((0u32..12, 0u32..12), 2..40),
+        deletions in proptest::collection::vec(0usize..64, 0..10),
+        k in 2u32..5,
+    ) {
+        let base: Vec<(u32, u32)> = base
+            .into_iter()
+            .filter(|&(u, v)| u < n && v < n && u != v)
+            .collect();
+        prop_assume!(!base.is_empty());
+
+        let mut dynamic = DynamicGraph::new(graph_from_edges(n, &base));
+        let mut removed: Vec<(u32, u32)> = Vec::new();
+        for idx in deletions {
+            let (u, v) = base[idx % base.len()];
+            if dynamic.remove_edge(u, v) {
+                removed.push((u, v));
+            }
+        }
+        let snapshot = dynamic.snapshot();
+
+        let survivors: Vec<(u32, u32)> = base
+            .iter()
+            .filter(|e| !removed.contains(e))
+            .copied()
+            .collect();
+        let rebuilt = graph_from_edges(n, &survivors);
+
+        prop_assert_eq!(snapshot.num_edges(), rebuilt.num_edges());
+        let q = Query::new(0, 1, k).expect("valid");
+        let mut a = CollectingSink::default();
+        let mut b = CollectingSink::default();
+        path_enum(&snapshot, q, PathEnumConfig::default(), &mut a).expect("valid query");
+        path_enum(&rebuilt, q, PathEnumConfig::default(), &mut b).expect("valid query");
+        prop_assert_eq!(a.sorted_paths(), b.sorted_paths());
+    }
+
+    /// Cache invalidation across snapshots: an engine serving a mutated
+    /// snapshot with a carried-over plan cache must produce exactly what
+    /// a fresh cache-free engine produces — never a stale cached answer.
+    #[test]
+    fn mutations_invalidate_carried_plan_caches(
+        n in 4u32..10,
+        base in proptest::collection::vec((0u32..10, 0u32..10), 2..30),
+        mutation in (0u32..10, 0u32..10, 0u32..2),
+        k in 2u32..5,
+    ) {
+        let base: Vec<(u32, u32)> = base
+            .into_iter()
+            .filter(|&(u, v)| u < n && v < n && u != v)
+            .collect();
+        prop_assume!(!base.is_empty());
+        let mut dynamic = DynamicGraph::new(graph_from_edges(n, &base));
+        let request = || QueryRequest::paths(0, 1).max_hops(k).collect_paths(true);
+
+        // Warm a cache on the first snapshot.
+        let snap1 = dynamic.snapshot();
+        let mut engine = QueryEngine::new(&snap1, PathEnumConfig::default());
+        let before = engine.execute(&request()).expect("valid");
+        prop_assert_eq!(
+            engine.execute(&request()).expect("valid").report.cache,
+            CacheOutcome::Hit
+        );
+
+        // Mutate (insert or delete), carry the cache to the new snapshot.
+        let (u, v, delete_sel) = mutation;
+        let mutated = if delete_sel == 1 {
+            !base.is_empty() && dynamic.remove_edge(base[0].0, base[0].1)
+        } else {
+            u < n && v < n && dynamic.insert_edge(u, v)
+        };
+        let snap2 = dynamic.snapshot();
+        let mut engine =
+            QueryEngine::with_cache(&snap2, PathEnumConfig::default(), engine.into_cache());
+        let after = engine.execute(&request()).expect("valid");
+
+        let mut oracle =
+            QueryEngine::with_cache(&snap2, PathEnumConfig::default(), PlanCache::new(0));
+        let expected = oracle.execute(&request()).expect("valid");
+        prop_assert_eq!(&after.paths, &expected.paths, "stale cache leaked through");
+
+        if mutated {
+            prop_assert_eq!(after.report.cache, CacheOutcome::Miss);
+            prop_assert!(engine.cache_stats().invalidations >= 1);
+        } else {
+            // A rejected mutation keeps the version: still warm.
+            prop_assert_eq!(after.report.cache, CacheOutcome::Hit);
+            prop_assert_eq!(&after.paths, &before.paths);
+        }
+    }
+}
+
+#[test]
+fn unmutated_snapshots_share_cached_plans_and_mutated_ones_do_not() {
+    // Deterministic end-to-end walk of the epoch lifecycle. Figure-1-ish
+    // chain with a detour: 0 -> 1 via 0->2->1 and 0->3->2->1.
+    let mut dynamic = DynamicGraph::new(graph_from_edges(5, &[(0, 2), (2, 1), (0, 3), (3, 2)]));
+    let request = || QueryRequest::paths(0, 1).max_hops(3).collect_paths(true);
+
+    let snap1 = dynamic.snapshot();
+    let mut engine = QueryEngine::new(&snap1, PathEnumConfig::default());
+    let first = engine.execute(&request()).unwrap();
+    assert_eq!(first.report.cache, CacheOutcome::Miss);
+    assert_eq!(first.paths.len(), 2);
+
+    // Snapshot again without mutating: same version, cache stays warm
+    // across the engine swap.
+    let snap1b = dynamic.snapshot();
+    assert_eq!(snap1.version(), snap1b.version());
+    let mut engine =
+        QueryEngine::with_cache(&snap1b, PathEnumConfig::default(), engine.into_cache());
+    let warm = engine.execute(&request()).unwrap();
+    assert_eq!(warm.report.cache, CacheOutcome::Hit);
+    assert_eq!(warm.paths, first.paths);
+
+    // Insert 0 -> 1: a new direct path must appear (stale plan would
+    // miss it).
+    assert!(dynamic.insert_edge(0, 1));
+    let snap2 = dynamic.snapshot();
+    assert_ne!(snap2.version(), snap1.version());
+    let mut engine =
+        QueryEngine::with_cache(&snap2, PathEnumConfig::default(), engine.into_cache());
+    let inserted = engine.execute(&request()).unwrap();
+    assert_eq!(inserted.report.cache, CacheOutcome::Miss);
+    assert_eq!(engine.cache_stats().invalidations, 1);
+    assert_eq!(inserted.paths.len(), 3);
+    assert!(inserted.paths.contains(&vec![0, 1]));
+
+    // Delete 2 -> 1: two of the three paths disappear.
+    assert!(dynamic.remove_edge(2, 1));
+    let snap3 = dynamic.snapshot();
+    let mut engine =
+        QueryEngine::with_cache(&snap3, PathEnumConfig::default(), engine.into_cache());
+    let deleted = engine.execute(&request()).unwrap();
+    assert_eq!(deleted.report.cache, CacheOutcome::Miss);
+    assert_eq!(deleted.paths, vec![vec![0, 1]]);
+}
+
 #[test]
 fn overlay_rejects_duplicates_against_base_and_itself() {
     let g = graph_from_edges(4, &[(0, 1), (1, 2)]);
