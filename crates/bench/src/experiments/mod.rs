@@ -14,6 +14,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod scaling;
+pub mod stream;
 pub mod support;
 pub mod table3;
 pub mod table4;
@@ -102,6 +103,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "cache",
             "Repeated-query serving: cold vs warm plan cache",
             cache::run,
+        ),
+        (
+            "stream",
+            "Streaming updates: snapshot vs overlay vs retained cache",
+            stream::run,
         ),
     ]
 }

@@ -1,0 +1,141 @@
+//! Streaming serving: per-update snapshot vs overlay execution vs
+//! overlay + surgically-retained cache (not a paper experiment — it
+//! characterizes the snapshot-free dynamic-graph path built on the
+//! reproduction, in the paper's Figure 8 scenario).
+//!
+//! One reproducible update→query stream (skewed query pool, configurable
+//! update:query mix) over a ≥100k-edge power-law graph is replayed under
+//! the three strategies of `pathenum_workloads::streaming`. All three
+//! must produce identical per-query results; the table reports the
+//! wall-clock split (queries vs updates), tail latency, and — for the
+//! cached strategy — the hit rate the cache sustains *while the graph
+//! mutates*, including the hits served purely by surgical retention.
+
+use pathenum::PathEnumConfig;
+use pathenum_graph::generators::{power_law, PowerLawConfig};
+use pathenum_workloads::runner::percentile_ms;
+use pathenum_workloads::streaming::{
+    generate_stream, run_stream, StreamConfig, StreamOp, StreamStrategy,
+};
+
+use crate::config::ExperimentConfig;
+use crate::output::{banner, sci_ms, Table};
+
+/// Runs the experiment and prints the strategy table.
+pub fn run(config: &ExperimentConfig) {
+    banner("Stream: per-update snapshot vs overlay vs overlay + retained cache");
+    let quick = config.queries_per_set <= 4;
+    let (n, d, ops) = if quick {
+        (6_000, 4, 400)
+    } else {
+        (25_000, 4, 2_000)
+    };
+    let graph = power_law(PowerLawConfig::social(n, d, config.seed));
+    let engine_config = PathEnumConfig {
+        force: config.force_method,
+        ..PathEnumConfig::default()
+    };
+    let k = config.default_k.min(4);
+    let stream_config = StreamConfig::serving_default(ops, k, config.seed);
+    let stream = generate_stream(&graph, &stream_config);
+    let queries = stream
+        .iter()
+        .filter(|op| matches!(op, StreamOp::Query(_)))
+        .count();
+    let updates = stream.len() - queries;
+    println!(
+        "power-law graph: {} vertices, {} edges; stream: {} ops \
+         ({} queries over {} distinct, {} updates), k={}, limit={}\n",
+        graph.num_vertices(),
+        graph.num_edges(),
+        stream.len(),
+        queries,
+        stream_config.distinct_queries,
+        updates,
+        k,
+        config.response_limit,
+    );
+
+    let strategies = [
+        StreamStrategy::SnapshotPerUpdate,
+        StreamStrategy::Overlay,
+        StreamStrategy::OverlayCached,
+    ];
+    let runs: Vec<_> = strategies
+        .iter()
+        .map(|&strategy| {
+            run_stream(
+                &graph,
+                &stream,
+                strategy,
+                engine_config,
+                Some(config.response_limit),
+            )
+        })
+        .collect();
+
+    for run in &runs[1..] {
+        assert_eq!(
+            runs[0].results, run.results,
+            "strategy {} changed the enumerated output",
+            run.strategy
+        );
+    }
+
+    let mut table = Table::new([
+        "strategy",
+        "total",
+        "query mean",
+        "query p99",
+        "update mean",
+        "hit rate",
+        "retained",
+    ]);
+    for run in &runs {
+        table.row([
+            run.strategy.to_string(),
+            sci_ms(run.total),
+            format!("{:.4}ms", run.mean_query_ms()),
+            format!("{:.4}ms", percentile_ms(&run.query_latencies, 99.0)),
+            format!("{:.4}ms", run.mean_update_ms()),
+            format!("{:.0}%", 100.0 * run.hit_rate()),
+            run.cache.retained.to_string(),
+        ]);
+    }
+    table.print();
+
+    let snapshot = &runs[0];
+    let overlay = &runs[1];
+    let cached = &runs[2];
+    println!(
+        "\noverlay speedup over per-update snapshot: {:.2}x total \
+         ({:.2}x on updates); cached overlay: {:.2}x total, \
+         hit rate {:.0}% under {} mutations ({} hits retained across deltas)",
+        snapshot.total.as_secs_f64() / overlay.total.as_secs_f64().max(1e-9),
+        snapshot
+            .update_latencies
+            .iter()
+            .map(std::time::Duration::as_secs_f64)
+            .sum::<f64>()
+            / overlay
+                .update_latencies
+                .iter()
+                .map(std::time::Duration::as_secs_f64)
+                .sum::<f64>()
+                .max(1e-9),
+        snapshot.total.as_secs_f64() / cached.total.as_secs_f64().max(1e-9),
+        100.0 * cached.hit_rate(),
+        updates,
+        cached.cache.retained,
+    );
+    assert!(
+        overlay.total < snapshot.total,
+        "overlay execution ({:?}) must beat per-update snapshot+query ({:?})",
+        overlay.total,
+        snapshot.total
+    );
+    assert!(
+        cached.hit_rate() > 0.0,
+        "the retained cache must keep hitting under mutation"
+    );
+}

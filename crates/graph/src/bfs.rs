@@ -9,8 +9,8 @@
 
 use std::collections::VecDeque;
 
-use crate::csr::CsrGraph;
 use crate::types::{Distance, VertexId, INFINITE_DISTANCE};
+use crate::view::NeighborAccess;
 
 /// Edge orientation for a traversal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +48,15 @@ impl Default for BfsOptions {
 ///
 /// Returns a vector indexed by vertex id. The source has distance 0 unless
 /// it is the excluded vertex (then everything is unreachable).
-pub fn distances(graph: &CsrGraph, source: VertexId, options: BfsOptions) -> Vec<Distance> {
+///
+/// Generic over [`NeighborAccess`], so the traversal runs identically on
+/// a [`CsrGraph`] and on a borrowed
+/// [`OverlayView`](crate::dynamic::OverlayView) of a dynamic graph.
+pub fn distances<G: NeighborAccess>(
+    graph: &G,
+    source: VertexId,
+    options: BfsOptions,
+) -> Vec<Distance> {
     let mut dist = Vec::new();
     let mut queue = VecDeque::new();
     distances_into(graph, source, options, &mut dist, &mut queue);
@@ -58,8 +66,8 @@ pub fn distances(graph: &CsrGraph, source: VertexId, options: BfsOptions) -> Vec
 /// As [`distances`], but writing into caller-owned buffers so repeated
 /// queries (the real-time workloads PathEnum targets) avoid per-query
 /// allocation. `dist` is resized and reset; `queue` is cleared.
-pub fn distances_into(
-    graph: &CsrGraph,
+pub fn distances_into<G: NeighborAccess>(
+    graph: &G,
     source: VertexId,
     options: BfsOptions,
     dist: &mut Vec<Distance>,
@@ -79,26 +87,26 @@ pub fn distances_into(
         if d >= bound {
             continue;
         }
-        let neighbors = match options.direction {
-            Direction::Forward => graph.out_neighbors(v),
-            Direction::Backward => graph.in_neighbors(v),
-        };
-        for &n in neighbors {
+        let mut visit = |n: VertexId| {
             if Some(n) == options.excluded {
-                continue;
+                return;
             }
             if dist[n as usize] == INFINITE_DISTANCE {
                 dist[n as usize] = d + 1;
                 queue.push_back(n);
             }
+        };
+        match options.direction {
+            Direction::Forward => graph.for_each_out(v, &mut visit),
+            Direction::Backward => graph.for_each_in(v, &mut visit),
         }
     }
 }
 
 /// `S(s, v | G − {t})` for every `v`: forward distances from `s` in the
 /// graph with `t` removed, bounded by `max_depth`.
-pub fn distances_from_source(
-    graph: &CsrGraph,
+pub fn distances_from_source<G: NeighborAccess>(
+    graph: &G,
     s: VertexId,
     t: VertexId,
     max_depth: Distance,
@@ -116,8 +124,8 @@ pub fn distances_from_source(
 
 /// `S(v, t | G − {s})` for every `v`: backward distances to `t` in the
 /// graph with `s` removed, bounded by `max_depth`.
-pub fn distances_to_target(
-    graph: &CsrGraph,
+pub fn distances_to_target<G: NeighborAccess>(
+    graph: &G,
     s: VertexId,
     t: VertexId,
     max_depth: Distance,
@@ -138,7 +146,12 @@ pub fn distances_to_target(
 ///
 /// Used by the workload generator to enforce the paper's
 /// "`distance(s, t) ≤ 3`" query admission rule.
-pub fn st_distance(graph: &CsrGraph, s: VertexId, t: VertexId, max_depth: Distance) -> Distance {
+pub fn st_distance<G: NeighborAccess>(
+    graph: &G,
+    s: VertexId,
+    t: VertexId,
+    max_depth: Distance,
+) -> Distance {
     if s == t {
         return 0;
     }
@@ -158,6 +171,7 @@ pub fn st_distance(graph: &CsrGraph, s: VertexId, t: VertexId, max_depth: Distan
 mod tests {
     use super::*;
     use crate::builder::GraphBuilder;
+    use crate::csr::CsrGraph;
 
     /// The 9-vertex graph of the paper's Figure 1a.
     ///

@@ -12,8 +12,11 @@
 //!   Barabási–Albert, complete, grid, layered DAG) standing in for the
 //!   paper's real-world datasets.
 //! * [`io`]: plain edge-list parsing and serialization.
-//! * [`dynamic`]: an edit buffer layering edge insertions over a base graph
-//!   for the dynamic-graph experiments (Figure 8).
+//! * [`dynamic`]: an edit buffer layering edge insertions/deletions over a
+//!   base graph for the dynamic-graph experiments (Figure 8), queryable in
+//!   place through a borrowed [`OverlayView`].
+//! * [`view`]: the [`NeighborAccess`] trait giving BFS and the per-query
+//!   index build one adjacency surface over CSR graphs and overlays.
 //! * [`pll`]: a pruned-landmark-labeling distance oracle — the offline
 //!   "global index" the paper's discussion (§7.5) proposes for cutting
 //!   per-query preprocessing.
@@ -35,10 +38,12 @@ pub mod pll;
 pub mod properties;
 pub mod types;
 pub mod version;
+pub mod view;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
-pub use dynamic::DynamicGraph;
+pub use dynamic::{DynamicGraph, EdgeMutation, OverlayView};
 pub use pll::DistanceOracle;
 pub use types::{VertexId, INFINITE_DISTANCE};
 pub use version::GraphVersion;
+pub use view::NeighborAccess;

@@ -6,7 +6,7 @@
 //! (a single `O(|E|)` pass — the same cost as folding the check into the
 //! index-building BFS) and then run the regular PathEnum pipeline on it.
 
-use pathenum_graph::{CsrGraph, GraphBuilder, VertexId};
+use pathenum_graph::{CsrGraph, GraphBuilder, NeighborAccess, VertexId};
 
 use crate::optimizer::{path_enum, PathEnumConfig};
 use crate::query::Query;
@@ -16,17 +16,25 @@ use crate::stats::RunReport;
 
 /// The subgraph of `graph` keeping exactly the edges where
 /// `predicate(from, to)` holds.
-pub fn filtered_graph<F>(graph: &CsrGraph, mut predicate: F) -> CsrGraph
+///
+/// Accepts any [`NeighborAccess`] source (a `CsrGraph` or a dynamic
+/// graph's overlay view); the result is always a materialized
+/// `CsrGraph`, since predicate evaluation is a one-shot `O(|E|)` pass
+/// either way.
+pub fn filtered_graph<G, F>(graph: &G, mut predicate: F) -> CsrGraph
 where
+    G: NeighborAccess,
     F: FnMut(VertexId, VertexId) -> bool,
 {
     let mut builder = GraphBuilder::new(graph.num_vertices());
-    for (from, to) in graph.edges() {
-        if predicate(from, to) {
-            builder
-                .add_edge(from, to)
-                .expect("edges of a valid graph stay valid");
-        }
+    for from in 0..graph.num_vertices() as VertexId {
+        graph.for_each_out(from, |to| {
+            if predicate(from, to) {
+                builder
+                    .add_edge(from, to)
+                    .expect("edges of a valid graph stay valid");
+            }
+        });
     }
     builder.finish()
 }

@@ -1,0 +1,458 @@
+//! Snapshot-free querying of dynamic graphs.
+//!
+//! [`DynamicEngine`] is the [`QueryEngine`](crate::QueryEngine)
+//! counterpart for graphs that change between queries: it is bound to a
+//! [`DynamicGraph`] and evaluates every request directly on the graph's
+//! borrowed [`OverlayView`](pathenum_graph::OverlayView) — the boundary
+//! BFS and the per-query index build walk base CSR + delta adjacency in
+//! one merged pass, so the update→query loop of the paper's streaming
+//! scenario (Figure 8: fraud/cycle detection on transaction streams)
+//! never pays the `O(n + m)` `snapshot()` the old pipeline required.
+//!
+//! The engine's [`PlanCache`] is *surgically* retained under mutation.
+//! Where a snapshot-bound engine must discard every entry when the
+//! [`GraphVersion`](pathenum_graph::GraphVersion) epoch advances, this
+//! engine re-validates stale entries against the overlay's mutation log:
+//! an entry whose recorded reach footprint is provably disjoint from the
+//! delta keeps serving (re-stamped, counted in
+//! [`PlanCacheStats::retained`](crate::PlanCacheStats::retained)) —
+//! mutations to one region of the graph no longer evict the whole
+//! working set.
+//!
+//! ```
+//! use pathenum::{DynamicEngine, PathEnumConfig, QueryRequest};
+//! use pathenum_graph::{DynamicGraph, GraphBuilder};
+//!
+//! let mut b = GraphBuilder::new(5);
+//! b.add_edges([(0, 1), (1, 2), (2, 3)]).unwrap();
+//! let mut graph = DynamicGraph::new(b.finish());
+//!
+//! // Query, mutate, query again — no snapshot anywhere.
+//! let request = QueryRequest::paths(0, 3).max_hops(4).collect_paths(true);
+//! {
+//!     let mut engine = DynamicEngine::new(&graph, PathEnumConfig::default());
+//!     assert_eq!(engine.execute(&request).unwrap().paths, vec![vec![0, 1, 2, 3]]);
+//! }
+//! graph.insert_edge(0, 2);
+//! let mut engine = DynamicEngine::new(&graph, PathEnumConfig::default());
+//! assert_eq!(engine.execute(&request).unwrap().paths.len(), 2);
+//! ```
+//!
+//! The engine holds a shared borrow of the graph, so mutations require
+//! the engine to be dropped (or not yet created) — Rust's borrow rules
+//! guarantee an engine never observes a half-applied update. For
+//! update→query loops, carry the cache across engines with
+//! [`into_cache`](DynamicEngine::into_cache) /
+//! [`with_cache`](DynamicEngine::with_cache); retained entries survive
+//! the trip.
+
+use std::time::Instant;
+
+use pathenum_graph::DynamicGraph;
+
+use crate::engine::{execute_collecting, finish_response, preflight_stop};
+use crate::index::BuildScratch;
+use crate::optimizer::PathEnumConfig;
+use crate::plan::{
+    effective_config, CacheOutcome, IndexFootprint, PhysicalPlan, PlanCache, PlanKey, Planner,
+};
+use crate::request::{PathEnumError, QueryRequest, QueryResponse};
+use crate::sink::PathSink;
+use crate::stats::PhaseTimings;
+
+/// A PathEnum engine bound to a [`DynamicGraph`], evaluating requests on
+/// the borrowed overlay with zero per-query materialization and a
+/// surgically retained plan cache. See the [module docs](self).
+#[derive(Debug)]
+pub struct DynamicEngine<'g> {
+    graph: &'g DynamicGraph,
+    config: PathEnumConfig,
+    scratch: BuildScratch,
+    cache: PlanCache,
+    queries_served: u64,
+}
+
+impl<'g> DynamicEngine<'g> {
+    /// Creates an engine over `graph` with a default-capacity
+    /// [`PlanCache`].
+    pub fn new(graph: &'g DynamicGraph, config: PathEnumConfig) -> Self {
+        DynamicEngine::with_cache(graph, config, PlanCache::default())
+    }
+
+    /// Creates an engine with an explicit plan cache — `PlanCache::new(0)`
+    /// disables caching; a cache carried from an engine over an earlier
+    /// state of the same graph keeps its surgically retainable entries.
+    pub fn with_cache(graph: &'g DynamicGraph, config: PathEnumConfig, cache: PlanCache) -> Self {
+        DynamicEngine {
+            graph,
+            config,
+            scratch: BuildScratch::default(),
+            cache,
+            queries_served: 0,
+        }
+    }
+
+    /// The dynamic graph this engine serves.
+    pub fn graph(&self) -> &'g DynamicGraph {
+        self.graph
+    }
+
+    /// Number of queries evaluated so far.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served
+    }
+
+    /// The engine's plan cache (entry count, statistics).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Convenience for `plan_cache().stats()`.
+    pub fn cache_stats(&self) -> crate::plan::PlanCacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached plan (statistics are kept).
+    pub fn clear_plan_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Consumes the engine, handing the plan cache to its successor
+    /// (typically an engine created after the next batch of mutations).
+    pub fn into_cache(self) -> PlanCache {
+        self.cache
+    }
+
+    /// Evaluates a [`QueryRequest`] on the live overlay, collecting
+    /// result paths when the request asked for
+    /// [`collect_paths`](QueryRequest::collect_paths).
+    pub fn execute(&mut self, request: &QueryRequest<'_>) -> Result<QueryResponse, PathEnumError> {
+        execute_collecting(request.collect, |sink| self.execute_into(request, sink))
+    }
+
+    /// Plans a request on the overlay without executing it (and warms
+    /// the cache) — the `EXPLAIN` of the dynamic engine.
+    pub fn explain(&mut self, request: &QueryRequest<'_>) -> Result<PhysicalPlan, PathEnumError> {
+        let query = request.validate(self.graph.num_vertices())?;
+        let key = self.plan_key(request);
+        if let Some(key) = key {
+            if let Some((plan, _)) = self.cache.lookup_on_overlay(&key, self.graph) {
+                let mut plan = *plan;
+                plan.constraint = request.constraint.kind();
+                plan.threads = request.resolved_threads();
+                return Ok(plan);
+            }
+        }
+        let view = self.graph.view();
+        let planner = Planner::new(&view, self.config);
+        let (planned, _) = planner.plan_query(query, request, &mut self.scratch);
+        let plan = planned.plan;
+        if let Some(key) = key {
+            let footprint = self.capture_footprint(query.k);
+            self.cache.insert_with_footprint(
+                key,
+                self.graph.version(),
+                planned.plan,
+                planned.index,
+                footprint,
+            );
+        }
+        Ok(plan)
+    }
+
+    /// Evaluates a [`QueryRequest`] on the live overlay, streaming
+    /// result paths into `sink`. Semantics (stopping rules, explain
+    /// flag, termination reporting) match
+    /// [`QueryEngine::execute_into`](crate::QueryEngine::execute_into);
+    /// only the serving graph differs.
+    pub fn execute_into(
+        &mut self,
+        request: &QueryRequest<'_>,
+        sink: &mut dyn PathSink,
+    ) -> Result<QueryResponse, PathEnumError> {
+        let query = request.validate(self.graph.num_vertices())?;
+        self.queries_served += 1;
+
+        let deadline = request.time_budget.map(|b| Instant::now() + b);
+        if let Some(stopped) = preflight_stop(request, deadline) {
+            return Ok(stopped);
+        }
+
+        let key = self.plan_key(request);
+
+        // Warm path: fresh or surgically retained entries skip BFS and
+        // index build entirely.
+        let lookup_start = Instant::now();
+        if let Some(key) = key {
+            if let Some((plan, index)) = self.cache.lookup_on_overlay(&key, self.graph) {
+                let mut plan = *plan;
+                plan.constraint = request.constraint.kind();
+                plan.threads = request.resolved_threads();
+                let timings = PhaseTimings {
+                    index_build: lookup_start.elapsed(),
+                    ..PhaseTimings::default()
+                };
+                return Ok(finish_response(
+                    index,
+                    plan,
+                    request,
+                    deadline,
+                    sink,
+                    timings,
+                    CacheOutcome::Hit,
+                ));
+            }
+        }
+
+        // Cold path: plan directly on the overlay view.
+        let view = self.graph.view();
+        let planner = Planner::new(&view, self.config);
+        let (planned, timings) = planner.plan_query(query, request, &mut self.scratch);
+        let outcome = if key.is_some() {
+            CacheOutcome::Miss
+        } else {
+            CacheOutcome::Bypass
+        };
+        let response = finish_response(
+            &planned.index,
+            planned.plan,
+            request,
+            deadline,
+            sink,
+            timings,
+            outcome,
+        );
+        if let Some(key) = key {
+            let footprint = self.capture_footprint(query.k);
+            self.cache.insert_with_footprint(
+                key,
+                self.graph.version(),
+                planned.plan,
+                planned.index,
+                footprint,
+            );
+        }
+        Ok(response)
+    }
+
+    /// The reach footprint of the build that just ran (its boundary
+    /// distance maps are still in the scratch buffers), bound to the
+    /// serving graph's mutation lineage.
+    fn capture_footprint(&self, k: u32) -> Option<IndexFootprint> {
+        let (dist_s, dist_t) = self.scratch.dist_maps();
+        Some(IndexFootprint::from_dist_maps(
+            self.graph.lineage(),
+            dist_s,
+            dist_t,
+            k,
+        ))
+    }
+
+    fn plan_key(&self, request: &QueryRequest<'_>) -> Option<PlanKey> {
+        if request.bypass_cache || self.cache.capacity() == 0 {
+            return None;
+        }
+        PlanKey::for_request(request, effective_config(self.config, request))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::QueryEngine;
+    use crate::request::Termination;
+    use crate::sink::CollectingSink;
+    use pathenum_graph::{GraphBuilder, NeighborAccess};
+
+    fn diamond_dynamic() -> DynamicGraph {
+        let mut b = GraphBuilder::new(6);
+        b.add_edges([(0, 1), (1, 3), (0, 2), (2, 3), (3, 4)])
+            .unwrap();
+        DynamicGraph::new(b.finish())
+    }
+
+    #[test]
+    fn overlay_execution_matches_snapshot_execution() {
+        let mut graph = diamond_dynamic();
+        graph.insert_edge(4, 5);
+        graph.insert_edge(0, 3);
+        graph.remove_edge(1, 3);
+        let request = QueryRequest::paths(0, 3).max_hops(3).collect_paths(true);
+
+        let mut dynamic = DynamicEngine::new(&graph, PathEnumConfig::default());
+        let from_overlay = dynamic.execute(&request).unwrap();
+
+        let snapshot = graph.snapshot();
+        let mut classic = QueryEngine::new(&snapshot, PathEnumConfig::default());
+        let from_snapshot = classic.execute(&request).unwrap();
+
+        assert_eq!(from_overlay.paths, from_snapshot.paths);
+        assert_eq!(from_overlay.report.method, from_snapshot.report.method);
+    }
+
+    #[test]
+    fn warm_hits_without_mutation() {
+        let graph = diamond_dynamic();
+        let mut engine = DynamicEngine::new(&graph, PathEnumConfig::default());
+        let request = QueryRequest::paths(0, 3).max_hops(3);
+        assert_eq!(
+            engine.execute(&request).unwrap().report.cache,
+            CacheOutcome::Miss
+        );
+        assert_eq!(
+            engine.execute(&request).unwrap().report.cache,
+            CacheOutcome::Hit
+        );
+        assert_eq!(engine.cache_stats().retained, 0);
+        assert_eq!(engine.queries_served(), 2);
+    }
+
+    #[test]
+    fn far_away_mutations_retain_cached_entries() {
+        // 0 -> 1 -> 2 and an unrelated far component 4 <-> 5.
+        let mut b = GraphBuilder::new(6);
+        b.add_edges([(0, 1), (1, 2), (4, 5)]).unwrap();
+        let mut graph = DynamicGraph::new(b.finish());
+        let request = QueryRequest::paths(0, 2).max_hops(2).collect_paths(true);
+
+        let mut engine = DynamicEngine::new(&graph, PathEnumConfig::default());
+        let cold = engine.execute(&request).unwrap();
+        assert_eq!(cold.report.cache, CacheOutcome::Miss);
+        let cache = engine.into_cache();
+
+        // Mutations touching only the far component.
+        assert!(graph.insert_edge(5, 4));
+        assert!(graph.remove_edge(4, 5));
+        let mut engine = DynamicEngine::with_cache(&graph, PathEnumConfig::default(), cache);
+        let warm = engine.execute(&request).unwrap();
+        assert_eq!(warm.report.cache, CacheOutcome::Hit, "entry retained");
+        assert_eq!(engine.cache_stats().retained, 1);
+        assert_eq!(warm.paths, cold.paths);
+    }
+
+    #[test]
+    fn relevant_mutations_invalidate_cached_entries() {
+        let graph_edges = [(0u32, 1u32), (1, 2)];
+        let mut b = GraphBuilder::new(4);
+        b.add_edges(graph_edges).unwrap();
+        let mut graph = DynamicGraph::new(b.finish());
+        let request = QueryRequest::paths(0, 2).max_hops(3).collect_paths(true);
+
+        let mut engine = DynamicEngine::new(&graph, PathEnumConfig::default());
+        let before = engine.execute(&request).unwrap();
+        assert_eq!(before.paths, vec![vec![0, 1, 2]]);
+        let cache = engine.into_cache();
+
+        // A new path 0 -> 3 -> 2 appears; the stale index must not be
+        // served.
+        assert!(graph.insert_edge(0, 3));
+        assert!(graph.insert_edge(3, 2));
+        let mut engine = DynamicEngine::with_cache(&graph, PathEnumConfig::default(), cache);
+        let after = engine.execute(&request).unwrap();
+        assert_eq!(after.report.cache, CacheOutcome::Miss);
+        assert!(engine.cache_stats().invalidations >= 1);
+        assert_eq!(after.paths.len(), 2);
+        assert!(after.paths.contains(&vec![0, 3, 2]));
+    }
+
+    #[test]
+    fn caches_never_retain_across_diverged_graph_clones() {
+        // A and B share a prefix of history, then diverge. An entry
+        // stamped against A must not be re-validated against B's
+        // mutation log — B's log knows nothing of A's divergence, and
+        // the "irrelevant delta" reasoning would silently serve A's
+        // (stale, for B) results.
+        let mut b = GraphBuilder::new(10);
+        b.add_edges([(0, 1), (1, 2), (8, 9)]).unwrap();
+        let mut a_graph = DynamicGraph::new(b.finish());
+        let mut b_graph = a_graph.clone();
+        assert_ne!(a_graph.lineage(), b_graph.lineage());
+
+        // Diverge A inside the query region and stamp an entry there.
+        assert!(a_graph.insert_edge(0, 2));
+        let request = || QueryRequest::paths(0, 2).max_hops(3).collect_paths(true);
+        let mut engine = DynamicEngine::new(&a_graph, PathEnumConfig::default());
+        let on_a = engine.execute(&request()).unwrap();
+        assert_eq!(on_a.paths.len(), 2, "A sees the direct edge");
+        let cache = engine.into_cache();
+
+        // Mutate B only far from the query; carry A's cache over.
+        assert!(b_graph.insert_edge(9, 8));
+        let mut engine = DynamicEngine::with_cache(&b_graph, PathEnumConfig::default(), cache);
+        let on_b = engine.execute(&request()).unwrap();
+        assert_eq!(
+            on_b.report.cache,
+            CacheOutcome::Miss,
+            "foreign-lineage entry must not be retained"
+        );
+        assert_eq!(on_b.paths, vec![vec![0, 1, 2]], "B never had 0 -> 2");
+    }
+
+    #[test]
+    fn explain_on_overlay_warms_the_cache() {
+        let graph = diamond_dynamic();
+        let mut engine = QueryEngine::on_dynamic(&graph, PathEnumConfig::default());
+        let request = QueryRequest::paths(0, 3).max_hops(3);
+        let plan = engine.explain(&request).unwrap();
+        assert!(plan.index_vertices > 0);
+        let response = engine.execute(&request).unwrap();
+        assert_eq!(response.report.cache, CacheOutcome::Hit);
+        assert_eq!(response.report.method, plan.method);
+    }
+
+    #[test]
+    fn execute_into_streams_into_custom_sinks() {
+        let graph = diamond_dynamic();
+        let mut engine = DynamicEngine::new(&graph, PathEnumConfig::default());
+        let mut sink = CollectingSink::default();
+        let response = engine
+            .execute_into(&QueryRequest::paths(0, 3).max_hops(3), &mut sink)
+            .unwrap();
+        assert_eq!(response.num_results(), 2);
+        assert_eq!(sink.paths.len(), 2);
+    }
+
+    #[test]
+    fn preflight_rules_apply_before_planning() {
+        let graph = diamond_dynamic();
+        let mut engine = DynamicEngine::new(&graph, PathEnumConfig::default());
+        let response = engine
+            .execute(&QueryRequest::paths(0, 3).max_hops(3).limit(0))
+            .unwrap();
+        assert_eq!(response.termination, Termination::LimitReached);
+        let err = engine
+            .execute(&QueryRequest::paths(0, 99).max_hops(3))
+            .unwrap_err();
+        assert_eq!(err, PathEnumError::VertexOutOfRange(99));
+    }
+
+    #[test]
+    fn predicate_requests_run_on_the_filtered_overlay() {
+        let mut graph = diamond_dynamic();
+        graph.insert_edge(0, 3);
+        let mut engine = DynamicEngine::new(&graph, PathEnumConfig::default());
+        let response = engine
+            .execute(
+                &QueryRequest::paths(0, 3)
+                    .max_hops(3)
+                    .collect_paths(true)
+                    .predicate(|_, to| to != 1),
+            )
+            .unwrap();
+        let mut paths = response.paths;
+        paths.sort_unstable();
+        assert_eq!(paths, vec![vec![0, 2, 3], vec![0, 3]]);
+    }
+
+    #[test]
+    fn view_is_consistent_while_engine_is_alive() {
+        let graph = diamond_dynamic();
+        let view = graph.view();
+        let n = NeighborAccess::num_edges(&view);
+        let mut engine = DynamicEngine::new(&graph, PathEnumConfig::default());
+        engine
+            .execute(&QueryRequest::paths(0, 3).max_hops(3))
+            .unwrap();
+        assert_eq!(NeighborAccess::num_edges(&view), n);
+    }
+}

@@ -164,17 +164,7 @@ impl<'g> QueryEngine<'g> {
     /// response when the request asked for
     /// [`collect_paths`](QueryRequest::collect_paths).
     pub fn execute(&mut self, request: &QueryRequest<'_>) -> Result<QueryResponse, PathEnumError> {
-        let mut collected: Vec<Vec<u32>> = Vec::new();
-        let collect = request.collect;
-        let mut sink = FnSink(|path: &[u32]| {
-            if collect {
-                collected.push(path.to_vec());
-            }
-            SearchControl::Continue
-        });
-        let mut response = self.execute_into(request, &mut sink)?;
-        response.paths = collected;
-        Ok(response)
+        execute_collecting(request.collect, |sink| self.execute_into(request, sink))
     }
 
     /// Plans a request without executing it — the `EXPLAIN` of this
@@ -229,20 +219,9 @@ impl<'g> QueryEngine<'g> {
         let query = request.validate(self.graph.num_vertices())?;
         self.queries_served += 1;
 
-        // Pre-flight: a request that is already cancelled, already past
-        // its deadline, or limited to zero results never starts. Explain
-        // requests always plan — they never enumerate anyway.
         let deadline = request.time_budget.map(|b| Instant::now() + b);
-        if !request.explain {
-            if request.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
-                return Ok(QueryResponse::empty(Termination::Cancelled));
-            }
-            if deadline.is_some_and(|d| Instant::now() >= d) {
-                return Ok(QueryResponse::empty(Termination::DeadlineExceeded));
-            }
-            if request.limit == Some(0) {
-                return Ok(QueryResponse::empty(Termination::LimitReached));
-            }
+        if let Some(stopped) = preflight_stop(request, deadline) {
+            return Ok(stopped);
         }
 
         let key = self.plan_key(request);
@@ -335,26 +314,73 @@ impl<'g> QueryEngine<'g> {
         if request.bypass_cache || self.cache.capacity() == 0 {
             return None;
         }
-        let config = Planner::new(self.graph, self.config).effective_config(request);
-        request
-            .constraint
-            .fingerprint(request.fingerprint)
-            .map(|(namespace, fingerprint)| PlanKey {
-                s: request.s,
-                t: request.t,
-                k: request.k,
-                namespace,
-                fingerprint,
-                method: config.force,
-                tau: config.tau,
-            })
+        let config = crate::plan::effective_config(self.config, request);
+        PlanKey::for_request(request, config)
+    }
+
+    /// An engine serving a [`DynamicGraph`](pathenum_graph::DynamicGraph)
+    /// *in place* — queries run on the borrowed overlay view with zero
+    /// materialization. Convenience constructor for
+    /// [`DynamicEngine`](crate::DynamicEngine).
+    pub fn on_dynamic(
+        graph: &pathenum_graph::DynamicGraph,
+        config: PathEnumConfig,
+    ) -> crate::dynamic::DynamicEngine<'_> {
+        crate::dynamic::DynamicEngine::new(graph, config)
     }
 }
 
-/// The shared back half of [`QueryEngine::execute_into`]: interpret the
-/// plan (or stop before enumeration for an explain request) and assemble
-/// the response.
-fn finish_response(
+/// The shared `execute()` wiring of both engines: evaluate through a
+/// path-collecting sink and attach the collected paths to the response
+/// when the request asked for them.
+pub(crate) fn execute_collecting<F>(
+    collect: bool,
+    evaluate: F,
+) -> Result<QueryResponse, PathEnumError>
+where
+    F: FnOnce(&mut dyn PathSink) -> Result<QueryResponse, PathEnumError>,
+{
+    let mut collected: Vec<Vec<u32>> = Vec::new();
+    let mut sink = FnSink(|path: &[u32]| {
+        if collect {
+            collected.push(path.to_vec());
+        }
+        SearchControl::Continue
+    });
+    let mut response = evaluate(&mut sink)?;
+    response.paths = collected;
+    Ok(response)
+}
+
+/// The pre-flight stopping rules shared by both engines: a request that
+/// is already cancelled, already past its deadline, or limited to zero
+/// results never starts. Explain requests always plan — they never
+/// enumerate anyway. Returns the short-circuit response when a rule
+/// fires.
+pub(crate) fn preflight_stop(
+    request: &QueryRequest<'_>,
+    deadline: Option<Instant>,
+) -> Option<QueryResponse> {
+    if request.explain {
+        return None;
+    }
+    if request.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+        return Some(QueryResponse::empty(Termination::Cancelled));
+    }
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return Some(QueryResponse::empty(Termination::DeadlineExceeded));
+    }
+    if request.limit == Some(0) {
+        return Some(QueryResponse::empty(Termination::LimitReached));
+    }
+    None
+}
+
+/// The shared back half of [`QueryEngine::execute_into`] and
+/// [`DynamicEngine::execute_into`](crate::DynamicEngine::execute_into):
+/// interpret the plan (or stop before enumeration for an explain
+/// request) and assemble the response.
+pub(crate) fn finish_response(
     index: &Index,
     plan: PhysicalPlan,
     request: &QueryRequest<'_>,

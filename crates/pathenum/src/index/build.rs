@@ -2,7 +2,7 @@
 
 use pathenum_graph::bfs::{distances_into, BfsOptions, Direction};
 use pathenum_graph::types::{dist_add, Distance, INFINITE_DISTANCE};
-use pathenum_graph::{CsrGraph, VertexId};
+use pathenum_graph::{NeighborAccess, VertexId};
 
 use super::neighbor_table::{LocalId, NeighborTable};
 use super::Index;
@@ -25,6 +25,18 @@ pub struct BuildScratch {
     local_of: Vec<u32>,
 }
 
+impl BuildScratch {
+    /// The boundary distance maps left behind by the most recent build:
+    /// `(dist_s, dist_t)`, indexed by global vertex id.
+    ///
+    /// The plan cache derives an entry's *reach footprint* from these
+    /// (the vertex sets within `k - 1` hops of `s` / of `t`), which is
+    /// what makes surgical retention under graph mutation sound.
+    pub(crate) fn dist_maps(&self) -> (&[Distance], &[Distance]) {
+        (&self.dist_s, &self.dist_t)
+    }
+}
+
 impl Index {
     /// Builds the light-weight index for `query` on `graph`.
     ///
@@ -32,21 +44,30 @@ impl Index {
     /// the adjacency of the surviving vertices. If the index proves the
     /// query empty (no s-t path within `k` hops), an empty index is
     /// returned and [`Index::is_empty`] is true.
-    pub fn build(graph: &CsrGraph, query: Query) -> Index {
+    ///
+    /// Generic over [`NeighborAccess`]: the build runs identically on a
+    /// materialized `CsrGraph` and on a borrowed
+    /// [`OverlayView`](pathenum_graph::OverlayView) of a
+    /// [`DynamicGraph`](pathenum_graph::DynamicGraph) — no snapshot
+    /// needed to query a mutated graph.
+    pub fn build<G: NeighborAccess>(graph: &G, query: Query) -> Index {
         Index::build_profiled(graph, query).0
     }
 
     /// As [`Index::build`], additionally reporting the time the two
     /// boundary BFS traversals took (the `BFS` series of Figures 12/17).
-    pub fn build_profiled(graph: &CsrGraph, query: Query) -> (Index, std::time::Duration) {
+    pub fn build_profiled<G: NeighborAccess>(
+        graph: &G,
+        query: Query,
+    ) -> (Index, std::time::Duration) {
         let mut scratch = BuildScratch::default();
         Index::build_reusing(graph, query, &mut scratch)
     }
 
     /// As [`Index::build_profiled`], reusing caller-owned scratch buffers
     /// across queries (allocation-free boundary BFS and id mapping).
-    pub fn build_reusing(
-        graph: &CsrGraph,
+    pub fn build_reusing<G: NeighborAccess>(
+        graph: &G,
         query: Query,
         scratch: &mut BuildScratch,
     ) -> (Index, std::time::Duration) {
@@ -82,18 +103,10 @@ impl Index {
         let bfs_time = bfs_start.elapsed();
         // The excluded endpoints get their distances from their boundary
         // edges: t.s via in-edges of t, s.t via out-edges of s.
-        let t_s = graph
-            .in_neighbors(t)
-            .iter()
-            .map(|&u| dist_add(dist_s[u as usize], 1))
-            .min()
-            .unwrap_or(INFINITE_DISTANCE);
-        let s_t = graph
-            .out_neighbors(s)
-            .iter()
-            .map(|&w| dist_add(dist_t[w as usize], 1))
-            .min()
-            .unwrap_or(INFINITE_DISTANCE);
+        let mut t_s = INFINITE_DISTANCE;
+        graph.for_each_in(t, |u| t_s = t_s.min(dist_add(dist_s[u as usize], 1)));
+        let mut s_t = INFINITE_DISTANCE;
+        graph.for_each_out(s, |w| s_t = s_t.min(dist_add(dist_t[w as usize], 1)));
         dist_s[t as usize] = t_s;
         dist_t[s as usize] = s_t;
 
@@ -108,7 +121,7 @@ impl Index {
         scratch.local_of.clear();
         scratch.local_of.resize(graph.num_vertices(), ABSENT);
         let local_of = &mut scratch.local_of;
-        for v in graph.vertices() {
+        for v in 0..graph.num_vertices() as VertexId {
             if dist_add(dist_s[v as usize], dist_t[v as usize]) <= k {
                 local_of[v as usize] = vertices.len() as u32;
                 vertices.push(v);
@@ -131,18 +144,19 @@ impl Index {
                 continue;
             }
             let vs = local_dist_s[local];
-            for &n in graph.out_neighbors(gv) {
+            let list = &mut fwd_lists[local];
+            graph.for_each_out(gv, |n| {
                 if n == s {
-                    continue; // interior vertices are never s
+                    return; // interior vertices are never s
                 }
                 let nt = dist_t[n as usize];
                 // Admission: v.s + v'.t + 1 <= k (Algorithm 3 line 9).
                 if dist_add(dist_add(vs, nt), 1) <= k {
                     let n_local = local_of[n as usize];
                     debug_assert_ne!(n_local, ABSENT, "admission implies membership");
-                    fwd_lists[local].push((n_local, nt));
+                    list.push((n_local, nt));
                 }
-            }
+            });
         }
         let fwd = NeighborTable::build(k, &fwd_lists);
         drop(fwd_lists);
@@ -156,17 +170,18 @@ impl Index {
                 continue;
             }
             let vt = local_dist_t[local];
-            for &p in graph.in_neighbors(gv) {
+            let list = &mut bwd_lists[local];
+            graph.for_each_in(gv, |p| {
                 if p == t {
-                    continue; // t never has real out-edges in the relations
+                    return; // t never has real out-edges in the relations
                 }
                 let ps = dist_s[p as usize];
                 if dist_add(dist_add(ps, vt), 1) <= k {
                     let p_local = local_of[p as usize];
                     debug_assert_ne!(p_local, ABSENT, "admission implies membership");
-                    bwd_lists[local].push((p_local, ps));
+                    list.push((p_local, ps));
                 }
-            }
+            });
             if gv == t {
                 bwd_lists[local].push((t_local, local_dist_s[t_local as usize]));
             }

@@ -71,6 +71,7 @@
 //! ```
 
 pub mod constraints;
+pub mod dynamic;
 pub mod engine;
 pub mod enumerate;
 pub mod estimator;
@@ -87,6 +88,7 @@ pub mod sink;
 pub mod spectrum;
 pub mod stats;
 
+pub use dynamic::DynamicEngine;
 pub use engine::QueryEngine;
 pub use index::Index;
 pub use optimizer::{optimize_join_order, path_enum, path_enum_on_index, JoinPlan, PathEnumConfig};

@@ -52,7 +52,10 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use pathenum_graph::{CsrGraph, GraphVersion, VertexId};
+use pathenum_graph::types::Distance;
+use pathenum_graph::{
+    CsrGraph, DynamicGraph, EdgeMutation, GraphVersion, NeighborAccess, VertexId,
+};
 
 use crate::constraints::{automaton_join, filtered_graph};
 use crate::enumerate::{idx_dfs, idx_join};
@@ -271,8 +274,8 @@ impl std::fmt::Display for PhysicalPlan {
 /// println!("{plan}");
 /// ```
 #[derive(Debug, Clone, Copy)]
-pub struct Planner<'g> {
-    graph: &'g CsrGraph,
+pub struct Planner<'g, G: NeighborAccess = CsrGraph> {
+    graph: &'g G,
     config: PathEnumConfig,
 }
 
@@ -282,10 +285,23 @@ pub(crate) struct Planned {
     pub index: Index,
 }
 
-impl<'g> Planner<'g> {
+/// The configuration one request effectively plans under: request-level
+/// overrides win over the engine configuration.
+pub(crate) fn effective_config(base: PathEnumConfig, request: &QueryRequest<'_>) -> PathEnumConfig {
+    PathEnumConfig {
+        tau: request.tau.unwrap_or(base.tau),
+        force: request.method.or(base.force),
+    }
+}
+
+impl<'g, G: NeighborAccess> Planner<'g, G> {
     /// A planner over `graph` with the orchestrator configuration
     /// (request-level `tau`/`method` overrides are applied per request).
-    pub fn new(graph: &'g CsrGraph, config: PathEnumConfig) -> Self {
+    ///
+    /// `graph` may be any [`NeighborAccess`] implementation — a
+    /// `CsrGraph` or a [`DynamicGraph`]'s
+    /// [`OverlayView`](pathenum_graph::OverlayView).
+    pub fn new(graph: &'g G, config: PathEnumConfig) -> Self {
         Planner { graph, config }
     }
 
@@ -300,10 +316,7 @@ impl<'g> Planner<'g> {
 
     /// Effective configuration for one request (request overrides win).
     pub(crate) fn effective_config(&self, request: &QueryRequest<'_>) -> PathEnumConfig {
-        PathEnumConfig {
-            tau: request.tau.unwrap_or(self.config.tau),
-            force: request.method.or(self.config.force),
-        }
+        effective_config(self.config, request)
     }
 
     /// Plans a validated query: builds the index (on the
@@ -618,6 +631,30 @@ pub struct PlanKey {
     pub tau: u64,
 }
 
+impl PlanKey {
+    /// The cache key for a request planned under `effective`
+    /// configuration, or `None` when the constraint is uncacheable (an
+    /// unfingerprinted predicate). Bypass flags and cache capacity are
+    /// the caller's concern.
+    pub(crate) fn for_request(
+        request: &QueryRequest<'_>,
+        effective: PathEnumConfig,
+    ) -> Option<PlanKey> {
+        request
+            .constraint
+            .fingerprint(request.fingerprint)
+            .map(|(namespace, fingerprint)| PlanKey {
+                s: request.s,
+                t: request.t,
+                k: request.k,
+                namespace,
+                fingerprint,
+                method: effective.force,
+                tau: effective.tau,
+            })
+    }
+}
+
 /// Aggregate statistics of a [`PlanCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlanCacheStats {
@@ -629,6 +666,10 @@ pub struct PlanCacheStats {
     pub invalidations: u64,
     /// Entries discarded to make room (LRU).
     pub evictions: u64,
+    /// Hits served across a graph mutation because the entry's recorded
+    /// footprint was provably untouched by the delta (surgical
+    /// retention; a subset of `hits`).
+    pub retained: u64,
 }
 
 impl PlanCacheStats {
@@ -643,12 +684,141 @@ impl PlanCacheStats {
     }
 }
 
+/// A dense bitset over vertex ids (one `u64` word per 64 vertices).
+#[derive(Debug, Clone)]
+struct DenseBits {
+    words: Vec<u64>,
+}
+
+impl DenseBits {
+    /// The set `{v in 0..n : pred(v)}`.
+    fn collect(n: usize, mut pred: impl FnMut(usize) -> bool) -> Self {
+        let mut words = vec![0u64; n.div_ceil(64)];
+        for v in 0..n {
+            if pred(v) {
+                words[v / 64] |= 1u64 << (v % 64);
+            }
+        }
+        DenseBits { words }
+    }
+
+    #[inline]
+    fn contains(&self, v: VertexId) -> bool {
+        let v = v as usize;
+        self.words
+            .get(v / 64)
+            .is_some_and(|w| w & (1u64 << (v % 64)) != 0)
+    }
+}
+
+/// The reach footprint of a cached index, recorded at build time: the
+/// vertex sets within `k - 1` hops of `s` (forward, `G − {t}`) and of
+/// `t` (backward, `G − {s}`).
+///
+/// Surgical retention keeps a cache entry across a mutation delta when
+/// the delta provably cannot change the query's result set:
+///
+/// * a **deleted** edge is harmless unless both endpoints are in the
+///   entry's index partition `X` (only such edges can appear in the
+///   index's neighbor tables, hence on a result path);
+/// * an **inserted** edge can only contribute to a *new* result path if
+///   the path's first inserted edge leaves the `s`-reach set and its
+///   last inserted edge enters the `t`-reach set — so the entry stays
+///   valid as long as *no* inserted edge has ever started inside the
+///   `s`-reach, or *no* inserted edge has ever ended inside the
+///   `t`-reach. The two conditions are tracked as sticky flags on the
+///   entry, which keeps the check sound across chains of inserted edges
+///   spanning many deltas.
+#[derive(Debug, Clone)]
+pub(crate) struct IndexFootprint {
+    /// The mutation lineage (see [`DynamicGraph::lineage`]) the entry's
+    /// version stamp belongs to. Retention consults the serving graph's
+    /// mutation log, which describes *that graph's* history only — an
+    /// entry stamped against a diverged sibling (caches move across
+    /// engines; `DynamicGraph` is cloneable) must never be re-validated
+    /// against it.
+    lineage: GraphVersion,
+    /// `{v : S(s, v | G − {t}) <= k - 1}` at build time.
+    reach_s: DenseBits,
+    /// `{v : S(v, t | G − {s}) <= k - 1}` at build time.
+    reach_t: DenseBits,
+}
+
+impl IndexFootprint {
+    /// Derives the footprint from the boundary distance maps a build
+    /// left in its scratch buffers, bound to one graph lineage.
+    pub(crate) fn from_dist_maps(
+        lineage: GraphVersion,
+        dist_s: &[Distance],
+        dist_t: &[Distance],
+        k: u32,
+    ) -> Self {
+        let bound = k.saturating_sub(1);
+        IndexFootprint {
+            lineage,
+            reach_s: DenseBits::collect(dist_s.len(), |v| dist_s[v] <= bound),
+            reach_t: DenseBits::collect(dist_t.len(), |v| dist_t[v] <= bound),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct CacheEntry {
     version: GraphVersion,
     plan: PhysicalPlan,
     index: Index,
     last_used: u64,
+    /// Reach footprint enabling surgical retention; `None` for entries
+    /// stored by engines that do not track deltas (plain snapshots).
+    footprint: Option<IndexFootprint>,
+    /// Sticky: some delta insertion since build starts inside `reach_s`.
+    src_touched: bool,
+    /// Sticky: some delta insertion since build ends inside `reach_t`.
+    dst_touched: bool,
+}
+
+impl CacheEntry {
+    /// Whether this entry's results are provably unchanged by the
+    /// mutations applied after `self.version`, updating the sticky
+    /// insertion flags along the way.
+    fn survives_delta(&mut self, graph: &DynamicGraph) -> bool {
+        let Some(footprint) = &self.footprint else {
+            return false;
+        };
+        if footprint.lineage != graph.lineage() {
+            // The entry was stamped against a different graph value's
+            // history; this graph's log cannot re-validate it.
+            return false;
+        }
+        let Some(mutations) = graph.mutations_since(self.version) else {
+            return false; // delta log window slid past this entry
+        };
+        for (kind, (u, w)) in mutations {
+            match kind {
+                EdgeMutation::Removed => {
+                    // Only edges with both endpoints in X can sit in the
+                    // index's neighbor tables or on a result path.
+                    if self.index.vertices.binary_search(&u).is_ok()
+                        && self.index.vertices.binary_search(&w).is_ok()
+                    {
+                        return false;
+                    }
+                }
+                EdgeMutation::Inserted => {
+                    if footprint.reach_s.contains(u) {
+                        self.src_touched = true;
+                    }
+                    if footprint.reach_t.contains(w) {
+                        self.dst_touched = true;
+                    }
+                    if self.src_touched && self.dst_touched {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
 }
 
 /// Default number of cached plans per engine. An entry holds a
@@ -762,6 +932,20 @@ impl PlanCache {
         plan: PhysicalPlan,
         index: Index,
     ) {
+        self.insert_with_footprint(key, version, plan, index, None);
+    }
+
+    /// As [`insert`](Self::insert), additionally recording the reach
+    /// footprint that makes the entry eligible for surgical retention
+    /// under [`lookup_on_overlay`](Self::lookup_on_overlay).
+    pub(crate) fn insert_with_footprint(
+        &mut self,
+        key: PlanKey,
+        version: GraphVersion,
+        plan: PhysicalPlan,
+        index: Index,
+        footprint: Option<IndexFootprint>,
+    ) {
         if self.capacity == 0 {
             return;
         }
@@ -784,8 +968,69 @@ impl PlanCache {
                 plan,
                 index,
                 last_used: self.clock,
+                footprint,
+                src_touched: false,
+                dst_touched: false,
             },
         );
+    }
+
+    /// Looks up an entry for `key` against a live [`DynamicGraph`].
+    ///
+    /// Beyond the plain version-equality check of
+    /// [`lookup`](Self::lookup), an entry stamped at an *older* version
+    /// is re-validated against the overlay's mutation log: if every
+    /// mutation since the stamp is provably irrelevant to the entry's
+    /// recorded footprint (see [`IndexFootprint`]), the entry is
+    /// re-stamped to the current version and served — a hit (counted in
+    /// [`PlanCacheStats::retained`]) instead of a rebuild. Otherwise the
+    /// entry is discarded as an invalidation.
+    pub(crate) fn lookup_on_overlay(
+        &mut self,
+        key: &PlanKey,
+        graph: &DynamicGraph,
+    ) -> Option<(&PhysicalPlan, &Index)> {
+        let version = graph.version();
+        enum Outcome {
+            Absent,
+            Stale,
+            Fresh,
+            Retained,
+        }
+        let outcome = match self.entries.get_mut(key) {
+            None => Outcome::Absent,
+            Some(entry) if entry.version == version => Outcome::Fresh,
+            Some(entry) => {
+                if entry.survives_delta(graph) {
+                    entry.version = version;
+                    Outcome::Retained
+                } else {
+                    Outcome::Stale
+                }
+            }
+        };
+        match outcome {
+            Outcome::Absent => {
+                self.stats.misses += 1;
+                None
+            }
+            Outcome::Stale => {
+                self.entries.remove(key);
+                self.stats.invalidations += 1;
+                self.stats.misses += 1;
+                None
+            }
+            Outcome::Fresh | Outcome::Retained => {
+                self.clock += 1;
+                self.stats.hits += 1;
+                if matches!(outcome, Outcome::Retained) {
+                    self.stats.retained += 1;
+                }
+                let entry = self.entries.get_mut(key).expect("entry is present");
+                entry.last_used = self.clock;
+                Some((&entry.plan, &entry.index))
+            }
+        }
     }
 }
 

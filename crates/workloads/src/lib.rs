@@ -10,14 +10,21 @@
 //! * [`runner`] — per-query measurement with time limits (query time,
 //!   throughput, response time), plus the aggregation helpers the tables
 //!   and figures need (means, percentiles, CDFs, log-log regression).
+//! * [`streaming`] — update→query streams over a dynamic graph, replayed
+//!   under snapshot-per-update vs overlay vs overlay+retained-cache
+//!   serving strategies.
 
 pub mod algorithms;
 pub mod datasets;
 pub mod parallel;
 pub mod querygen;
 pub mod runner;
+pub mod streaming;
 
 pub use algorithms::{AlgoReport, Algorithm};
 pub use parallel::{run_parallel, run_parallel_intra, ParallelOutcome};
 pub use querygen::{generate_queries, QueryGenConfig, QuerySetting};
 pub use runner::{run_query, MeasureConfig, QueryMeasurement};
+pub use streaming::{
+    generate_stream, run_stream, StreamConfig, StreamOp, StreamRunSummary, StreamStrategy,
+};

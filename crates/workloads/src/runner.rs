@@ -266,6 +266,7 @@ pub fn run_cached_stream(
             misses: after.misses - before.misses,
             invalidations: after.invalidations - before.invalidations,
             evictions: after.evictions - before.evictions,
+            retained: after.retained - before.retained,
         },
     }
 }

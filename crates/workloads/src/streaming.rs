@@ -1,0 +1,358 @@
+//! Streaming update→query workloads (the paper's Figure 8 scenario as a
+//! serving benchmark).
+//!
+//! A stream interleaves edge mutations with hop-constrained path queries
+//! at a configurable update:query mix. Queries are drawn from a small,
+//! skew-sampled pool of high-degree endpoint pairs (real request streams
+//! repeat), so a plan cache has something to hit — *if* it survives the
+//! interleaved mutations. [`run_stream`] replays one stream under three
+//! serving strategies:
+//!
+//! * [`SnapshotPerUpdate`](StreamStrategy::SnapshotPerUpdate) — the old
+//!   pipeline: every update re-materializes an `O(n + m)` snapshot and
+//!   queries run on the latest snapshot;
+//! * [`Overlay`](StreamStrategy::Overlay) — queries run directly on the
+//!   [`DynamicGraph`]'s borrowed overlay view (no materialization, no
+//!   caching);
+//! * [`OverlayCached`](StreamStrategy::OverlayCached) — overlay
+//!   execution plus the surgically retained plan cache: entries whose
+//!   recorded footprint is untouched by the delta keep serving across
+//!   mutations.
+//!
+//! All three strategies must produce identical per-query result counts;
+//! [`run_stream`] records them so harnesses can assert it.
+
+use std::time::{Duration, Instant};
+
+use pathenum::query::Query;
+use pathenum::{
+    DynamicEngine, PathEnumConfig, PlanCache, PlanCacheStats, QueryEngine, QueryRequest,
+};
+use pathenum_graph::{CsrGraph, DynamicGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::querygen::{generate_queries, QueryGenConfig};
+
+/// One operation of an update→query stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamOp {
+    /// Insert the directed edge.
+    Insert(VertexId, VertexId),
+    /// Remove the directed edge.
+    Remove(VertexId, VertexId),
+    /// Evaluate the query on the graph as of this moment.
+    Query(Query),
+}
+
+/// Configuration for [`generate_stream`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Total operations in the stream.
+    pub ops: usize,
+    /// Fraction of operations that are queries (the rest are updates).
+    pub query_fraction: f64,
+    /// Fraction of *updates* that are removals (of a known edge); the
+    /// rest insert fresh random edges.
+    pub remove_fraction: f64,
+    /// Hop constraint attached to every query.
+    pub k: u32,
+    /// Size of the distinct-query pool; queries are skew-sampled from it
+    /// (low indices recur most).
+    pub distinct_queries: usize,
+    /// RNG seed (also seeds the query-pool generator).
+    pub seed: u64,
+}
+
+impl StreamConfig {
+    /// A laptop-scale default: 4 queries per update, 30% removals, a
+    /// pool of 8 recurring queries.
+    pub fn serving_default(ops: usize, k: u32, seed: u64) -> Self {
+        StreamConfig {
+            ops,
+            query_fraction: 0.8,
+            remove_fraction: 0.3,
+            k,
+            distinct_queries: 8,
+            seed,
+        }
+    }
+}
+
+/// Generates a reproducible update→query stream over `graph`.
+///
+/// The query pool uses the paper's generator (high-degree endpoints,
+/// `distance(s, t) <= 3`); pool draws are squared-uniform, so the head
+/// of the pool dominates the stream (a skewed, cache-friendly request
+/// distribution). Removals draw from edges known to exist at that point
+/// (base edges or earlier stream insertions); insertions draw fresh
+/// random pairs.
+pub fn generate_stream(graph: &CsrGraph, config: &StreamConfig) -> Vec<StreamOp> {
+    let pool = generate_queries(
+        graph,
+        QueryGenConfig::paper_default(config.distinct_queries.max(1), config.k, config.seed),
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x5eed));
+    let n = graph.num_vertices() as VertexId;
+    if n < 2 {
+        return Vec::new();
+    }
+
+    // Edges available for removal: a sample of base edges plus whatever
+    // the stream itself inserts.
+    let base_edges: Vec<(VertexId, VertexId)> = graph.edges().collect();
+    let mut removable: Vec<(VertexId, VertexId)> = (0..512.min(base_edges.len()))
+        .map(|_| base_edges[rng.gen_range(0..base_edges.len())])
+        .collect();
+
+    let mut ops = Vec::with_capacity(config.ops);
+    while ops.len() < config.ops {
+        if !pool.is_empty() && rng.gen_bool(config.query_fraction.clamp(0.0, 1.0)) {
+            // Squared-uniform: index 0 is the hottest query.
+            let r = rng.gen_range(0..1u64 << 32) as f64 / (1u64 << 32) as f64;
+            let idx = ((r * r) * pool.len() as f64) as usize;
+            ops.push(StreamOp::Query(pool[idx.min(pool.len() - 1)]));
+        } else if !removable.is_empty() && rng.gen_bool(config.remove_fraction.clamp(0.0, 1.0)) {
+            let idx = rng.gen_range(0..removable.len());
+            let (u, v) = removable.swap_remove(idx);
+            ops.push(StreamOp::Remove(u, v));
+        } else {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            removable.push((u, v));
+            ops.push(StreamOp::Insert(u, v));
+        }
+    }
+    ops
+}
+
+/// How queries of a stream are served; see the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamStrategy {
+    /// Re-materialize a [`CsrGraph`] snapshot after every update; serve
+    /// queries from the latest snapshot (cache disabled — every epoch
+    /// bump would evict it anyway).
+    SnapshotPerUpdate,
+    /// Serve queries on the live overlay view, cache disabled.
+    Overlay,
+    /// Serve queries on the live overlay view with the surgically
+    /// retained plan cache.
+    OverlayCached,
+}
+
+impl std::fmt::Display for StreamStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamStrategy::SnapshotPerUpdate => write!(f, "snapshot/update"),
+            StreamStrategy::Overlay => write!(f, "overlay"),
+            StreamStrategy::OverlayCached => write!(f, "overlay+cache"),
+        }
+    }
+}
+
+/// Outcome of replaying one stream under one strategy.
+#[derive(Debug, Clone)]
+pub struct StreamRunSummary {
+    /// The strategy that ran.
+    pub strategy: StreamStrategy,
+    /// Per-query wall-clock latencies, in stream order.
+    pub query_latencies: Vec<Duration>,
+    /// Per-update wall-clock latencies (mutation + any re-snapshot).
+    pub update_latencies: Vec<Duration>,
+    /// Total wall-clock across the whole stream.
+    pub total: Duration,
+    /// Per-query result counts, in stream order — identical across
+    /// strategies by construction; assert it.
+    pub results: Vec<u64>,
+    /// Plan-cache statistics (all zero for the cache-free strategies).
+    pub cache: PlanCacheStats,
+}
+
+impl StreamRunSummary {
+    /// Mean per-query latency in milliseconds.
+    pub fn mean_query_ms(&self) -> f64 {
+        crate::runner::mean_ms(&self.query_latencies)
+    }
+
+    /// Mean per-update latency in milliseconds.
+    pub fn mean_update_ms(&self) -> f64 {
+        crate::runner::mean_ms(&self.update_latencies)
+    }
+
+    /// Fraction of queries served from the plan cache.
+    pub fn hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+}
+
+/// Replays `ops` over a fresh [`DynamicGraph`] on `base` under one
+/// strategy. Each query is bounded by `limit` results when given.
+pub fn run_stream(
+    base: &CsrGraph,
+    ops: &[StreamOp],
+    strategy: StreamStrategy,
+    config: PathEnumConfig,
+    limit: Option<u64>,
+) -> StreamRunSummary {
+    let mut graph = DynamicGraph::new(base.clone());
+    let mut snapshot = match strategy {
+        StreamStrategy::SnapshotPerUpdate => Some(graph.snapshot()),
+        _ => None,
+    };
+    // The overlay engines are re-created per query (the graph borrow
+    // must lapse across updates); the cache value is what persists.
+    let mut cache = Some(match strategy {
+        StreamStrategy::OverlayCached => PlanCache::default(),
+        _ => PlanCache::new(0),
+    });
+
+    let mut query_latencies = Vec::new();
+    let mut update_latencies = Vec::new();
+    let mut results = Vec::new();
+    let total_start = Instant::now();
+    for &op in ops {
+        match op {
+            StreamOp::Insert(u, v) | StreamOp::Remove(u, v) => {
+                let start = Instant::now();
+                let mutated = match op {
+                    StreamOp::Insert(..) => graph.insert_edge(u, v),
+                    _ => graph.remove_edge(u, v),
+                };
+                if mutated && matches!(strategy, StreamStrategy::SnapshotPerUpdate) {
+                    snapshot = Some(graph.snapshot());
+                }
+                update_latencies.push(start.elapsed());
+            }
+            StreamOp::Query(query) => {
+                let mut request = QueryRequest::from_query(query);
+                if let Some(limit) = limit {
+                    request = request.limit(limit);
+                }
+                let start = Instant::now();
+                let count = match strategy {
+                    StreamStrategy::SnapshotPerUpdate => {
+                        let serving = snapshot.as_ref().expect("strategy keeps a snapshot");
+                        let mut engine =
+                            QueryEngine::with_cache(serving, config, PlanCache::new(0));
+                        let response = engine
+                            .execute(&request)
+                            .expect("pool queries are valid for the graph");
+                        response.num_results()
+                    }
+                    StreamStrategy::Overlay | StreamStrategy::OverlayCached => {
+                        let mut engine = DynamicEngine::with_cache(
+                            &graph,
+                            config,
+                            cache.take().expect("cache is always returned"),
+                        );
+                        let response = engine
+                            .execute(&request)
+                            .expect("pool queries are valid for the graph");
+                        let count = response.num_results();
+                        cache = Some(engine.into_cache());
+                        count
+                    }
+                };
+                query_latencies.push(start.elapsed());
+                results.push(count);
+            }
+        }
+    }
+    let total = total_start.elapsed();
+    StreamRunSummary {
+        strategy,
+        query_latencies,
+        update_latencies,
+        total,
+        results,
+        cache: cache
+            .map(|c| c.stats())
+            .expect("cache is always returned after the last query"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    fn strategies() -> [StreamStrategy; 3] {
+        [
+            StreamStrategy::SnapshotPerUpdate,
+            StreamStrategy::Overlay,
+            StreamStrategy::OverlayCached,
+        ]
+    }
+
+    #[test]
+    fn stream_generation_respects_the_mix() {
+        let g = datasets::gg();
+        let config = StreamConfig::serving_default(400, 4, 7);
+        let ops = generate_stream(&g, &config);
+        assert_eq!(ops.len(), 400);
+        let queries = ops
+            .iter()
+            .filter(|op| matches!(op, StreamOp::Query(_)))
+            .count();
+        let updates = ops.len() - queries;
+        assert!(queries > updates, "queries dominate at 0.8 fraction");
+        assert!(updates > 0, "updates are interleaved");
+        // Reproducible.
+        assert_eq!(ops, generate_stream(&g, &config));
+    }
+
+    #[test]
+    fn all_strategies_agree_on_every_query() {
+        let g = datasets::gg();
+        let ops = generate_stream(&g, &StreamConfig::serving_default(150, 4, 11));
+        let runs: Vec<StreamRunSummary> = strategies()
+            .into_iter()
+            .map(|s| run_stream(&g, &ops, s, PathEnumConfig::default(), Some(500)))
+            .collect();
+        for pair in runs.windows(2) {
+            assert_eq!(
+                pair[0].results, pair[1].results,
+                "{} vs {}",
+                pair[0].strategy, pair[1].strategy
+            );
+        }
+        let queries = ops
+            .iter()
+            .filter(|op| matches!(op, StreamOp::Query(_)))
+            .count();
+        for run in &runs {
+            assert_eq!(run.results.len(), queries);
+            assert_eq!(run.query_latencies.len(), queries);
+        }
+    }
+
+    #[test]
+    fn cached_strategy_hits_under_mutation_and_others_do_not_cache() {
+        let g = datasets::gg();
+        let ops = generate_stream(&g, &StreamConfig::serving_default(200, 4, 3));
+        assert!(ops
+            .iter()
+            .any(|op| matches!(op, StreamOp::Insert(..) | StreamOp::Remove(..))));
+        let cached = run_stream(
+            &g,
+            &ops,
+            StreamStrategy::OverlayCached,
+            PathEnumConfig::default(),
+            Some(500),
+        );
+        assert!(cached.cache.hits > 0, "skewed stream must hit");
+        assert!(cached.hit_rate() > 0.0);
+        let overlay = run_stream(
+            &g,
+            &ops,
+            StreamStrategy::Overlay,
+            PathEnumConfig::default(),
+            Some(500),
+        );
+        assert_eq!(overlay.cache.hits, 0);
+        assert_eq!(overlay.cache.misses, 0);
+    }
+}

@@ -23,11 +23,14 @@ pub mod prelude {
     };
     pub use pathenum::sink::{CollectingSink, CountingSink, PathSink, SearchControl};
     pub use pathenum::{
-        path_enum, CacheOutcome, CancelToken, ControlledSink, Counters, Index, Method, PathBuffer,
-        PathEnumConfig, PathEnumError, PathStream, PhysicalPlan, PlanCache, PlanCacheStats, Query,
-        QueryEngine, QueryRequest, QueryResponse, RunReport, SharedControl, Termination,
+        path_enum, CacheOutcome, CancelToken, ControlledSink, Counters, DynamicEngine, Index,
+        Method, PathBuffer, PathEnumConfig, PathEnumError, PathStream, PhysicalPlan, PlanCache,
+        PlanCacheStats, Query, QueryEngine, QueryRequest, QueryResponse, RunReport, SharedControl,
+        Termination,
     };
-    pub use pathenum_graph::{CsrGraph, GraphBuilder, GraphVersion, VertexId};
+    pub use pathenum_graph::{
+        CsrGraph, DynamicGraph, GraphBuilder, GraphVersion, NeighborAccess, OverlayView, VertexId,
+    };
     pub use pathenum_workloads::{Algorithm, MeasureConfig};
 }
 

@@ -235,3 +235,152 @@ fn overlay_rejects_duplicates_against_base_and_itself() {
     assert!(!d.insert_edge(2, 3));
     assert_eq!(d.num_edges(), 3);
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Oracle for arbitrary interleaved insert/remove/restore streams:
+    /// the overlay must agree with a naive `HashSet` edge-set model on
+    /// every mutation's return value, on `has_edge`/`num_edges` at every
+    /// step, and on the final `snapshot()` edge set — including the
+    /// delete-then-reinsert-base-edge and remove-inserted-edge chains.
+    #[test]
+    fn overlay_state_matches_a_hashset_model(
+        n in 3u32..10,
+        base in proptest::collection::vec((0u32..10, 0u32..10), 0..25),
+        script in proptest::collection::vec((0u32..2, 0u32..10, 0u32..10), 0..60),
+    ) {
+        let base: Vec<(u32, u32)> = base
+            .into_iter()
+            .filter(|&(u, v)| u < n && v < n && u != v)
+            .collect();
+        let csr = graph_from_edges(n, &base);
+        let mut model: std::collections::HashSet<(u32, u32)> = csr.edges().collect();
+        let mut dynamic = DynamicGraph::new(csr);
+
+        for (op, u, v) in script {
+            if op == 0 {
+                let expected = u != v && u < n && v < n && !model.contains(&(u, v));
+                prop_assert_eq!(dynamic.insert_edge(u, v), expected, "insert {} -> {}", u, v);
+                if expected {
+                    model.insert((u, v));
+                }
+            } else {
+                let expected = u < n && v < n && model.contains(&(u, v));
+                prop_assert_eq!(dynamic.remove_edge(u, v), expected, "remove {} -> {}", u, v);
+                if expected {
+                    model.remove(&(u, v));
+                }
+            }
+            prop_assert_eq!(dynamic.num_edges(), model.len());
+        }
+
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(
+                    dynamic.has_edge(u, v),
+                    model.contains(&(u, v)),
+                    "has_edge({}, {})", u, v
+                );
+            }
+        }
+        let snapshot = dynamic.snapshot();
+        let snapshot_edges: std::collections::HashSet<(u32, u32)> = snapshot.edges().collect();
+        prop_assert_eq!(&snapshot_edges, &model, "snapshot edge set diverged");
+
+        // The borrowed view agrees with the snapshot adjacency-for-adjacency
+        // (same edges *and* same ascending order).
+        let view = dynamic.view();
+        for v in 0..n {
+            let mut out = Vec::new();
+            view.for_each_out(v, |w| out.push(w));
+            prop_assert_eq!(out, snapshot.out_neighbors(v).to_vec(), "out({})", v);
+            let mut inn = Vec::new();
+            view.for_each_in(v, |w| inn.push(w));
+            prop_assert_eq!(inn, snapshot.in_neighbors(v).to_vec(), "in({})", v);
+        }
+    }
+}
+
+/// Regression for the `remove_edge` rewrite: an interleaved 100k-update
+/// insert/remove stream must complete in linear-ish time. The old
+/// implementation removed overlay edges with `Vec::retain` over the
+/// whole insert log — O(u²) over this stream, i.e. ~10^10 element visits
+/// where this test would effectively hang.
+#[test]
+fn interleaved_100k_update_stream_stays_fast() {
+    let n: u32 = 2048;
+    // Base ring so removals can also hit base edges.
+    let ring: Vec<(u32, u32)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+    let mut dynamic = DynamicGraph::new(graph_from_edges(n, &ring));
+    let base_edges = dynamic.num_edges();
+
+    // Deterministic xorshift; no RNG dependency in the test crate.
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    let mut live: Vec<(u32, u32)> = Vec::new();
+    let mut net: i64 = 0;
+    let updates = 100_000usize;
+    for i in 0..updates {
+        if i % 2 == 0 || live.is_empty() {
+            let u = (next() % u64::from(n)) as u32;
+            let v = (next() % u64::from(n)) as u32;
+            if dynamic.insert_edge(u, v) {
+                live.push((u, v));
+                net += 1;
+            }
+        } else {
+            let idx = (next() as usize) % live.len();
+            let (u, v) = live.swap_remove(idx);
+            assert!(dynamic.remove_edge(u, v), "live edge must be removable");
+            net -= 1;
+        }
+    }
+    assert_eq!(dynamic.num_edges() as i64, base_edges as i64 + net);
+    assert_eq!(dynamic.inserted_edges().count(), live.len());
+    assert_eq!(dynamic.snapshot().num_edges(), dynamic.num_edges());
+}
+
+/// Surgical retention: a mutation far from a cached query's reach keeps
+/// the entry serving (a retained hit), while every answer stays equal to
+/// a cache-free engine's.
+#[test]
+fn far_mutations_retain_entries_near_mutations_invalidate() {
+    // Two chains sharing nothing: 0 -> 1 -> 2 and 10 -> 11 -> 12.
+    let edges = [(0, 1), (1, 2), (10, 11), (11, 12)];
+    let mut dynamic = DynamicGraph::new(graph_from_edges(16, &edges));
+    let request = || QueryRequest::paths(0, 2).max_hops(3).collect_paths(true);
+
+    let mut engine = DynamicEngine::new(&dynamic, PathEnumConfig::default());
+    let first = engine.execute(&request()).unwrap();
+    assert_eq!(first.report.cache, CacheOutcome::Miss);
+    assert_eq!(first.paths, vec![vec![0, 1, 2]]);
+    let cache = engine.into_cache();
+
+    // Mutate only the far chain: the cached entry must survive.
+    assert!(dynamic.insert_edge(12, 13));
+    assert!(dynamic.remove_edge(10, 11));
+    let mut engine = DynamicEngine::with_cache(&dynamic, PathEnumConfig::default(), cache);
+    let retained = engine.execute(&request()).unwrap();
+    assert_eq!(retained.report.cache, CacheOutcome::Hit);
+    assert_eq!(engine.cache_stats().retained, 1);
+    assert_eq!(retained.paths, first.paths);
+    let cache = engine.into_cache();
+
+    // Mutate inside the query's reach: the entry must be rebuilt, and
+    // the new path must appear.
+    assert!(dynamic.insert_edge(0, 2));
+    let mut engine = DynamicEngine::with_cache(&dynamic, PathEnumConfig::default(), cache);
+    let after = engine.execute(&request()).unwrap();
+    assert_eq!(after.report.cache, CacheOutcome::Miss);
+    assert!(engine.cache_stats().invalidations >= 1);
+    let mut paths = after.paths;
+    paths.sort_unstable();
+    assert_eq!(paths, vec![vec![0, 1, 2], vec![0, 2]]);
+}
