@@ -2,15 +2,15 @@
 //!
 //! The competitors the paper evaluates PathEnum against (Section 7.1):
 //!
-//! * [`generic_dfs`] — the generic backtracking framework of Algorithm 1
+//! * [`generic_dfs`](mod@generic_dfs) — the generic backtracking framework of Algorithm 1
 //!   with a static distance-to-`t` bound.
-//! * [`bc_dfs`] — the barrier-based polynomial-delay algorithm of Peng et
+//! * [`bc_dfs`](mod@bc_dfs) — the barrier-based polynomial-delay algorithm of Peng et
 //!   al. (VLDB 2020): distances to `t` are *maintained* during the search,
 //!   raising a barrier whenever a subtree proves fruitless and rolling it
 //!   back when the blocking stack prefix unwinds.
-//! * [`bc_join`] — the join-oriented variant: enumerate path halves
+//! * [`bc_join`](mod@bc_join) — the join-oriented variant: enumerate path halves
 //!   meeting at position `ceil(k/2)` and join on the middle vertex.
-//! * [`t_dfs`] — Rizzi et al.'s theoretical algorithm: every extension is
+//! * [`t_dfs`](mod@t_dfs) — Rizzi et al.'s theoretical algorithm: every extension is
 //!   certified by an exact shortest-path query avoiding the current
 //!   partial path, guaranteeing each branch leads to a result.
 //! * [`yen_ksp`] — the top-K shortest-path adaptation (Yen's loopless

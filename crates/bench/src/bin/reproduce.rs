@@ -67,7 +67,7 @@ fn main() -> ExitCode {
                     // experiments read this override.
                     eprintln!(
                         "note: --method {method} applies to experiments running the full \
-                         PathEnum pipeline (currently: cache, stream); others ignore it"
+                         PathEnum pipeline (currently: cache, stream, serve); others ignore it"
                     );
                     config.force_method = Some(method);
                 }

@@ -22,8 +22,8 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Force one enumeration method (`reproduce --method idx-dfs|idx-join`),
     /// bypassing the cost-based optimizer in the experiments that run the
-    /// full PathEnum pipeline (currently `cache` and `stream`). `None`
-    /// lets the optimizer decide.
+    /// full PathEnum pipeline (currently `cache`, `stream`, and `serve`).
+    /// `None` lets the optimizer decide.
     pub force_method: Option<Method>,
 }
 

@@ -14,6 +14,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod scaling;
+pub mod serve;
 pub mod stream;
 pub mod support;
 pub mod table3;
@@ -108,6 +109,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "stream",
             "Streaming updates: snapshot vs overlay vs retained cache",
             stream::run,
+        ),
+        (
+            "serve",
+            "Concurrent serving: shared graph + shared plan cache across workers",
+            serve::run,
         ),
     ]
 }

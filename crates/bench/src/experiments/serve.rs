@@ -1,0 +1,172 @@
+//! Concurrent serving: one shared graph + one shared plan cache across
+//! worker threads (not a paper experiment — it characterizes the
+//! `pathenum::service` layer, which turns the paper's one-query-at-a-time
+//! pipeline into the multi-client serving system the title implies).
+//!
+//! A skewed request stream (every distinct query recurs, interleaved) is
+//! first answered by the sequential `QueryEngine` oracle, then replayed
+//! through a `PathEnumService` at several worker-pool sizes. Asserted
+//! invariants:
+//!
+//! * per-request enumerated paths are **identical** to the sequential
+//!   oracle at every worker count (input-order, path-for-path);
+//! * the shared cache keeps hitting across workers (a query planned by
+//!   one worker warms every other worker);
+//! * shared-cache accounting is consistent:
+//!   `hits + misses + bypasses == lookups`;
+//! * warm hits report their time under `cache_lookup` with
+//!   `index_build == 0`.
+//!
+//! On a single-core container the worker sweep shows no speedup (the
+//! harness prints the core count); the correctness and cache-sharing
+//! assertions are the point.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pathenum::{
+    CacheOutcome, PathEnumConfig, PathEnumService, QueryEngine, QueryRequest, ServiceConfig,
+};
+use pathenum_graph::generators::{power_law, PowerLawConfig};
+use pathenum_workloads::runner::{mean_ms, percentile_ms};
+use pathenum_workloads::{generate_queries, QueryGenConfig};
+
+use crate::config::ExperimentConfig;
+use crate::output::{banner, sci_ms, Table};
+
+/// How many times each distinct query recurs in the replayed stream.
+const REPEATS: usize = 8;
+
+/// Runs the experiment and prints the worker-sweep table.
+pub fn run(config: &ExperimentConfig) {
+    banner("Serve: one graph + one plan cache shared across service workers");
+    let quick = config.queries_per_set <= 4;
+    let (n, d) = if quick { (6_000, 5) } else { (30_000, 6) };
+    let graph = Arc::new(power_law(PowerLawConfig::social(n, d, config.seed)));
+    let engine_config = PathEnumConfig {
+        force: config.force_method,
+        ..PathEnumConfig::default()
+    };
+    println!(
+        "power-law graph: {} vertices, {} edges; cores available: {}; forced method: {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+        config
+            .force_method
+            .map_or("none (optimizer)".to_string(), |m| m.to_string()),
+    );
+
+    // A skewed stream with the repeats *interleaved* (round-robin over
+    // the distinct set, rotated each round), so concurrent workers keep
+    // landing on each other's warm entries.
+    let k = config.default_k.min(5);
+    let distinct = generate_queries(
+        &graph,
+        QueryGenConfig::paper_default(config.queries_per_set.max(4), k, config.seed),
+    );
+    let mut stream = Vec::with_capacity(distinct.len() * REPEATS);
+    for round in 0..REPEATS {
+        for i in 0..distinct.len() {
+            stream.push(distinct[(i + round) % distinct.len()]);
+        }
+    }
+    let limit = config.response_limit;
+    println!(
+        "stream: {} requests over {} distinct queries (k={}, limit={limit})\n",
+        stream.len(),
+        distinct.len(),
+        k,
+    );
+    let request_for =
+        |q: pathenum::Query| QueryRequest::from_query(q).limit(limit).collect_paths(true);
+
+    // Sequential oracle: the single-threaded engine on the same stream.
+    let mut oracle_engine = QueryEngine::new(&graph, engine_config);
+    let oracle_start = std::time::Instant::now();
+    let oracle: Vec<Vec<Vec<u32>>> = stream
+        .iter()
+        .map(|&q| {
+            oracle_engine
+                .execute(&request_for(q))
+                .expect("generated queries are valid")
+                .paths
+        })
+        .collect();
+    let oracle_wall = oracle_start.elapsed();
+
+    let mut table = Table::new([
+        "workers", "wall", "mean", "p99", "hits", "hit rate", "req/s",
+    ]);
+    table.row([
+        "seq engine".to_string(),
+        sci_ms(oracle_wall),
+        sci_ms(oracle_wall / stream.len() as u32),
+        String::new(),
+        String::new(),
+        String::new(),
+        format!("{:.0}", stream.len() as f64 / oracle_wall.as_secs_f64()),
+    ]);
+
+    let mut warm_lookup = Duration::ZERO;
+    let mut warm_hits = 0u32;
+    for workers in [1usize, 2, 4] {
+        let service = PathEnumService::with_config(
+            Arc::clone(&graph),
+            engine_config,
+            ServiceConfig {
+                workers,
+                ..ServiceConfig::default()
+            },
+        );
+        let requests: Vec<QueryRequest<'static>> = stream.iter().map(|&q| request_for(q)).collect();
+        let report = service.serve(requests);
+
+        for (i, response) in report.responses.iter().enumerate() {
+            let response = response.as_ref().expect("generated queries are valid");
+            assert_eq!(
+                response.paths, oracle[i],
+                "workers={workers}: request {i} diverged from the sequential engine"
+            );
+            if response.report.cache == CacheOutcome::Hit {
+                assert_eq!(
+                    response.report.timings.index_build,
+                    Duration::ZERO,
+                    "warm hits must not report build time"
+                );
+                warm_lookup += response.report.timings.cache_lookup;
+                warm_hits += 1;
+            }
+        }
+        let stats = report.cache;
+        assert_eq!(
+            stats.hits + stats.misses + stats.bypasses,
+            stats.lookups,
+            "shared-cache accounting must balance"
+        );
+        assert!(
+            stats.hits > 0,
+            "workers={workers}: repeated queries must share the cache"
+        );
+
+        table.row([
+            workers.to_string(),
+            sci_ms(report.wall),
+            format!("{:.4}ms", mean_ms(&report.latencies)),
+            format!("{:.4}ms", percentile_ms(&report.latencies, 99.0)),
+            stats.hits.to_string(),
+            format!("{:.0}%", 100.0 * stats.hit_rate()),
+            format!("{:.0}", report.throughput()),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nevery worker count reproduced the sequential engine path-for-path \
+         ({} requests, {} results); warm hits: {} at mean cache_lookup {:.2}us, \
+         index_build 0 on every hit",
+        stream.len(),
+        oracle.iter().map(Vec::len).sum::<usize>(),
+        warm_hits,
+        warm_lookup.as_secs_f64() * 1e6 / f64::from(warm_hits.max(1)),
+    );
+}

@@ -50,7 +50,7 @@ impl Default for BfsOptions {
 /// it is the excluded vertex (then everything is unreachable).
 ///
 /// Generic over [`NeighborAccess`], so the traversal runs identically on
-/// a [`CsrGraph`] and on a borrowed
+/// a [`CsrGraph`](crate::CsrGraph) and on a borrowed
 /// [`OverlayView`](crate::dynamic::OverlayView) of a dynamic graph.
 pub fn distances<G: NeighborAccess>(
     graph: &G,

@@ -6,9 +6,9 @@
 //! each dataset's *type* (see `pathenum-workloads::datasets` and DESIGN.md).
 //! The generators here are the primitives that substitution is built from:
 //!
-//! * [`erdos_renyi`] — uniform random digraphs (near-regular degrees), the
+//! * [`erdos_renyi`](fn@erdos_renyi) — uniform random digraphs (near-regular degrees), the
 //!   stand-in for citation-style graphs.
-//! * [`power_law`] — preferential-attachment digraphs with heavy-tailed
+//! * [`power_law`](fn@power_law) — preferential-attachment digraphs with heavy-tailed
 //!   degrees, the stand-in for social/web graphs.
 //! * [`structured`] — deterministic families (complete digraph, directed
 //!   grid, layered DAG) with analytically known path counts, used by the

@@ -5,9 +5,9 @@
 //! of `v`". [`NeighborAccess`] captures exactly that surface so the
 //! boundary BFS and the per-query index build can run unchanged over
 //!
-//! * a materialized [`CsrGraph`](crate::CsrGraph), and
+//! * a materialized [`CsrGraph`], and
 //! * a borrowed [`OverlayView`](crate::dynamic::OverlayView) of a
-//!   [`DynamicGraph`](crate::DynamicGraph) — base CSR plus the
+//!   [`DynamicGraph`](crate::dynamic::DynamicGraph) — base CSR plus the
 //!   insert/delete overlay, with **zero** per-query materialization.
 //!
 //! The trait uses callback-style iteration (`for_each_out`) instead of

@@ -50,7 +50,7 @@ use std::time::Instant;
 
 use pathenum_graph::DynamicGraph;
 
-use crate::engine::{execute_collecting, finish_response, preflight_stop};
+use crate::engine::{execute_collecting, execute_on_plan, preflight_stop};
 use crate::index::BuildScratch;
 use crate::optimizer::PathEnumConfig;
 use crate::plan::{
@@ -70,6 +70,7 @@ pub struct DynamicEngine<'g> {
     scratch: BuildScratch,
     cache: PlanCache,
     queries_served: u64,
+    queries_rejected: u64,
 }
 
 impl<'g> DynamicEngine<'g> {
@@ -89,6 +90,7 @@ impl<'g> DynamicEngine<'g> {
             scratch: BuildScratch::default(),
             cache,
             queries_served: 0,
+            queries_rejected: 0,
         }
     }
 
@@ -97,9 +99,19 @@ impl<'g> DynamicEngine<'g> {
         self.graph
     }
 
-    /// Number of queries evaluated so far.
+    /// Number of queries evaluated so far. Requests stopped by a
+    /// pre-flight rule (see [`queries_rejected`](Self::queries_rejected))
+    /// are not counted.
     pub fn queries_served(&self) -> u64 {
         self.queries_served
+    }
+
+    /// Number of requests a pre-flight stopping rule short-circuited
+    /// before planning; they produce a response (with
+    /// [`CacheOutcome::Skipped`]) but never touch the overlay or the
+    /// cache.
+    pub fn queries_rejected(&self) -> u64 {
+        self.queries_rejected
     }
 
     /// The engine's plan cache (entry count, statistics).
@@ -139,7 +151,7 @@ impl<'g> DynamicEngine<'g> {
             if let Some((plan, _)) = self.cache.lookup_on_overlay(&key, self.graph) {
                 let mut plan = *plan;
                 plan.constraint = request.constraint.kind();
-                plan.threads = request.resolved_threads();
+                plan.threads = request.effective_threads();
                 return Ok(plan);
             }
         }
@@ -171,28 +183,31 @@ impl<'g> DynamicEngine<'g> {
         sink: &mut dyn PathSink,
     ) -> Result<QueryResponse, PathEnumError> {
         let query = request.validate(self.graph.num_vertices())?;
-        self.queries_served += 1;
 
         let deadline = request.time_budget.map(|b| Instant::now() + b);
         if let Some(stopped) = preflight_stop(request, deadline) {
+            self.queries_rejected += 1;
             return Ok(stopped);
         }
+        self.queries_served += 1;
 
         let key = self.plan_key(request);
 
         // Warm path: fresh or surgically retained entries skip BFS and
-        // index build entirely.
+        // index build entirely; the lookup (including the retention
+        // check against the mutation log) is reported as `cache_lookup`,
+        // leaving `index_build` zero — no build ran.
         let lookup_start = Instant::now();
         if let Some(key) = key {
             if let Some((plan, index)) = self.cache.lookup_on_overlay(&key, self.graph) {
                 let mut plan = *plan;
                 plan.constraint = request.constraint.kind();
-                plan.threads = request.resolved_threads();
+                plan.threads = request.effective_threads();
                 let timings = PhaseTimings {
-                    index_build: lookup_start.elapsed(),
+                    cache_lookup: lookup_start.elapsed(),
                     ..PhaseTimings::default()
                 };
-                return Ok(finish_response(
+                return Ok(execute_on_plan(
                     index,
                     plan,
                     request,
@@ -213,7 +228,7 @@ impl<'g> DynamicEngine<'g> {
         } else {
             CacheOutcome::Bypass
         };
-        let response = finish_response(
+        let response = execute_on_plan(
             &planned.index,
             planned.plan,
             request,

@@ -8,17 +8,17 @@
 //! * [`execute`](QueryEngine::execute) — evaluate a
 //!   [`QueryRequest`] end-to-end, returning a
 //!   [`QueryResponse`] with counts, phase timings, and an explicit
-//!   [`Termination`](crate::request::Termination) reason;
+//!   [`Termination`] reason;
 //! * [`execute_into`](QueryEngine::execute_into) — the same, streaming
 //!   paths into a caller-supplied [`PathSink`];
 //! * [`stream`](QueryEngine::stream) — a pull-based
-//!   [`PathStream`](crate::request::PathStream) iterator for lazy
+//!   [`PathStream`] iterator for lazy
 //!   consumption.
 //!
 //! Every entry point is a thin driver over the planner/executor split of
 //! [`crate::plan`]: acquire a [`PhysicalPlan`] (from the engine's
 //! version-aware [`PlanCache`], or by planning from scratch), then let
-//! the [`Executor`](crate::plan::Executor) interpret it against the
+//! the [`Executor`] interpret it against the
 //! sink. [`explain`](QueryEngine::explain) stops after the first half —
 //! the plan with its modeled costs, without enumerating.
 //!
@@ -73,6 +73,7 @@ pub struct QueryEngine<'g> {
     scratch: BuildScratch,
     cache: PlanCache,
     queries_served: u64,
+    queries_rejected: u64,
 }
 
 impl<'g> QueryEngine<'g> {
@@ -94,6 +95,7 @@ impl<'g> QueryEngine<'g> {
             scratch: BuildScratch::default(),
             cache,
             queries_served: 0,
+            queries_rejected: 0,
         }
     }
 
@@ -102,9 +104,19 @@ impl<'g> QueryEngine<'g> {
         self.graph
     }
 
-    /// Number of queries evaluated so far.
+    /// Number of queries evaluated so far. Requests stopped by a
+    /// pre-flight rule before any evaluation (see
+    /// [`queries_rejected`](Self::queries_rejected)) are not counted.
     pub fn queries_served(&self) -> u64 {
         self.queries_served
+    }
+
+    /// Number of requests a pre-flight stopping rule (pre-cancelled
+    /// token, zero time budget, zero result limit) short-circuited
+    /// before planning. These produce a response (with
+    /// [`CacheOutcome::Skipped`]) but never touch the graph or the cache.
+    pub fn queries_rejected(&self) -> u64 {
+        self.queries_rejected
     }
 
     /// The engine's plan cache (entry count, statistics).
@@ -184,7 +196,7 @@ impl<'g> QueryEngine<'g> {
             if let Some((plan, _)) = self.cache.lookup(&key, version) {
                 let mut plan = *plan;
                 plan.constraint = request.constraint.kind();
-                plan.threads = request.resolved_threads();
+                plan.threads = request.effective_threads();
                 return Ok(plan);
             }
         }
@@ -217,29 +229,31 @@ impl<'g> QueryEngine<'g> {
         sink: &mut dyn PathSink,
     ) -> Result<QueryResponse, PathEnumError> {
         let query = request.validate(self.graph.num_vertices())?;
-        self.queries_served += 1;
 
         let deadline = request.time_budget.map(|b| Instant::now() + b);
         if let Some(stopped) = preflight_stop(request, deadline) {
+            self.queries_rejected += 1;
             return Ok(stopped);
         }
+        self.queries_served += 1;
 
         let key = self.plan_key(request);
         let version = self.graph.version();
 
         // Warm path: a fresh cached entry skips BFS, index build, and
-        // estimation; only the (tiny) lookup cost lands in the timings.
+        // estimation; the (tiny) lookup cost is reported as
+        // `cache_lookup`, leaving `index_build` zero — no build ran.
         let lookup_start = Instant::now();
         if let Some(key) = key {
             if let Some((plan, index)) = self.cache.lookup(&key, version) {
                 let mut plan = *plan;
                 plan.constraint = request.constraint.kind();
-                plan.threads = request.resolved_threads();
+                plan.threads = request.effective_threads();
                 let timings = PhaseTimings {
-                    index_build: lookup_start.elapsed(),
+                    cache_lookup: lookup_start.elapsed(),
                     ..PhaseTimings::default()
                 };
-                return Ok(finish_response(
+                return Ok(execute_on_plan(
                     index,
                     plan,
                     request,
@@ -260,7 +274,7 @@ impl<'g> QueryEngine<'g> {
         } else {
             CacheOutcome::Bypass
         };
-        let response = finish_response(
+        let response = execute_on_plan(
             &planned.index,
             planned.plan,
             request,
@@ -291,10 +305,19 @@ impl<'g> QueryEngine<'g> {
         request: &'q QueryRequest<'q>,
     ) -> Result<PathStream<'q>, PathEnumError> {
         let query = request.validate(self.graph.num_vertices())?;
+        // Pre-stopped requests count as *rejected* — the same rules as
+        // `execute`'s pre-flight — and never touch the graph or the
+        // cache; the returned stream yields nothing and reports the
+        // termination on the first pull.
+        let deadline = request.time_budget.map(|b| Instant::now() + b);
+        if preflight_termination(request, deadline).is_some() {
+            self.queries_rejected += 1;
+            return Ok(PathStream::new(Index::empty(query), request));
+        }
         self.queries_served += 1;
         if let Some(key) = self.plan_key(request) {
             if let Some((_, index)) = self.cache.lookup(&key, self.graph.version()) {
-                return Ok(PathStream::new(index.clone(), request));
+                return Ok(PathStream::new(Index::clone(index), request));
             }
         }
         let index = match &request.constraint {
@@ -352,35 +375,53 @@ where
     Ok(response)
 }
 
-/// The pre-flight stopping rules shared by both engines: a request that
+/// The pre-flight stopping rules shared by every evaluator (both
+/// engines and the [`service`](crate::service) layer): a request that
 /// is already cancelled, already past its deadline, or limited to zero
 /// results never starts. Explain requests always plan — they never
 /// enumerate anyway. Returns the short-circuit response when a rule
-/// fires.
+/// fires; such requests count as *rejected* (not served), perform no
+/// cache lookup, and their response reads
+/// [`CacheOutcome::Skipped`](crate::plan::CacheOutcome::Skipped).
 pub(crate) fn preflight_stop(
     request: &QueryRequest<'_>,
     deadline: Option<Instant>,
 ) -> Option<QueryResponse> {
+    preflight_termination(request, deadline).map(QueryResponse::empty)
+}
+
+/// The rule set behind [`preflight_stop`], shared verbatim with
+/// [`QueryEngine::stream`] (which has no response to build — a rejected
+/// stream reports its termination on the first pull instead).
+pub(crate) fn preflight_termination(
+    request: &QueryRequest<'_>,
+    deadline: Option<Instant>,
+) -> Option<Termination> {
     if request.explain {
         return None;
     }
     if request.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
-        return Some(QueryResponse::empty(Termination::Cancelled));
+        return Some(Termination::Cancelled);
     }
     if deadline.is_some_and(|d| Instant::now() >= d) {
-        return Some(QueryResponse::empty(Termination::DeadlineExceeded));
+        return Some(Termination::DeadlineExceeded);
     }
     if request.limit == Some(0) {
-        return Some(QueryResponse::empty(Termination::LimitReached));
+        return Some(Termination::LimitReached);
     }
     None
 }
 
-/// The shared back half of [`QueryEngine::execute_into`] and
-/// [`DynamicEngine::execute_into`](crate::DynamicEngine::execute_into):
-/// interpret the plan (or stop before enumeration for an explain
-/// request) and assemble the response.
-pub(crate) fn finish_response(
+/// The shared execution core of every evaluator —
+/// [`QueryEngine::execute_into`],
+/// [`DynamicEngine::execute_into`](crate::DynamicEngine::execute_into),
+/// and the concurrent [`service`](crate::service) workers: interpret a
+/// plan against a borrowed index (or stop before enumeration for an
+/// explain request) and assemble the response. It borrows everything it
+/// touches — `&Index`, the request, the sink — and owns no engine
+/// state, which is what lets many threads drive it over one shared
+/// graph and one shared cache.
+pub(crate) fn execute_on_plan(
     index: &Index,
     plan: PhysicalPlan,
     request: &QueryRequest<'_>,

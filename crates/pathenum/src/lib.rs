@@ -23,7 +23,9 @@
 //! A single heavy query can also fan its search out over an intra-query
 //! worker pool ([`parallel`], surfaced as
 //! [`QueryRequest::threads`](request::QueryRequest::threads)) with a
-//! deterministic merged output.
+//! deterministic merged output, and many queries can be served
+//! concurrently from many threads over one shared graph and one shared
+//! plan cache through the [`service`] layer ([`PathEnumService`]).
 //!
 //! # Serving queries
 //!
@@ -84,6 +86,7 @@ pub mod query;
 pub mod reference;
 pub mod relations;
 pub mod request;
+pub mod service;
 pub mod sink;
 pub mod spectrum;
 pub mod stats;
@@ -95,13 +98,14 @@ pub use optimizer::{optimize_join_order, path_enum, path_enum_on_index, JoinPlan
 pub use parallel::SharedControl;
 pub use plan::{
     CacheOutcome, ConstraintKind, Executor, PhysicalPlan, PlanCache, PlanCacheStats, PlanKey,
-    Planner,
+    Planner, SharedCacheStats, SharedPlanCache,
 };
 pub use query::Query;
 pub use request::{
     CancelToken, ControlledSink, PathEnumError, PathStream, QueryRequest, QueryResponse,
     Termination,
 };
+pub use service::{PathEnumService, ServeReport, ServiceConfig, Ticket, TicketOutcome};
 #[allow(deprecated)]
 pub use sink::LimitSink;
 pub use sink::{CollectingSink, CountingSink, PathBuffer, PathSink, SearchControl};

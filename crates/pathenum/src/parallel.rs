@@ -26,7 +26,7 @@
 //! limit/deadline/cancellation state — through the existing
 //! [`PathSink::probe`] stride, so `limit(n)` never over-delivers even
 //! when every worker emits concurrently, and a fired
-//! [`CancelToken`](crate::request::CancelToken) or expired deadline
+//! [`CancelToken`] or expired deadline
 //! stops the whole pool within a bounded number of search steps.
 //!
 //! Callers normally reach this module through
@@ -68,7 +68,7 @@
 //! search immediately, as before). Put the cut-off in the request —
 //! [`limit`](crate::request::QueryRequest::limit),
 //! [`time_budget`](crate::request::QueryRequest::time_budget), or a
-//! [`CancelToken`](crate::request::CancelToken) — and the shared budget
+//! [`CancelToken`] — and the shared budget
 //! bounds both the buffering and the search across all workers.
 
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -119,19 +119,36 @@ pub fn resolve_threads(requested: usize) -> usize {
     }
 }
 
+/// Splits one thread budget between inter-query workers and intra-query
+/// fan-out: with `in_flight` queries concurrently active out of a total
+/// budget of `budget` threads, each query may use `budget / in_flight`
+/// (at least 1) intra-query threads.
+///
+/// This is how the [`service`](crate::service) layer reuses one pool
+/// budget for both levels of parallelism: a full batch saturates the
+/// budget with concurrent queries (each sequential inside), a batch
+/// smaller than the budget hands the leftover threads to each query's
+/// intra-query pool. The split is deterministic — it depends only on the
+/// two arguments, never on runtime timing — so the effective
+/// [`PhysicalPlan::threads`](crate::plan::PhysicalPlan::threads) of a
+/// batch request is reproducible.
+pub fn intra_budget(budget: usize, in_flight: usize) -> usize {
+    (budget.max(1) / in_flight.max(1)).max(1)
+}
+
 /// The one stopping-rule state every worker of a parallel run observes:
 /// an atomic result budget plus the deadline and cancellation rules of
 /// the request.
 ///
-/// * the **limit** is enforced by slot reservation ([`try_admit`]
-///   (SharedControl::try_admit)): each emission atomically reserves one
+/// * the **limit** is enforced by slot reservation
+///   ([`try_admit`](SharedControl::try_admit)): each emission atomically reserves one
 ///   of the `limit` slots, so the pool as a whole never over-delivers no
 ///   matter how many workers emit concurrently;
 /// * **deadline** and **cancellation** are polled through the
 ///   [`PathSink::probe`] stride, so even barren partitions that emit
 ///   nothing observe them;
-/// * the first rule to fire wins ([`termination`]
-///   (SharedControl::termination) reports it) and raises a stop flag
+/// * the first rule to fire wins
+///   ([`termination`](SharedControl::termination) reports it) and raises a stop flag
 ///   every worker sees on its next probe or emission.
 ///
 /// All flags use relaxed atomics: result buffers are published by the
@@ -835,5 +852,14 @@ mod tests {
     fn resolve_threads_maps_zero_to_available_parallelism() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn intra_budget_splits_without_starving() {
+        assert_eq!(intra_budget(8, 8), 1);
+        assert_eq!(intra_budget(8, 2), 4);
+        assert_eq!(intra_budget(8, 3), 2);
+        assert_eq!(intra_budget(2, 8), 1, "never below one thread");
+        assert_eq!(intra_budget(0, 0), 1, "degenerate inputs are sane");
     }
 }

@@ -15,13 +15,13 @@
 //!   request: build index → preliminary estimate → (maybe) full estimate
 //!   + join-order optimization (Figure 2's front half).
 //! * [`Executor`] — interprets any plan against any
-//!   [`PathSink`](crate::sink::PathSink) (Figure 2's back half),
+//!   [`PathSink`] (Figure 2's back half),
 //!   sequentially or through the intra-query pool when the plan carries
 //!   `threads > 1`.
 //! * [`PlanCache`] — an LRU over `(s, t, k, constraint fingerprint,
 //!   forced method, tau)` holding the plan *and* its built index,
 //!   invalidated by the serving graph's
-//!   [`GraphVersion`](pathenum_graph::GraphVersion) epoch. Real request
+//!   [`GraphVersion`] epoch. Real request
 //!   streams are heavily skewed; for a repeated query the dominant cost
 //!   the paper measures — the bidirectional boundary BFS of the index
 //!   build — is paid once and amortized across every warm hit.
@@ -50,6 +50,9 @@
 //! ```
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use pathenum_graph::types::Distance;
@@ -109,6 +112,11 @@ pub enum CacheOutcome {
     Miss,
     /// Served from a cached plan and index — no BFS, no index build.
     Hit,
+    /// The evaluation stopped before the cache was even consulted: a
+    /// pre-flight stopping rule (pre-cancelled token, zero time budget,
+    /// zero result limit) fired first. The request counts as *rejected*,
+    /// not served, and performs no cache lookup.
+    Skipped,
 }
 
 impl std::fmt::Display for CacheOutcome {
@@ -117,6 +125,7 @@ impl std::fmt::Display for CacheOutcome {
             CacheOutcome::Bypass => write!(f, "bypass"),
             CacheOutcome::Miss => write!(f, "miss"),
             CacheOutcome::Hit => write!(f, "hit"),
+            CacheOutcome::Skipped => write!(f, "skipped"),
         }
     }
 }
@@ -344,7 +353,7 @@ impl<'g, G: NeighborAccess> Planner<'g, G> {
             index_build: build_start.elapsed(),
             ..PhaseTimings::default()
         };
-        let threads = request.resolved_threads();
+        let threads = request.effective_threads();
         let plan = plan_on_index_inner(
             &index,
             config,
@@ -472,7 +481,7 @@ pub struct Executor;
 impl Executor {
     /// Runs an unconstrained plan sequentially, streaming into `sink`
     /// with no stopping rules. The public, minimal interpreter; the
-    /// engine uses [`Executor::run`] which adds constraints, stopping
+    /// engine uses the crate-internal `Executor::run`, which adds constraints, stopping
     /// rules, and the parallel pool.
     pub fn execute(index: &Index, plan: &PhysicalPlan, sink: &mut dyn PathSink) -> Counters {
         let mut counters = Counters::default();
@@ -766,7 +775,10 @@ impl IndexFootprint {
 struct CacheEntry {
     version: GraphVersion,
     plan: PhysicalPlan,
-    index: Index,
+    /// Shared so a concurrent cache ([`SharedPlanCache`]) can hand the
+    /// index to an executing worker without cloning the tables and
+    /// without holding its shard lock for the duration of the query.
+    index: Arc<Index>,
     last_used: u64,
     /// Reach footprint enabling surgical retention; `None` for entries
     /// stored by engines that do not track deltas (plain snapshots).
@@ -832,7 +844,7 @@ pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
 ///
 /// A lookup whose stored version differs from the serving graph's
 /// current version discards the entry (counted as an invalidation): a
-/// [`DynamicGraph`](pathenum_graph::DynamicGraph) mutation advances the
+/// [`DynamicGraph`] mutation advances the
 /// epoch, so snapshots taken after a mutation can never be served stale
 /// plans, while snapshots of an unmutated overlay keep hitting.
 ///
@@ -898,7 +910,7 @@ impl PlanCache {
         &mut self,
         key: &PlanKey,
         version: GraphVersion,
-    ) -> Option<(&PhysicalPlan, &Index)> {
+    ) -> Option<(&PhysicalPlan, &Arc<Index>)> {
         // Entry API: one hash probe whether the lookup hits, invalidates,
         // or misses.
         match self.entries.entry(*key) {
@@ -966,7 +978,7 @@ impl PlanCache {
             CacheEntry {
                 version,
                 plan,
-                index,
+                index: Arc::new(index),
                 last_used: self.clock,
                 footprint,
                 src_touched: false,
@@ -989,7 +1001,7 @@ impl PlanCache {
         &mut self,
         key: &PlanKey,
         graph: &DynamicGraph,
-    ) -> Option<(&PhysicalPlan, &Index)> {
+    ) -> Option<(&PhysicalPlan, &Arc<Index>)> {
         let version = graph.version();
         enum Outcome {
             Absent,
@@ -1031,6 +1043,253 @@ impl PlanCache {
                 Some((&entry.plan, &entry.index))
             }
         }
+    }
+}
+
+/// Aggregate statistics of a [`SharedPlanCache`], read without locking.
+///
+/// Unlike [`PlanCacheStats`], lookups that never reached the cache are
+/// counted too ([`bypasses`](SharedCacheStats::bypasses)), and
+/// [`lookups`](SharedCacheStats::lookups) is maintained as its *own*
+/// atomic counter — so `hits + misses + bypasses == lookups` is a real
+/// cross-thread consistency invariant, not an identity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Cache consultations plus bypasses (one per evaluated request).
+    pub lookups: u64,
+    /// Lookups served from a shard.
+    pub hits: u64,
+    /// Lookups that found nothing usable (including invalidations).
+    pub misses: u64,
+    /// Requests that never consulted the cache (uncacheable constraint,
+    /// `bypass_cache`, or capacity 0).
+    pub bypasses: u64,
+    /// Entries discarded because the graph version moved on.
+    pub invalidations: u64,
+    /// Entries discarded to make room (per-shard LRU).
+    pub evictions: u64,
+    /// Hits served across a graph mutation via surgical retention.
+    pub retained: u64,
+}
+
+impl SharedCacheStats {
+    /// Hit fraction over all lookups (bypasses included; 0 when nothing
+    /// was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// The stats accumulated since an earlier snapshot of the same cache.
+    pub fn since(&self, earlier: &SharedCacheStats) -> SharedCacheStats {
+        SharedCacheStats {
+            lookups: self.lookups - earlier.lookups,
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            bypasses: self.bypasses - earlier.bypasses,
+            invalidations: self.invalidations - earlier.invalidations,
+            evictions: self.evictions - earlier.evictions,
+            retained: self.retained - earlier.retained,
+        }
+    }
+}
+
+/// Default shard count of a [`SharedPlanCache`]: enough to keep lock
+/// contention negligible for realistic worker pools while keeping the
+/// per-shard LRU meaningful.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
+/// A concurrently readable plan/index cache: per-shard locking over
+/// [`PlanCache`], with aggregate statistics kept in atomics.
+///
+/// This is the cache behind
+/// [`PathEnumService`](crate::service::PathEnumService): many worker
+/// threads share one warm working set over one graph. Keys hash to a
+/// shard; each shard is an independent LRU [`PlanCache`] behind its own
+/// mutex, so two workers looking up different shards never contend, and
+/// a worker holding a hit *executes outside the lock* (entries hand out
+/// [`Arc<Index>`] clones — the shard lock covers only the map probe).
+///
+/// Statistics ([`stats`](Self::stats)) are atomics accumulated from the
+/// per-shard counters, plus service-level counters the per-engine cache
+/// has no use for: `bypasses` and an independently maintained `lookups`
+/// total satisfying `hits + misses + bypasses == lookups`.
+#[derive(Debug)]
+pub struct SharedPlanCache {
+    shards: Box<[Mutex<PlanCache>]>,
+    capacity: usize,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bypasses: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+    retained: AtomicU64,
+}
+
+impl Default for SharedPlanCache {
+    fn default() -> Self {
+        SharedPlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS)
+    }
+}
+
+impl SharedPlanCache {
+    /// A cache of `capacity` total entries spread over `shards` shards
+    /// (both clamped to sane minimums; capacity 0 disables caching).
+    /// Because every shard gets the same LRU window, the capacity is
+    /// rounded **up** to a multiple of the shard count —
+    /// [`capacity`](Self::capacity) reports the rounded, enforced value.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).min(capacity.max(1));
+        let per_shard = capacity.div_ceil(shards);
+        SharedPlanCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(PlanCache::new(if capacity == 0 { 0 } else { per_shard })))
+                .collect(),
+            capacity: per_shard * shards,
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            retained: AtomicU64::new(0),
+        }
+    }
+
+    /// Total entry capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current number of entries (sums the shards; takes each lock
+    /// briefly).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("no poisoned cache shard").len())
+            .sum()
+    }
+
+    /// Whether no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A consistent-enough snapshot of the aggregate statistics. Each
+    /// counter is read atomically; the set is not a single atomic
+    /// snapshot, but quiescent reads (no in-flight lookups) are exact.
+    pub fn stats(&self) -> SharedCacheStats {
+        SharedCacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            retained: self.retained.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every entry in every shard (statistics are kept).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().expect("no poisoned cache shard").clear();
+        }
+    }
+
+    fn shard_for(&self, key: &PlanKey) -> &Mutex<PlanCache> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Records a request that was evaluated without consulting the cache.
+    pub(crate) fn note_bypass(&self) {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.bypasses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Looks up a fresh entry, returning an owned plan and a shared
+    /// handle to its index; the shard lock is released before returning.
+    pub(crate) fn lookup(
+        &self,
+        key: &PlanKey,
+        version: GraphVersion,
+    ) -> Option<(PhysicalPlan, Arc<Index>)> {
+        let out;
+        let delta;
+        {
+            let mut shard = self.shard_for(key).lock().expect("no poisoned cache shard");
+            let before = shard.stats();
+            out = shard
+                .lookup(key, version)
+                .map(|(plan, index)| (*plan, Arc::clone(index)));
+            delta = diff_stats(shard.stats(), before);
+        }
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.accumulate(delta);
+        out
+    }
+
+    /// Stores a plan + index for `key` at `version` in its shard.
+    pub(crate) fn insert(
+        &self,
+        key: PlanKey,
+        version: GraphVersion,
+        plan: PhysicalPlan,
+        index: Index,
+    ) {
+        let delta;
+        {
+            let mut shard = self
+                .shard_for(&key)
+                .lock()
+                .expect("no poisoned cache shard");
+            let before = shard.stats();
+            shard.insert(key, version, plan, index);
+            delta = diff_stats(shard.stats(), before);
+        }
+        self.accumulate(delta);
+    }
+
+    fn accumulate(&self, delta: PlanCacheStats) {
+        // Touch only the counters that moved: stats reads stay cheap and
+        // the common path (a clean hit) is two atomic adds.
+        if delta.hits > 0 {
+            self.hits.fetch_add(delta.hits, Ordering::Relaxed);
+        }
+        if delta.misses > 0 {
+            self.misses.fetch_add(delta.misses, Ordering::Relaxed);
+        }
+        if delta.invalidations > 0 {
+            self.invalidations
+                .fetch_add(delta.invalidations, Ordering::Relaxed);
+        }
+        if delta.evictions > 0 {
+            self.evictions.fetch_add(delta.evictions, Ordering::Relaxed);
+        }
+        if delta.retained > 0 {
+            self.retained.fetch_add(delta.retained, Ordering::Relaxed);
+        }
+    }
+}
+
+fn diff_stats(after: PlanCacheStats, before: PlanCacheStats) -> PlanCacheStats {
+    PlanCacheStats {
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
+        invalidations: after.invalidations - before.invalidations,
+        evictions: after.evictions - before.evictions,
+        retained: after.retained - before.retained,
     }
 }
 
@@ -1188,5 +1447,103 @@ mod tests {
         cache.insert(key, v, plan, index);
         assert!(cache.is_empty());
         assert!(cache.lookup(&key, v).is_none());
+    }
+
+    fn shared_key(k: u32) -> PlanKey {
+        PlanKey {
+            s: S,
+            t: T,
+            k,
+            namespace: 0,
+            fingerprint: 0,
+            method: None,
+            tau: 100_000,
+        }
+    }
+
+    #[test]
+    fn shared_cache_counts_consistently() {
+        let g = figure1_graph();
+        let (plan, index) = plan_for(&g, 4);
+        let v = g.version();
+        let cache = SharedPlanCache::new(8, 4);
+        assert!(cache.lookup(&shared_key(4), v).is_none());
+        cache.insert(shared_key(4), v, plan, index.clone());
+        assert!(cache.lookup(&shared_key(4), v).is_some());
+        cache.note_bypass();
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.bypasses, 1);
+        assert_eq!(stats.lookups, 3);
+        assert_eq!(stats.hits + stats.misses + stats.bypasses, stats.lookups);
+        assert_eq!(cache.len(), 1);
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_cache_invalidates_by_version_and_diffs_snapshots() {
+        let g = figure1_graph();
+        let (plan, index) = plan_for(&g, 4);
+        let cache = SharedPlanCache::new(8, 2);
+        let v1 = g.version();
+        cache.insert(shared_key(4), v1, plan, index);
+        let before = cache.stats();
+        let v2 = GraphVersion::next();
+        assert!(cache.lookup(&shared_key(4), v2).is_none());
+        let delta = cache.stats().since(&before);
+        assert_eq!(delta.invalidations, 1);
+        assert_eq!(delta.misses, 1);
+        assert_eq!(delta.lookups, 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shared_cache_is_safe_under_concurrent_lookups() {
+        let g = figure1_graph();
+        let (plan, index) = plan_for(&g, 4);
+        let v = g.version();
+        let cache = SharedPlanCache::new(32, 4);
+        for k in 2..6u32 {
+            cache.insert(shared_key(k), v, plan, index.clone());
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for round in 0..50u32 {
+                        let k = 2 + (round % 4);
+                        let (plan, idx) = cache.lookup(&shared_key(k), v).expect("entry present");
+                        // Every hit hands out the same shared index.
+                        assert_eq!(plan.query.k, idx.query().k);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 4 * 50);
+        assert_eq!(stats.hits + stats.misses + stats.bypasses, stats.lookups);
+    }
+
+    #[test]
+    fn shared_cache_capacity_reports_the_enforced_rounding() {
+        // 10 entries over 8 shards rounds up to 2 per shard; the
+        // reported capacity is the enforced 16, not the requested 10.
+        let cache = SharedPlanCache::new(10, 8);
+        assert_eq!(cache.num_shards(), 8);
+        assert_eq!(cache.capacity(), 16);
+        // Exact divisions are unchanged.
+        assert_eq!(SharedPlanCache::new(8, 4).capacity(), 8);
+        assert_eq!(SharedPlanCache::new(0, 4).capacity(), 0);
+    }
+
+    #[test]
+    fn shared_cache_zero_capacity_disables_storage() {
+        let g = figure1_graph();
+        let (plan, index) = plan_for(&g, 4);
+        let cache = SharedPlanCache::new(0, 4);
+        cache.insert(shared_key(4), g.version(), plan, index);
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 0);
     }
 }

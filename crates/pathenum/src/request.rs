@@ -19,11 +19,12 @@
 //!   silent;
 //! * [`PathStream`] — a pull-based iterator over results (built on the
 //!   suspended-frame DFS of [`crate::enumerate::dfs_iterative`]) for
-//!   callers that want paths lazily without writing a
-//!   [`PathSink`](crate::sink::PathSink).
+//!   callers that want paths lazily without writing a [`PathSink`].
 //!
-//! Evaluate a request with [`QueryEngine::execute`],
-//! [`QueryEngine::execute_into`], or [`QueryEngine::stream`]
+//! Evaluate a request with
+//! [`QueryEngine::execute`](crate::QueryEngine::execute),
+//! [`QueryEngine::execute_into`](crate::QueryEngine::execute_into), or
+//! [`QueryEngine::stream`](crate::QueryEngine::stream)
 //! (see [`crate::engine`]).
 //!
 //! ```
@@ -77,6 +78,13 @@ pub enum PathEnumError {
         /// The constraint whose setter detected the conflict.
         second: &'static str,
     },
+    /// The evaluation panicked mid-query (a user-supplied constraint
+    /// closure, or a bug). Only returned by the
+    /// [`service`](crate::service) worker pool, which isolates the
+    /// panic so the worker survives and every issued
+    /// [`Ticket`](crate::service::Ticket) still resolves; direct
+    /// (`execute`) callers observe the panic itself.
+    EvaluationPanicked,
 }
 
 impl std::fmt::Display for PathEnumError {
@@ -99,6 +107,9 @@ impl std::fmt::Display for PathEnumError {
                     f,
                     "request already has a {first} constraint; cannot also set {second}"
                 )
+            }
+            PathEnumError::EvaluationPanicked => {
+                write!(f, "evaluation panicked mid-query; no result was produced")
             }
         }
     }
@@ -222,17 +233,21 @@ where
 }
 
 /// The constraint attached to a request, if any.
+///
+/// Constraint closures are `Send + Sync` so a whole [`QueryRequest`] can
+/// cross (and be shared across) threads — the contract the concurrent
+/// [`service`](crate::service) layer is built on.
 pub(crate) enum ConstraintSpec<'a> {
     /// Plain HcPE.
     None,
     /// Every edge must satisfy the predicate (Appendix E).
-    Predicate(Box<dyn Fn(VertexId, VertexId) -> bool + 'a>),
+    Predicate(Box<dyn Fn(VertexId, VertexId) -> bool + Send + Sync + 'a>),
     /// An accumulated edge value must pass a final check (Algorithm 7).
-    Accumulative(Box<dyn DynAccumulative + 'a>),
+    Accumulative(Box<dyn DynAccumulative + Send + Sync + 'a>),
     /// The edge-label sequence must be accepted by a DFA (Algorithm 8).
     Automaton {
         automaton: Automaton,
-        label_of: Box<dyn Fn(VertexId, VertexId) -> LabelId + 'a>,
+        label_of: Box<dyn Fn(VertexId, VertexId) -> LabelId + Send + Sync + 'a>,
     },
 }
 
@@ -422,7 +437,10 @@ impl<'a> QueryRequest<'a> {
     /// ([`predicate`](Self::predicate), [`accumulative`](Self::accumulative),
     /// [`automaton`](Self::automaton)) and
     /// [`stream`](crate::QueryEngine::stream) evaluation currently run
-    /// sequentially regardless of this setting.
+    /// sequentially regardless of this setting; the downgrade is *not*
+    /// silent — [`effective_threads`](Self::effective_threads) and the
+    /// `threads` field of the plan returned by `explain`/`execute`
+    /// report the count actually used (`1` in those paths).
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n;
         self
@@ -481,7 +499,7 @@ impl<'a> QueryRequest<'a> {
     /// constraints.
     pub fn predicate<F>(mut self, predicate: F) -> Self
     where
-        F: Fn(VertexId, VertexId) -> bool + 'a,
+        F: Fn(VertexId, VertexId) -> bool + Send + Sync + 'a,
     {
         self.record_constraint("predicate");
         self.constraint = ConstraintSpec::Predicate(Box::new(predicate));
@@ -493,9 +511,9 @@ impl<'a> QueryRequest<'a> {
     /// other constraints.
     pub fn accumulative<V, W, C>(mut self, query: AccumulativeQuery<V, W, C>) -> Self
     where
-        V: Copy + 'a,
-        W: Fn(VertexId, VertexId) -> V + 'a,
-        C: Fn(&V) -> bool + 'a,
+        V: Copy + Send + Sync + 'a,
+        W: Fn(VertexId, VertexId) -> V + Send + Sync + 'a,
+        C: Fn(&V) -> bool + Send + Sync + 'a,
     {
         self.record_constraint("accumulative");
         self.constraint = ConstraintSpec::Accumulative(Box::new(query));
@@ -507,7 +525,7 @@ impl<'a> QueryRequest<'a> {
     /// other constraints.
     pub fn automaton<L>(mut self, automaton: Automaton, label_of: L) -> Self
     where
-        L: Fn(VertexId, VertexId) -> LabelId + 'a,
+        L: Fn(VertexId, VertexId) -> LabelId + Send + Sync + 'a,
     {
         self.record_constraint("automaton");
         self.constraint = ConstraintSpec::Automaton {
@@ -517,9 +535,26 @@ impl<'a> QueryRequest<'a> {
         self
     }
 
-    /// The intra-query parallelism degree this request executes with
-    /// (constrained requests and streams stay sequential for now).
-    pub(crate) fn resolved_threads(&self) -> usize {
+    /// The intra-query parallelism degree this request *actually*
+    /// executes with — the requested [`threads`](Self::threads) after
+    /// every downgrade is applied:
+    ///
+    /// * `0` resolves to one worker per available core;
+    /// * requests carrying a constraint ([`predicate`](Self::predicate),
+    ///   [`accumulative`](Self::accumulative),
+    ///   [`automaton`](Self::automaton)) run sequentially (`1`), whatever
+    ///   was requested — the constrained executors are single-threaded;
+    /// * [`stream`](crate::QueryEngine::stream) evaluation is always
+    ///   sequential (a pull-based stream advances only on the consumer's
+    ///   thread), independent of this value.
+    ///
+    /// [`PhysicalPlan::threads`](crate::plan::PhysicalPlan::threads) —
+    /// as returned by `explain` and in `QueryResponse::plan` — reports
+    /// this effective count, never the raw requested one, so a silent
+    /// downgrade is visible in the plan. The
+    /// [`service`](crate::service) layer may clamp it further to share
+    /// one thread budget between concurrent queries.
+    pub fn effective_threads(&self) -> usize {
         if matches!(self.constraint, ConstraintSpec::None) {
             crate::parallel::resolve_threads(self.threads)
         } else {
@@ -569,7 +604,12 @@ impl QueryResponse {
 
     pub(crate) fn empty(termination: Termination) -> Self {
         QueryResponse {
-            report: RunReport::default(),
+            report: RunReport {
+                // Pre-flight stops never consult the cache; the response
+                // says so instead of masquerading as a bypass.
+                cache: crate::plan::CacheOutcome::Skipped,
+                ..RunReport::default()
+            },
             termination,
             paths: Vec::new(),
             plan: None,
@@ -1152,6 +1192,7 @@ mod tests {
                 first: "predicate",
                 second: "automaton",
             },
+            PathEnumError::EvaluationPanicked,
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -1,0 +1,840 @@
+//! The concurrent serving layer: one graph, one plan cache, many
+//! threads.
+//!
+//! The per-thread [`QueryEngine`](crate::QueryEngine) is `&mut self`
+//! with a private [`PlanCache`](crate::plan::PlanCache): two concurrent
+//! requests cannot share a graph, an index, or a warm plan.
+//! [`PathEnumService`] is the `Send + Sync` front end the paper's
+//! serving scenario (heavy skewed traffic against one in-memory graph)
+//! actually needs:
+//!
+//! * the graph is owned as an `Arc<CsrGraph>` and borrowed by every
+//!   worker — no copies, no per-worker state;
+//! * the plan/index cache is a [`SharedPlanCache`]: per-shard locking
+//!   over the existing LRU [`PlanCache`](crate::plan::PlanCache),
+//!   hit/miss/bypass statistics in
+//!   atomics, entries handed out as `Arc<Index>` clones so a worker
+//!   *executes outside the shard lock*. A query planned by one worker
+//!   warms every other worker;
+//! * build scratch (the `O(|V|)` BFS buffers) is thread-local — each OS
+//!   thread that ever plans keeps its own
+//!   [`BuildScratch`], reused across
+//!   queries exactly as an engine would;
+//! * a **fixed worker pool** provides inter-query parallelism:
+//!   [`submit`](PathEnumService::submit) returns a [`Ticket`],
+//!   [`execute_batch`](PathEnumService::execute_batch) fans a batch out
+//!   and returns results in input order, and
+//!   [`serve`](PathEnumService::serve) runs a closed-loop measured
+//!   replay. All three honor the existing per-request deadline /
+//!   cancellation / limit machinery.
+//!
+//! # Determinism
+//!
+//! Per-request output is *identical* to what a sequential
+//! `QueryEngine` produces for the same request on the same graph —
+//! planning is deterministic, cached plans equal cold plans, and the
+//! enumerators emit a canonical order. `execute_batch` returns results
+//! in input order, so the whole batch is byte-for-byte reproducible for
+//! every worker count (only the [`CacheOutcome`] tag of individual
+//! responses may differ run-to-run, since which racing worker plans a
+//! shared query first is timing-dependent).
+//!
+//! # Thread budget
+//!
+//! `workers` (see [`ServiceConfig`]) is *one* budget shared by
+//! inter-query workers and intra-query fan-out, split deterministically
+//! by [`intra_budget`]: a batch of `>=
+//! workers` requests runs each request sequentially inside; a smaller
+//! batch hands the leftover threads to each request's intra-query pool.
+//! [`QueryResponse::plan`] reports the clamped, effective thread count.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pathenum::service::{PathEnumService, ServiceConfig};
+//! use pathenum::{PathEnumConfig, QueryRequest};
+//! use pathenum_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edges([(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap();
+//! let graph = Arc::new(b.finish());
+//!
+//! let service = PathEnumService::new(Arc::clone(&graph), PathEnumConfig::default());
+//! // Direct execution from any thread (&self, not &mut self):
+//! let response = service.execute(&QueryRequest::paths(0, 3).max_hops(3)).unwrap();
+//! assert_eq!(response.num_results(), 2);
+//! // Batched execution over the worker pool, results in input order:
+//! let batch = vec![
+//!     QueryRequest::paths(0, 3).max_hops(3),
+//!     QueryRequest::paths(0, 3).max_hops(2),
+//! ];
+//! let responses = service.execute_batch(batch);
+//! assert_eq!(responses[0].as_ref().unwrap().num_results(), 2);
+//! assert_eq!(responses[1].as_ref().unwrap().num_results(), 2);
+//! assert!(service.cache_stats().hits >= 1, "the direct call warmed the pool");
+//! ```
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pathenum_graph::CsrGraph;
+
+use crate::engine::{execute_collecting, execute_on_plan, preflight_stop};
+use crate::index::BuildScratch;
+use crate::optimizer::PathEnumConfig;
+use crate::parallel::{intra_budget, resolve_threads};
+use crate::plan::{
+    effective_config, CacheOutcome, PlanKey, SharedCacheStats, SharedPlanCache,
+    DEFAULT_CACHE_SHARDS, DEFAULT_PLAN_CACHE_CAPACITY,
+};
+use crate::request::{PathEnumError, QueryRequest, QueryResponse};
+use crate::sink::PathSink;
+use crate::stats::PhaseTimings;
+
+thread_local! {
+    /// Per-OS-thread build scratch: any thread that plans through the
+    /// service (a pool worker, or a caller of [`PathEnumService::execute`])
+    /// reuses its own BFS/id-mapping buffers across queries, exactly as
+    /// a dedicated engine would.
+    static BUILD_SCRATCH: RefCell<BuildScratch> = RefCell::new(BuildScratch::default());
+}
+
+/// Sizing knobs of a [`PathEnumService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Fixed worker-pool size — the service's total thread budget,
+    /// shared between inter-query workers and intra-query fan-out.
+    /// `0` (the default) resolves to one worker per available core.
+    pub workers: usize,
+    /// Total plan/index cache capacity across all shards, rounded up to
+    /// a multiple of `cache_shards`; `0` disables caching (every
+    /// request plans from scratch).
+    pub cache_capacity: usize,
+    /// Number of independent cache shards (clamped to at least 1 and at
+    /// most the capacity). More shards, less lock contention, smaller
+    /// per-shard LRU windows.
+    pub cache_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            cache_shards: DEFAULT_CACHE_SHARDS,
+        }
+    }
+}
+
+/// What the service shares with every worker thread.
+struct ServiceCore {
+    graph: Arc<CsrGraph>,
+    config: PathEnumConfig,
+    cache: SharedPlanCache,
+    /// Resolved worker-pool size (the thread budget).
+    workers: usize,
+    queries_served: AtomicU64,
+    queries_rejected: AtomicU64,
+}
+
+impl ServiceCore {
+    /// The cache key for a request, or `None` when it is not cacheable.
+    fn plan_key(&self, request: &QueryRequest<'_>) -> Option<PlanKey> {
+        if request.bypass_cache || self.cache.capacity() == 0 {
+            return None;
+        }
+        PlanKey::for_request(request, effective_config(self.config, request))
+    }
+
+    /// The shared-state equivalent of `QueryEngine::execute_into`:
+    /// borrow the graph, consult the sharded cache, plan with
+    /// thread-local scratch, execute via [`execute_on_plan`]. `intra_cap`
+    /// bounds the request's intra-query threads (budget sharing).
+    fn execute_into(
+        &self,
+        request: &QueryRequest<'_>,
+        sink: &mut dyn PathSink,
+        intra_cap: usize,
+    ) -> Result<QueryResponse, PathEnumError> {
+        let query = request.validate(self.graph.num_vertices())?;
+
+        let deadline = request.time_budget.map(|b| Instant::now() + b);
+        if let Some(stopped) = preflight_stop(request, deadline) {
+            self.queries_rejected.fetch_add(1, Ordering::Relaxed);
+            return Ok(stopped);
+        }
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
+
+        let threads = request.effective_threads().min(intra_cap.max(1));
+        let key = self.plan_key(request);
+        let version = self.graph.version();
+
+        // Warm path: the shard lock covers only the probe; the worker
+        // executes on an `Arc<Index>` clone after releasing it.
+        let lookup_start = Instant::now();
+        match key {
+            Some(key) => {
+                if let Some((mut plan, index)) = self.cache.lookup(&key, version) {
+                    plan.constraint = request.constraint.kind();
+                    plan.threads = threads;
+                    let timings = PhaseTimings {
+                        cache_lookup: lookup_start.elapsed(),
+                        ..PhaseTimings::default()
+                    };
+                    return Ok(execute_on_plan(
+                        &index,
+                        plan,
+                        request,
+                        deadline,
+                        sink,
+                        timings,
+                        CacheOutcome::Hit,
+                    ));
+                }
+            }
+            None => self.cache.note_bypass(),
+        }
+
+        // Cold path: plan with this thread's scratch, execute, publish.
+        // Racing workers may plan the same query concurrently; planning
+        // is deterministic, so whichever insert lands last is identical.
+        let planner = crate::plan::Planner::new(self.graph.as_ref(), self.config);
+        let (mut planned, timings) = BUILD_SCRATCH
+            .with(|scratch| planner.plan_query(query, request, &mut scratch.borrow_mut()));
+        planned.plan.threads = threads;
+        let outcome = if key.is_some() {
+            CacheOutcome::Miss
+        } else {
+            CacheOutcome::Bypass
+        };
+        let response = execute_on_plan(
+            &planned.index,
+            planned.plan,
+            request,
+            deadline,
+            sink,
+            timings,
+            outcome,
+        );
+        if let Some(key) = key {
+            self.cache.insert(key, version, planned.plan, planned.index);
+        }
+        Ok(response)
+    }
+
+    fn execute(
+        &self,
+        request: &QueryRequest<'_>,
+        intra_cap: usize,
+    ) -> Result<QueryResponse, PathEnumError> {
+        execute_collecting(request.collect, |sink| {
+            self.execute_into(request, sink, intra_cap)
+        })
+    }
+}
+
+/// One unit of pool work: an owned request plus the slot its outcome is
+/// published to.
+struct PoolJob {
+    request: QueryRequest<'static>,
+    intra_cap: usize,
+    ticket: Arc<TicketState>,
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<PoolJob>>,
+    job_ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+#[derive(Default)]
+struct TicketState {
+    slot: Mutex<Option<TicketOutcome>>,
+    ready: Condvar,
+}
+
+impl TicketState {
+    fn publish(&self, outcome: TicketOutcome) {
+        let mut slot = self.slot.lock().expect("ticket slot is never poisoned");
+        *slot = Some(outcome);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> TicketOutcome {
+        let mut slot = self.slot.lock().expect("ticket slot is never poisoned");
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self
+                .ready
+                .wait(slot)
+                .expect("ticket slot is never poisoned");
+        }
+    }
+}
+
+/// Everything known about one completed pool request: the response plus
+/// the wall-clock interval the worker spent on it (queueing excluded —
+/// `started` is when a worker picked the job up).
+#[derive(Debug)]
+pub struct TicketOutcome {
+    /// The request's result, exactly as `QueryEngine::execute` would
+    /// have produced it.
+    pub response: Result<QueryResponse, PathEnumError>,
+    /// When a pool worker began evaluating the request.
+    pub started: Instant,
+    /// When the evaluation finished.
+    pub finished: Instant,
+}
+
+impl TicketOutcome {
+    /// Service time: `finished - started`.
+    pub fn latency(&self) -> Duration {
+        self.finished.duration_since(self.started)
+    }
+}
+
+/// A handle to one request submitted to the pool via
+/// [`PathEnumService::submit`]. Dropping the ticket abandons the result
+/// (the request still runs to completion under its own stopping rules —
+/// attach a [`CancelToken`](crate::request::CancelToken) to revoke it).
+#[derive(Debug)]
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl std::fmt::Debug for TicketState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TicketState").finish_non_exhaustive()
+    }
+}
+
+impl Ticket {
+    /// Whether the result is available (`wait` would not block).
+    pub fn is_done(&self) -> bool {
+        self.state
+            .slot
+            .lock()
+            .expect("ticket slot is never poisoned")
+            .is_some()
+    }
+
+    /// Blocks until the request completes and returns its response.
+    pub fn wait(self) -> Result<QueryResponse, PathEnumError> {
+        self.state.wait().response
+    }
+
+    /// Blocks until the request completes and returns the response with
+    /// its timing envelope.
+    pub fn wait_outcome(self) -> TicketOutcome {
+        self.state.wait()
+    }
+}
+
+/// Aggregate of one [`serve`](PathEnumService::serve) replay.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Per-request responses, in input order.
+    pub responses: Vec<Result<QueryResponse, PathEnumError>>,
+    /// Per-request service latencies (worker pickup to completion), in
+    /// input order.
+    pub latencies: Vec<Duration>,
+    /// Wall-clock time of the whole replay.
+    pub wall: Duration,
+    /// Shared-cache statistics accumulated *by this replay* (a delta,
+    /// not the service's lifetime counters).
+    pub cache: SharedCacheStats,
+}
+
+impl ServeReport {
+    /// Total results across every successful response.
+    pub fn total_results(&self) -> u64 {
+        self.responses
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(QueryResponse::num_results)
+            .sum()
+    }
+
+    /// Requests completed per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        self.responses.len() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// A `Send + Sync` HcPE serving layer: one shared graph, one shared
+/// sharded plan cache, a fixed worker pool. See the [module docs](self).
+#[derive(Debug)]
+pub struct PathEnumService {
+    core: Arc<ServiceCore>,
+    pool: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServiceCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceCore")
+            .field("workers", &self.workers)
+            .field("cache_capacity", &self.cache.capacity())
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for PoolShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolShared").finish_non_exhaustive()
+    }
+}
+
+impl PathEnumService {
+    /// A service over `graph` with the default [`ServiceConfig`]
+    /// (per-core worker pool, default-capacity sharded cache).
+    pub fn new(graph: Arc<CsrGraph>, config: PathEnumConfig) -> Self {
+        PathEnumService::with_config(graph, config, ServiceConfig::default())
+    }
+
+    /// A service with explicit pool and cache sizing.
+    pub fn with_config(
+        graph: Arc<CsrGraph>,
+        config: PathEnumConfig,
+        service: ServiceConfig,
+    ) -> Self {
+        let workers = resolve_threads(service.workers);
+        let core = Arc::new(ServiceCore {
+            graph,
+            config,
+            cache: SharedPlanCache::new(service.cache_capacity, service.cache_shards),
+            workers,
+            queries_served: AtomicU64::new(0),
+            queries_rejected: AtomicU64::new(0),
+        });
+        let pool = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                let pool = Arc::clone(&pool);
+                std::thread::Builder::new()
+                    .name(format!("pathenum-worker-{i}"))
+                    .spawn(move || worker_loop(&core, &pool))
+                    .expect("worker threads spawn")
+            })
+            .collect();
+        PathEnumService {
+            core,
+            pool,
+            handles,
+        }
+    }
+
+    /// The graph this service serves.
+    pub fn graph(&self) -> &Arc<CsrGraph> {
+        &self.core.graph
+    }
+
+    /// Resolved worker-pool size (the service's thread budget).
+    pub fn workers(&self) -> usize {
+        self.core.workers
+    }
+
+    /// Requests evaluated so far, across all threads. Pre-flight-stopped
+    /// requests are counted in [`queries_rejected`](Self::queries_rejected)
+    /// instead.
+    pub fn queries_served(&self) -> u64 {
+        self.core.queries_served.load(Ordering::Relaxed)
+    }
+
+    /// Requests short-circuited by a pre-flight stopping rule before any
+    /// evaluation (they perform no cache lookup and their responses read
+    /// [`CacheOutcome::Skipped`]).
+    pub fn queries_rejected(&self) -> u64 {
+        self.core.queries_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime statistics of the shared plan cache.
+    pub fn cache_stats(&self) -> SharedCacheStats {
+        self.core.cache.stats()
+    }
+
+    /// Entries currently cached across all shards.
+    pub fn cache_len(&self) -> usize {
+        self.core.cache.len()
+    }
+
+    /// Drops every cached plan (statistics are kept).
+    pub fn clear_cache(&self) {
+        self.core.cache.clear();
+    }
+
+    /// Evaluates one request on the *calling* thread, sharing the cache
+    /// with the pool. Takes `&self`: any number of threads may call this
+    /// concurrently. The request may use up to the whole thread budget
+    /// for intra-query parallelism.
+    pub fn execute(&self, request: &QueryRequest<'_>) -> Result<QueryResponse, PathEnumError> {
+        self.core.execute(request, self.core.workers)
+    }
+
+    /// As [`execute`](Self::execute), streaming result paths into `sink`.
+    pub fn execute_into(
+        &self,
+        request: &QueryRequest<'_>,
+        sink: &mut dyn PathSink,
+    ) -> Result<QueryResponse, PathEnumError> {
+        self.core.execute_into(request, sink, self.core.workers)
+    }
+
+    /// Submits one request to the worker pool, returning immediately
+    /// with a [`Ticket`] for the result. Submitted requests run with
+    /// intra-query parallelism 1 (the pool is presumed busy with other
+    /// queries); use [`execute`](Self::execute) or a small
+    /// [`execute_batch`](Self::execute_batch) when one heavy query
+    /// should fan out instead.
+    pub fn submit(&self, request: QueryRequest<'static>) -> Ticket {
+        self.submit_with_cap(request, 1)
+    }
+
+    fn submit_with_cap(&self, request: QueryRequest<'static>, intra_cap: usize) -> Ticket {
+        let state = Arc::new(TicketState::default());
+        {
+            let mut queue = self.pool.queue.lock().expect("pool queue is not poisoned");
+            queue.push_back(PoolJob {
+                request,
+                intra_cap,
+                ticket: Arc::clone(&state),
+            });
+        }
+        self.pool.job_ready.notify_one();
+        Ticket { state }
+    }
+
+    /// Evaluates a batch over the worker pool, returning responses **in
+    /// input order** regardless of completion order. The thread budget
+    /// is split deterministically: with `B = min(batch, workers)`
+    /// requests in flight, each request may use `workers / B` intra-query
+    /// threads.
+    pub fn execute_batch(
+        &self,
+        requests: Vec<QueryRequest<'static>>,
+    ) -> Vec<Result<QueryResponse, PathEnumError>> {
+        self.dispatch_batch(requests)
+            .into_iter()
+            .map(Ticket::wait)
+            .collect()
+    }
+
+    /// Closed-loop measured replay: the whole batch is queued at once,
+    /// the pool keeps exactly `workers` requests in flight (each next
+    /// request dispatched the moment a worker frees up), and the report
+    /// carries input-order responses, per-request service latencies, the
+    /// batch wall-clock, and the cache-statistics delta the replay
+    /// generated.
+    pub fn serve(&self, requests: Vec<QueryRequest<'static>>) -> ServeReport {
+        let stats_before = self.core.cache.stats();
+        let wall_start = Instant::now();
+        let outcomes: Vec<TicketOutcome> = self
+            .dispatch_batch(requests)
+            .into_iter()
+            .map(Ticket::wait_outcome)
+            .collect();
+        let wall = wall_start.elapsed();
+        let mut responses = Vec::with_capacity(outcomes.len());
+        let mut latencies = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            latencies.push(outcome.latency());
+            responses.push(outcome.response);
+        }
+        ServeReport {
+            responses,
+            latencies,
+            wall,
+            cache: self.core.cache.stats().since(&stats_before),
+        }
+    }
+
+    fn dispatch_batch(&self, requests: Vec<QueryRequest<'static>>) -> Vec<Ticket> {
+        let in_flight = requests.len().min(self.core.workers).max(1);
+        let cap = intra_budget(self.core.workers, in_flight);
+        requests
+            .into_iter()
+            .map(|request| self.submit_with_cap(request, cap))
+            .collect()
+    }
+}
+
+impl Drop for PathEnumService {
+    fn drop(&mut self) {
+        {
+            // The store must happen under the queue mutex: a worker that
+            // has found the queue empty and read `shutdown == false`
+            // still holds the lock until `wait()` parks it, so storing
+            // here cannot slip into that window — the classic condvar
+            // lost-wakeup race.
+            let _queue = self.pool.queue.lock().expect("pool queue is not poisoned");
+            self.pool.shutdown.store(true, Ordering::Relaxed);
+        }
+        self.pool.job_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A pool worker: drain the queue (draining continues after shutdown so
+/// every issued [`Ticket`] resolves), park on the condvar when idle.
+fn worker_loop(core: &ServiceCore, pool: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = pool.queue.lock().expect("pool queue is not poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if pool.shutdown.load(Ordering::Relaxed) {
+                    break None;
+                }
+                queue = pool
+                    .job_ready
+                    .wait(queue)
+                    .expect("pool queue is not poisoned");
+            }
+        };
+        let Some(job) = job else {
+            return;
+        };
+        let started = Instant::now();
+        // Isolate panics from user-supplied constraint closures (or our
+        // own bugs): an unwinding evaluation must neither strand the
+        // caller parked on its ticket nor cost the pool a worker.
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            core.execute(&job.request, job.intra_cap)
+        }))
+        .unwrap_or(Err(PathEnumError::EvaluationPanicked));
+        job.ticket.publish(TicketOutcome {
+            response,
+            started,
+            finished: Instant::now(),
+        });
+    }
+}
+
+/// Compile-time proof that the serving layer (and everything it ships
+/// across threads) is `Send + Sync` without a line of `unsafe`.
+#[allow(dead_code)]
+fn assert_thread_safe() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PathEnumService>();
+    assert_send_sync::<QueryRequest<'static>>();
+    assert_send_sync::<SharedPlanCache>();
+    assert_send_sync::<Ticket>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::QueryEngine;
+    use crate::request::{CancelToken, Termination};
+    use pathenum_graph::generators::{complete_digraph, erdos_renyi};
+
+    fn service_over(graph: &Arc<CsrGraph>, workers: usize) -> PathEnumService {
+        PathEnumService::with_config(
+            Arc::clone(graph),
+            PathEnumConfig::default(),
+            ServiceConfig {
+                workers,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn direct_execute_matches_engine() {
+        let graph = Arc::new(erdos_renyi(50, 300, 3));
+        let service = service_over(&graph, 2);
+        let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+        for t in 1..10u32 {
+            let request = || QueryRequest::paths(0, t).max_hops(4).collect_paths(true);
+            let from_service = service.execute(&request()).unwrap();
+            let from_engine = engine.execute(&request()).unwrap();
+            assert_eq!(from_service.paths, from_engine.paths, "t={t}");
+            assert_eq!(from_service.termination, from_engine.termination);
+        }
+        assert_eq!(service.queries_served(), 9);
+    }
+
+    #[test]
+    fn batch_returns_input_order_and_shares_the_cache() {
+        let graph = Arc::new(erdos_renyi(60, 380, 17));
+        let service = service_over(&graph, 4);
+        // A skewed batch: the same three targets, many times over.
+        let targets: Vec<u32> = (0..24).map(|i| 1 + (i % 3)).collect();
+        let requests: Vec<QueryRequest<'static>> = targets
+            .iter()
+            .map(|&t| QueryRequest::paths(0, t).max_hops(4).collect_paths(true))
+            .collect();
+        let responses = service.execute_batch(requests);
+        assert_eq!(responses.len(), targets.len());
+
+        let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+        for (&t, response) in targets.iter().zip(&responses) {
+            let response = response.as_ref().unwrap();
+            let expected = engine
+                .execute(&QueryRequest::paths(0, t).max_hops(4).collect_paths(true))
+                .unwrap();
+            assert_eq!(response.paths, expected.paths, "t={t}");
+        }
+        let stats = service.cache_stats();
+        assert!(stats.hits > 0, "24 requests over 3 shapes must share");
+        assert_eq!(stats.hits + stats.misses + stats.bypasses, stats.lookups);
+        assert_eq!(stats.lookups, 24);
+    }
+
+    #[test]
+    fn submit_tickets_resolve_and_report_latency() {
+        let graph = Arc::new(erdos_renyi(40, 220, 5));
+        let service = service_over(&graph, 2);
+        let ticket = service.submit(QueryRequest::paths(0, 1).max_hops(4).collect_paths(true));
+        let outcome = ticket.wait_outcome();
+        let response = outcome.response.unwrap();
+        assert_eq!(response.termination, Termination::Completed);
+        assert!(outcome.finished >= outcome.started);
+        // Submitted requests run intra-sequentially.
+        assert_eq!(response.plan.unwrap().threads, 1);
+    }
+
+    #[test]
+    fn small_batches_hand_leftover_budget_to_intra_query_pools() {
+        let graph = Arc::new(complete_digraph(7));
+        let service = service_over(&graph, 4);
+        let responses = service.execute_batch(vec![QueryRequest::paths(0, 6)
+            .max_hops(3)
+            .threads(8)
+            .collect_paths(true)]);
+        // One request in flight out of a budget of 4: threads(8) clamps
+        // to 4, deterministically.
+        assert_eq!(responses[0].as_ref().unwrap().plan.unwrap().threads, 4);
+
+        let full: Vec<QueryRequest<'static>> = (1..=6)
+            .map(|t| QueryRequest::paths(0, t).max_hops(3).threads(8))
+            .collect();
+        for response in service.execute_batch(full) {
+            assert_eq!(response.unwrap().plan.unwrap().threads, 1);
+        }
+    }
+
+    #[test]
+    fn serve_reports_latencies_wall_and_cache_delta() {
+        let graph = Arc::new(erdos_renyi(50, 300, 11));
+        let service = service_over(&graph, 2);
+        let requests: Vec<QueryRequest<'static>> = (0..12)
+            .map(|i| QueryRequest::paths(0, 1 + (i % 2)).max_hops(4).limit(100))
+            .collect();
+        let report = service.serve(requests);
+        assert_eq!(report.responses.len(), 12);
+        assert_eq!(report.latencies.len(), 12);
+        assert!(report.wall >= *report.latencies.iter().max().unwrap());
+        assert_eq!(report.cache.lookups, 12);
+        assert!(report.cache.hits >= 10 - report.cache.misses);
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn preflight_stops_are_rejected_with_skipped_outcome() {
+        let graph = Arc::new(erdos_renyi(30, 150, 2));
+        let service = service_over(&graph, 2);
+        let token = CancelToken::new();
+        token.cancel();
+        let response = service
+            .execute(&QueryRequest::paths(0, 1).max_hops(4).cancel_token(token))
+            .unwrap();
+        assert_eq!(response.termination, Termination::Cancelled);
+        assert_eq!(response.report.cache, CacheOutcome::Skipped);
+        assert_eq!(service.queries_served(), 0);
+        assert_eq!(service.queries_rejected(), 1);
+        assert_eq!(service.cache_stats().lookups, 0, "no lookup happened");
+    }
+
+    #[test]
+    fn bypass_requests_are_counted_but_never_stored() {
+        let graph = Arc::new(erdos_renyi(30, 150, 8));
+        let service = service_over(&graph, 2);
+        for _ in 0..3 {
+            let response = service
+                .execute(&QueryRequest::paths(0, 1).max_hops(4).bypass_cache())
+                .unwrap();
+            assert_eq!(response.report.cache, CacheOutcome::Bypass);
+        }
+        let stats = service.cache_stats();
+        assert_eq!(stats.bypasses, 3);
+        assert_eq!(stats.lookups, 3);
+        assert_eq!(service.cache_len(), 0);
+    }
+
+    #[test]
+    fn concurrent_direct_callers_share_one_warm_working_set() {
+        let graph = Arc::new(erdos_renyi(60, 380, 23));
+        let service = service_over(&graph, 4);
+        // Warm the cache, then hammer it from many caller threads.
+        let warm = service
+            .execute(&QueryRequest::paths(0, 1).max_hops(4).collect_paths(true))
+            .unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        let response = service
+                            .execute(&QueryRequest::paths(0, 1).max_hops(4).collect_paths(true))
+                            .unwrap();
+                        assert_eq!(response.paths, warm.paths);
+                        assert_eq!(response.report.cache, CacheOutcome::Hit);
+                        assert_eq!(response.report.timings.index_build, Duration::ZERO);
+                    }
+                });
+            }
+        });
+        let stats = service.cache_stats();
+        assert_eq!(stats.hits, 32);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits + stats.misses + stats.bypasses, stats.lookups);
+    }
+
+    #[test]
+    fn worker_panics_resolve_the_ticket_and_spare_the_pool() {
+        let graph = Arc::new(erdos_renyi(30, 150, 1));
+        let service = service_over(&graph, 1);
+        let panicking: QueryRequest<'static> = QueryRequest::paths(0, 1)
+            .max_hops(4)
+            .predicate(|_, _| panic!("hostile constraint closure"));
+        let err = service
+            .execute_batch(vec![panicking])
+            .remove(0)
+            .unwrap_err();
+        assert_eq!(err, PathEnumError::EvaluationPanicked);
+        // The (only) worker survived the panic and keeps serving.
+        let response = service
+            .execute_batch(vec![QueryRequest::paths(0, 1).max_hops(4)])
+            .remove(0)
+            .unwrap();
+        assert_eq!(response.termination, Termination::Completed);
+    }
+
+    #[test]
+    fn dropping_the_service_resolves_outstanding_tickets() {
+        let graph = Arc::new(complete_digraph(8));
+        let service = service_over(&graph, 1);
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|_| service.submit(QueryRequest::paths(0, 7).max_hops(4).limit(50)))
+            .collect();
+        drop(service);
+        for ticket in tickets {
+            let response = ticket.wait().unwrap();
+            assert_eq!(response.num_results(), 50);
+        }
+    }
+}

@@ -130,7 +130,7 @@ impl std::str::FromStr for Algorithm {
 
     /// Parses a CLI algorithm name (case-insensitive, `_` accepted for
     /// `-`). The two PathEnum forced variants go through
-    /// [`Method::from_str`], so every spelling `Method` accepts
+    /// [`Method`]'s `FromStr` impl, so every spelling `Method` accepts
     /// (`idx-dfs`, `dfs`, `IDX-JOIN`, ...) selects the matching forced
     /// algorithm here.
     fn from_str(s: &str) -> Result<Self, Self::Err> {

@@ -10,7 +10,7 @@
 //! Since the core engine gained *intra*-query parallelism
 //! ([`pathenum::parallel`]), this runner is a thin shell over the
 //! request layer: each query becomes a
-//! [`QueryRequest`](pathenum::QueryRequest) with the batch time limit as
+//! [`QueryRequest`] with the batch time limit as
 //! its [`time_budget`](pathenum::QueryRequest::time_budget), and
 //! [`run_parallel_intra`] can additionally give every query its own
 //! worker pool — the right trade when the batch is small but individual

@@ -24,9 +24,10 @@ pub mod prelude {
     pub use pathenum::sink::{CollectingSink, CountingSink, PathSink, SearchControl};
     pub use pathenum::{
         path_enum, CacheOutcome, CancelToken, ControlledSink, Counters, DynamicEngine, Index,
-        Method, PathBuffer, PathEnumConfig, PathEnumError, PathStream, PhysicalPlan, PlanCache,
-        PlanCacheStats, Query, QueryEngine, QueryRequest, QueryResponse, RunReport, SharedControl,
-        Termination,
+        Method, PathBuffer, PathEnumConfig, PathEnumError, PathEnumService, PathStream,
+        PhysicalPlan, PlanCache, PlanCacheStats, Query, QueryEngine, QueryRequest, QueryResponse,
+        RunReport, ServeReport, ServiceConfig, SharedCacheStats, SharedControl, SharedPlanCache,
+        Termination, Ticket,
     };
     pub use pathenum_graph::{
         CsrGraph, DynamicGraph, GraphBuilder, GraphVersion, NeighborAccess, OverlayView, VertexId,

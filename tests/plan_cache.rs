@@ -242,3 +242,48 @@ fn distinct_settings_never_share_plan_entries() {
     let response = engine.execute(&base()).unwrap();
     assert_eq!(response.report.cache, CacheOutcome::Hit);
 }
+
+#[test]
+fn warm_hits_report_lookup_time_not_index_build() {
+    // Regression for the cache-hit timing misattribution: hit responses
+    // used to report the lookup wall-time under `index_build`, skewing
+    // every phase table built on warm streams. A hit must leave
+    // `index_build` (and the other build phases) at zero, carry the
+    // lookup under the dedicated `cache_lookup` field, and still account
+    // for it in `total()`/`preprocessing()`.
+    let g = pathenum_graph::generators::erdos_renyi(60, 380, 27);
+    let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+    let request = QueryRequest::paths(0, 1).max_hops(4);
+
+    let cold = engine.execute(&request).unwrap();
+    assert_eq!(cold.report.cache, CacheOutcome::Miss);
+    assert_eq!(cold.report.timings.cache_lookup, Duration::ZERO);
+    assert!(cold.report.timings.index_build > Duration::ZERO);
+
+    let warm = engine.execute(&request).unwrap();
+    assert_eq!(warm.report.cache, CacheOutcome::Hit);
+    let timings = &warm.report.timings;
+    assert_eq!(timings.index_build, Duration::ZERO, "no build ran");
+    assert_eq!(timings.bfs, Duration::ZERO);
+    assert_eq!(timings.preliminary_estimation, Duration::ZERO);
+    assert_eq!(timings.optimization, Duration::ZERO);
+    assert_eq!(
+        timings.total(),
+        timings.cache_lookup + timings.enumeration,
+        "the lookup is accounted for in the total"
+    );
+    assert_eq!(timings.preprocessing(), timings.cache_lookup);
+
+    // The dynamic engine's warm path (including surgical retention) uses
+    // the same attribution.
+    let dynamic = DynamicGraph::new(g.clone());
+    let mut engine = DynamicEngine::new(&dynamic, PathEnumConfig::default());
+    engine.execute(&request).unwrap();
+    let warm = engine.execute(&request).unwrap();
+    assert_eq!(warm.report.cache, CacheOutcome::Hit);
+    assert_eq!(warm.report.timings.index_build, Duration::ZERO);
+    assert_eq!(
+        warm.report.timings.preprocessing(),
+        warm.report.timings.cache_lookup
+    );
+}

@@ -300,6 +300,138 @@ fn cancellation_is_observed_and_reported() {
 }
 
 #[test]
+fn preflight_stops_are_rejected_not_served() {
+    // Pre-flight-stopped requests (pre-cancelled token, zero time
+    // budget, zero limit) must not count as served, must not consult the
+    // plan cache, and must say so in the response via
+    // `CacheOutcome::Skipped`.
+    let g = erdos_renyi(40, 240, 3);
+    let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+
+    let token = CancelToken::new();
+    token.cancel();
+    let cancelled = engine
+        .execute(&QueryRequest::paths(0, 1).max_hops(4).cancel_token(token))
+        .unwrap();
+    assert_eq!(cancelled.termination, Termination::Cancelled);
+    assert_eq!(cancelled.report.cache, CacheOutcome::Skipped);
+
+    let expired = engine
+        .execute(
+            &QueryRequest::paths(0, 1)
+                .max_hops(4)
+                .time_budget(Duration::ZERO),
+        )
+        .unwrap();
+    assert_eq!(expired.termination, Termination::DeadlineExceeded);
+    assert_eq!(expired.report.cache, CacheOutcome::Skipped);
+
+    let zero_limit = engine
+        .execute(&QueryRequest::paths(0, 1).max_hops(4).limit(0))
+        .unwrap();
+    assert_eq!(zero_limit.termination, Termination::LimitReached);
+    assert_eq!(zero_limit.report.cache, CacheOutcome::Skipped);
+
+    assert_eq!(engine.queries_served(), 0, "nothing was evaluated");
+    assert_eq!(engine.queries_rejected(), 3);
+    let stats = engine.cache_stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        0,
+        "the cache was never consulted"
+    );
+    assert!(engine.plan_cache().is_empty());
+
+    // A real request after the rejects is served normally.
+    let served = engine
+        .execute(&QueryRequest::paths(0, 1).max_hops(4))
+        .unwrap();
+    assert_ne!(served.report.cache, CacheOutcome::Skipped);
+    assert_eq!(engine.queries_served(), 1);
+    assert_eq!(engine.queries_rejected(), 3);
+
+    // `stream()` applies the same rules: a pre-stopped stream counts as
+    // rejected, never consults the cache, and reports its termination on
+    // the first pull.
+    let served_before = engine.queries_served();
+    let lookups_before = {
+        let s = engine.cache_stats();
+        s.hits + s.misses
+    };
+    let token = CancelToken::new();
+    token.cancel();
+    let req = QueryRequest::paths(0, 1).max_hops(4).cancel_token(token);
+    let mut stream = engine.stream(&req).unwrap();
+    assert!(stream.next().is_none());
+    assert_eq!(stream.termination(), Some(Termination::Cancelled));
+    assert_eq!(engine.queries_served(), served_before);
+    assert_eq!(engine.queries_rejected(), 4);
+    let s = engine.cache_stats();
+    assert_eq!(
+        s.hits + s.misses,
+        lookups_before,
+        "no lookup from the stream"
+    );
+
+    // The dynamic engine pins the same accounting.
+    let dynamic = DynamicGraph::new(erdos_renyi(20, 80, 5));
+    let mut engine = DynamicEngine::new(&dynamic, PathEnumConfig::default());
+    let response = engine
+        .execute(&QueryRequest::paths(0, 1).max_hops(4).limit(0))
+        .unwrap();
+    assert_eq!(response.report.cache, CacheOutcome::Skipped);
+    assert_eq!(engine.queries_served(), 0);
+    assert_eq!(engine.queries_rejected(), 1);
+}
+
+#[test]
+fn threads_downgrade_is_reported_in_the_plan() {
+    // `threads(n)` is ignored by constrained execution — but not
+    // silently: explain() and QueryResponse::plan must report the
+    // effective thread count (1), never the requested one.
+    let g = erdos_renyi(40, 260, 13);
+    let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+
+    let constrained = || {
+        QueryRequest::paths(0, 1)
+            .max_hops(4)
+            .threads(8)
+            .predicate(|_, to| to != 2)
+            .constraint_fingerprint(3)
+    };
+    assert_eq!(constrained().effective_threads(), 1);
+    assert_eq!(engine.explain(&constrained()).unwrap().threads, 1);
+    let executed = engine.execute(&constrained()).unwrap();
+    assert_eq!(executed.plan.unwrap().threads, 1);
+    // ... including on the warm (cache-hit) path, where the stored plan
+    // must not leak a stale thread count.
+    let warm = engine.execute(&constrained()).unwrap();
+    assert_eq!(warm.report.cache, CacheOutcome::Hit);
+    assert_eq!(warm.plan.unwrap().threads, 1);
+
+    let accumulative = QueryRequest::paths(0, 1)
+        .max_hops(4)
+        .threads(8)
+        .accumulative(AccumulativeQuery {
+            identity: 0u64,
+            combine: |a, b| a + b,
+            weight: |_, _| 1u64,
+            check: |&v: &u64| v >= 1,
+            prune: None,
+        });
+    assert_eq!(accumulative.effective_threads(), 1);
+    assert_eq!(
+        engine.execute(&accumulative).unwrap().plan.unwrap().threads,
+        1
+    );
+
+    // Unconstrained requests keep their resolved count.
+    let unconstrained = QueryRequest::paths(0, 1).max_hops(4).threads(4);
+    assert_eq!(unconstrained.effective_threads(), 4);
+    assert_eq!(engine.explain(&unconstrained).unwrap().threads, 4);
+}
+
+#[test]
 fn invalid_requests_come_back_as_errors_not_panics() {
     let g = erdos_renyi(20, 60, 1);
     let mut engine = QueryEngine::new(&g, PathEnumConfig::default());

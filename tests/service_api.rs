@@ -1,0 +1,243 @@
+//! Concurrency soundness of the serving layer: N service workers
+//! replaying a shuffled query stream must produce path-for-path the
+//! same per-request results as the sequential `QueryEngine` oracle,
+//! with shared-cache statistics summing consistently
+//! (`hits + misses + bypasses == lookups`) across worker counts
+//! {1, 2, 4, 8}.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use pathenum_repro::prelude::*;
+
+fn graph_from_edges(n: u32, edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new(n as usize);
+    for &(u, v) in edges {
+        if u != v {
+            b.add_edge(u, v).expect("in-range edge");
+        }
+    }
+    b.finish()
+}
+
+/// A random digraph plus a shuffled, repetitive target stream: targets
+/// are drawn from the small range `1..n`, so the stream naturally
+/// contains the repeats a plan cache exists for.
+fn arb_instance() -> impl Strategy<Value = (u32, Vec<(u32, u32)>, Vec<u32>)> {
+    (4u32..14).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..70);
+        let targets = proptest::collection::vec(1..n, 4..24);
+        (Just(n), edges, targets)
+    })
+}
+
+/// The request stream both sides replay: mostly cacheable requests, with
+/// every fifth one opting out of the cache so the `bypasses` counter is
+/// exercised too.
+fn build_requests(targets: &[u32], k: u32) -> Vec<QueryRequest<'static>> {
+    targets
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            let request = QueryRequest::paths(0, t).max_hops(k).collect_paths(true);
+            if i % 5 == 4 {
+                request.bypass_cache()
+            } else {
+                request
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn workers_replay_a_shuffled_stream_identically_to_the_engine(
+        (n, edges, targets) in arb_instance(),
+        k in 2u32..6,
+    ) {
+        let graph = Arc::new(graph_from_edges(n, &edges));
+
+        // Sequential oracle: one engine, same stream, same order.
+        let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+        let oracle: Vec<QueryResponse> = build_requests(&targets, k)
+            .iter()
+            .map(|request| engine.execute(request).expect("valid request"))
+            .collect();
+
+        for workers in [1usize, 2, 4, 8] {
+            let service = PathEnumService::with_config(
+                Arc::clone(&graph),
+                PathEnumConfig::default(),
+                ServiceConfig { workers, ..ServiceConfig::default() },
+            );
+            let responses = service.execute_batch(build_requests(&targets, k));
+            prop_assert_eq!(responses.len(), oracle.len());
+            for (i, (response, expected)) in responses.iter().zip(&oracle).enumerate() {
+                let response = response.as_ref().expect("valid request");
+                prop_assert_eq!(
+                    &response.paths, &expected.paths,
+                    "workers={} request {} diverged", workers, i
+                );
+                prop_assert_eq!(response.num_results(), expected.num_results());
+                prop_assert_eq!(response.termination, expected.termination);
+            }
+
+            let stats = service.cache_stats();
+            prop_assert_eq!(
+                stats.hits + stats.misses + stats.bypasses,
+                stats.lookups,
+                "workers={}: stats must balance", workers
+            );
+            prop_assert_eq!(stats.lookups, targets.len() as u64);
+            prop_assert_eq!(stats.bypasses, (targets.len() / 5) as u64);
+            prop_assert_eq!(service.queries_served(), targets.len() as u64);
+            prop_assert_eq!(service.queries_rejected(), 0);
+            if workers == 1 {
+                // A single pool worker is fully sequential: every repeat
+                // of a cacheable shape after its first occurrence hits.
+                let distinct: std::collections::HashSet<u32> = targets
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % 5 != 4)
+                    .map(|(_, &t)| t)
+                    .collect();
+                let cacheable = targets.len() - targets.len() / 5;
+                prop_assert_eq!(stats.hits, (cacheable - distinct.len()) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn limits_deadlines_and_limits_match_the_engine_under_workers(
+        (n, edges, targets) in arb_instance(),
+        k in 2u32..6,
+        limit in 1u64..6,
+    ) {
+        let graph = Arc::new(graph_from_edges(n, &edges));
+        let requests = || -> Vec<QueryRequest<'static>> {
+            targets
+                .iter()
+                .map(|&t| QueryRequest::paths(0, t).max_hops(k).limit(limit).collect_paths(true))
+                .collect()
+        };
+        let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+        let oracle: Vec<QueryResponse> = requests()
+            .iter()
+            .map(|request| engine.execute(request).expect("valid request"))
+            .collect();
+        for workers in [2usize, 8] {
+            let service = PathEnumService::with_config(
+                Arc::clone(&graph),
+                PathEnumConfig::default(),
+                ServiceConfig { workers, ..ServiceConfig::default() },
+            );
+            for (response, expected) in service.execute_batch(requests()).iter().zip(&oracle) {
+                let response = response.as_ref().expect("valid request");
+                prop_assert_eq!(&response.paths, &expected.paths);
+                prop_assert_eq!(response.termination, expected.termination);
+            }
+        }
+    }
+}
+
+#[test]
+fn intra_query_threads_from_a_small_batch_keep_the_sequential_order() {
+    // One heavy unbounded request in a 4-worker service gets the whole
+    // budget (threads clamp to 4); the parallel merge guarantees the
+    // sequential DFS emission order, so even the *order* must match.
+    let graph = Arc::new(pathenum_repro::graph::generators::complete_digraph(8));
+    let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+    let expected = engine
+        .execute(&QueryRequest::paths(0, 7).max_hops(4).collect_paths(true))
+        .unwrap();
+
+    let service = PathEnumService::with_config(
+        Arc::clone(&graph),
+        PathEnumConfig::default(),
+        ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        },
+    );
+    let responses = service.execute_batch(vec![QueryRequest::paths(0, 7)
+        .max_hops(4)
+        .threads(8)
+        .collect_paths(true)]);
+    let response = responses[0].as_ref().unwrap();
+    assert_eq!(response.plan.unwrap().threads, 4, "budget-clamped");
+    assert_eq!(response.paths, expected.paths, "order identical");
+}
+
+#[test]
+fn rejected_requests_never_touch_the_shared_cache() {
+    let graph = Arc::new(pathenum_repro::graph::generators::erdos_renyi(30, 160, 4));
+    let service = PathEnumService::new(Arc::clone(&graph), PathEnumConfig::default());
+    let token = CancelToken::new();
+    token.cancel();
+    let batch: Vec<QueryRequest<'static>> = vec![
+        QueryRequest::paths(0, 1).max_hops(4).cancel_token(token),
+        QueryRequest::paths(0, 1)
+            .max_hops(4)
+            .time_budget(Duration::ZERO),
+        QueryRequest::paths(0, 1).max_hops(4).limit(0),
+        QueryRequest::paths(0, 1).max_hops(4),
+    ];
+    let responses = service.execute_batch(batch);
+    assert_eq!(
+        responses[0].as_ref().unwrap().termination,
+        Termination::Cancelled
+    );
+    assert_eq!(
+        responses[1].as_ref().unwrap().termination,
+        Termination::DeadlineExceeded
+    );
+    assert_eq!(
+        responses[2].as_ref().unwrap().termination,
+        Termination::LimitReached
+    );
+    for rejected in &responses[..3] {
+        assert_eq!(
+            rejected.as_ref().unwrap().report.cache,
+            CacheOutcome::Skipped
+        );
+    }
+    assert_eq!(
+        responses[3].as_ref().unwrap().termination,
+        Termination::Completed
+    );
+    assert_eq!(service.queries_rejected(), 3);
+    assert_eq!(service.queries_served(), 1);
+    assert_eq!(service.cache_stats().lookups, 1, "only the real request");
+}
+
+#[test]
+fn constrained_requests_through_the_service_match_the_engine() {
+    let graph = Arc::new(pathenum_repro::graph::generators::erdos_renyi(40, 260, 6));
+    let service = PathEnumService::new(Arc::clone(&graph), PathEnumConfig::default());
+    let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+    let make = || -> QueryRequest<'static> {
+        QueryRequest::paths(0, 1)
+            .max_hops(4)
+            .predicate(|u, v| (u + v) % 3 != 0)
+            .constraint_fingerprint(11)
+            .collect_paths(true)
+    };
+    let expected = engine.execute(&make()).unwrap();
+    for response in service.execute_batch(vec![make(), make(), make()]) {
+        let response = response.unwrap();
+        assert_eq!(response.paths, expected.paths);
+        assert_eq!(
+            response.plan.unwrap().threads,
+            1,
+            "constrained requests stay sequential"
+        );
+    }
+    assert!(
+        service.cache_stats().hits >= 1,
+        "fingerprinted predicate caches"
+    );
+}

@@ -194,7 +194,7 @@ impl_tuple_strategy!(A, B, C, D, E);
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`].
+    /// Length specification for [`vec`](fn@vec).
     pub trait SizeRange {
         /// Draws a length.
         fn pick(&self, rng: &mut TestRng) -> usize;
@@ -224,7 +224,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec`](fn@vec).
     pub struct VecStrategy<S, Z> {
         element: S,
         size: Z,
