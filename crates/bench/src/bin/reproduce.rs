@@ -3,6 +3,7 @@
 //! ```text
 //! reproduce <experiment|all|list> [--quick] [--queries N]
 //!           [--time-limit-ms M] [--seed S] [--method idx-dfs|idx-join]
+//!           [--workers N]
 //! ```
 //!
 //! Experiments: table3 table4 table5 table6 table7 fig6 fig7 fig8 fig9
@@ -17,6 +18,7 @@ use pathenum_bench::ExperimentConfig;
 fn usage() {
     eprintln!("usage: reproduce <experiment|all|list> [--quick] [--queries N]");
     eprintln!("                 [--time-limit-ms M] [--seed S] [--method idx-dfs|idx-join]");
+    eprintln!("                 [--workers N]");
     eprintln!();
     eprintln!("experiments:");
     for (name, description, _) in registry() {
@@ -77,6 +79,19 @@ fn main() -> ExitCode {
                 }
                 None => {
                     eprintln!("--method expects idx-dfs or idx-join");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--workers" => match iter.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => {
+                    eprintln!(
+                        "note: --workers {n} applies to the serving experiments \
+                         (currently: serve, overload); others ignore it"
+                    );
+                    config.workers = Some(n);
+                }
+                Some(Ok(_)) | Some(Err(_)) | None => {
+                    eprintln!("--workers expects a positive integer");
                     return ExitCode::FAILURE;
                 }
             },

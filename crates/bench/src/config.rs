@@ -25,6 +25,11 @@ pub struct ExperimentConfig {
     /// full PathEnum pipeline (currently `cache`, `stream`, and `serve`).
     /// `None` lets the optimizer decide.
     pub force_method: Option<Method>,
+    /// Override the worker-pool size in the serving experiments
+    /// (`reproduce --workers N`): `serve` sweeps exactly `[N]` instead
+    /// of `[1, 2, 4]`, and `overload` serves with `N` workers. `None`
+    /// keeps each experiment's default.
+    pub workers: Option<usize>,
 }
 
 impl Default for ExperimentConfig {
@@ -36,6 +41,7 @@ impl Default for ExperimentConfig {
             default_k: 6,
             seed: 42,
             force_method: None,
+            workers: None,
         }
     }
 }
@@ -51,6 +57,7 @@ impl ExperimentConfig {
             default_k: 4,
             seed: 42,
             force_method: None,
+            workers: None,
         }
     }
 

@@ -13,6 +13,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod overload;
 pub mod scaling;
 pub mod serve;
 pub mod stream;
@@ -114,6 +115,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "serve",
             "Concurrent serving: shared graph + shared plan cache across workers",
             serve::run,
+        ),
+        (
+            "overload",
+            "Overload serving: cost-based admission control vs unbounded FIFO",
+            overload::run,
         ),
     ]
 }

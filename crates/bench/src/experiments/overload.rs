@@ -1,0 +1,339 @@
+//! Overload serving: cost-based admission control vs an unbounded FIFO
+//! (not a paper experiment — it characterizes the `pathenum::catalog`
+//! admission layer at ≥2× capacity arrival rates).
+//!
+//! A mixed stream (75% cheap warm queries, 25% heavy) is calibrated
+//! sequentially, then replayed open-loop through a `CatalogService`
+//! three times:
+//!
+//! 1. **calm** — admission ON at a third of capacity: nothing may shed;
+//! 2. **overload, admission ON** — arrivals at 2× capacity: the cost
+//!    budget and bounded per-tenant queue shed the excess fast, and the
+//!    two-lane dispatch keeps cheap queries flowing;
+//! 3. **overload, admission OFF** — the same stream into the PR 5-style
+//!    unbounded FIFO baseline: everything completes, but behind an
+//!    ever-growing queue.
+//!
+//! Asserted invariants:
+//!
+//! * calm phase sheds nothing; the overload phase sheds (> 0);
+//! * **goodput** (completions within an SLA of a quarter of the arrival
+//!   span, per second) is *strictly higher* with admission ON;
+//! * **interactive-class p99 sojourn** is *strictly lower* with
+//!   admission ON;
+//! * every completed request's paths are byte-identical to the
+//!   sequential engine, in both runs (admission never corrupts, it only
+//!   sheds).
+//!
+//! Why SLA-goodput and not raw completed throughput: at 2× capacity
+//! both configurations complete ≈ capacity × wall queries — a FIFO
+//! completes *all* arrivals eventually, just arbitrarily late. The
+//! difference overload-safe serving buys is *when* the answers land.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pathenum::query::Query;
+use pathenum::{
+    AdmissionConfig, CatalogConfig, CatalogRequest, CatalogService, PathEnumConfig, QueryEngine,
+    QueryRequest,
+};
+use pathenum_graph::generators::{power_law, PowerLawConfig};
+use pathenum_workloads::serving::{run_overload, OverloadReport, ServingBounds};
+use pathenum_workloads::{generate_queries, QueryGenConfig};
+
+use crate::config::ExperimentConfig;
+use crate::output::{banner, write_bench_json, Table};
+
+/// Fraction of arrivals that are heavy queries (1 in `HEAVY_EVERY`).
+const HEAVY_EVERY: usize = 4;
+
+/// Runs the experiment, printing the three-phase comparison table.
+pub fn run(config: &ExperimentConfig) {
+    banner("Overload: cost-based admission control vs unbounded FIFO at 2x capacity");
+    let quick = config.queries_per_set <= 4;
+    let (n, d) = if quick { (5_000, 5) } else { (15_000, 6) };
+    let graph = Arc::new(power_law(PowerLawConfig::social(n, d, config.seed)));
+    let workers = config.workers.unwrap_or(2);
+    // The limit must keep heavy queries *genuinely* heavy (hundreds of
+    // microseconds of warm enumeration), or the whole experiment sits
+    // below OS scheduling granularity and queueing dynamics drown in
+    // sleep/wakeup jitter.
+    let limit = config.response_limit.max(2_000);
+    let arrivals = if quick { 240 } else { 400 };
+
+    // Query mix: a small warm set of cheap queries plus a few heavy
+    // ones, heavy every HEAVY_EVERY-th arrival. The heavy share bounds
+    // max/mean service time structurally (mean >= max / HEAVY_EVERY),
+    // which keeps the SLA derivation below well-conditioned, and the
+    // k gap keeps the two classes far apart in both modeled cost and
+    // service time (the lane split and the p99 comparison rely on it).
+    let cheap = generate_queries(&graph, QueryGenConfig::paper_default(4, 3, config.seed));
+    let heavy = generate_queries(
+        &graph,
+        QueryGenConfig::paper_default(2, config.default_k.max(7), config.seed + 1),
+    );
+    let mut distinct: Vec<Query> = cheap.clone();
+    distinct.extend(heavy.iter().copied());
+    let mut stream_ids = Vec::with_capacity(arrivals);
+    for i in 0..arrivals {
+        if i % HEAVY_EVERY == HEAVY_EVERY - 1 {
+            stream_ids.push(cheap.len() + (i / HEAVY_EVERY) % heavy.len());
+        } else {
+            stream_ids.push(i % cheap.len());
+        }
+    }
+    let stream: Vec<Query> = stream_ids.iter().map(|&id| distinct[id]).collect();
+
+    // Sequential calibration: pass 1 warms the engine's plan cache,
+    // pass 2 measures warm per-query service time and collects the
+    // oracle paths plus each query's modeled plan cost (the admission
+    // price the catalog will charge).
+    let request_for = |q: Query| QueryRequest::from_query(q).limit(limit).collect_paths(true);
+    let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+    for &q in &distinct {
+        engine.execute(&request_for(q)).expect("valid query");
+    }
+    let mut service_time = Vec::with_capacity(distinct.len());
+    let mut cost = Vec::with_capacity(distinct.len());
+    let mut oracle = Vec::with_capacity(distinct.len());
+    for &q in &distinct {
+        let start = Instant::now();
+        let response = engine.execute(&request_for(q)).expect("valid query");
+        service_time.push(start.elapsed());
+        cost.push(
+            response
+                .plan
+                .expect("executed queries carry a plan")
+                .modeled_cost(),
+        );
+        oracle.push(response.paths);
+    }
+    let mean_stream = stream_ids
+        .iter()
+        .map(|&id| service_time[id])
+        .sum::<Duration>()
+        / arrivals as u32;
+    let max_service = *service_time.iter().max().expect("non-empty calibration");
+
+    // Interactive/batch split: between the classes when they separate,
+    // at the median otherwise.
+    let max_cheap_cost = *cost[..cheap.len()].iter().max().expect("cheap costs");
+    let min_heavy_cost = *cost[cheap.len()..].iter().min().expect("heavy costs");
+    let threshold = if min_heavy_cost > max_cheap_cost {
+        max_cheap_cost + (min_heavy_cost - max_cheap_cost) / 2
+    } else {
+        let mut sorted = cost.clone();
+        sorted.sort_unstable();
+        sorted[sorted.len() / 2]
+    };
+    let max_cost = *cost.iter().max().expect("non-empty calibration");
+
+    // 2x capacity: with `workers` servers clearing one request every
+    // `mean_stream` on average, arrivals every mean/(2*workers) demand
+    // twice what the pool can clear. The SLA is a quarter of the
+    // arrival span: comfortably above the bounded-queue sojourn the
+    // admission config below guarantees, comfortably below the sojourns
+    // an unbounded FIFO accumulates by the end of the span.
+    let overload_interval = (mean_stream / (2 * workers as u32)).max(Duration::from_micros(1));
+    // Calm arrivals sit far below capacity, with an absolute floor so a
+    // scheduler hiccup on a noisy CI runner cannot fake a backlog.
+    let calm_interval = (max_service * 4).max(Duration::from_micros(300));
+    let span = overload_interval * arrivals as u32;
+    let sla = span / 4;
+
+    // Tight bounds so an *admitted* request's sojourn is structurally
+    // far inside the SLA: at most ~(workers + 1) requests of backlog
+    // spread over `workers` servers is well under a quarter of the
+    // span even if the replay runs slower than the calibration pass.
+    let admission_on = AdmissionConfig {
+        cost_budget: Some(max_cost.saturating_mul(workers as u64)),
+        max_queue_per_tenant: workers + 1,
+        interactive_cost_threshold: threshold,
+    };
+    println!(
+        "power-law graph: {} vertices, {} edges; workers: {workers}; \
+         stream: {arrivals} arrivals over {} distinct queries (limit {limit})",
+        graph.num_vertices(),
+        graph.num_edges(),
+        distinct.len(),
+    );
+    println!(
+        "calibrated: mean service {:.3}ms, max {:.3}ms; overload interval {:.3}ms \
+         (2x capacity), SLA {:.2}ms; budget {}, tenant queue {}, lane threshold {}\n",
+        mean_stream.as_secs_f64() * 1e3,
+        max_service.as_secs_f64() * 1e3,
+        overload_interval.as_secs_f64() * 1e3,
+        sla.as_secs_f64() * 1e3,
+        admission_on.cost_budget.expect("budget set"),
+        admission_on.max_queue_per_tenant,
+        admission_on.interactive_cost_threshold,
+    );
+
+    let bounds = ServingBounds {
+        limit: Some(limit),
+        time_budget: None,
+        collect: true,
+    };
+    let service_with = |admission: AdmissionConfig| {
+        let service = CatalogService::new(
+            PathEnumConfig::default(),
+            CatalogConfig {
+                workers,
+                admission,
+                ..CatalogConfig::default()
+            },
+        );
+        service.catalog().register("serving", Arc::clone(&graph));
+        // Warm the tenant's plan cache so submit-side planning is a
+        // cache lookup during the measured replay (both configurations
+        // start equally warm).
+        for &q in &distinct {
+            service
+                .execute(CatalogRequest::new("serving", "tenant-a", request_for(q)))
+                .expect("warmup queries are valid");
+        }
+        service
+    };
+
+    // Phase 1: calm traffic through the admission-ON service.
+    let on = service_with(admission_on);
+    let calm = run_overload(&on, "serving", "tenant-a", &stream, calm_interval, bounds);
+    assert_eq!(calm.shed(), 0, "calm traffic must never shed");
+    assert_eq!(calm.completed(), arrivals, "calm traffic all completes");
+
+    // Phase 2: 2x-capacity arrivals through the same (warm) service.
+    let over_on = run_overload(
+        &on,
+        "serving",
+        "tenant-a",
+        &stream,
+        overload_interval,
+        bounds,
+    );
+    assert!(
+        over_on.shed() > 0,
+        "2x-capacity arrivals must trip admission control"
+    );
+
+    // Phase 3: the same stream into the unbounded-FIFO baseline.
+    let off = service_with(AdmissionConfig::disabled());
+    let over_off = run_overload(
+        &off,
+        "serving",
+        "tenant-a",
+        &stream,
+        overload_interval,
+        bounds,
+    );
+    assert_eq!(over_off.shed(), 0, "the baseline admits everything");
+
+    // Admission never corrupts: every completed request in every run is
+    // byte-identical to the sequential engine.
+    for (label, report) in [("calm", &calm), ("on", &over_on), ("off", &over_off)] {
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            if let Ok(response) = &outcome.response {
+                assert_eq!(
+                    response.paths, oracle[stream_ids[i]],
+                    "{label}: arrival {i} diverged from the sequential engine"
+                );
+            }
+        }
+    }
+
+    // The interactive class, by the same cost threshold the admission
+    // layer dispatches on, evaluated identically for both runs.
+    let interactive: Vec<usize> = stream_ids
+        .iter()
+        .enumerate()
+        .filter(|(_, &id)| cost[id] <= threshold)
+        .map(|(i, _)| i)
+        .collect();
+    let class_p99 = |report: &OverloadReport| -> Duration {
+        let mut sojourns: Vec<Duration> = interactive
+            .iter()
+            .filter(|&&i| report.outcomes[i].response.is_ok())
+            .map(|&i| report.sojourns[i])
+            .collect();
+        assert!(!sojourns.is_empty(), "interactive completions exist");
+        sojourns.sort();
+        sojourns[((sojourns.len() - 1) as f64 * 0.99).round() as usize]
+    };
+    let p99_on = class_p99(&over_on);
+    let p99_off = class_p99(&over_off);
+    let goodput_on = over_on.goodput(sla);
+    let goodput_off = over_off.goodput(sla);
+
+    let mut table = Table::new([
+        "phase",
+        "arrivals",
+        "done",
+        "shed",
+        "shed%",
+        "goodput/s",
+        "int p99",
+        "wall",
+    ]);
+    for (label, report) in [
+        ("calm (on)", &calm),
+        ("2x (on)", &over_on),
+        ("2x (off)", &over_off),
+    ] {
+        table.row([
+            label.to_string(),
+            report.arrivals().to_string(),
+            report.completed().to_string(),
+            report.shed().to_string(),
+            format!("{:.1}%", 100.0 * report.shed_rate()),
+            format!("{:.0}", report.goodput(sla)),
+            format!("{:.3}ms", class_p99(report).as_secs_f64() * 1e3),
+            format!("{:.1}ms", report.wall.as_secs_f64() * 1e3),
+        ]);
+    }
+    table.print();
+
+    if let Some(decision) = over_on
+        .outcomes
+        .iter()
+        .filter_map(|o| o.decision.as_ref())
+        .find(|d| !d.admitted())
+    {
+        println!("\nfirst shed request's admission decision:\n{decision}");
+    }
+
+    assert!(
+        goodput_on > goodput_off,
+        "admission must win on goodput: {goodput_on:.0}/s (on) vs {goodput_off:.0}/s (off)"
+    );
+    assert!(
+        p99_on < p99_off,
+        "admission must win on interactive p99: {p99_on:?} (on) vs {p99_off:?} (off)"
+    );
+
+    write_bench_json(
+        "BENCH_overload.json",
+        &[
+            ("workers", workers as f64),
+            ("arrivals", arrivals as f64),
+            ("seed", config.seed as f64),
+            ("shed_rate_on", over_on.shed_rate()),
+            ("goodput_on", goodput_on),
+            ("goodput_off", goodput_off),
+            ("interactive_p99_on_ms", p99_on.as_secs_f64() * 1e3),
+            ("interactive_p99_off_ms", p99_off.as_secs_f64() * 1e3),
+        ],
+    );
+    println!(
+        "\ncalm shed rate: 0% over {arrivals} arrivals; overload shed rate: {:.1}%",
+        100.0 * over_on.shed_rate()
+    );
+    println!(
+        "overload assertions passed: calm sheds zero, 2x sheds {}, goodput {:.0}/s > {:.0}/s, \
+         interactive p99 {:.3}ms < {:.3}ms, all completed results identical to the sequential engine",
+        over_on.shed(),
+        goodput_on,
+        goodput_off,
+        p99_on.as_secs_f64() * 1e3,
+        p99_off.as_secs_f64() * 1e3,
+    );
+}

@@ -32,7 +32,7 @@ use pathenum_workloads::runner::{mean_ms, percentile_ms};
 use pathenum_workloads::{generate_queries, QueryGenConfig};
 
 use crate::config::ExperimentConfig;
-use crate::output::{banner, sci_ms, Table};
+use crate::output::{banner, sci_ms, write_bench_json, Table};
 
 /// How many times each distinct query recurs in the replayed stream.
 const REPEATS: usize = 8;
@@ -110,7 +110,11 @@ pub fn run(config: &ExperimentConfig) {
 
     let mut warm_lookup = Duration::ZERO;
     let mut warm_hits = 0u32;
-    for workers in [1usize, 2, 4] {
+    // The sweep is [1, 2, 4] by default; `--workers N` pins it to [N]
+    // so multi-core machines can probe their actual parallelism.
+    let sweep: Vec<usize> = config.workers.map_or_else(|| vec![1, 2, 4], |n| vec![n]);
+    let mut trail: Option<(usize, f64, f64, f64, f64, f64)> = None;
+    for workers in sweep {
         let service = PathEnumService::with_config(
             Arc::clone(&graph),
             engine_config,
@@ -158,8 +162,32 @@ pub fn run(config: &ExperimentConfig) {
             format!("{:.0}%", 100.0 * stats.hit_rate()),
             format!("{:.0}", report.throughput()),
         ]);
+        // The perf trail records the last (largest) swept worker count.
+        trail = Some((
+            workers,
+            report.throughput(),
+            percentile_ms(&report.latencies, 50.0),
+            percentile_ms(&report.latencies, 99.0),
+            stats.hit_rate(),
+            report.wall.as_secs_f64() * 1e3,
+        ));
     }
     table.print();
+    if let Some((workers, throughput, p50_ms, p99_ms, hit_rate, wall_ms)) = trail {
+        write_bench_json(
+            "BENCH_serve.json",
+            &[
+                ("workers", workers as f64),
+                ("requests", stream.len() as f64),
+                ("seed", config.seed as f64),
+                ("throughput_rps", throughput),
+                ("p50_ms", p50_ms),
+                ("p99_ms", p99_ms),
+                ("cache_hit_rate", hit_rate),
+                ("wall_ms", wall_ms),
+            ],
+        );
+    }
     println!(
         "\nevery worker count reproduced the sequential engine path-for-path \
          ({} requests, {} results); warm hits: {} at mean cache_lookup {:.2}us, \

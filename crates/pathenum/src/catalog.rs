@@ -1,0 +1,613 @@
+//! The multi-graph catalog: many named graphs, per-tenant plan caches,
+//! epoch-swapped publishing, and admission-controlled serving.
+//!
+//! [`PathEnumService`](crate::PathEnumService) serves exactly one graph.
+//! A fleet deployment serves *many* — per product surface, per region,
+//! per snapshot — to many tenants at once, and replaces graphs while
+//! queries are in flight. [`GraphCatalog`] is that registry:
+//!
+//! * every **named graph** is an `Arc<CsrGraph>` plus its own family of
+//!   [`SharedPlanCache`]s, one per tenant, each bounded by the
+//!   per-tenant/per-graph entry quota (eviction accounting included via
+//!   [`SharedCacheStats::evictions`]). One tenant's working set cannot
+//!   evict another's, and one graph's caches are invisible to another's;
+//! * [`publish`](GraphCatalog::publish) performs an **atomic epoch
+//!   swap**: the served `Arc<CsrGraph>` is replaced under a lock that
+//!   covers only the pointer, while in-flight queries keep executing on
+//!   the epoch they snapshotted at submit — no torn reads, ever. Stale
+//!   plan-cache entries die lazily on their next lookup because the new
+//!   graph carries a new [`GraphVersion`](pathenum_graph::GraphVersion);
+//!   caches of *other* graphs are untouched (invalidation is per graph,
+//!   not global);
+//! * [`CatalogService`] routes a [`CatalogRequest`] (graph name, tenant,
+//!   query) through the catalog and an
+//!   [`AdmissionController`]:
+//!   each request is **planned at submit** on the caller's thread
+//!   (warming the tenant's plan cache either way), its
+//!   [modeled cost](crate::plan::PhysicalPlan::modeled_cost) charged
+//!   against the in-flight budget, and the admitted work dispatched on
+//!   the [`Lane`] its cost earned. Over-budget requests are rejected
+//!   *fast* — the [`CatalogTicket`] resolves immediately with
+//!   [`PathEnumError::Overloaded`] instead of queueing forever.
+//!
+//! Per-request deadlines start when a worker picks the job up, so queue
+//! wait never silently consumes a request's time budget.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pathenum::catalog::{CatalogConfig, CatalogRequest, CatalogService};
+//! use pathenum::{PathEnumConfig, QueryRequest};
+//! use pathenum_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edges([(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap();
+//! let graph = Arc::new(b.finish());
+//!
+//! let service = CatalogService::new(PathEnumConfig::default(), CatalogConfig::default());
+//! service.catalog().register("social", Arc::clone(&graph));
+//!
+//! let request = CatalogRequest::new("social", "alice", QueryRequest::paths(0, 3).max_hops(3));
+//! let outcome = service.submit(request).wait_outcome();
+//! assert_eq!(outcome.response.unwrap().num_results(), 2);
+//! assert_eq!(outcome.epoch, Some(0));
+//! assert!(outcome.decision.unwrap().admitted());
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use pathenum_graph::CsrGraph;
+
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision, Lane};
+use crate::engine::{execute_collecting, execute_on_plan, preflight_stop};
+use crate::optimizer::PathEnumConfig;
+use crate::parallel::resolve_threads;
+use crate::plan::{
+    effective_config, CacheOutcome, PlanKey, Planner, SharedCacheStats, SharedPlanCache,
+};
+use crate::request::{PathEnumError, QueryRequest, QueryResponse};
+use crate::service::{with_build_scratch, PoolTask, TicketOutcome, TicketState, WorkerPool};
+use crate::stats::PhaseTimings;
+
+/// Default per-tenant/per-graph plan-cache entry quota.
+pub const DEFAULT_TENANT_CACHE_QUOTA: usize = 32;
+
+/// One immutable published generation of a named graph. In-flight
+/// queries hold the `Arc` of the epoch they were submitted against, so
+/// a concurrent [`publish`](GraphCatalog::publish) never tears a read.
+struct ServingEpoch {
+    /// Generation counter: 0 at registration, +1 per publish.
+    epoch: u64,
+    graph: Arc<CsrGraph>,
+}
+
+/// Everything the catalog tracks for one graph name. The tenant caches
+/// live here — *outside* the epoch — so a publish keeps them, and stale
+/// entries are invalidated lazily (and per graph) by the new graph's
+/// version on their next lookup.
+struct GraphState {
+    current: Mutex<Arc<ServingEpoch>>,
+    tenants: Mutex<HashMap<String, Arc<SharedPlanCache>>>,
+}
+
+impl GraphState {
+    fn snapshot(&self) -> Arc<ServingEpoch> {
+        Arc::clone(&self.current.lock().expect("catalog epoch is not poisoned"))
+    }
+
+    fn tenant_cache(&self, tenant: &str, quota: usize, shards: usize) -> Arc<SharedPlanCache> {
+        let mut tenants = self
+            .tenants
+            .lock()
+            .expect("catalog tenant map is not poisoned");
+        match tenants.get(tenant) {
+            Some(cache) => Arc::clone(cache),
+            None => {
+                let cache = Arc::new(SharedPlanCache::new(quota, shards));
+                tenants.insert(tenant.to_string(), Arc::clone(&cache));
+                cache
+            }
+        }
+    }
+}
+
+/// A registry of named graphs, each served at an explicit epoch with
+/// per-tenant bounded plan caches. See the [module docs](self).
+pub struct GraphCatalog {
+    graphs: Mutex<HashMap<String, Arc<GraphState>>>,
+    tenant_cache_quota: usize,
+    cache_shards: usize,
+}
+
+impl std::fmt::Debug for GraphCatalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphCatalog")
+            .field("graphs", &self.names())
+            .field("tenant_cache_quota", &self.tenant_cache_quota)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for GraphCatalog {
+    fn default() -> Self {
+        GraphCatalog::new()
+    }
+}
+
+impl GraphCatalog {
+    /// An empty catalog with the default per-tenant cache quota.
+    pub fn new() -> Self {
+        GraphCatalog::with_quota(DEFAULT_TENANT_CACHE_QUOTA, 4)
+    }
+
+    /// An empty catalog with an explicit per-tenant/per-graph plan-cache
+    /// entry quota and shard count (both clamped by
+    /// [`SharedPlanCache`]'s own rules; quota `0` disables caching).
+    pub fn with_quota(tenant_cache_quota: usize, cache_shards: usize) -> Self {
+        GraphCatalog {
+            graphs: Mutex::new(HashMap::new()),
+            tenant_cache_quota,
+            cache_shards,
+        }
+    }
+
+    /// Registers (or wholly replaces, caches included) `name` at epoch 0.
+    pub fn register(&self, name: &str, graph: Arc<CsrGraph>) {
+        let state = Arc::new(GraphState {
+            current: Mutex::new(Arc::new(ServingEpoch { epoch: 0, graph })),
+            tenants: Mutex::new(HashMap::new()),
+        });
+        self.graphs
+            .lock()
+            .expect("catalog registry is not poisoned")
+            .insert(name.to_string(), state);
+    }
+
+    /// Atomically replaces the graph served under `name`, returning the
+    /// new epoch. In-flight queries finish on the epoch they snapshotted;
+    /// the tenant caches survive, their stale entries invalidated lazily
+    /// (per graph — other names' caches are untouched) because the new
+    /// graph carries a new version.
+    pub fn publish(&self, name: &str, graph: Arc<CsrGraph>) -> Result<u64, PathEnumError> {
+        let state = self.state(name).ok_or(PathEnumError::GraphNotFound)?;
+        let mut current = state.current.lock().expect("catalog epoch is not poisoned");
+        let epoch = current.epoch + 1;
+        *current = Arc::new(ServingEpoch { epoch, graph });
+        Ok(epoch)
+    }
+
+    /// Removes `name` (and its tenant caches) from the catalog. In-flight
+    /// queries on a snapshotted epoch still finish.
+    pub fn deregister(&self, name: &str) -> bool {
+        self.graphs
+            .lock()
+            .expect("catalog registry is not poisoned")
+            .remove(name)
+            .is_some()
+    }
+
+    /// Registered graph names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .graphs
+            .lock()
+            .expect("catalog registry is not poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.graphs
+            .lock()
+            .expect("catalog registry is not poisoned")
+            .contains_key(name)
+    }
+
+    /// The epoch currently served under `name`.
+    pub fn epoch(&self, name: &str) -> Option<u64> {
+        self.state(name).map(|s| s.snapshot().epoch)
+    }
+
+    /// The graph currently served under `name`.
+    pub fn graph(&self, name: &str) -> Option<Arc<CsrGraph>> {
+        self.state(name).map(|s| Arc::clone(&s.snapshot().graph))
+    }
+
+    /// The configured per-tenant/per-graph plan-cache entry quota.
+    pub fn tenant_cache_quota(&self) -> usize {
+        self.tenant_cache_quota
+    }
+
+    /// Lifetime statistics of one tenant's plan cache on one graph
+    /// (`None` if the graph is unknown or the tenant never queried it).
+    /// Quota pressure shows up as [`SharedCacheStats::evictions`].
+    pub fn tenant_cache_stats(&self, name: &str, tenant: &str) -> Option<SharedCacheStats> {
+        let state = self.state(name)?;
+        let tenants = state
+            .tenants
+            .lock()
+            .expect("catalog tenant map is not poisoned");
+        tenants.get(tenant).map(|cache| cache.stats())
+    }
+
+    /// Per-tenant cache accounting for one graph: `(tenant, entries,
+    /// stats)` rows, sorted by tenant.
+    pub fn tenant_accounting(&self, name: &str) -> Vec<(String, usize, SharedCacheStats)> {
+        let Some(state) = self.state(name) else {
+            return Vec::new();
+        };
+        let tenants = state
+            .tenants
+            .lock()
+            .expect("catalog tenant map is not poisoned");
+        let mut rows: Vec<(String, usize, SharedCacheStats)> = tenants
+            .iter()
+            .map(|(tenant, cache)| (tenant.clone(), cache.len(), cache.stats()))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    fn state(&self, name: &str) -> Option<Arc<GraphState>> {
+        self.graphs
+            .lock()
+            .expect("catalog registry is not poisoned")
+            .get(name)
+            .cloned()
+    }
+}
+
+/// Sizing and policy knobs of a [`CatalogService`].
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogConfig {
+    /// Worker-pool size; `0` resolves to one worker per available core.
+    pub workers: usize,
+    /// Per-tenant/per-graph plan-cache entry quota (`0` disables
+    /// caching).
+    pub tenant_cache_quota: usize,
+    /// Shards per tenant cache.
+    pub cache_shards: usize,
+    /// Admission policy; [`AdmissionConfig::disabled`] (the default)
+    /// reproduces the unbounded single-FIFO behavior of
+    /// [`PathEnumService`](crate::PathEnumService).
+    pub admission: AdmissionConfig,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig {
+            workers: 0,
+            tenant_cache_quota: DEFAULT_TENANT_CACHE_QUOTA,
+            cache_shards: 4,
+            admission: AdmissionConfig::disabled(),
+        }
+    }
+}
+
+/// One routed request: which graph, on whose behalf, what query.
+#[derive(Debug)]
+pub struct CatalogRequest {
+    graph: String,
+    tenant: String,
+    request: QueryRequest<'static>,
+}
+
+impl CatalogRequest {
+    /// A request for `request` against the graph registered as `graph`,
+    /// charged to `tenant`.
+    pub fn new(graph: &str, tenant: &str, request: QueryRequest<'static>) -> Self {
+        CatalogRequest {
+            graph: graph.to_string(),
+            tenant: tenant.to_string(),
+            request,
+        }
+    }
+
+    /// The target graph name.
+    pub fn graph(&self) -> &str {
+        &self.graph
+    }
+
+    /// The tenant the request is charged to.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+}
+
+/// Everything known about one completed catalog request: the response
+/// and timing envelope, plus which epoch served it and the admission
+/// decision that let it through (or shed it).
+#[derive(Debug)]
+pub struct CatalogOutcome {
+    /// The request's result; [`PathEnumError::GraphNotFound`] if the
+    /// name was unregistered, [`PathEnumError::Overloaded`] if shed.
+    pub response: Result<QueryResponse, PathEnumError>,
+    /// When a worker began evaluating (for rejected requests: the
+    /// moment of rejection).
+    pub started: Instant,
+    /// When the evaluation finished (for rejected requests: the moment
+    /// of rejection).
+    pub finished: Instant,
+    /// The epoch of the graph that served the request (`None` when the
+    /// graph was not found).
+    pub epoch: Option<u64>,
+    /// The full admission decision, EXPLAIN-renderable via its
+    /// `Display` (`None` when the graph was not found).
+    pub decision: Option<AdmissionDecision>,
+}
+
+impl CatalogOutcome {
+    /// Service time: `finished - started` (zero for rejections).
+    pub fn latency(&self) -> std::time::Duration {
+        self.finished.duration_since(self.started)
+    }
+
+    /// The lane the request was dispatched on, if it got that far.
+    pub fn lane(&self) -> Option<Lane> {
+        self.decision.as_ref().map(|d| d.lane)
+    }
+}
+
+/// A handle to one request submitted via [`CatalogService::submit`].
+/// Rejected requests (unknown graph, shed by admission) resolve
+/// immediately — [`is_done`](Self::is_done) is `true` before `submit`
+/// even returns.
+#[derive(Debug)]
+pub struct CatalogTicket {
+    state: Arc<TicketState>,
+    epoch: Option<u64>,
+    decision: Option<AdmissionDecision>,
+}
+
+impl CatalogTicket {
+    /// Whether the result is available (`wait_outcome` would not block).
+    pub fn is_done(&self) -> bool {
+        self.state.is_done()
+    }
+
+    /// The epoch snapshotted for this request at submit.
+    pub fn epoch(&self) -> Option<u64> {
+        self.epoch
+    }
+
+    /// The admission decision reached at submit.
+    pub fn decision(&self) -> Option<&AdmissionDecision> {
+        self.decision.as_ref()
+    }
+
+    /// Blocks until the request completes and returns its response.
+    pub fn wait(self) -> Result<QueryResponse, PathEnumError> {
+        self.state.wait().response
+    }
+
+    /// Blocks until the request completes and returns the full outcome.
+    pub fn wait_outcome(self) -> CatalogOutcome {
+        let outcome = self.state.wait();
+        CatalogOutcome {
+            response: outcome.response,
+            started: outcome.started,
+            finished: outcome.finished,
+            epoch: self.epoch,
+            decision: self.decision,
+        }
+    }
+}
+
+/// The admission-controlled, multi-graph serving front end. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct CatalogService {
+    catalog: Arc<GraphCatalog>,
+    admission: Arc<AdmissionController>,
+    config: PathEnumConfig,
+    workers: usize,
+    pool: WorkerPool,
+    submitted: AtomicU64,
+}
+
+impl CatalogService {
+    /// A service over a fresh empty catalog.
+    pub fn new(config: PathEnumConfig, catalog_config: CatalogConfig) -> Self {
+        let catalog = Arc::new(GraphCatalog::with_quota(
+            catalog_config.tenant_cache_quota,
+            catalog_config.cache_shards,
+        ));
+        CatalogService::over(catalog, config, catalog_config)
+    }
+
+    /// A service over an existing (possibly shared) catalog. The
+    /// catalog's own quota settings win over `catalog_config`'s.
+    pub fn over(
+        catalog: Arc<GraphCatalog>,
+        config: PathEnumConfig,
+        catalog_config: CatalogConfig,
+    ) -> Self {
+        let workers = resolve_threads(catalog_config.workers);
+        CatalogService {
+            catalog,
+            admission: Arc::new(AdmissionController::new(catalog_config.admission)),
+            config,
+            workers,
+            pool: WorkerPool::new(workers, "pathenum-catalog"),
+            submitted: AtomicU64::new(0),
+        }
+    }
+
+    /// The catalog this service routes into (register/publish here).
+    pub fn catalog(&self) -> &GraphCatalog {
+        &self.catalog
+    }
+
+    /// The admission controller (budget occupancy, admitted/shed
+    /// counters).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Resolved worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Requests submitted so far (admitted or not).
+    pub fn queries_submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Submits one routed request. The request is *planned here, on the
+    /// calling thread* (warming the tenant's plan cache even if the
+    /// request is then shed), priced via
+    /// [`modeled_cost`](crate::plan::PhysicalPlan::modeled_cost), run
+    /// through admission, and — if admitted — dispatched on the lane its
+    /// cost earned. The returned ticket resolves immediately on
+    /// rejection.
+    pub fn submit(&self, routed: CatalogRequest) -> CatalogTicket {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::new(TicketState::default());
+
+        let Some(graph_state) = self.catalog.state(&routed.graph) else {
+            return reject(state, None, None, PathEnumError::GraphNotFound);
+        };
+        let epoch = graph_state.snapshot();
+        let request = routed.request;
+
+        // Plan at submit: one validation + (cached) plan gives us the
+        // admission price and warms the tenant cache either way.
+        let query = match request.validate(epoch.graph.num_vertices()) {
+            Ok(query) => query,
+            Err(err) => return reject(state, Some(epoch.epoch), None, err),
+        };
+        let cache = graph_state.tenant_cache(
+            &routed.tenant,
+            self.catalog.tenant_cache_quota,
+            self.catalog.cache_shards,
+        );
+        let key = if request.bypass_cache || cache.capacity() == 0 {
+            None
+        } else {
+            PlanKey::for_request(&request, effective_config(self.config, &request))
+        };
+        let version = epoch.graph.version();
+
+        let lookup_start = Instant::now();
+        let (mut plan, index, timings, outcome_tag) = match key {
+            Some(ref key) => match cache.lookup(key, version) {
+                Some((plan, index)) => {
+                    let timings = PhaseTimings {
+                        cache_lookup: lookup_start.elapsed(),
+                        ..PhaseTimings::default()
+                    };
+                    (plan, index, timings, CacheOutcome::Hit)
+                }
+                None => {
+                    let planner = Planner::new(epoch.graph.as_ref(), self.config);
+                    let (planned, timings) =
+                        with_build_scratch(|scratch| planner.plan_query(query, &request, scratch));
+                    let index = Arc::new(planned.index);
+                    cache.insert_arc(*key, version, planned.plan, Arc::clone(&index));
+                    (planned.plan, index, timings, CacheOutcome::Miss)
+                }
+            },
+            None => {
+                cache.note_bypass();
+                let planner = Planner::new(epoch.graph.as_ref(), self.config);
+                let (planned, timings) =
+                    with_build_scratch(|scratch| planner.plan_query(query, &request, scratch));
+                (
+                    planned.plan,
+                    Arc::new(planned.index),
+                    timings,
+                    CacheOutcome::Bypass,
+                )
+            }
+        };
+        plan.constraint = request.constraint.kind();
+        // Pool-dispatched requests run intra-sequentially, like
+        // `PathEnumService::submit`.
+        plan.threads = 1;
+
+        let cost = plan.modeled_cost();
+        let decision = self.admission.try_admit(&routed.tenant, cost);
+        if let Some(err) = decision.rejected {
+            return reject(state, Some(epoch.epoch), Some(decision), err);
+        }
+        let lane = decision.lane;
+        let epoch_id = epoch.epoch;
+
+        let task: PoolTask = {
+            let state = Arc::clone(&state);
+            let admission = Arc::clone(&self.admission);
+            let tenant = routed.tenant;
+            Box::new(move || {
+                let started = Instant::now();
+                // Deadlines start at pickup: queue wait never consumes
+                // the request's own time budget. Panics from hostile
+                // constraint closures resolve the ticket, not the pool.
+                let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let deadline = request.time_budget.map(|b| started + b);
+                    if let Some(stopped) = preflight_stop(&request, deadline) {
+                        return Ok(stopped);
+                    }
+                    execute_collecting(request.collect, |sink| {
+                        Ok(execute_on_plan(
+                            &index,
+                            plan,
+                            &request,
+                            deadline,
+                            sink,
+                            timings,
+                            outcome_tag,
+                        ))
+                    })
+                }))
+                .unwrap_or(Err(PathEnumError::EvaluationPanicked));
+                admission.release(&tenant, cost);
+                state.publish(TicketOutcome {
+                    response,
+                    started,
+                    finished: Instant::now(),
+                });
+                // The epoch's graph stays alive exactly as long as work
+                // referencing it does.
+                drop(epoch);
+            })
+        };
+        self.pool.spawn_task(lane, task);
+        CatalogTicket {
+            state,
+            epoch: Some(epoch_id),
+            decision: Some(decision),
+        }
+    }
+
+    /// Evaluates one routed request, blocking until it completes (or is
+    /// rejected).
+    pub fn execute(&self, routed: CatalogRequest) -> Result<QueryResponse, PathEnumError> {
+        self.submit(routed).wait()
+    }
+}
+
+fn reject(
+    state: Arc<TicketState>,
+    epoch: Option<u64>,
+    decision: Option<AdmissionDecision>,
+    err: PathEnumError,
+) -> CatalogTicket {
+    let now = Instant::now();
+    state.publish(TicketOutcome {
+        response: Err(err),
+        started: now,
+        finished: now,
+    });
+    CatalogTicket {
+        state,
+        epoch,
+        decision,
+    }
+}

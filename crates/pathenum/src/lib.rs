@@ -26,6 +26,10 @@
 //! deterministic merged output, and many queries can be served
 //! concurrently from many threads over one shared graph and one shared
 //! plan cache through the [`service`] layer ([`PathEnumService`]).
+//! Fleet-shaped deployments — many named graphs, many tenants, graphs
+//! republished mid-traffic, overload shed by modeled cost — go through
+//! the [`catalog`] layer ([`CatalogService`]) and its [`admission`]
+//! policies.
 //!
 //! # Serving queries
 //!
@@ -72,6 +76,8 @@
 //! assert_eq!(report.counters.results, 3);
 //! ```
 
+pub mod admission;
+pub mod catalog;
 pub mod constraints;
 pub mod dynamic;
 pub mod engine;
@@ -91,6 +97,12 @@ pub mod sink;
 pub mod spectrum;
 pub mod stats;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionStats, Lane,
+};
+pub use catalog::{
+    CatalogConfig, CatalogOutcome, CatalogRequest, CatalogService, CatalogTicket, GraphCatalog,
+};
 pub use dynamic::DynamicEngine;
 pub use engine::QueryEngine;
 pub use index::Index;

@@ -180,6 +180,24 @@ impl PhysicalPlan {
         self.index_vertices == 0
     }
 
+    /// The modeled execution cost of this plan, in the optimizer's cost
+    /// units (search-tree nodes / tuple touches): the cost model value
+    /// for the *chosen* method when the optimizer ran (`t_dfs` for
+    /// IDX-DFS, `t_join` for IDX-JOIN), and the preliminary
+    /// search-space estimate otherwise. Never 0 — even a provably empty
+    /// plan charges one unit, so admission accounting stays conservative.
+    ///
+    /// This is the number the [`admission`](crate::admission) layer
+    /// charges against its in-flight budget: the planner's estimate *is*
+    /// the admission ticket.
+    pub fn modeled_cost(&self) -> u64 {
+        let modeled = match self.method {
+            Method::IdxDfs => self.t_dfs,
+            Method::IdxJoin => self.t_join,
+        };
+        modeled.unwrap_or(self.preliminary_estimate).max(1)
+    }
+
     /// Assembles a [`RunReport`](crate::stats::RunReport) for one
     /// interpretation of this plan.
     pub(crate) fn report(
@@ -944,7 +962,20 @@ impl PlanCache {
         plan: PhysicalPlan,
         index: Index,
     ) {
-        self.insert_with_footprint(key, version, plan, index, None);
+        self.insert_arc(key, version, plan, Arc::new(index));
+    }
+
+    /// As [`insert`](Self::insert), storing an already-shared index so a
+    /// caller that keeps executing on the same index (the catalog's
+    /// plan-at-submit path) never clones the tables.
+    pub(crate) fn insert_arc(
+        &mut self,
+        key: PlanKey,
+        version: GraphVersion,
+        plan: PhysicalPlan,
+        index: Arc<Index>,
+    ) {
+        self.insert_entry(key, version, plan, index, None);
     }
 
     /// As [`insert`](Self::insert), additionally recording the reach
@@ -956,6 +987,17 @@ impl PlanCache {
         version: GraphVersion,
         plan: PhysicalPlan,
         index: Index,
+        footprint: Option<IndexFootprint>,
+    ) {
+        self.insert_entry(key, version, plan, Arc::new(index), footprint);
+    }
+
+    fn insert_entry(
+        &mut self,
+        key: PlanKey,
+        version: GraphVersion,
+        plan: PhysicalPlan,
+        index: Arc<Index>,
         footprint: Option<IndexFootprint>,
     ) {
         if self.capacity == 0 {
@@ -978,7 +1020,7 @@ impl PlanCache {
             CacheEntry {
                 version,
                 plan,
-                index: Arc::new(index),
+                index,
                 last_used: self.clock,
                 footprint,
                 src_touched: false,
@@ -1248,6 +1290,18 @@ impl SharedPlanCache {
         plan: PhysicalPlan,
         index: Index,
     ) {
+        self.insert_arc(key, version, plan, Arc::new(index));
+    }
+
+    /// As [`insert`](Self::insert), storing an already-shared index (the
+    /// catalog plans at submit time and executes on the same `Arc`).
+    pub(crate) fn insert_arc(
+        &self,
+        key: PlanKey,
+        version: GraphVersion,
+        plan: PhysicalPlan,
+        index: Arc<Index>,
+    ) {
         let delta;
         {
             let mut shard = self
@@ -1255,7 +1309,7 @@ impl SharedPlanCache {
                 .lock()
                 .expect("no poisoned cache shard");
             let before = shard.stats();
-            shard.insert(key, version, plan, index);
+            shard.insert_arc(key, version, plan, index);
             delta = diff_stats(shard.stats(), before);
         }
         self.accumulate(delta);

@@ -85,6 +85,20 @@ pub enum PathEnumError {
     /// [`Ticket`](crate::service::Ticket) still resolves; direct
     /// (`execute`) callers observe the panic itself.
     EvaluationPanicked,
+    /// The request named a graph the serving
+    /// [`GraphCatalog`](crate::catalog::GraphCatalog) does not hold
+    /// (never registered, or removed).
+    GraphNotFound,
+    /// The service shed this request instead of queuing it: admitting
+    /// it would have pushed the in-flight modeled cost over the
+    /// [`admission`](crate::admission) budget, or the tenant's bounded
+    /// queue is full. The request was **not** evaluated; `retry_hint`
+    /// is a coarse, advisory backoff before resubmitting.
+    Overloaded {
+        /// Suggested client backoff (advisory, derived from current
+        /// queue pressure — not a reservation).
+        retry_hint: Duration,
+    },
 }
 
 impl std::fmt::Display for PathEnumError {
@@ -110,6 +124,16 @@ impl std::fmt::Display for PathEnumError {
             }
             PathEnumError::EvaluationPanicked => {
                 write!(f, "evaluation panicked mid-query; no result was produced")
+            }
+            PathEnumError::GraphNotFound => {
+                write!(f, "the named graph is not registered in the catalog")
+            }
+            PathEnumError::Overloaded { retry_hint } => {
+                write!(
+                    f,
+                    "request shed by admission control (overloaded); retry in ~{:?}",
+                    retry_hint
+                )
             }
         }
     }
@@ -1193,6 +1217,10 @@ mod tests {
                 second: "automaton",
             },
             PathEnumError::EvaluationPanicked,
+            PathEnumError::GraphNotFound,
+            PathEnumError::Overloaded {
+                retry_hint: Duration::from_millis(2),
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -82,6 +82,7 @@ use std::time::{Duration, Instant};
 
 use pathenum_graph::CsrGraph;
 
+use crate::admission::Lane;
 use crate::engine::{execute_collecting, execute_on_plan, preflight_stop};
 use crate::index::BuildScratch;
 use crate::optimizer::PathEnumConfig;
@@ -100,6 +101,14 @@ thread_local! {
     /// reuses its own BFS/id-mapping buffers across queries, exactly as
     /// a dedicated engine would.
     static BUILD_SCRATCH: RefCell<BuildScratch> = RefCell::new(BuildScratch::default());
+}
+
+/// Runs `f` with this OS thread's reusable [`BuildScratch`] — the
+/// scratch-reuse contract shared by every concurrent evaluator (the
+/// service workers and the [`catalog`](crate::catalog)'s plan-at-submit
+/// path).
+pub(crate) fn with_build_scratch<R>(f: impl FnOnce(&mut BuildScratch) -> R) -> R {
+    BUILD_SCRATCH.with(|scratch| f(&mut scratch.borrow_mut()))
 }
 
 /// Sizing knobs of a [`PathEnumService`].
@@ -236,34 +245,158 @@ impl ServiceCore {
     }
 }
 
-/// One unit of pool work: an owned request plus the slot its outcome is
-/// published to.
-struct PoolJob {
-    request: QueryRequest<'static>,
-    intra_cap: usize,
-    ticket: Arc<TicketState>,
+/// One unit of pool work: a boxed closure that owns everything it needs
+/// (request, ticket slot, shared state) and publishes its own outcome.
+pub(crate) type PoolTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// The two dispatch queues of a [`WorkerPool`], popped interactive-first
+/// so cheap queries keep flowing while batch work drains behind them.
+#[derive(Default)]
+struct LaneQueues {
+    interactive: VecDeque<PoolTask>,
+    batch: VecDeque<PoolTask>,
+}
+
+impl LaneQueues {
+    fn pop(&mut self) -> Option<PoolTask> {
+        self.interactive
+            .pop_front()
+            .or_else(|| self.batch.pop_front())
+    }
+
+    fn push(&mut self, lane: Lane, task: PoolTask) {
+        match lane {
+            Lane::Interactive => self.interactive.push_back(task),
+            Lane::Batch => self.batch.push_back(task),
+        }
+    }
 }
 
 struct PoolShared {
-    queue: Mutex<VecDeque<PoolJob>>,
+    queues: Mutex<LaneQueues>,
     job_ready: Condvar,
     shutdown: AtomicBool,
 }
 
+/// A fixed pool of named OS threads draining two lanes of boxed tasks.
+///
+/// This is the dispatch substrate shared by [`PathEnumService`] (which
+/// submits everything on the interactive lane, preserving PR 5's FIFO
+/// behavior) and the [`catalog`](crate::catalog) (which routes admitted
+/// requests by [`Lane`]). Shutdown on drop is *draining*: queued tasks
+/// still run, so every issued [`Ticket`] resolves.
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads named `{name_prefix}-{i}`.
+    pub(crate) fn new(workers: usize, name_prefix: &str) -> Self {
+        let shared = Arc::new(PoolShared {
+            queues: Mutex::new(LaneQueues::default()),
+            job_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("{name_prefix}-{i}"))
+                    .spawn(move || pool_worker_loop(&shared))
+                    .expect("worker threads spawn")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Enqueues `task` on `lane` and wakes one worker.
+    pub(crate) fn spawn_task(&self, lane: Lane, task: PoolTask) {
+        {
+            let mut queues = self
+                .shared
+                .queues
+                .lock()
+                .expect("pool queue is not poisoned");
+            queues.push(lane, task);
+        }
+        self.shared.job_ready.notify_one();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            // The store must happen under the queue mutex: a worker that
+            // has found the queues empty and read `shutdown == false`
+            // still holds the lock until `wait()` parks it, so storing
+            // here cannot slip into that window — the classic condvar
+            // lost-wakeup race.
+            let _queues = self
+                .shared
+                .queues
+                .lock()
+                .expect("pool queue is not poisoned");
+            self.shared.shutdown.store(true, Ordering::Relaxed);
+        }
+        self.shared.job_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A pool worker: drain the queues interactive-first (draining continues
+/// after shutdown so every issued [`Ticket`] resolves), park on the
+/// condvar when idle. Tasks are responsible for resolving their own
+/// tickets on panic; the `catch_unwind` here is only a backstop keeping
+/// an unwinding task from costing the pool a worker.
+fn pool_worker_loop(shared: &PoolShared) {
+    loop {
+        let task = {
+            let mut queues = shared.queues.lock().expect("pool queue is not poisoned");
+            loop {
+                if let Some(task) = queues.pop() {
+                    break Some(task);
+                }
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    break None;
+                }
+                queues = shared
+                    .job_ready
+                    .wait(queues)
+                    .expect("pool queue is not poisoned");
+            }
+        };
+        let Some(task) = task else {
+            return;
+        };
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+    }
+}
+
 #[derive(Default)]
-struct TicketState {
+pub(crate) struct TicketState {
     slot: Mutex<Option<TicketOutcome>>,
     ready: Condvar,
 }
 
 impl TicketState {
-    fn publish(&self, outcome: TicketOutcome) {
+    pub(crate) fn publish(&self, outcome: TicketOutcome) {
         let mut slot = self.slot.lock().expect("ticket slot is never poisoned");
         *slot = Some(outcome);
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> TicketOutcome {
+    pub(crate) fn wait(&self) -> TicketOutcome {
         let mut slot = self.slot.lock().expect("ticket slot is never poisoned");
         loop {
             if let Some(outcome) = slot.take() {
@@ -274,6 +407,13 @@ impl TicketState {
                 .wait(slot)
                 .expect("ticket slot is never poisoned");
         }
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.slot
+            .lock()
+            .expect("ticket slot is never poisoned")
+            .is_some()
     }
 }
 
@@ -316,11 +456,7 @@ impl std::fmt::Debug for TicketState {
 impl Ticket {
     /// Whether the result is available (`wait` would not block).
     pub fn is_done(&self) -> bool {
-        self.state
-            .slot
-            .lock()
-            .expect("ticket slot is never poisoned")
-            .is_some()
+        self.state.is_done()
     }
 
     /// Blocks until the request completes and returns its response.
@@ -371,8 +507,7 @@ impl ServeReport {
 #[derive(Debug)]
 pub struct PathEnumService {
     core: Arc<ServiceCore>,
-    pool: Arc<PoolShared>,
-    handles: Vec<JoinHandle<()>>,
+    pool: WorkerPool,
 }
 
 impl std::fmt::Debug for ServiceCore {
@@ -381,12 +516,6 @@ impl std::fmt::Debug for ServiceCore {
             .field("workers", &self.workers)
             .field("cache_capacity", &self.cache.capacity())
             .finish_non_exhaustive()
-    }
-}
-
-impl std::fmt::Debug for PoolShared {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PoolShared").finish_non_exhaustive()
     }
 }
 
@@ -412,26 +541,8 @@ impl PathEnumService {
             queries_served: AtomicU64::new(0),
             queries_rejected: AtomicU64::new(0),
         });
-        let pool = Arc::new(PoolShared {
-            queue: Mutex::new(VecDeque::new()),
-            job_ready: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-        });
-        let handles = (0..workers)
-            .map(|i| {
-                let core = Arc::clone(&core);
-                let pool = Arc::clone(&pool);
-                std::thread::Builder::new()
-                    .name(format!("pathenum-worker-{i}"))
-                    .spawn(move || worker_loop(&core, &pool))
-                    .expect("worker threads spawn")
-            })
-            .collect();
-        PathEnumService {
-            core,
-            pool,
-            handles,
-        }
+        let pool = WorkerPool::new(workers, "pathenum-worker");
+        PathEnumService { core, pool }
     }
 
     /// The graph this service serves.
@@ -502,15 +613,26 @@ impl PathEnumService {
 
     fn submit_with_cap(&self, request: QueryRequest<'static>, intra_cap: usize) -> Ticket {
         let state = Arc::new(TicketState::default());
-        {
-            let mut queue = self.pool.queue.lock().expect("pool queue is not poisoned");
-            queue.push_back(PoolJob {
-                request,
-                intra_cap,
-                ticket: Arc::clone(&state),
-            });
-        }
-        self.pool.job_ready.notify_one();
+        let core = Arc::clone(&self.core);
+        let ticket = Arc::clone(&state);
+        self.pool.spawn_task(
+            Lane::Interactive,
+            Box::new(move || {
+                let started = Instant::now();
+                // Isolate panics from user-supplied constraint closures
+                // (or our own bugs): an unwinding evaluation must not
+                // strand the caller parked on its ticket.
+                let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    core.execute(&request, intra_cap)
+                }))
+                .unwrap_or(Err(PathEnumError::EvaluationPanicked));
+                ticket.publish(TicketOutcome {
+                    response,
+                    started,
+                    finished: Instant::now(),
+                });
+            }),
+        );
         Ticket { state }
     }
 
@@ -565,62 +687,6 @@ impl PathEnumService {
             .into_iter()
             .map(|request| self.submit_with_cap(request, cap))
             .collect()
-    }
-}
-
-impl Drop for PathEnumService {
-    fn drop(&mut self) {
-        {
-            // The store must happen under the queue mutex: a worker that
-            // has found the queue empty and read `shutdown == false`
-            // still holds the lock until `wait()` parks it, so storing
-            // here cannot slip into that window — the classic condvar
-            // lost-wakeup race.
-            let _queue = self.pool.queue.lock().expect("pool queue is not poisoned");
-            self.pool.shutdown.store(true, Ordering::Relaxed);
-        }
-        self.pool.job_ready.notify_all();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-/// A pool worker: drain the queue (draining continues after shutdown so
-/// every issued [`Ticket`] resolves), park on the condvar when idle.
-fn worker_loop(core: &ServiceCore, pool: &PoolShared) {
-    loop {
-        let job = {
-            let mut queue = pool.queue.lock().expect("pool queue is not poisoned");
-            loop {
-                if let Some(job) = queue.pop_front() {
-                    break Some(job);
-                }
-                if pool.shutdown.load(Ordering::Relaxed) {
-                    break None;
-                }
-                queue = pool
-                    .job_ready
-                    .wait(queue)
-                    .expect("pool queue is not poisoned");
-            }
-        };
-        let Some(job) = job else {
-            return;
-        };
-        let started = Instant::now();
-        // Isolate panics from user-supplied constraint closures (or our
-        // own bugs): an unwinding evaluation must neither strand the
-        // caller parked on its ticket nor cost the pool a worker.
-        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            core.execute(&job.request, job.intra_cap)
-        }))
-        .unwrap_or(Err(PathEnumError::EvaluationPanicked));
-        job.ticket.publish(TicketOutcome {
-            response,
-            started,
-            finished: Instant::now(),
-        });
     }
 }
 

@@ -14,7 +14,9 @@
 //!   under snapshot-per-update vs overlay vs overlay+retained-cache
 //!   serving strategies.
 //! * [`serving`] — open/closed-loop multi-client load harnesses over the
-//!   concurrent [`PathEnumService`](pathenum::PathEnumService).
+//!   concurrent [`PathEnumService`](pathenum::PathEnumService), plus the
+//!   open-loop overload driver over the admission-controlled
+//!   [`CatalogService`](pathenum::CatalogService).
 
 pub mod algorithms;
 pub mod datasets;
@@ -28,7 +30,9 @@ pub use algorithms::{AlgoReport, Algorithm};
 pub use parallel::{run_parallel, run_parallel_intra, ParallelOutcome};
 pub use querygen::{generate_queries, QueryGenConfig, QuerySetting};
 pub use runner::{run_query, MeasureConfig, QueryMeasurement};
-pub use serving::{run_closed_loop, run_open_loop, ServingBounds, ServingSummary};
+pub use serving::{
+    run_closed_loop, run_open_loop, run_overload, OverloadReport, ServingBounds, ServingSummary,
+};
 pub use streaming::{
     generate_stream, run_stream, StreamConfig, StreamOp, StreamRunSummary, StreamStrategy,
 };

@@ -86,6 +86,7 @@ fn main() {
     let bounds = ServingBounds {
         limit: Some(1000),
         time_budget: Some(Duration::from_millis(250)),
+        collect: false,
     };
     println!(
         "service: {} workers, cache capacity {} over 8 shards",

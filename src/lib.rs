@@ -23,11 +23,13 @@ pub mod prelude {
     };
     pub use pathenum::sink::{CollectingSink, CountingSink, PathSink, SearchControl};
     pub use pathenum::{
-        path_enum, CacheOutcome, CancelToken, ControlledSink, Counters, DynamicEngine, Index,
-        Method, PathBuffer, PathEnumConfig, PathEnumError, PathEnumService, PathStream,
-        PhysicalPlan, PlanCache, PlanCacheStats, Query, QueryEngine, QueryRequest, QueryResponse,
-        RunReport, ServeReport, ServiceConfig, SharedCacheStats, SharedControl, SharedPlanCache,
-        Termination, Ticket,
+        path_enum, AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionStats,
+        CacheOutcome, CancelToken, CatalogConfig, CatalogOutcome, CatalogRequest, CatalogService,
+        CatalogTicket, ControlledSink, Counters, DynamicEngine, GraphCatalog, Index, Lane, Method,
+        PathBuffer, PathEnumConfig, PathEnumError, PathEnumService, PathStream, PhysicalPlan,
+        PlanCache, PlanCacheStats, Query, QueryEngine, QueryRequest, QueryResponse, RunReport,
+        ServeReport, ServiceConfig, SharedCacheStats, SharedControl, SharedPlanCache, Termination,
+        Ticket,
     };
     pub use pathenum_graph::{
         CsrGraph, DynamicGraph, GraphBuilder, GraphVersion, NeighborAccess, OverlayView, VertexId,

@@ -1,0 +1,335 @@
+//! Catalog-layer soundness: epoch swaps under live traffic, per-graph
+//! (not global) cache invalidation, tenant quota isolation, and fast
+//! rejection paths.
+//!
+//! The acceptance property: a `publish` mid-stream must never tear a
+//! read — every response is wholly attributable to the single epoch its
+//! ticket snapshotted at submit, matching a sequential oracle run on
+//! that epoch's graph path-for-path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use pathenum_repro::prelude::*;
+
+fn graph_from_edges(n: u32, edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new(n as usize);
+    for &(u, v) in edges {
+        if u != v && u < n && v < n {
+            b.add_edge(u, v).expect("in-range edge");
+        }
+    }
+    b.finish()
+}
+
+fn catalog_service(workers: usize, admission: AdmissionConfig) -> CatalogService {
+    CatalogService::new(
+        PathEnumConfig::default(),
+        CatalogConfig {
+            workers,
+            admission,
+            ..CatalogConfig::default()
+        },
+    )
+}
+
+/// `n`, a list of edge sets (one graph generation each), and a target
+/// stream, all vertex ids in range.
+type GenerationsInstance = (u32, Vec<Vec<(u32, u32)>>, Vec<u32>);
+
+fn arb_generations() -> impl Strategy<Value = GenerationsInstance> {
+    (5u32..12).prop_flat_map(|n| {
+        let generation = proptest::collection::vec((0..n, 0..n), 4..40);
+        let generations = proptest::collection::vec(generation, 2..5);
+        let targets = proptest::collection::vec(1..n, 6..18);
+        (Just(n), generations, targets)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Epoch-swap safety: graphs are republished *while submissions are
+    /// in flight*; every response must equal the sequential oracle of
+    /// exactly the epoch its ticket snapshotted — no torn reads, and
+    /// stale cached plans must never leak across a publish.
+    #[test]
+    fn epoch_swaps_never_tear_responses(
+        (n, generations, targets) in arb_generations(),
+    ) {
+        let k = 4u32;
+        let graphs: Vec<Arc<CsrGraph>> = generations
+            .iter()
+            .map(|edges| Arc::new(graph_from_edges(n, edges)))
+            .collect();
+
+        // Sequential oracle per (epoch, target).
+        let mut oracles: Vec<HashMap<u32, Vec<Vec<u32>>>> = Vec::with_capacity(graphs.len());
+        for graph in &graphs {
+            let mut engine = QueryEngine::new(graph.as_ref(), PathEnumConfig::default());
+            let mut per_target = HashMap::new();
+            for &t in &targets {
+                per_target.entry(t).or_insert_with(|| {
+                    engine
+                        .execute(&QueryRequest::paths(0, t).max_hops(k).collect_paths(true))
+                        .expect("valid query")
+                        .paths
+                });
+            }
+            oracles.push(per_target);
+        }
+
+        let service = catalog_service(2, AdmissionConfig::disabled());
+        service.catalog().register("live", Arc::clone(&graphs[0]));
+
+        // Submit the target stream in slices, publishing the next epoch
+        // between slices while earlier submissions may still be running.
+        // The stream is replayed once per epoch so every epoch sees both
+        // cold and warm (and freshly-invalidated) cache states.
+        let mut tickets = Vec::new();
+        for (e, graph) in graphs.iter().enumerate() {
+            if e > 0 {
+                let epoch = service.catalog().publish("live", Arc::clone(graph)).unwrap();
+                prop_assert_eq!(epoch, e as u64);
+            }
+            for &t in &targets {
+                let request = QueryRequest::paths(0, t).max_hops(k).collect_paths(true);
+                tickets.push((t, service.submit(CatalogRequest::new("live", "tenant", request))));
+            }
+        }
+
+        for (t, ticket) in tickets {
+            let epoch = ticket.epoch().expect("registered graph") as usize;
+            prop_assert!(epoch < graphs.len());
+            let response = ticket.wait().expect("valid query");
+            prop_assert_eq!(
+                &response.paths,
+                &oracles[epoch][&t],
+                "target {} diverged from its epoch-{} oracle",
+                t,
+                epoch
+            );
+        }
+    }
+}
+
+#[test]
+fn publish_invalidates_per_graph_not_globally() {
+    let a0 = Arc::new(graph_from_edges(5, &[(0, 1), (1, 2), (0, 2)]));
+    let a1 = Arc::new(graph_from_edges(5, &[(0, 1), (1, 2), (2, 3)]));
+    let b = Arc::new(graph_from_edges(5, &[(0, 1), (1, 4), (0, 4)]));
+    let service = catalog_service(1, AdmissionConfig::disabled());
+    service.catalog().register("a", a0);
+    service.catalog().register("b", Arc::clone(&b));
+
+    let request = || QueryRequest::paths(0, 2).max_hops(3).collect_paths(true);
+    let run = |name: &str| {
+        service
+            .execute(CatalogRequest::new(name, "tenant", request()))
+            .expect("valid query")
+    };
+    // Warm both graphs' tenant caches: one miss each, then a hit each.
+    for _ in 0..2 {
+        run("a");
+        run("b");
+    }
+    let stats_a = service.catalog().tenant_cache_stats("a", "tenant").unwrap();
+    let stats_b = service.catalog().tenant_cache_stats("b", "tenant").unwrap();
+    assert_eq!((stats_a.misses, stats_a.hits), (1, 1));
+    assert_eq!((stats_b.misses, stats_b.hits), (1, 1));
+
+    // Publishing `a` must invalidate `a`'s stale entry on next lookup —
+    // and leave `b`'s cache entirely alone.
+    service.catalog().publish("a", a1).unwrap();
+    let after_a = run("a");
+    let after_b = run("b");
+    assert_eq!(after_a.report.cache, CacheOutcome::Miss, "a replans");
+    assert_eq!(after_b.report.cache, CacheOutcome::Hit, "b stays warm");
+    let stats_a = service.catalog().tenant_cache_stats("a", "tenant").unwrap();
+    let stats_b = service.catalog().tenant_cache_stats("b", "tenant").unwrap();
+    assert_eq!(stats_a.invalidations, 1, "a's stale entry was invalidated");
+    assert_eq!(stats_b.invalidations, 0, "b was untouched");
+    assert_eq!(stats_b.hits, 2);
+    // The republished graph actually serves the new topology.
+    assert_eq!(after_a.num_results(), 1, "0-1-2 only; 0-2 edge is gone");
+}
+
+#[test]
+fn tenant_quotas_isolate_and_account_evictions() {
+    let graph = Arc::new(graph_from_edges(
+        8,
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (0, 3),
+            (1, 3),
+            (0, 2),
+            (3, 4),
+            (4, 5),
+        ],
+    ));
+    let service = CatalogService::new(
+        PathEnumConfig::default(),
+        CatalogConfig {
+            workers: 1,
+            tenant_cache_quota: 2,
+            cache_shards: 1,
+            admission: AdmissionConfig::disabled(),
+        },
+    );
+    service.catalog().register("g", graph);
+    assert_eq!(service.catalog().tenant_cache_quota(), 2);
+
+    // Tenant A cycles through 3 distinct shapes twice over a 2-entry
+    // quota: evictions must be recorded. Tenant B runs one shape twice
+    // and must keep hitting, unaffected by A's churn.
+    for _ in 0..2 {
+        for t in [1u32, 2, 3] {
+            service
+                .execute(CatalogRequest::new(
+                    "g",
+                    "tenant-a",
+                    QueryRequest::paths(0, t).max_hops(3),
+                ))
+                .expect("valid query");
+        }
+        service
+            .execute(CatalogRequest::new(
+                "g",
+                "tenant-b",
+                QueryRequest::paths(0, 1).max_hops(3),
+            ))
+            .expect("valid query");
+    }
+    let stats_a = service
+        .catalog()
+        .tenant_cache_stats("g", "tenant-a")
+        .unwrap();
+    let stats_b = service
+        .catalog()
+        .tenant_cache_stats("g", "tenant-b")
+        .unwrap();
+    assert!(stats_a.evictions > 0, "3 shapes over quota 2 must evict");
+    assert_eq!((stats_b.misses, stats_b.hits, stats_b.evictions), (1, 1, 0));
+
+    let accounting = service.catalog().tenant_accounting("g");
+    assert_eq!(accounting.len(), 2);
+    assert!(
+        accounting.iter().all(|(_, len, _)| *len <= 2),
+        "quota holds"
+    );
+}
+
+#[test]
+fn unknown_graphs_reject_immediately() {
+    let service = catalog_service(1, AdmissionConfig::disabled());
+    let ticket = service.submit(CatalogRequest::new(
+        "nope",
+        "tenant",
+        QueryRequest::paths(0, 1).max_hops(2),
+    ));
+    assert!(ticket.is_done(), "rejection resolves before submit returns");
+    assert_eq!(ticket.epoch(), None);
+    let outcome = ticket.wait_outcome();
+    assert_eq!(outcome.latency(), Duration::ZERO);
+    assert_eq!(outcome.response.unwrap_err(), PathEnumError::GraphNotFound);
+}
+
+#[test]
+fn overloaded_rejections_resolve_promptly_with_a_hint() {
+    // A dense digraph so the blocker query keeps the only worker busy.
+    let mut edges = Vec::new();
+    for u in 0..9u32 {
+        for v in 0..9u32 {
+            edges.push((u, v));
+        }
+    }
+    let graph = Arc::new(graph_from_edges(9, &edges));
+    let service = catalog_service(
+        1,
+        AdmissionConfig {
+            cost_budget: None,
+            max_queue_per_tenant: 1,
+            interactive_cost_threshold: 1,
+        },
+    );
+    service.catalog().register("dense", graph);
+
+    // The blocker occupies the tenant's only admission slot until it
+    // completes; everything submitted meanwhile must shed fast.
+    let blocker = service.submit(CatalogRequest::new(
+        "dense",
+        "tenant",
+        QueryRequest::paths(0, 8).max_hops(8),
+    ));
+    assert!(blocker.decision().unwrap().admitted());
+
+    let before = Instant::now();
+    let shed = service.submit(CatalogRequest::new(
+        "dense",
+        "tenant",
+        QueryRequest::paths(0, 8).max_hops(8),
+    ));
+    assert!(shed.is_done(), "shed tickets resolve before submit returns");
+    let decision = shed.decision().expect("a decision was recorded").clone();
+    assert!(!decision.admitted());
+    let rendered = decision.to_string();
+    assert!(rendered.contains("verdict:           shed"));
+    let outcome = shed.wait_outcome();
+    // Prompt resolution: no waiting behind the blocker's long execution.
+    assert!(before.elapsed() < Duration::from_secs(2));
+    assert_eq!(outcome.started, outcome.finished);
+    match outcome.response.unwrap_err() {
+        PathEnumError::Overloaded { retry_hint } => {
+            assert!(retry_hint > Duration::ZERO);
+            assert!(retry_hint <= Duration::from_millis(100));
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    // Another tenant is not starved by tenant-a's full queue.
+    let other = service
+        .submit(CatalogRequest::new(
+            "dense",
+            "other-tenant",
+            QueryRequest::paths(0, 1).max_hops(2),
+        ))
+        .wait();
+    assert!(other.is_ok());
+    assert!(blocker.wait().is_ok());
+}
+
+#[test]
+fn admission_disabled_matches_the_single_service_byte_for_byte() {
+    let graph = Arc::new(graph_from_edges(
+        7,
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (0, 3),
+            (1, 3),
+            (3, 4),
+            (2, 4),
+            (0, 5),
+            (5, 3),
+        ],
+    ));
+    let service = catalog_service(2, AdmissionConfig::disabled());
+    service.catalog().register("g", Arc::clone(&graph));
+    let mut engine = QueryEngine::new(graph.as_ref(), PathEnumConfig::default());
+    for t in 1..7u32 {
+        let request = || QueryRequest::paths(0, t).max_hops(4).collect_paths(true);
+        let expected = engine.execute(&request()).unwrap();
+        let got = service
+            .execute(CatalogRequest::new("g", "tenant", request()))
+            .unwrap();
+        assert_eq!(got.paths, expected.paths, "t={t}");
+        assert_eq!(got.termination, expected.termination);
+    }
+    assert_eq!(service.queries_submitted(), 6);
+}

@@ -134,6 +134,93 @@ proptest! {
     }
 }
 
+/// Satellite acceptance: the shared-cache accounting identity
+/// `hits + misses + bypasses == lookups` must hold under genuinely
+/// concurrent load *and* across `clear_cache()` calls racing the
+/// lookups — a clear may evict every entry mid-stream, but it must
+/// never lose or double-count a lookup.
+#[test]
+fn shared_cache_stats_balance_under_concurrent_load_and_clears() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const THREADS: usize = 4;
+    const ITERS: usize = 60;
+    const SHAPES: u32 = 5;
+
+    let graph = Arc::new(pathenum_graph::generators::erdos_renyi(60, 380, 13));
+    let service = Arc::new(PathEnumService::with_config(
+        Arc::clone(&graph),
+        PathEnumConfig::default(),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    ));
+
+    // One thread hammers `clear_cache` while the submitters run.
+    let done = Arc::new(AtomicBool::new(false));
+    let clearer = {
+        let service = Arc::clone(&service);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut clears = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                service.clear_cache();
+                clears += 1;
+                std::thread::yield_now();
+            }
+            clears
+        })
+    };
+    let submitters: Vec<_> = (0..THREADS)
+        .map(|id| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                for i in 0..ITERS {
+                    let t = 1 + ((id + i) as u32 % SHAPES);
+                    let request = QueryRequest::paths(0, t).max_hops(3).limit(16);
+                    // Every fifth request opts out so `bypasses` is
+                    // exercised in the same race.
+                    let request = if i % 5 == 4 {
+                        request.bypass_cache()
+                    } else {
+                        request
+                    };
+                    service.execute(&request).expect("valid request");
+                }
+            })
+        })
+        .collect();
+    for handle in submitters {
+        handle.join().expect("submitter thread");
+    }
+    done.store(true, Ordering::Relaxed);
+    let clears = clearer.join().expect("clearer thread");
+    assert!(clears > 0, "the clearer actually raced the lookups");
+
+    let stats = service.cache_stats();
+    assert_eq!(
+        stats.hits + stats.misses + stats.bypasses,
+        stats.lookups,
+        "accounting identity under concurrent load + clears: {stats:?}"
+    );
+    assert_eq!(stats.lookups, (THREADS * ITERS) as u64);
+    assert_eq!(stats.bypasses, (THREADS * (ITERS / 5)) as u64);
+    assert!(
+        stats.misses >= u64::from(SHAPES),
+        "each cleared shape replans at least once"
+    );
+
+    // The identity keeps holding for traffic after the race quiesced.
+    service
+        .execute(&QueryRequest::paths(0, 1).max_hops(3).limit(16))
+        .expect("valid request");
+    let after = service.cache_stats();
+    assert_eq!(after.hits + after.misses + after.bypasses, after.lookups);
+    assert_eq!(after.lookups, stats.lookups + 1);
+}
+
 #[test]
 fn explain_reports_modeled_costs_when_the_optimizer_runs() {
     let g = pathenum_graph::generators::complete_digraph(10);

@@ -173,6 +173,54 @@ fn intra_query_threads_from_a_small_batch_keep_the_sequential_order() {
 }
 
 #[test]
+fn ticket_outcomes_report_a_truthful_service_time_envelope() {
+    use std::time::Instant;
+    // One worker, so the probe must queue behind a heavy blocker. The
+    // outcome's `started` stamp is worker pickup, not submission: it has
+    // to trail both the submission instant and the blocker's `finished`
+    // stamp, and the reported latency (service time only) must fit
+    // inside the sojourn the caller observed around submit + wait.
+    let graph = Arc::new(pathenum_repro::graph::generators::complete_digraph(9));
+    let service = PathEnumService::with_config(
+        Arc::clone(&graph),
+        PathEnumConfig::default(),
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let blocker = service.submit(QueryRequest::paths(0, 8).max_hops(8).collect_paths(true));
+    let submitted_at = Instant::now();
+    let probe = service.submit(QueryRequest::paths(0, 1).max_hops(2));
+
+    let blocker_outcome = blocker.wait_outcome();
+    let outcome = probe.wait_outcome();
+    let sojourn = submitted_at.elapsed();
+    assert!(blocker_outcome.response.is_ok());
+    assert!(outcome.response.is_ok());
+
+    assert!(
+        outcome.started >= submitted_at,
+        "pickup cannot precede submission"
+    );
+    assert!(
+        outcome.started >= blocker_outcome.finished,
+        "a single worker picks the probe up only after the blocker"
+    );
+    assert!(outcome.finished >= outcome.started);
+    assert_eq!(outcome.latency(), outcome.finished - outcome.started);
+    // Queue wait and service time partition the sojourn: together they
+    // can never exceed what the caller measured from the outside.
+    let queue_wait = outcome.started - submitted_at;
+    assert!(
+        queue_wait + outcome.latency() <= sojourn,
+        "queue wait ({queue_wait:?}) + latency ({:?}) exceeds the \
+         observed sojourn ({sojourn:?})",
+        outcome.latency()
+    );
+}
+
+#[test]
 fn rejected_requests_never_touch_the_shared_cache() {
     let graph = Arc::new(pathenum_repro::graph::generators::erdos_renyi(30, 160, 4));
     let service = PathEnumService::new(Arc::clone(&graph), PathEnumConfig::default());
