@@ -1,0 +1,61 @@
+//! A counting global allocator for the zero-allocation assertions of
+//! `reproduce perf`.
+//!
+//! Wraps [`System`] and counts every allocation event (`alloc`,
+//! `alloc_zeroed`, `realloc`) in a relaxed atomic. Installed as the
+//! `#[global_allocator]` of this crate (see the crate root), which makes
+//! it the allocator of the `reproduce` binary and of this crate's tests —
+//! the library crates under measurement are unaffected elsewhere.
+//!
+//! The interesting reading is always a *delta*: snapshot
+//! [`allocation_count`] around a warmed enumeration loop and assert the
+//! difference is zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// [`System`], plus a process-wide count of allocation events.
+pub struct CountingAllocator;
+
+// SAFETY: defers every operation verbatim to `System`; the count is a
+// side effect with no influence on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Allocation events since process start (monotonic; diff two readings).
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_heap_allocations() {
+        let before = allocation_count();
+        let v: Vec<u64> = Vec::with_capacity(1024);
+        std::hint::black_box(&v);
+        assert!(allocation_count() > before, "Vec::with_capacity allocates");
+    }
+}

@@ -14,6 +14,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod overload;
+pub mod perf;
 pub mod scaling;
 pub mod serve;
 pub mod stream;
@@ -120,6 +121,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "overload",
             "Overload serving: cost-based admission control vs unbounded FIFO",
             overload::run,
+        ),
+        (
+            "perf",
+            "Kernel microbenchmarks: optimized hot loops vs retained naive oracles",
+            perf::run,
         ),
     ]
 }

@@ -11,8 +11,14 @@
 //! order of magnitude, where crossovers happen — is what these harnesses
 //! reproduce. EXPERIMENTS.md records paper-vs-measured per experiment.
 
+pub mod alloc;
 pub mod config;
 pub mod experiments;
 pub mod output;
 
 pub use config::ExperimentConfig;
+
+/// Count allocation events so `reproduce perf` can assert the warmed
+/// enumeration kernels allocate nothing (see [`alloc`]).
+#[global_allocator]
+static GLOBAL_ALLOCATOR: alloc::CountingAllocator = alloc::CountingAllocator;

@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 
+use crate::epoch::EpochMap;
 use crate::types::{Distance, VertexId, INFINITE_DISTANCE};
 use crate::view::NeighborAccess;
 
@@ -66,6 +67,12 @@ pub fn distances<G: NeighborAccess>(
 /// As [`distances`], but writing into caller-owned buffers so repeated
 /// queries (the real-time workloads PathEnum targets) avoid per-query
 /// allocation. `dist` is resized and reset; `queue` is cleared.
+///
+/// This is the *naive oracle* form: the reset is an `O(|V|)` memset per
+/// call, which dominates small bounded traversals on large graphs. The
+/// production path is [`distances_epoch_into`], whose epoch-stamped map
+/// resets in O(1); the two are pinned identical by this module's tests
+/// and by the `kernel_agreement` differential suite.
 pub fn distances_into<G: NeighborAccess>(
     graph: &G,
     source: VertexId,
@@ -93,6 +100,61 @@ pub fn distances_into<G: NeighborAccess>(
             }
             if dist[n as usize] == INFINITE_DISTANCE {
                 dist[n as usize] = d + 1;
+                queue.push_back(n);
+            }
+        };
+        match options.direction {
+            Direction::Forward => graph.for_each_out(v, &mut visit),
+            Direction::Backward => graph.for_each_in(v, &mut visit),
+        }
+    }
+}
+
+/// As [`distances_into`], but writing the distances into an
+/// epoch-stamped map so the whole-map reset is O(1) instead of `O(|V|)`.
+///
+/// Vertices the traversal never reached read back as the map's default
+/// (callers construct it with [`INFINITE_DISTANCE`]); the set of reached
+/// vertices is available afterwards as `dist.touched()`, which is what
+/// lets the index build iterate the visited neighborhood instead of
+/// scanning every vertex. While expanding one vertex the traversal
+/// prefetches the adjacency row of the next queued vertex
+/// ([`NeighborAccess::prefetch_out`]/[`prefetch_in`]), overlapping the
+/// offset indirection with current work.
+///
+/// [`prefetch_in`]: NeighborAccess::prefetch_in
+pub fn distances_epoch_into<G: NeighborAccess>(
+    graph: &G,
+    source: VertexId,
+    options: BfsOptions,
+    dist: &mut EpochMap,
+    queue: &mut VecDeque<VertexId>,
+) {
+    dist.reset(graph.num_vertices());
+    queue.clear();
+    if options.excluded == Some(source) || (source as usize) >= graph.num_vertices() {
+        return;
+    }
+    let bound = options.max_depth.unwrap_or(INFINITE_DISTANCE);
+    dist.set(source as usize, 0);
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist.get(v as usize);
+        if d >= bound {
+            continue;
+        }
+        if let Some(&ahead) = queue.front() {
+            match options.direction {
+                Direction::Forward => graph.prefetch_out(ahead),
+                Direction::Backward => graph.prefetch_in(ahead),
+            }
+        }
+        let mut visit = |n: VertexId| {
+            if Some(n) == options.excluded {
+                return;
+            }
+            if !dist.contains(n as usize) {
+                dist.set(n as usize, d + 1);
                 queue.push_back(n);
             }
         };
@@ -271,6 +333,68 @@ mod tests {
         // Second run from a different source must fully overwrite.
         distances_into(&g, 5, BfsOptions::default(), &mut dist, &mut queue);
         assert_eq!(dist, distances(&g, 5, BfsOptions::default()));
+    }
+
+    #[test]
+    fn epoch_variant_matches_naive_across_options_and_reuse() {
+        let g = figure1_graph();
+        let mut map = EpochMap::new(INFINITE_DISTANCE);
+        let mut queue = VecDeque::new();
+        let option_grid = [
+            BfsOptions::default(),
+            BfsOptions {
+                direction: Direction::Backward,
+                ..BfsOptions::default()
+            },
+            BfsOptions {
+                excluded: Some(1),
+                max_depth: Some(3),
+                ..BfsOptions::default()
+            },
+            BfsOptions {
+                direction: Direction::Backward,
+                excluded: Some(0),
+                max_depth: Some(2),
+            },
+            BfsOptions {
+                excluded: Some(0), // excluded == source
+                ..BfsOptions::default()
+            },
+        ];
+        // One map reused across every (source, options) pair: the epoch
+        // reset must never leak a previous query's distances.
+        for options in option_grid {
+            for source in 0..g.num_vertices() as VertexId {
+                let naive = distances(&g, source, options);
+                distances_epoch_into(&g, source, options, &mut map, &mut queue);
+                for (v, &expected) in naive.iter().enumerate() {
+                    assert_eq!(
+                        map.get(v),
+                        expected,
+                        "vertex {v}, source {source}, options {options:?}"
+                    );
+                }
+                // Touched is exactly the finite-distance set.
+                let reached = naive.iter().filter(|&&d| d != INFINITE_DISTANCE).count();
+                assert_eq!(map.touched().len(), reached);
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_variant_survives_graph_size_changes() {
+        let mut map = EpochMap::new(INFINITE_DISTANCE);
+        let mut queue = VecDeque::new();
+        let big = figure1_graph();
+        distances_epoch_into(&big, 0, BfsOptions::default(), &mut map, &mut queue);
+        let mut b = GraphBuilder::new(3);
+        b.add_edges([(0, 1), (1, 2)]).unwrap();
+        let small = b.finish();
+        distances_epoch_into(&small, 0, BfsOptions::default(), &mut map, &mut queue);
+        assert_eq!(map.capacity(), 3);
+        assert_eq!(map.get(2), 2);
+        distances_epoch_into(&big, 0, BfsOptions::default(), &mut map, &mut queue);
+        assert_eq!(map.get(6), 2); // v4 via s->v3->v4
     }
 
     #[test]

@@ -1,9 +1,17 @@
 //! A fast, non-cryptographic hasher for integer keys.
 //!
-//! The standard library's SipHash is collision-resistant but slow for the
-//! hot `u32 -> payload` maps in the index and the enumerators. This module
-//! reimplements the well-known Fx (Firefox/rustc) multiply-rotate hash so
-//! the workspace stays within the approved dependency set.
+//! The standard library's SipHash is collision-resistant but slow for
+//! integer-keyed maps (plan-cache keys, workload bookkeeping, the I/O
+//! layers). This module reimplements the well-known Fx (Firefox/rustc)
+//! multiply-rotate hash so the workspace stays within the approved
+//! dependency set.
+//!
+//! The *enumeration kernels* themselves no longer hash at all: their
+//! per-query `u32 -> payload` maps moved to the epoch-stamped flat maps
+//! of [`crate::epoch`], which probe with one direct load and reset in
+//! O(1). Reach for `FxHashMap` when the key space is sparse or unbounded;
+//! reach for [`EpochMap`](crate::epoch::EpochMap) when keys are dense
+//! vertex ids and the map is rebuilt per query.
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};

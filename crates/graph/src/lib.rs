@@ -21,6 +21,9 @@
 //!   "global index" the paper's discussion (§7.5) proposes for cutting
 //!   per-query preprocessing.
 //! * [`hashing`]: a fast FxHash-style hasher for integer keys.
+//! * [`epoch`]: epoch-stamped flat maps — O(1)-reset per-query scratch
+//!   for the BFS distance maps and the enumeration kernels.
+//! * [`prefetch`]: software prefetch hints for CSR offset indirection.
 //!
 //! Vertices are dense `u32` identifiers in `0..num_vertices`. Parallel edges
 //! are deduplicated at build time and self-loops are rejected (the HcPE
@@ -30,11 +33,13 @@ pub mod bfs;
 pub mod builder;
 pub mod csr;
 pub mod dynamic;
+pub mod epoch;
 pub mod generators;
 pub mod hashing;
 pub mod io;
 pub mod io_binary;
 pub mod pll;
+pub mod prefetch;
 pub mod properties;
 pub mod types;
 pub mod version;
@@ -43,6 +48,7 @@ pub mod view;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use dynamic::{DynamicGraph, EdgeMutation, OverlayView};
+pub use epoch::{EpochMap, EpochStamps};
 pub use pll::DistanceOracle;
 pub use types::{VertexId, INFINITE_DISTANCE};
 pub use version::GraphVersion;

@@ -1,0 +1,47 @@
+//! Software prefetch hints for the pointer-chasing hot loops.
+//!
+//! The enumeration kernels walk CSR-style indirections: load an offset,
+//! then load the slice it points at. When the next vertex to expand is
+//! already known (BFS queue front, DFS child about to be descended
+//! into), issuing a prefetch for its adjacency row overlaps that memory
+//! latency with the current vertex's work. These are *hints*: they never
+//! fault, never change results, and compile to nothing on architectures
+//! without a stable prefetch intrinsic.
+
+/// Hints the CPU to pull `data[index]`'s cache line toward L1. Out-of-range
+/// indices are ignored (the hint is simply skipped), so callers can pass
+/// speculative positions.
+#[inline(always)]
+pub fn prefetch_read<T>(data: &[T], index: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if index < data.len() {
+            // SAFETY: `index` is in bounds, so the pointer is valid;
+            // `_mm_prefetch` performs no memory access that could fault.
+            unsafe {
+                core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                    data.as_ptr().add(index).cast::<i8>(),
+                );
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (data, index);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_is_a_safe_no_op_semantically() {
+        let data = [1u32, 2, 3];
+        prefetch_read(&data, 0);
+        prefetch_read(&data, 2);
+        prefetch_read(&data, 3); // out of range: ignored
+        prefetch_read::<u32>(&[], 0);
+        assert_eq!(data, [1, 2, 3]);
+    }
+}

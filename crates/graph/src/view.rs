@@ -47,6 +47,16 @@ pub trait NeighborAccess {
     /// Whether the directed edge `(from, to)` exists.
     fn has_edge(&self, from: VertexId, to: VertexId) -> bool;
 
+    /// Hints the CPU to pull `v`'s out-adjacency toward cache ahead of a
+    /// `for_each_out(v, ..)` call. Purely advisory — the default is a
+    /// no-op, and implementations must not change observable behavior.
+    #[inline]
+    fn prefetch_out(&self, _v: VertexId) {}
+
+    /// As [`NeighborAccess::prefetch_out`], for the in-adjacency.
+    #[inline]
+    fn prefetch_in(&self, _v: VertexId) {}
+
     /// Out-degree of `v`.
     fn out_degree(&self, v: VertexId) -> usize {
         let mut n = 0;
@@ -90,6 +100,16 @@ impl NeighborAccess for CsrGraph {
     #[inline]
     fn has_edge(&self, from: VertexId, to: VertexId) -> bool {
         CsrGraph::has_edge(self, from, to)
+    }
+
+    #[inline]
+    fn prefetch_out(&self, v: VertexId) {
+        CsrGraph::prefetch_out_row(self, v);
+    }
+
+    #[inline]
+    fn prefetch_in(&self, v: VertexId) {
+        CsrGraph::prefetch_in_row(self, v);
     }
 
     #[inline]

@@ -8,6 +8,7 @@
 //! incremental/paginated API needs. It also serves as the ablation
 //! partner for the recursion-overhead question in DESIGN.md.
 
+use pathenum_graph::epoch::EpochStamps;
 use pathenum_graph::VertexId;
 
 use crate::index::{Index, LocalId};
@@ -20,6 +21,12 @@ use crate::stats::Counters;
 struct Frame {
     vertex: LocalId,
     cursor: u32,
+    /// The frame's `I_t` row, resolved once at push time so re-activating
+    /// the frame after a child pops costs zero index lookups (the
+    /// recursive form gets this for free by keeping the slice live across
+    /// the child call). Indexes into `Index::fwd_raw_neighbors`.
+    nbr_start: u32,
+    nbr_len: u32,
     /// Whether any result was found below this frame (for the
     /// invalid-partial counter).
     found: bool,
@@ -32,6 +39,19 @@ struct Frame {
 pub(crate) struct SeededScratch {
     stack: Vec<Frame>,
     path: Vec<VertexId>,
+    /// O(1) "is this vertex on the current path" membership, replacing a
+    /// linear stack scan per candidate neighbor. Epoch-reset at the start
+    /// of every seeded call, so an early `Stop` cannot leave stale marks.
+    on_path: EpochStamps,
+}
+
+impl SeededScratch {
+    /// Approximate heap footprint of the scratch in bytes.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.stack.capacity() * std::mem::size_of::<Frame>()
+            + self.path.capacity() * std::mem::size_of::<VertexId>()
+            + self.on_path.heap_bytes()
+    }
 }
 
 /// Enumerates all hop-constrained s-t paths by an explicit-stack DFS on
@@ -49,8 +69,9 @@ pub fn idx_dfs_iterative(
     if s_local != t_local {
         counters.edges_accessed += index.i_t(s_local, index.k() - 1).len() as u64;
     }
-    let mut scratch = SeededScratch::default();
-    idx_dfs_seeded(index, &[s_local], &mut scratch, sink, counters)
+    super::scratch::with_enum_scratch(|scratch| {
+        idx_dfs_seeded(index, &[s_local], &mut scratch.dfs, sink, counters)
+    })
 }
 
 /// The DFS continuation below a fixed prefix: enumerates every
@@ -78,17 +99,33 @@ pub(crate) fn idx_dfs_seeded(
     debug_assert_eq!(Some(prefix[0]), index.s_local(), "prefix starts at s");
     let k = index.k();
     let floor = prefix.len();
-    let stack = &mut scratch.stack;
+    let SeededScratch {
+        stack,
+        path,
+        on_path,
+    } = scratch;
     stack.clear();
-    // Frames below the top of the seed are frozen: their cursors are
-    // never consulted because the search stops before popping past the
-    // prefix boundary.
+    on_path.reset(index.num_vertices());
+    // Frames below the top of the seed are frozen: their cursors (and
+    // neighbor rows) are never consulted because the search stops before
+    // popping past the prefix boundary.
     stack.extend(prefix.iter().map(|&vertex| Frame {
         vertex,
         cursor: u32::MAX,
+        nbr_start: 0,
+        nbr_len: 0,
         found: false,
     }));
-    stack.last_mut().expect("prefix is non-empty").cursor = 0;
+    {
+        let top = stack.last_mut().expect("prefix is non-empty");
+        top.cursor = 0;
+        let budget = k.saturating_sub(floor as u32);
+        (top.nbr_start, top.nbr_len) = index.i_t_row_range(top.vertex, budget);
+    }
+    for &vertex in prefix {
+        on_path.mark(vertex as usize);
+    }
+    let base = index.fwd_raw_neighbors();
 
     let mut probe_tick = 0u32;
     while let Some(top) = stack.last().copied() {
@@ -101,11 +138,9 @@ pub(crate) fn idx_dfs_seeded(
             // Emit and force-backtrack: t's only neighbor is the padding
             // loop, which the plain DFS never follows.
             counters.results += 1;
-            scratch.path.clear();
-            scratch
-                .path
-                .extend(stack.iter().map(|f| index.global(f.vertex)));
-            if sink.emit(&scratch.path) == SearchControl::Stop {
+            path.clear();
+            path.extend(stack.iter().map(|f| index.global(f.vertex)));
+            if sink.emit(path) == SearchControl::Stop {
                 return SearchControl::Stop;
             }
             if stack.len() == floor {
@@ -113,35 +148,59 @@ pub(crate) fn idx_dfs_seeded(
                 // belongs to this task.
                 break;
             }
-            stack.pop();
+            let popped = stack.pop().expect("stack is non-empty");
+            on_path.unmark(popped.vertex as usize);
             if let Some(parent) = stack.last_mut() {
                 parent.found = true;
             }
             continue;
         }
-        let budget = k - depth - 1;
-        let neighbors = index.i_t(top.vertex, budget);
+        let neighbors = &base[top.nbr_start as usize..(top.nbr_start + top.nbr_len) as usize];
         let mut advanced = false;
-        let mut cursor = top.cursor as usize;
-        while cursor < neighbors.len() {
-            let next = neighbors[cursor];
-            cursor += 1;
-            if stack.iter().any(|f| f.vertex == next) {
+        let start_cursor = top.cursor as usize;
+        for (offset, &next) in neighbors[start_cursor..].iter().enumerate() {
+            if on_path.is_marked(next as usize) {
                 continue;
             }
+            if next == t_local {
+                // Emit without frame churn: a t-child terminates its path,
+                // so pushing/re-activating a frame for it would be pure
+                // overhead (the recursive form likewise emits and returns
+                // straight into the parent's scan). t leads every row it
+                // appears in (key distance 0), so emission order is
+                // unchanged.
+                counters.partial_results += 1;
+                counters.results += 1;
+                probe_tick = probe_tick.wrapping_add(1);
+                path.clear();
+                path.extend(stack.iter().map(|f| index.global(f.vertex)));
+                path.push(index.global(t_local));
+                if sink.emit(path) == SearchControl::Stop {
+                    return SearchControl::Stop;
+                }
+                stack.last_mut().expect("stack is non-empty").found = true;
+                continue;
+            }
+            // Hint the child's neighbor row into cache: the `starts`
+            // indirection defeats the hardware prefetcher, and the row is
+            // scanned on the very next loop iteration.
+            index.prefetch_i_t(next);
             // Suspend this frame and descend.
             let top_mut = stack.last_mut().expect("stack is non-empty");
-            top_mut.cursor = cursor as u32;
+            top_mut.cursor = (start_cursor + offset + 1) as u32;
             counters.partial_results += 1;
+            on_path.mark(next as usize);
+            // Resolve the child's row now; it also feeds the edge counter.
+            let child_budget = k - stack.len() as u32 - 1;
+            let (nbr_start, nbr_len) = index.i_t_row_range(next, child_budget);
+            counters.edges_accessed += u64::from(nbr_len);
             stack.push(Frame {
                 vertex: next,
                 cursor: 0,
+                nbr_start,
+                nbr_len,
                 found: false,
             });
-            if next != t_local {
-                let child_budget = k - (stack.len() as u32 - 1) - 1;
-                counters.edges_accessed += index.i_t(next, child_budget).len() as u64;
-            }
             advanced = true;
             break;
         }
@@ -153,6 +212,7 @@ pub(crate) fn idx_dfs_seeded(
             // Exhausted: pop and account. The root (s) is not a generated
             // partial result, so it is never counted as invalid.
             let frame = stack.pop().expect("stack is non-empty");
+            on_path.unmark(frame.vertex as usize);
             if let Some(parent) = stack.last_mut() {
                 if !frame.found {
                     counters.invalid_partial_results += 1;

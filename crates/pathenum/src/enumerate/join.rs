@@ -1,8 +1,28 @@
 //! IDX-JOIN: two-sided evaluation with a hash join (Algorithm 6).
+//!
+//! Two implementations live here, pinned byte-identical to each other
+//! (same emission order, same [`Counters`]) by this module's tests and
+//! the `kernel_agreement` differential suite:
+//!
+//! * [`idx_join_reference`] — the retained naive oracle: per-call
+//!   `FxHashMap` buckets, a materialized `combined` tuple per joined
+//!   pair, and the `O(len^2)` `valid_path_len` scan on every one.
+//! * [`idx_join`] — the production kernel. Suffix tuples are grouped
+//!   into *contiguous row ranges* of `R_b` (they are enumerated
+//!   key-by-key, so no hash map is needed — an epoch-stamped key→range
+//!   map suffices), validity is decomposed into per-prefix and
+//!   per-suffix metadata computed once, and the remaining cross
+//!   (prefix ∩ suffix-interior) disjointness check runs word-parallel
+//!   over [`BlockBits`] rows when the index partition is dense
+//!   ([`DENSE_UNIVERSE`]) or against epoch-stamp marks when sparse. All
+//!   working memory comes from a reusable `JoinScratch` arena, so a
+//!   warm query allocates nothing.
 
+use pathenum_graph::epoch::{EpochMap, EpochStamps};
 use pathenum_graph::hashing::FxHashMap;
 use pathenum_graph::VertexId;
 
+use super::kernels::{BlockBits, DENSE_UNIVERSE};
 use crate::index::{Index, LocalId};
 use crate::sink::{PathSink, SearchControl};
 use crate::stats::Counters;
@@ -13,14 +33,341 @@ use crate::stats::Counters;
 ///    vertices starting at `s`), by DFS on the index;
 /// 2. enumerate `R_b`, the tuples of `Q[i* : k]` (walk suffixes of
 ///    `k-i*+1` vertices ending at `t`), by DFS from each join-key vertex;
-/// 3. hash-join on the shared position and emit every joined tuple that is
-///    a valid simple path once its `t`-padding is stripped.
+/// 3. join on the shared position and emit every joined tuple that is a
+///    valid simple path once its `t`-padding is stripped.
 ///
 /// Walks that reach `t` early are padded with the `(t, t)` self-loop the
 /// index provides, exactly as in the join model of Section 3.1.
 ///
+/// Uses the calling thread's enumeration arena (see
+/// [`crate::enumerate::thread_scratch_heap_bytes`]); emission order and
+/// counters are identical to [`idx_join_reference`].
+///
 /// `cut` must satisfy `0 < cut < k`.
 pub fn idx_join(
+    index: &Index,
+    cut: u32,
+    sink: &mut dyn PathSink,
+    counters: &mut Counters,
+) -> SearchControl {
+    super::scratch::with_enum_scratch(|scratch| {
+        idx_join_with_scratch(index, cut, sink, counters, &mut scratch.join)
+    })
+}
+
+/// Reusable working memory for [`idx_join`]: both tuple relations, the
+/// key/bucket directory, per-suffix validity metadata, and the
+/// disjointness structures for both density regimes. Held per thread (see
+/// [`crate::enumerate::scratch`]) so warm serving does zero steady-state
+/// allocation in the join.
+#[derive(Debug)]
+pub(crate) struct JoinScratch {
+    r_a: TupleBuffer,
+    r_b: TupleBuffer,
+    /// DFS stack buffer for [`enumerate_side`].
+    side_stack: Vec<LocalId>,
+    /// Distinct join keys in first-appearance order.
+    keys: Vec<LocalId>,
+    key_seen: EpochStamps,
+    /// Join key -> position in `buckets`.
+    slot_of: EpochMap,
+    /// Per key: the contiguous `[start, end)` row range of `R_b`.
+    buckets: Vec<(u32, u32)>,
+    /// Per `R_b` row: position of the first `t` (`u32::MAX` if none).
+    suffix_first_t: Vec<u32>,
+    /// Per `R_b` row: whether the interior vertices repeat among
+    /// themselves (such a row can never join validly).
+    suffix_selfdup: Vec<bool>,
+    /// Dense mode: per-row interior bitsets, `words_per_row` words each.
+    suffix_words: Vec<u64>,
+    /// Dense mode: the current prefix's vertex set as a bitset.
+    prefix_bits: BlockBits,
+    /// Sparse mode: the current prefix's vertex set as epoch marks.
+    on_prefix: EpochStamps,
+    /// Global-id emission buffer.
+    path: Vec<VertexId>,
+}
+
+impl Default for JoinScratch {
+    fn default() -> Self {
+        JoinScratch {
+            r_a: TupleBuffer::new(0),
+            r_b: TupleBuffer::new(0),
+            side_stack: Vec::new(),
+            keys: Vec::new(),
+            key_seen: EpochStamps::default(),
+            slot_of: EpochMap::new(u32::MAX),
+            buckets: Vec::new(),
+            suffix_first_t: Vec::new(),
+            suffix_selfdup: Vec::new(),
+            suffix_words: Vec::new(),
+            prefix_bits: BlockBits::default(),
+            on_prefix: EpochStamps::default(),
+            path: Vec::new(),
+        }
+    }
+}
+
+impl JoinScratch {
+    /// Approximate heap footprint of the arena in bytes.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.r_a.heap_bytes()
+            + self.r_b.heap_bytes()
+            + (self.side_stack.capacity() + self.keys.capacity()) * std::mem::size_of::<LocalId>()
+            + self.key_seen.heap_bytes()
+            + self.slot_of.heap_bytes()
+            + self.buckets.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.suffix_first_t.capacity() * std::mem::size_of::<u32>()
+            + self.suffix_selfdup.capacity()
+            + self.suffix_words.capacity() * std::mem::size_of::<u64>()
+            + self.prefix_bits.heap_bytes()
+            + self.on_prefix.heap_bytes()
+            + self.path.capacity() * std::mem::size_of::<VertexId>()
+    }
+}
+
+/// Whether `tuple` repeats a vertex (quadratic scan; tuples are at most
+/// `k+1` long).
+fn has_internal_dup(tuple: &[LocalId]) -> bool {
+    for i in 0..tuple.len() {
+        for j in (i + 1)..tuple.len() {
+            if tuple[i] == tuple[j] {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// [`idx_join`] against caller-owned scratch. See the
+/// [module docs](self) for the decomposition.
+pub(crate) fn idx_join_with_scratch(
+    index: &Index,
+    cut: u32,
+    sink: &mut dyn PathSink,
+    counters: &mut Counters,
+    scratch: &mut JoinScratch,
+) -> SearchControl {
+    let k = index.k();
+    assert!(cut > 0 && cut < k, "cut position must satisfy 0 < cut < k");
+    let (Some(s_local), Some(t_local)) = (index.s_local(), index.t_local()) else {
+        return SearchControl::Continue;
+    };
+    let n_local = index.num_vertices();
+    let prefix_width = cut as usize + 1;
+    let suffix_width = (k - cut) as usize + 1;
+    let JoinScratch {
+        r_a,
+        r_b,
+        side_stack,
+        keys,
+        key_seen,
+        slot_of,
+        buckets,
+        suffix_first_t,
+        suffix_selfdup,
+        suffix_words,
+        prefix_bits,
+        on_prefix,
+        path,
+    } = scratch;
+
+    // Step 1: R_a = Q[0 : cut], walks from s with `cut` edges.
+    let mut side_tick = 0u32;
+    r_a.reset(prefix_width);
+    if enumerate_side(
+        index,
+        s_local,
+        0,
+        cut,
+        side_stack,
+        r_a,
+        sink,
+        &mut side_tick,
+        counters,
+    ) == SearchControl::Stop
+    {
+        return SearchControl::Stop;
+    }
+
+    // Step 2: distinct join keys (first-appearance order), then
+    // R_b = Q[cut : k] enumerated key by key — which makes every key's
+    // rows a *contiguous range* of R_b, so the "hash join" directory is
+    // just (start, end) pairs behind an epoch-stamped key→slot map.
+    key_seen.reset(n_local);
+    keys.clear();
+    for tuple in r_a.iter() {
+        let key = *tuple.last().expect("tuples are non-empty");
+        if key_seen.mark(key as usize) {
+            keys.push(key);
+        }
+    }
+    let dense = n_local <= DENSE_UNIVERSE;
+    let words_per_row = if dense {
+        BlockBits::words_for(n_local)
+    } else {
+        0
+    };
+    r_b.reset(suffix_width);
+    slot_of.reset(n_local);
+    buckets.clear();
+    suffix_first_t.clear();
+    suffix_selfdup.clear();
+    suffix_words.clear();
+    for &key in keys.iter() {
+        let start = r_b.len() as u32;
+        if enumerate_side(
+            index,
+            key,
+            cut,
+            k,
+            side_stack,
+            r_b,
+            sink,
+            &mut side_tick,
+            counters,
+        ) == SearchControl::Stop
+        {
+            return SearchControl::Stop;
+        }
+        let end = r_b.len() as u32;
+        slot_of.set(key as usize, buckets.len() as u32);
+        buckets.push((start, end));
+        // Per-suffix validity metadata, computed once per row instead of
+        // once per joined combination.
+        for row in start..end {
+            let suffix = r_b.get(row as usize);
+            match suffix.iter().position(|&v| v == t_local) {
+                None => {
+                    suffix_first_t.push(u32::MAX);
+                    suffix_selfdup.push(false);
+                }
+                Some(ft) => {
+                    suffix_first_t.push(ft as u32);
+                    suffix_selfdup.push(has_internal_dup(&suffix[1..=ft]));
+                }
+            }
+            if dense {
+                let base = suffix_words.len();
+                suffix_words.resize(base + words_per_row, 0);
+                let ft = *suffix_first_t.last().expect("just pushed");
+                // Interior vertices only: S[0] is the key (already in the
+                // prefix) and S[ft] is t (absent from any prefix this row
+                // can validly join). ft == 0 (an all-t row) has none.
+                if ft != u32::MAX && ft > 0 {
+                    for &v in &suffix[1..ft as usize] {
+                        suffix_words[base + v as usize / 64] |= 1u64 << (v % 64);
+                    }
+                }
+            }
+        }
+    }
+
+    counters.peak_materialized_vertices = counters
+        .peak_materialized_vertices
+        .max((r_a.flat_len() + r_b.flat_len()) as u64);
+
+    // Step 3: probe. Emission order is (prefix order) × (row order
+    // within the key's range) — identical to the reference's hash-bucket
+    // row lists, which were filled in R_b row order.
+    let mut probe_tick = 0u32;
+    for prefix in r_a.iter() {
+        let key = *prefix.last().expect("tuples are non-empty");
+        let slot = slot_of.get(key as usize);
+        debug_assert_ne!(slot, u32::MAX, "every prefix key was enumerated");
+        let (start, end) = buckets[slot as usize];
+        if start == end {
+            // No suffix ever materialized for this key: the reference's
+            // "missing bucket" case.
+            counters.invalid_partial_results += 1;
+            continue;
+        }
+        // Per-prefix validity metadata. A prefix that reached t early is
+        // all t-padding after the first t (index construction), so its
+        // key is t and its single all-t suffix contributes nothing.
+        let p_first_t = prefix.iter().position(|&v| v == t_local);
+        let p_dup = match p_first_t {
+            Some(ft) => has_internal_dup(&prefix[..=ft]),
+            None => has_internal_dup(prefix),
+        };
+        if p_first_t.is_none() && !p_dup {
+            if dense {
+                prefix_bits.reset(n_local);
+                for &v in prefix {
+                    prefix_bits.insert(v);
+                }
+            } else {
+                on_prefix.reset(n_local);
+                for &v in prefix {
+                    on_prefix.mark(v as usize);
+                }
+            }
+        }
+        for row in start..end {
+            // Probe per joined combination: a filter sink can reject
+            // every tuple, in which case `emit` never runs and this is
+            // the only point where stopping rules are observed.
+            if probe_tick & (super::PROBE_STRIDE - 1) == 0 && sink.probe() == SearchControl::Stop {
+                return SearchControl::Stop;
+            }
+            probe_tick = probe_tick.wrapping_add(1);
+            // (prefix length, suffix interior length) of the valid path,
+            // or None.
+            let valid = match p_first_t {
+                Some(pft) => {
+                    debug_assert_eq!(key, t_local, "t-padding forces the key to t");
+                    if p_dup {
+                        None
+                    } else {
+                        Some((pft + 1, 0usize))
+                    }
+                }
+                None => {
+                    let ft = suffix_first_t[row as usize];
+                    if ft == u32::MAX || p_dup || suffix_selfdup[row as usize] {
+                        None
+                    } else {
+                        let clash = if dense {
+                            let base = row as usize * words_per_row;
+                            prefix_bits.intersects(&suffix_words[base..base + words_per_row])
+                        } else {
+                            let suffix = r_b.get(row as usize);
+                            suffix[1..ft as usize]
+                                .iter()
+                                .any(|&v| on_prefix.is_marked(v as usize))
+                        };
+                        if clash {
+                            None
+                        } else {
+                            Some((prefix_width, ft as usize))
+                        }
+                    }
+                }
+            };
+            if let Some((plen, ft)) = valid {
+                counters.results += 1;
+                path.clear();
+                path.extend(prefix[..plen].iter().map(|&l| index.global(l)));
+                if p_first_t.is_none() {
+                    let suffix = r_b.get(row as usize);
+                    path.extend(suffix[1..=ft].iter().map(|&l| index.global(l)));
+                }
+                if sink.emit(path) == SearchControl::Stop {
+                    return SearchControl::Stop;
+                }
+            } else {
+                counters.invalid_partial_results += 1;
+            }
+        }
+    }
+    SearchControl::Continue
+}
+
+/// The retained naive IDX-JOIN oracle: hash-map buckets, per-combination
+/// tuple materialization, and the quadratic `valid_path_len` check.
+/// Allocates on every call. Kept (and exercised by `reproduce perf` and
+/// the differential suite) as the semantic pin for [`idx_join`].
+pub fn idx_join_reference(
     index: &Index,
     cut: u32,
     sink: &mut dyn PathSink,
@@ -37,12 +384,14 @@ pub fn idx_join(
 
     // Step 1: R_a = Q[0 : cut], walks from s with `cut` edges.
     let mut side_tick = 0u32;
+    let mut side_stack: Vec<LocalId> = Vec::new();
     let mut r_a = TupleBuffer::new(prefix_width);
     if enumerate_side(
         index,
         s_local,
         0,
         cut,
+        &mut side_stack,
         &mut r_a,
         sink,
         &mut side_tick,
@@ -64,8 +413,17 @@ pub fn idx_join(
     }
     let mut r_b = TupleBuffer::new(suffix_width);
     for &key in &keys {
-        if enumerate_side(index, key, cut, k, &mut r_b, sink, &mut side_tick, counters)
-            == SearchControl::Stop
+        if enumerate_side(
+            index,
+            key,
+            cut,
+            k,
+            &mut side_stack,
+            &mut r_b,
+            sink,
+            &mut side_tick,
+            counters,
+        ) == SearchControl::Stop
         {
             return SearchControl::Stop;
         }
@@ -73,7 +431,7 @@ pub fn idx_join(
 
     counters.peak_materialized_vertices = counters
         .peak_materialized_vertices
-        .max((r_a.storage.len() + r_b.storage.len()) as u64);
+        .max((r_a.flat_len() + r_b.flat_len()) as u64);
 
     // Step 3: hash join on the first suffix vertex.
     let mut buckets: FxHashMap<LocalId, Vec<u32>> = FxHashMap::default();
@@ -122,6 +480,7 @@ pub fn idx_join(
 /// Crate-visible so the intra-query parallel join ([`crate::parallel`])
 /// can materialize its per-partition suffix relations with the same
 /// representation (and reuse one buffer per worker across join keys).
+#[derive(Debug)]
 pub(crate) struct TupleBuffer {
     width: usize,
     storage: Vec<LocalId>,
@@ -133,6 +492,13 @@ impl TupleBuffer {
             width,
             storage: Vec::new(),
         }
+    }
+
+    /// Drops every tuple and adopts a (possibly different) tuple width,
+    /// keeping the allocation: the arena form of `new`.
+    pub(crate) fn reset(&mut self, width: usize) {
+        self.width = width;
+        self.storage.clear();
     }
 
     pub(crate) fn push(&mut self, tuple: &[LocalId]) {
@@ -161,18 +527,25 @@ impl TupleBuffer {
     pub(crate) fn iter(&self) -> impl Iterator<Item = &[LocalId]> {
         self.storage.chunks_exact(self.width)
     }
+
+    /// Approximate heap footprint in bytes.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.storage.capacity() * std::mem::size_of::<LocalId>()
+    }
 }
 
 /// DFS enumerating the tuples of `Q[from : to]` that start at `root`
 /// (the `Search` procedure of Algorithm 6). The sink is consulted only
 /// through [`PathSink::probe`] — materialization emits nothing, but
 /// deadline/cancellation rules must still be able to interrupt it.
+/// `partial` is the caller-owned stack buffer (cleared on entry).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn enumerate_side(
     index: &Index,
     root: LocalId,
     from: u32,
     to: u32,
+    partial: &mut Vec<LocalId>,
     out: &mut TupleBuffer,
     sink: &mut dyn PathSink,
     probe_tick: &mut u32,
@@ -180,18 +553,10 @@ pub(crate) fn enumerate_side(
 ) -> SearchControl {
     let k = index.k();
     let target_len = (to - from) as usize + 1;
-    let mut partial: Vec<LocalId> = Vec::with_capacity(target_len);
+    partial.clear();
     partial.push(root);
     side_search(
-        index,
-        k,
-        from,
-        target_len,
-        &mut partial,
-        out,
-        sink,
-        probe_tick,
-        counters,
+        index, k, from, target_len, partial, out, sink, probe_tick, counters,
     )
 }
 
@@ -262,6 +627,7 @@ mod tests {
     use crate::query::Query;
     use crate::request::ControlledSink;
     use crate::sink::{CollectingSink, CountingSink};
+    use pathenum_graph::generators::{complete_digraph, erdos_renyi, power_law, PowerLawConfig};
 
     fn join_paths(k: u32, cut: u32) -> Vec<Vec<VertexId>> {
         let g = figure1_graph();
@@ -287,6 +653,43 @@ mod tests {
             let expected = dfs_paths(k);
             for cut in 1..k {
                 assert_eq!(join_paths(k, cut), expected, "k={k} cut={cut}");
+            }
+        }
+    }
+
+    /// The production kernel against the retained oracle: same paths in
+    /// the same order, same counters — across graphs dense enough to hit
+    /// the bitset regime and sparse/large enough to hit the stamp regime,
+    /// with one warm arena shared across every run.
+    #[test]
+    fn optimized_join_is_byte_identical_to_reference() {
+        let graphs: Vec<(pathenum_graph::CsrGraph, u32, u32)> = vec![
+            (figure1_graph(), 0, 1),
+            (complete_digraph(8), 0, 7),
+            (erdos_renyi(40, 240, 7), 0, 1),
+            (erdos_renyi(400, 2400, 11), 0, 1),
+            (power_law(PowerLawConfig::social(600, 6, 5)), 1, 9),
+        ];
+        let mut scratch = JoinScratch::default();
+        for (g, s, t) in &graphs {
+            for k in 3..=6u32 {
+                for cut in 1..k {
+                    let idx = Index::build(g, Query::new(*s, *t, k).unwrap());
+                    let mut ref_sink = CollectingSink::default();
+                    let mut ref_counters = Counters::default();
+                    idx_join_reference(&idx, cut, &mut ref_sink, &mut ref_counters);
+                    let mut opt_sink = CollectingSink::default();
+                    let mut opt_counters = Counters::default();
+                    idx_join_with_scratch(
+                        &idx,
+                        cut,
+                        &mut opt_sink,
+                        &mut opt_counters,
+                        &mut scratch,
+                    );
+                    assert_eq!(ref_sink.paths, opt_sink.paths, "k={k} cut={cut}");
+                    assert_eq!(ref_counters, opt_counters, "k={k} cut={cut}");
+                }
             }
         }
     }
@@ -352,6 +755,10 @@ mod tests {
         assert_eq!(buf.len(), 2);
         assert_eq!(buf.get(1), &[4, 5, 6]);
         assert_eq!(buf.iter().count(), 2);
+        buf.reset(2);
+        assert_eq!(buf.len(), 0);
+        buf.push(&[7, 8]);
+        assert_eq!(buf.get(0), &[7, 8]);
     }
 
     #[test]

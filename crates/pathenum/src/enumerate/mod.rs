@@ -11,10 +11,19 @@
 //! [`crate::parallel`], which split the search space into independent
 //! partitions (prefix subtrees for DFS, join-key ranges for the join)
 //! and merge deterministically.
+//!
+//! The production kernels ([`idx_dfs_iterative`], [`idx_join`]) draw
+//! working memory from a per-thread arena (`scratch`) and are pinned
+//! byte-identical to retained naive oracles ([`dfs::idx_dfs`],
+//! [`join::idx_join_reference`]) by the `kernel_agreement` differential
+//! suite and `reproduce perf`. The low-level set kernels behind the join
+//! live in [`kernels`].
 
 pub mod dfs;
 pub mod dfs_iterative;
 pub mod join;
+pub mod kernels;
+pub(crate) mod scratch;
 
 /// How many search-tree nodes pass between [`crate::sink::PathSink::probe`]
 /// calls in the enumeration kernels (power of two; the first node always
@@ -24,4 +33,5 @@ pub(crate) const PROBE_STRIDE: u32 = 64;
 
 pub use dfs::idx_dfs;
 pub use dfs_iterative::idx_dfs_iterative;
-pub use join::idx_join;
+pub use join::{idx_join, idx_join_reference};
+pub use scratch::thread_scratch_heap_bytes;

@@ -1,6 +1,7 @@
 //! Index construction (Algorithm 3).
 
-use pathenum_graph::bfs::{distances_into, BfsOptions, Direction};
+use pathenum_graph::bfs::{distances_epoch_into, BfsOptions, Direction};
+use pathenum_graph::epoch::EpochMap;
 use pathenum_graph::types::{dist_add, Distance, INFINITE_DISTANCE};
 use pathenum_graph::{NeighborAccess, VertexId};
 
@@ -12,28 +13,51 @@ const ABSENT: u32 = u32::MAX;
 
 /// Reusable buffers for index construction.
 ///
-/// The build needs three `O(|V|)` arrays (the two boundary distance maps
-/// and the global-to-local id map) plus a BFS queue. Real-time workloads
-/// issue queries back-to-back on the same graph; holding the buffers in a
-/// [`BuildScratch`] (see [`crate::engine::QueryEngine`]) turns those
-/// per-query allocations into resets.
-#[derive(Debug, Default, Clone)]
+/// The build needs three `vertex -> value` maps (the two boundary
+/// distance maps and the global-to-local id map) plus a BFS queue.
+/// Real-time workloads issue queries back-to-back on the same graph;
+/// holding the buffers in a [`BuildScratch`] (see
+/// [`crate::engine::QueryEngine`]) reuses the allocations, and the maps
+/// are epoch-stamped ([`EpochMap`]) so the per-query reset is O(1)
+/// instead of an `O(|V|)` memset — on large graphs with small `k` the
+/// reset, not the traversal, used to dominate the build.
+#[derive(Debug, Clone)]
 pub struct BuildScratch {
-    dist_s: Vec<Distance>,
-    dist_t: Vec<Distance>,
+    dist_s: EpochMap,
+    dist_t: EpochMap,
     queue: std::collections::VecDeque<VertexId>,
-    local_of: Vec<u32>,
+    local_of: EpochMap,
+}
+
+impl Default for BuildScratch {
+    fn default() -> Self {
+        BuildScratch {
+            dist_s: EpochMap::new(INFINITE_DISTANCE),
+            dist_t: EpochMap::new(INFINITE_DISTANCE),
+            queue: std::collections::VecDeque::new(),
+            local_of: EpochMap::new(ABSENT),
+        }
+    }
 }
 
 impl BuildScratch {
     /// The boundary distance maps left behind by the most recent build:
-    /// `(dist_s, dist_t)`, indexed by global vertex id.
+    /// `(dist_s, dist_t)`, keyed by global vertex id (unreached vertices
+    /// read [`INFINITE_DISTANCE`]).
     ///
     /// The plan cache derives an entry's *reach footprint* from these
     /// (the vertex sets within `k - 1` hops of `s` / of `t`), which is
     /// what makes surgical retention under graph mutation sound.
-    pub(crate) fn dist_maps(&self) -> (&[Distance], &[Distance]) {
+    pub(crate) fn dist_maps(&self) -> (&EpochMap, &EpochMap) {
         (&self.dist_s, &self.dist_t)
+    }
+
+    /// Approximate heap footprint of the scratch arena in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.dist_s.heap_bytes()
+            + self.dist_t.heap_bytes()
+            + self.local_of.heap_bytes()
+            + self.queue.capacity() * std::mem::size_of::<VertexId>()
     }
 }
 
@@ -76,7 +100,7 @@ impl Index {
 
         // Boundary distances: v.s = S(s, v | G - {t}), v.t = S(v, t | G - {s}).
         let bfs_start = std::time::Instant::now();
-        distances_into(
+        distances_epoch_into(
             graph,
             s,
             BfsOptions {
@@ -87,7 +111,7 @@ impl Index {
             &mut scratch.dist_s,
             &mut scratch.queue,
         );
-        distances_into(
+        distances_epoch_into(
             graph,
             t,
             BfsOptions {
@@ -98,42 +122,53 @@ impl Index {
             &mut scratch.dist_t,
             &mut scratch.queue,
         );
-        let dist_s = &mut scratch.dist_s;
-        let dist_t = &mut scratch.dist_t;
+        let BuildScratch {
+            dist_s,
+            dist_t,
+            local_of,
+            ..
+        } = scratch;
         let bfs_time = bfs_start.elapsed();
         // The excluded endpoints get their distances from their boundary
-        // edges: t.s via in-edges of t, s.t via out-edges of s.
+        // edges: t.s via in-edges of t, s.t via out-edges of s. Each is a
+        // first write of the epoch (the vertex was excluded from its own
+        // BFS), so it lands on the touched list exactly once.
         let mut t_s = INFINITE_DISTANCE;
-        graph.for_each_in(t, |u| t_s = t_s.min(dist_add(dist_s[u as usize], 1)));
+        graph.for_each_in(t, |u| t_s = t_s.min(dist_add(dist_s.get(u as usize), 1)));
         let mut s_t = INFINITE_DISTANCE;
-        graph.for_each_out(s, |w| s_t = s_t.min(dist_add(dist_t[w as usize], 1)));
-        dist_s[t as usize] = t_s;
-        dist_t[s as usize] = s_t;
+        graph.for_each_out(s, |w| s_t = s_t.min(dist_add(dist_t.get(w as usize), 1)));
+        dist_s.set(t as usize, t_s);
+        dist_t.set(s as usize, s_t);
 
-        if dist_add(dist_s[s as usize], dist_t[s as usize]) > k
-            || dist_add(dist_s[t as usize], dist_t[t as usize]) > k
+        if dist_add(dist_s.get(s as usize), dist_t.get(s as usize)) > k
+            || dist_add(dist_s.get(t as usize), dist_t.get(t as usize)) > k
         {
             return (Index::empty(query), bfs_time);
         }
 
         // Partition X: vertices with v.s + v.t <= k, in global-id order.
+        // Any member has finite v.s, so X is a subset of the forward
+        // BFS's touched set — sorting that (small) set and filtering it
+        // reproduces the ascending full-range scan without the O(|V|)
+        // sweep.
         let mut vertices: Vec<VertexId> = Vec::new();
-        scratch.local_of.clear();
-        scratch.local_of.resize(graph.num_vertices(), ABSENT);
-        let local_of = &mut scratch.local_of;
-        for v in 0..graph.num_vertices() as VertexId {
-            if dist_add(dist_s[v as usize], dist_t[v as usize]) <= k {
-                local_of[v as usize] = vertices.len() as u32;
+        local_of.reset(graph.num_vertices());
+        dist_s.sort_touched();
+        for &v in dist_s.touched() {
+            if dist_add(dist_s.get(v as usize), dist_t.get(v as usize)) <= k {
+                local_of.set(v as usize, vertices.len() as u32);
                 vertices.push(v);
             }
         }
-        let s_local = local_of[s as usize];
-        let t_local = local_of[t as usize];
+        let s_local = local_of.get(s as usize);
+        let t_local = local_of.get(t as usize);
         debug_assert_ne!(s_local, ABSENT);
         debug_assert_ne!(t_local, ABSENT);
 
-        let local_dist_s: Vec<Distance> = vertices.iter().map(|&v| dist_s[v as usize]).collect();
-        let local_dist_t: Vec<Distance> = vertices.iter().map(|&v| dist_t[v as usize]).collect();
+        let local_dist_s: Vec<Distance> =
+            vertices.iter().map(|&v| dist_s.get(v as usize)).collect();
+        let local_dist_t: Vec<Distance> =
+            vertices.iter().map(|&v| dist_t.get(v as usize)).collect();
 
         // Forward table (H of Algorithm 3): admissible out-neighbors keyed
         // by distance-to-t. t keeps only the (t, t) padding loop.
@@ -149,10 +184,10 @@ impl Index {
                 if n == s {
                     return; // interior vertices are never s
                 }
-                let nt = dist_t[n as usize];
+                let nt = dist_t.get(n as usize);
                 // Admission: v.s + v'.t + 1 <= k (Algorithm 3 line 9).
                 if dist_add(dist_add(vs, nt), 1) <= k {
-                    let n_local = local_of[n as usize];
+                    let n_local = local_of.get(n as usize);
                     debug_assert_ne!(n_local, ABSENT, "admission implies membership");
                     list.push((n_local, nt));
                 }
@@ -175,9 +210,9 @@ impl Index {
                 if p == t {
                     return; // t never has real out-edges in the relations
                 }
-                let ps = dist_s[p as usize];
+                let ps = dist_s.get(p as usize);
                 if dist_add(dist_add(ps, vt), 1) <= k {
-                    let p_local = local_of[p as usize];
+                    let p_local = local_of.get(p as usize);
                     debug_assert_ne!(p_local, ABSENT, "admission implies membership");
                     list.push((p_local, ps));
                 }

@@ -135,6 +135,29 @@ impl Index {
         self.fwd.neighbors_within(v, budget)
     }
 
+    /// Hints the cache that `v`'s forward neighbor row is about to be
+    /// read — issued by the DFS when a child is pushed, one level before
+    /// the row is scanned.
+    #[inline]
+    pub fn prefetch_i_t(&self, v: LocalId) {
+        self.fwd.prefetch(v);
+    }
+
+    /// `(start, len)` of the `I_t(v, b)` row inside
+    /// [`fwd_raw_neighbors`](Self::fwd_raw_neighbors): the two-integer
+    /// form of [`i_t`](Self::i_t) the iterative DFS caches per frame.
+    #[inline]
+    pub(crate) fn i_t_row_range(&self, v: LocalId, budget: Distance) -> (u32, u32) {
+        self.fwd.row_range(v, budget)
+    }
+
+    /// The forward table's flat neighbor storage (see
+    /// [`i_t_row_range`](Self::i_t_row_range)).
+    #[inline]
+    pub(crate) fn fwd_raw_neighbors(&self) -> &[LocalId] {
+        self.fwd.raw_neighbors()
+    }
+
     /// `I_s(v, b)`: in-neighbors of `v` with distance-from-`s` `<= b`.
     #[inline]
     pub fn i_s(&self, v: LocalId, budget: Distance) -> &[LocalId] {

@@ -71,16 +71,43 @@ impl NeighborTable {
     /// (the `I_t(v, b)` / `I_s(v, b)` lookup). O(1).
     #[inline]
     pub fn neighbors_within(&self, owner: LocalId, budget: Distance) -> &[LocalId] {
-        let start = self.starts[owner as usize] as usize;
+        let (start, len) = self.row_range(owner, budget);
+        &self.neighbors[start as usize..start as usize + len as usize]
+    }
+
+    /// `(start, len)` of the [`neighbors_within`](Self::neighbors_within)
+    /// slice inside [`raw_neighbors`](Self::raw_neighbors) — lets a hot
+    /// loop resolve the `starts`/`cuts` indirection once per vertex and
+    /// carry the row as two integers.
+    #[inline]
+    pub fn row_range(&self, owner: LocalId, budget: Distance) -> (u32, u32) {
+        let start = self.starts[owner as usize];
         let d = budget.min(self.k) as usize;
-        let len = self.cuts[owner as usize * (self.k as usize + 1) + d] as usize;
-        &self.neighbors[start..start + len]
+        let len = self.cuts[owner as usize * (self.k as usize + 1) + d];
+        (start, len)
+    }
+
+    /// The flat neighbor storage that [`row_range`](Self::row_range)
+    /// indexes into.
+    #[inline]
+    pub fn raw_neighbors(&self) -> &[LocalId] {
+        &self.neighbors
     }
 
     /// All stored neighbors of `owner` (budget `k`).
     #[inline]
     pub fn all_neighbors(&self, owner: LocalId) -> &[LocalId] {
         self.neighbors_within(owner, self.k)
+    }
+
+    /// Hints the cache that `owner`'s neighbor row is about to be read
+    /// (the `starts` indirection makes the row's address unpredictable to
+    /// the hardware prefetcher). No-op off x86_64 or out of range.
+    #[inline]
+    pub fn prefetch(&self, owner: LocalId) {
+        if let Some(&start) = self.starts.get(owner as usize) {
+            pathenum_graph::prefetch::prefetch_read(&self.neighbors, start as usize);
+        }
     }
 
     /// Number of stored (vertex, neighbor) pairs.

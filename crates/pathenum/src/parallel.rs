@@ -514,11 +514,13 @@ pub fn parallel_join(
     let mut r_a = TupleBuffer::new(cut as usize + 1);
     let mut probe_sink = ProbeOnlySink { control, probes: 0 };
     let mut side_tick = 0u32;
+    let mut side_stack: Vec<LocalId> = Vec::new();
     if enumerate_side(
         index,
         s_local,
         0,
         cut,
+        &mut side_stack,
         &mut r_a,
         &mut probe_sink,
         &mut side_tick,
@@ -567,6 +569,7 @@ pub fn parallel_join(
                 // suffix relation, the joined tuple, and the global-id
                 // path being emitted.
                 let mut r_b = TupleBuffer::new(suffix_width);
+                let mut side_stack: Vec<LocalId> = Vec::new();
                 let mut combined: Vec<LocalId> = Vec::with_capacity(k as usize + 1);
                 let mut path: Vec<VertexId> = Vec::with_capacity(k as usize + 1);
                 let mut peak_suffix_vertices = 0usize;
@@ -586,6 +589,7 @@ pub fn parallel_join(
                             group.key,
                             cut,
                             k,
+                            &mut side_stack,
                             &mut r_b,
                             &mut task_sink,
                             &mut probe_tick,

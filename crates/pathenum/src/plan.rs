@@ -55,13 +55,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use pathenum_graph::types::Distance;
+use pathenum_graph::epoch::EpochMap;
 use pathenum_graph::{
     CsrGraph, DynamicGraph, EdgeMutation, GraphVersion, NeighborAccess, VertexId,
 };
 
 use crate::constraints::{automaton_join, filtered_graph};
-use crate::enumerate::{idx_dfs, idx_join};
+use crate::enumerate::{idx_dfs_iterative, idx_join};
 use crate::estimator::{preliminary_estimate, FullEstimate};
 use crate::index::{BuildScratch, Index};
 use crate::optimizer::{optimize_join_order, PathEnumConfig};
@@ -505,7 +505,7 @@ impl Executor {
         let mut counters = Counters::default();
         match plan.method {
             Method::IdxDfs => {
-                idx_dfs(index, sink, &mut counters);
+                idx_dfs_iterative(index, sink, &mut counters);
             }
             Method::IdxJoin => {
                 let cut = plan.cut.expect("plans carry a cut for IDX-JOIN");
@@ -572,7 +572,7 @@ impl Executor {
             // Predicate requests already enumerated the filtered graph's
             // index — plain dispatch.
             (ConstraintSpec::None | ConstraintSpec::Predicate(_), Method::IdxDfs) => {
-                idx_dfs(index, &mut control, &mut counters);
+                idx_dfs_iterative(index, &mut control, &mut counters);
             }
             (ConstraintSpec::None | ConstraintSpec::Predicate(_), Method::IdxJoin) => {
                 let cut = plan.cut.expect("plans carry a cut for IDX-JOIN");
@@ -718,12 +718,14 @@ struct DenseBits {
 }
 
 impl DenseBits {
-    /// The set `{v in 0..n : pred(v)}`.
-    fn collect(n: usize, mut pred: impl FnMut(usize) -> bool) -> Self {
-        let mut words = vec![0u64; n.div_ceil(64)];
-        for v in 0..n {
-            if pred(v) {
-                words[v / 64] |= 1u64 << (v % 64);
+    /// The set `{v touched in `map` : map[v] <= bound}`, sized to the
+    /// map's key space. Iterates only the touched list, so deriving a
+    /// footprint costs O(reach), not O(|V|).
+    fn from_reach(map: &EpochMap, bound: u32) -> Self {
+        let mut words = vec![0u64; map.capacity().div_ceil(64)];
+        for &v in map.touched() {
+            if map.get(v as usize) <= bound {
+                words[v as usize / 64] |= 1u64 << (v % 64);
             }
         }
         DenseBits { words }
@@ -776,15 +778,15 @@ impl IndexFootprint {
     /// left in its scratch buffers, bound to one graph lineage.
     pub(crate) fn from_dist_maps(
         lineage: GraphVersion,
-        dist_s: &[Distance],
-        dist_t: &[Distance],
+        dist_s: &EpochMap,
+        dist_t: &EpochMap,
         k: u32,
     ) -> Self {
         let bound = k.saturating_sub(1);
         IndexFootprint {
             lineage,
-            reach_s: DenseBits::collect(dist_s.len(), |v| dist_s[v] <= bound),
-            reach_t: DenseBits::collect(dist_t.len(), |v| dist_t[v] <= bound),
+            reach_s: DenseBits::from_reach(dist_s, bound),
+            reach_t: DenseBits::from_reach(dist_t, bound),
         }
     }
 }

@@ -1,0 +1,343 @@
+//! Kernel-differential suite: every optimized hot-path kernel is pinned
+//! against a retained naive oracle.
+//!
+//! The production kernels (epoch-stamped boundary BFS, the iterative
+//! IDX-DFS, the arena-backed word-parallel IDX-JOIN) must be
+//! *byte-identical* to their straightforward counterparts — same paths in
+//! the same emission order, same [`Counters`] — on arbitrary graphs. The
+//! suite also pins the `NeighborAccess` ascending-order contract that the
+//! byte-identical guarantee is built on, and the zero-allocation
+//! steady-state of the per-thread scratch arena.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use pathenum_repro::core::enumerate::kernels::{
+    intersect_bitset, intersect_gallop, intersect_sorted, BlockBits, DENSE_UNIVERSE,
+};
+use pathenum_repro::core::enumerate::{
+    idx_dfs, idx_dfs_iterative, idx_join, idx_join_reference, thread_scratch_heap_bytes,
+};
+use pathenum_repro::graph::bfs::{distances_epoch_into, distances_into, BfsOptions, Direction};
+use pathenum_repro::graph::generators::{erdos_renyi, power_law, PowerLawConfig};
+use pathenum_repro::graph::types::Distance;
+use pathenum_repro::graph::{EpochMap, INFINITE_DISTANCE};
+use pathenum_repro::prelude::*;
+
+/// Builds a graph from a raw edge list, ignoring self-loops.
+fn graph_from_edges(n: u32, edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new(n as usize);
+    for &(u, v) in edges {
+        if u != v {
+            b.add_edge(u, v).expect("in-range edge");
+        }
+    }
+    b.finish()
+}
+
+fn arb_graph() -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (4u32..16).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..80);
+        (Just(n), edges)
+    })
+}
+
+/// Runs `kernel` into a fresh [`CollectingSink`], returning the emitted
+/// paths in emission order together with the counters.
+fn run_kernel(
+    kernel: impl FnOnce(&mut dyn PathSink, &mut Counters) -> SearchControl,
+) -> (Vec<Vec<VertexId>>, Counters) {
+    let mut sink = CollectingSink::default();
+    let mut counters = Counters::default();
+    kernel(&mut sink, &mut counters);
+    (sink.paths, counters)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Epoch-stamped BFS must report exactly the distances of the
+    /// plain flat-`Vec` oracle, for both directions, with and without
+    /// an excluded vertex and a depth bound — reusing ONE `EpochMap`
+    /// across every case so stale stamps from a previous query would
+    /// be caught.
+    #[test]
+    fn epoch_bfs_matches_flat_map_oracle(
+        (n, edges) in arb_graph(),
+        source in 0u32..16,
+        // The vendored proptest stub has no Option/bool strategies, so
+        // wider integer ranges encode "sometimes absent" and direction.
+        excluded in 0u32..32,
+        max_depth in 0u32..12,
+        backward in 0u32..2,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let source = source % n;
+        let options = BfsOptions {
+            direction: if backward == 1 { Direction::Backward } else { Direction::Forward },
+            excluded: (excluded < 16).then_some(excluded % n),
+            max_depth: (max_depth < 6).then_some(max_depth),
+        };
+        let mut naive: Vec<Distance> = Vec::new();
+        let mut queue = VecDeque::new();
+        distances_into(&g, source, options, &mut naive, &mut queue);
+
+        // Deliberately warm: the map carries stamps from prior proptest
+        // cases, exactly like the per-query reuse in the index build.
+        let mut epoch = EpochMap::new(INFINITE_DISTANCE);
+        // Pollute the map with a different traversal first, then rerun.
+        distances_epoch_into(&g, (source + 1) % n, BfsOptions::default(), &mut epoch, &mut queue);
+        distances_epoch_into(&g, source, options, &mut epoch, &mut queue);
+
+        for (v, &expected) in naive.iter().enumerate() {
+            prop_assert_eq!(
+                epoch.get(v),
+                expected,
+                "distance mismatch at v={} (source={}, options={:?})",
+                v, source, options
+            );
+        }
+        // Every finite distance must be on the touched list.
+        let mut touched: Vec<u32> = epoch.touched().to_vec();
+        touched.sort_unstable();
+        for (v, &expected) in naive.iter().enumerate() {
+            if expected != INFINITE_DISTANCE {
+                prop_assert!(touched.binary_search(&(v as u32)).is_ok());
+            }
+        }
+    }
+
+    /// The three set-intersection kernels behind the join's
+    /// cross-disjointness check agree on arbitrary sorted inputs.
+    #[test]
+    fn intersection_kernels_agree(
+        mut a in proptest::collection::vec(0u32..DENSE_UNIVERSE as u32, 0..48),
+        mut b in proptest::collection::vec(0u32..DENSE_UNIVERSE as u32, 0..48),
+    ) {
+        a.sort_unstable();
+        a.dedup();
+        b.sort_unstable();
+        b.dedup();
+        let mut expected = Vec::new();
+        intersect_sorted(&a, &b, &mut expected);
+
+        let mut gallop = Vec::new();
+        intersect_gallop(&a, &b, &mut gallop);
+        prop_assert_eq!(&gallop, &expected, "gallop disagrees on {:?} ∩ {:?}", &a, &b);
+
+        let mut bits = BlockBits::default();
+        let mut dense = Vec::new();
+        intersect_bitset(&a, &b, DENSE_UNIVERSE, &mut bits, &mut dense);
+        prop_assert_eq!(&dense, &expected, "bitset disagrees on {:?} ∩ {:?}", &a, &b);
+    }
+
+    /// The iterative DFS kernel is byte-identical to the recursive
+    /// oracle: same paths in the same emission order, same counters.
+    #[test]
+    fn iterative_dfs_matches_recursive_oracle(
+        (n, edges) in arb_graph(),
+        k in 2u32..7,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let q = Query::new(0, 1, k).expect("valid");
+        let index = Index::build(&g, q);
+        let (ref_paths, ref_counters) = run_kernel(|sink, c| idx_dfs(&index, sink, c));
+        let (opt_paths, opt_counters) =
+            run_kernel(|sink, c| idx_dfs_iterative(&index, sink, c));
+        prop_assert_eq!(opt_paths, ref_paths, "paths diverge on n={} k={}", n, k);
+        prop_assert_eq!(opt_counters, ref_counters, "counters diverge on n={} k={}", n, k);
+    }
+
+    /// The arena-backed word-parallel join is byte-identical to the
+    /// hash-bucket reference at every cut position.
+    #[test]
+    fn optimized_join_matches_reference_oracle(
+        (n, edges) in arb_graph(),
+        k in 2u32..7,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let q = Query::new(0, 1, k).expect("valid");
+        let index = Index::build(&g, q);
+        for cut in 1..k {
+            let (ref_paths, ref_counters) =
+                run_kernel(|sink, c| idx_join_reference(&index, cut, sink, c));
+            let (opt_paths, opt_counters) =
+                run_kernel(|sink, c| idx_join(&index, cut, sink, c));
+            prop_assert_eq!(opt_paths, ref_paths, "paths diverge on n={} k={} cut={}", n, k, cut);
+            prop_assert_eq!(
+                opt_counters, ref_counters,
+                "counters diverge on n={} k={} cut={}", n, k, cut
+            );
+        }
+    }
+
+    /// `CsrGraph` honors the `NeighborAccess` ascending-order contract
+    /// the deterministic emission order is built on.
+    #[test]
+    fn csr_neighbor_order_is_strictly_ascending(
+        (n, edges) in arb_graph(),
+    ) {
+        let g = graph_from_edges(n, &edges);
+        assert_strictly_ascending(&g);
+    }
+
+    /// `OverlayView` honors the same contract after arbitrary edge
+    /// insertions and removals on top of the base CSR.
+    #[test]
+    fn overlay_neighbor_order_is_strictly_ascending(
+        (n, edges) in arb_graph(),
+        inserts in proptest::collection::vec((0u32..16, 0u32..16), 0..24),
+        removes in proptest::collection::vec((0u32..16, 0u32..16), 0..24),
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let mut dynamic = DynamicGraph::new(g);
+        for &(u, v) in &inserts {
+            dynamic.insert_edge(u % n, v % n);
+        }
+        for &(u, v) in &removes {
+            dynamic.remove_edge(u % n, v % n);
+        }
+        assert_strictly_ascending(&dynamic.view());
+    }
+}
+
+/// Checks `for_each_out` / `for_each_in` yield strictly ascending ids.
+fn assert_strictly_ascending<G: NeighborAccess>(g: &G) {
+    for v in 0..g.num_vertices() as VertexId {
+        let mut prev_out: Option<VertexId> = None;
+        g.for_each_out(v, |w| {
+            assert!(
+                prev_out.is_none_or(|p| p < w),
+                "out-neighbors of {v} not strictly ascending at {w}"
+            );
+            prev_out = Some(w);
+        });
+        let mut prev_in: Option<VertexId> = None;
+        g.for_each_in(v, |w| {
+            assert!(
+                prev_in.is_none_or(|p| p < w),
+                "in-neighbors of {v} not strictly ascending at {w}"
+            );
+            prev_in = Some(w);
+        });
+    }
+}
+
+/// Deterministic ER + power-law graphs used by the end-to-end checks.
+fn workload_graphs() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("erdos_renyi", erdos_renyi(300, 1800, 7)),
+        ("power_law", power_law(PowerLawConfig::social(400, 5, 13))),
+    ]
+}
+
+/// End-to-end differential: for both generated workloads and both forced
+/// methods, the engine must return the same result set at `threads = 1`
+/// and `threads = 4`, and that set must match the recursive-DFS oracle on
+/// the same per-query index.
+#[test]
+fn engine_agrees_across_methods_and_thread_counts() {
+    for (name, g) in workload_graphs() {
+        let n = g.num_vertices() as VertexId;
+        let queries = [(0, n / 2, 4u32), (1, n - 1, 4), (2, n / 3, 3)];
+        for &(s, t, k) in &queries {
+            let q = Query::new(s, t, k).expect("valid");
+            let index = Index::build(&g, q);
+            let (mut oracle, _) = run_kernel(|sink, c| idx_dfs(&index, sink, c));
+            oracle.sort_unstable();
+            for method in [Method::IdxDfs, Method::IdxJoin] {
+                let mut single: Option<Vec<Vec<VertexId>>> = None;
+                for threads in [1usize, 4] {
+                    let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+                    let response = engine
+                        .execute(
+                            &QueryRequest::paths(s, t)
+                                .max_hops(k)
+                                .method(method)
+                                .threads(threads)
+                                .collect_paths(true),
+                        )
+                        .expect("valid request");
+                    let mut paths = response.paths;
+                    paths.sort_unstable();
+                    assert_eq!(
+                        paths, oracle,
+                        "{name}: {method} threads={threads} disagrees with the DFS \
+                         oracle on ({s},{t},k={k})"
+                    );
+                    match &single {
+                        None => single = Some(paths),
+                        Some(reference) => assert_eq!(
+                            &paths, reference,
+                            "{name}: {method} differs between thread counts on ({s},{t},k={k})"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A warm query served from the reused thread-local arena returns exactly
+/// what a fresh-allocation run (on a brand-new thread, hence a brand-new
+/// arena) returns — paths and counters.
+#[test]
+fn arena_reuse_matches_fresh_allocation_run() {
+    let g = power_law(PowerLawConfig::social(300, 5, 21));
+    let q = Query::new(0, 150, 4).expect("valid");
+    let index = Index::build(&g, q);
+
+    // Warm this thread's arena, then take the measured run.
+    let (_, _) = run_kernel(|sink, c| idx_join(&index, 2, sink, c));
+    let (warm_join, warm_join_counters) = run_kernel(|sink, c| idx_join(&index, 2, sink, c));
+    let (warm_dfs, warm_dfs_counters) = run_kernel(|sink, c| idx_dfs_iterative(&index, sink, c));
+
+    let (fresh_join, fresh_join_counters, fresh_dfs, fresh_dfs_counters) =
+        std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let (jp, jc) = run_kernel(|sink, c| idx_join(&index, 2, sink, c));
+                    let (dp, dc) = run_kernel(|sink, c| idx_dfs_iterative(&index, sink, c));
+                    (jp, jc, dp, dc)
+                })
+                .join()
+                .expect("fresh-arena thread")
+        });
+
+    assert!(!warm_join.is_empty(), "workload should produce paths");
+    assert_eq!(warm_join, fresh_join);
+    assert_eq!(warm_join_counters, fresh_join_counters);
+    assert_eq!(warm_dfs, fresh_dfs);
+    assert_eq!(warm_dfs_counters, fresh_dfs_counters);
+}
+
+/// Regression guard for the scratch arena: once a query has been served
+/// warm, repeating the *same* query must not grow the arena at all —
+/// the steady state allocates nothing in the enumeration core.
+#[test]
+fn warm_queries_do_not_grow_the_scratch_arena() {
+    let g = erdos_renyi(400, 2400, 11);
+    let q = Query::new(0, 200, 4).expect("valid");
+    let index = Index::build(&g, q);
+
+    // Two warm-up rounds: the first sizes the arena, the second settles
+    // any growth-on-first-reuse effects (e.g. Vec doubling).
+    for _ in 0..2 {
+        let (paths, _) = run_kernel(|sink, c| idx_join(&index, 2, sink, c));
+        assert!(!paths.is_empty(), "workload should produce paths");
+        run_kernel(|sink, c| idx_dfs_iterative(&index, sink, c));
+    }
+
+    let settled = thread_scratch_heap_bytes();
+    assert!(settled > 0, "arena should own warm scratch memory");
+    for rep in 0..10 {
+        run_kernel(|sink, c| idx_join(&index, 2, sink, c));
+        run_kernel(|sink, c| idx_dfs_iterative(&index, sink, c));
+        let now = thread_scratch_heap_bytes();
+        assert_eq!(
+            now, settled,
+            "arena grew from {settled} to {now} bytes on warm repetition {rep}"
+        );
+    }
+}
