@@ -12,6 +12,13 @@
 //! request with the same result `limit`, so the enumerated output is
 //! deterministic and must match request-for-request.
 //!
+//! A third pass enables the **result cache** on top of the plan cache:
+//! repeats replay the stored `PathBuffer` without planning or
+//! enumeration, which is the best case of the four-layer hierarchy
+//! (plan → index → result → shared-batch). The cold/warm/result-hit
+//! latencies, hit rates, and speedups are written to `BENCH_cache.json`
+//! for trend tracking across PRs.
+//!
 //! A final section mutates the graph through `DynamicGraph`, carries the
 //! warm cache to an engine over the new snapshot, and shows the
 //! version-epoch invalidation: stale entries are discarded, results
@@ -19,13 +26,13 @@
 
 use std::time::{Duration, Instant};
 
-use pathenum::{PathEnumConfig, PlanCache, QueryEngine, QueryRequest};
+use pathenum::{PathEnumConfig, PlanCache, QueryEngine, QueryRequest, ResultCache};
 use pathenum_graph::generators::{power_law, PowerLawConfig};
 use pathenum_graph::DynamicGraph;
-use pathenum_workloads::{generate_queries, QueryGenConfig};
+use pathenum_workloads::{generate_queries, skewed_stream, QueryGenConfig};
 
 use crate::config::ExperimentConfig;
-use crate::output::{banner, sci_ms, Table};
+use crate::output::{banner, sci_ms, write_bench_json, Table};
 
 /// How many times each distinct query recurs in the replayed stream.
 const REPEATS: usize = 8;
@@ -92,12 +99,7 @@ pub fn run(config: &ExperimentConfig) {
         &graph,
         QueryGenConfig::paper_default(config.queries_per_set.max(4), k, config.seed),
     );
-    let stream: Vec<pathenum::Query> = distinct
-        .iter()
-        .cycle()
-        .take(distinct.len() * REPEATS)
-        .copied()
-        .collect();
+    let stream = skewed_stream(&distinct, REPEATS);
     println!(
         "stream: {} requests over {} distinct queries (k={}, limit={})\n",
         stream.len(),
@@ -115,19 +117,36 @@ pub fn run(config: &ExperimentConfig) {
     );
     let mut warm_engine = QueryEngine::new(&graph, engine_config);
     let warm = run_pass(
-        "warm (cache on)",
+        "warm (plan cache)",
         &mut warm_engine,
         &stream,
         config.response_limit,
     );
+    let mut result_engine =
+        QueryEngine::new(&graph, engine_config).with_result_cache(ResultCache::default());
+    let mut result = run_pass(
+        "result (result cache)",
+        &mut result_engine,
+        &stream,
+        config.response_limit,
+    );
+    // The interesting hit rate of the third pass is the result layer's,
+    // not the plan layer's (which only ever sees first occurrences).
+    let result_stats = result_engine.result_cache_stats();
+    result.hits = result_stats.hits;
+    result.lookups = result_stats.lookups;
 
     assert_eq!(
         cold.results, warm.results,
-        "caching changed the enumerated output"
+        "plan caching changed the enumerated output"
+    );
+    assert_eq!(
+        cold.results, result.results,
+        "result caching changed the enumerated output"
     );
 
     let mut table = Table::new(["pass", "total", "mean/query", "hits", "hit rate"]);
-    for pass in [&cold, &warm] {
+    for pass in [&cold, &warm, &result] {
         table.row([
             pass.label.to_string(),
             sci_ms(pass.total),
@@ -140,9 +159,11 @@ pub fn run(config: &ExperimentConfig) {
         ]);
     }
     table.print();
-    let speedup = cold.total.as_secs_f64() / warm.total.as_secs_f64().max(1e-9);
+    let warm_speedup = cold.total.as_secs_f64() / warm.total.as_secs_f64().max(1e-9);
+    let result_speedup = cold.total.as_secs_f64() / result.total.as_secs_f64().max(1e-9);
     println!(
-        "warm-cache speedup: {speedup:.2}x (identical {} results per pass)",
+        "warm-cache speedup: {warm_speedup:.2}x, result-cache speedup: {result_speedup:.2}x \
+         (identical {} results per pass)",
         cold.results.iter().sum::<u64>(),
     );
     assert!(
@@ -150,6 +171,39 @@ pub fn run(config: &ExperimentConfig) {
         "warm pass ({:?}) must beat the cold pass ({:?})",
         warm.total,
         cold.total
+    );
+    assert!(
+        result.total < cold.total,
+        "result pass ({:?}) must beat the cold pass ({:?})",
+        result.total,
+        cold.total
+    );
+    println!(
+        "cache assertions passed: warm {warm_speedup:.2}x and result-hit {result_speedup:.2}x \
+         over cold, outputs identical"
+    );
+
+    let per_query = |pass: &Pass| pass.total.as_secs_f64() * 1e3 / stream.len() as f64;
+    write_bench_json(
+        "BENCH_cache.json",
+        &[
+            ("cold_total_ms", cold.total.as_secs_f64() * 1e3),
+            ("warm_total_ms", warm.total.as_secs_f64() * 1e3),
+            ("result_total_ms", result.total.as_secs_f64() * 1e3),
+            ("cold_mean_ms", per_query(&cold)),
+            ("warm_mean_ms", per_query(&warm)),
+            ("result_mean_ms", per_query(&result)),
+            (
+                "plan_hit_rate",
+                warm.hits as f64 / warm.lookups.max(1) as f64,
+            ),
+            (
+                "result_hit_rate",
+                result.hits as f64 / result.lookups.max(1) as f64,
+            ),
+            ("warm_speedup", warm_speedup),
+            ("result_speedup", result_speedup),
+        ],
     );
 
     // Version-epoch invalidation: mutate, snapshot, carry the cache.

@@ -17,6 +17,7 @@ pub mod overload;
 pub mod perf;
 pub mod scaling;
 pub mod serve;
+pub mod shared;
 pub mod stream;
 pub mod support;
 pub mod table3;
@@ -104,8 +105,13 @@ pub fn registry() -> Vec<ExperimentEntry> {
         ),
         (
             "cache",
-            "Repeated-query serving: cold vs warm plan cache",
+            "Repeated-query serving: cold vs warm plan cache vs result replay",
             cache::run,
+        ),
+        (
+            "shared",
+            "Shared execution: grouped batches + result replay vs warm path",
+            shared::run,
         ),
         (
             "stream",

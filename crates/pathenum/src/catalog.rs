@@ -61,13 +61,16 @@ use std::time::Instant;
 use pathenum_graph::CsrGraph;
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision, Lane};
-use crate::engine::{execute_collecting, execute_on_plan, preflight_stop};
+use crate::engine::{
+    execute_collecting, execute_on_plan, preflight_stop, replay_result_hit, result_key,
+};
 use crate::optimizer::PathEnumConfig;
 use crate::parallel::resolve_threads;
 use crate::plan::{
     effective_config, CacheOutcome, PlanKey, Planner, SharedCacheStats, SharedPlanCache,
 };
-use crate::request::{PathEnumError, QueryRequest, QueryResponse};
+use crate::request::{PathEnumError, QueryRequest, QueryResponse, Termination};
+use crate::results::{ResultCacheStats, ResultKey, SharedResultCache, TeeSink};
 use crate::service::{with_build_scratch, PoolTask, TicketOutcome, TicketState, WorkerPool};
 use crate::stats::PhaseTimings;
 
@@ -90,6 +93,7 @@ struct ServingEpoch {
 struct GraphState {
     current: Mutex<Arc<ServingEpoch>>,
     tenants: Mutex<HashMap<String, Arc<SharedPlanCache>>>,
+    results: Mutex<HashMap<String, Arc<SharedResultCache>>>,
 }
 
 impl GraphState {
@@ -111,6 +115,21 @@ impl GraphState {
             }
         }
     }
+
+    fn tenant_results(&self, tenant: &str, bytes: usize, shards: usize) -> Arc<SharedResultCache> {
+        let mut results = self
+            .results
+            .lock()
+            .expect("catalog result map is not poisoned");
+        match results.get(tenant) {
+            Some(cache) => Arc::clone(cache),
+            None => {
+                let cache = Arc::new(SharedResultCache::new(bytes, shards));
+                results.insert(tenant.to_string(), Arc::clone(&cache));
+                cache
+            }
+        }
+    }
 }
 
 /// A registry of named graphs, each served at an explicit epoch with
@@ -119,6 +138,7 @@ pub struct GraphCatalog {
     graphs: Mutex<HashMap<String, Arc<GraphState>>>,
     tenant_cache_quota: usize,
     cache_shards: usize,
+    result_cache_bytes: usize,
 }
 
 impl std::fmt::Debug for GraphCatalog {
@@ -145,11 +165,24 @@ impl GraphCatalog {
     /// An empty catalog with an explicit per-tenant/per-graph plan-cache
     /// entry quota and shard count (both clamped by
     /// [`SharedPlanCache`]'s own rules; quota `0` disables caching).
+    /// Result caching stays off; see [`with_limits`](Self::with_limits).
     pub fn with_quota(tenant_cache_quota: usize, cache_shards: usize) -> Self {
+        GraphCatalog::with_limits(tenant_cache_quota, cache_shards, 0)
+    }
+
+    /// As [`with_quota`](Self::with_quota), additionally giving every
+    /// tenant a per-graph [`SharedResultCache`] of `result_cache_bytes`
+    /// (`0` — the default everywhere else — keeps the result layer off).
+    pub fn with_limits(
+        tenant_cache_quota: usize,
+        cache_shards: usize,
+        result_cache_bytes: usize,
+    ) -> Self {
         GraphCatalog {
             graphs: Mutex::new(HashMap::new()),
             tenant_cache_quota,
             cache_shards,
+            result_cache_bytes,
         }
     }
 
@@ -158,6 +191,7 @@ impl GraphCatalog {
         let state = Arc::new(GraphState {
             current: Mutex::new(Arc::new(ServingEpoch { epoch: 0, graph })),
             tenants: Mutex::new(HashMap::new()),
+            results: Mutex::new(HashMap::new()),
         });
         self.graphs
             .lock()
@@ -236,6 +270,24 @@ impl GraphCatalog {
         tenants.get(tenant).map(|cache| cache.stats())
     }
 
+    /// The configured per-tenant/per-graph result-cache byte budget
+    /// (`0` = result layer off).
+    pub fn result_cache_bytes(&self) -> usize {
+        self.result_cache_bytes
+    }
+
+    /// Lifetime statistics of one tenant's result cache on one graph
+    /// (`None` if the layer is off, the graph is unknown, or the tenant
+    /// never queried it).
+    pub fn tenant_result_cache_stats(&self, name: &str, tenant: &str) -> Option<ResultCacheStats> {
+        let state = self.state(name)?;
+        let results = state
+            .results
+            .lock()
+            .expect("catalog result map is not poisoned");
+        results.get(tenant).map(|cache| cache.stats())
+    }
+
     /// Per-tenant cache accounting for one graph: `(tenant, entries,
     /// stats)` rows, sorted by tenant.
     pub fn tenant_accounting(&self, name: &str) -> Vec<(String, usize, SharedCacheStats)> {
@@ -273,6 +325,11 @@ pub struct CatalogConfig {
     pub tenant_cache_quota: usize,
     /// Shards per tenant cache.
     pub cache_shards: usize,
+    /// Per-tenant/per-graph result-cache byte budget; `0` (the default)
+    /// keeps the result layer off. Hits resolve their ticket at submit,
+    /// *before* admission — a repeated answer is never shed, never
+    /// queued, and charges no cost against the in-flight budget.
+    pub result_cache_bytes: usize,
     /// Admission policy; [`AdmissionConfig::disabled`] (the default)
     /// reproduces the unbounded single-FIFO behavior of
     /// [`PathEnumService`](crate::PathEnumService).
@@ -285,6 +342,7 @@ impl Default for CatalogConfig {
             workers: 0,
             tenant_cache_quota: DEFAULT_TENANT_CACHE_QUOTA,
             cache_shards: 4,
+            result_cache_bytes: 0,
             admission: AdmissionConfig::disabled(),
         }
     }
@@ -414,9 +472,10 @@ pub struct CatalogService {
 impl CatalogService {
     /// A service over a fresh empty catalog.
     pub fn new(config: PathEnumConfig, catalog_config: CatalogConfig) -> Self {
-        let catalog = Arc::new(GraphCatalog::with_quota(
+        let catalog = Arc::new(GraphCatalog::with_limits(
             catalog_config.tenant_cache_quota,
             catalog_config.cache_shards,
+            catalog_config.result_cache_bytes,
         ));
         CatalogService::over(catalog, config, catalog_config)
     }
@@ -483,6 +542,57 @@ impl CatalogService {
             Ok(query) => query,
             Err(err) => return reject(state, Some(epoch.epoch), None, err),
         };
+        let version = epoch.graph.version();
+
+        // Result layer (off unless configured): a stored answer resolves
+        // the ticket *here*, on the caller's thread, before admission —
+        // a repeated answer is never shed, never queued, and charges no
+        // cost against the in-flight budget. Such tickets carry no
+        // admission decision.
+        let store: Option<(Arc<SharedResultCache>, ResultKey)> =
+            if self.catalog.result_cache_bytes > 0 {
+                let results = graph_state.tenant_results(
+                    &routed.tenant,
+                    self.catalog.result_cache_bytes,
+                    self.catalog.cache_shards,
+                );
+                match result_key(self.config, &request) {
+                    Some(rkey) => {
+                        let lookup_start = Instant::now();
+                        if let Some(cached) =
+                            results.lookup(&rkey, request.limit, request.time_budget, version)
+                        {
+                            let response = execute_collecting(request.collect, |sink| {
+                                Ok(replay_result_hit(
+                                    &cached,
+                                    &request,
+                                    sink,
+                                    lookup_start.elapsed(),
+                                    1,
+                                ))
+                            });
+                            state.publish(TicketOutcome {
+                                response,
+                                started: lookup_start,
+                                finished: Instant::now(),
+                            });
+                            return CatalogTicket {
+                                state,
+                                epoch: Some(epoch.epoch),
+                                decision: None,
+                            };
+                        }
+                        Some((results, rkey))
+                    }
+                    None => {
+                        results.note_bypass();
+                        None
+                    }
+                }
+            } else {
+                None
+            };
+
         let cache = graph_state.tenant_cache(
             &routed.tenant,
             self.catalog.tenant_cache_quota,
@@ -493,7 +603,6 @@ impl CatalogService {
         } else {
             PlanKey::for_request(&request, effective_config(self.config, &request))
         };
-        let version = epoch.graph.version();
 
         let lookup_start = Instant::now();
         let (mut plan, index, timings, outcome_tag) = match key {
@@ -555,15 +664,51 @@ impl CatalogService {
                         return Ok(stopped);
                     }
                     execute_collecting(request.collect, |sink| {
-                        Ok(execute_on_plan(
-                            &index,
-                            plan,
-                            &request,
-                            deadline,
-                            sink,
-                            timings,
-                            outcome_tag,
-                        ))
+                        // With the result layer on, tee the answer into
+                        // the tenant's result cache so the next repeat
+                        // resolves at submit.
+                        let response = match &store {
+                            Some((results, rkey)) => {
+                                let mut tee = TeeSink::new(sink);
+                                let response = execute_on_plan(
+                                    &index,
+                                    plan,
+                                    &request,
+                                    deadline,
+                                    &mut tee,
+                                    timings,
+                                    outcome_tag,
+                                );
+                                if let Some(paths) = tee.finish() {
+                                    if response.termination != Termination::Cancelled {
+                                        let plan = response
+                                            .plan
+                                            .expect("executed responses carry the plan");
+                                        results.insert(
+                                            *rkey,
+                                            version,
+                                            plan,
+                                            paths,
+                                            response.termination,
+                                            request.limit,
+                                            request.time_budget,
+                                            None,
+                                        );
+                                    }
+                                }
+                                response
+                            }
+                            None => execute_on_plan(
+                                &index,
+                                plan,
+                                &request,
+                                deadline,
+                                sink,
+                                timings,
+                                outcome_tag,
+                            ),
+                        };
+                        Ok(response)
                     })
                 }))
                 .unwrap_or(Err(PathEnumError::EvaluationPanicked));

@@ -50,13 +50,16 @@ use std::time::Instant;
 
 use pathenum_graph::DynamicGraph;
 
-use crate::engine::{execute_collecting, execute_on_plan, preflight_stop};
+use crate::engine::{
+    execute_collecting, execute_on_plan, preflight_stop, replay_result_hit, result_key,
+};
 use crate::index::BuildScratch;
 use crate::optimizer::PathEnumConfig;
 use crate::plan::{
     effective_config, CacheOutcome, IndexFootprint, PhysicalPlan, PlanCache, PlanKey, Planner,
 };
-use crate::request::{PathEnumError, QueryRequest, QueryResponse};
+use crate::request::{PathEnumError, QueryRequest, QueryResponse, Termination};
+use crate::results::{ResultCache, ResultCacheStats, TeeSink};
 use crate::sink::PathSink;
 use crate::stats::PhaseTimings;
 
@@ -69,6 +72,12 @@ pub struct DynamicEngine<'g> {
     config: PathEnumConfig,
     scratch: BuildScratch,
     cache: PlanCache,
+    /// The result layer ([`ResultCache`]) — `None` (the default) keeps
+    /// it off; attach one with
+    /// [`with_result_cache`](Self::with_result_cache). Entries recorded
+    /// here carry the same [`IndexFootprint`] plan entries do, so they
+    /// are surgically retained across irrelevant mutations.
+    results: Option<ResultCache>,
     queries_served: u64,
     queries_rejected: u64,
 }
@@ -89,9 +98,20 @@ impl<'g> DynamicEngine<'g> {
             config,
             scratch: BuildScratch::default(),
             cache,
+            results: None,
             queries_served: 0,
             queries_rejected: 0,
         }
+    }
+
+    /// Attaches a [`ResultCache`] (see [`crate::results`]); off unless
+    /// attached. Entries recorded on this engine carry a mutation
+    /// footprint, so a cache carried to an engine over a *mutated* state
+    /// of the same graph keeps every answer the delta provably did not
+    /// touch.
+    pub fn with_result_cache(mut self, results: ResultCache) -> Self {
+        self.results = Some(results);
+        self
     }
 
     /// The dynamic graph this engine serves.
@@ -133,6 +153,26 @@ impl<'g> DynamicEngine<'g> {
     /// (typically an engine created after the next batch of mutations).
     pub fn into_cache(self) -> PlanCache {
         self.cache
+    }
+
+    /// The engine's result cache, if one is attached.
+    pub fn result_cache(&self) -> Option<&ResultCache> {
+        self.results.as_ref()
+    }
+
+    /// Result-layer statistics (all-zero when no cache is attached).
+    pub fn result_cache_stats(&self) -> ResultCacheStats {
+        self.results
+            .as_ref()
+            .map(ResultCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// Consumes the engine, handing back the attached result cache (if
+    /// any); footprint-carrying entries survive the trip across
+    /// mutations exactly like retained plan entries.
+    pub fn into_result_cache(self) -> Option<ResultCache> {
+        self.results
     }
 
     /// Evaluates a [`QueryRequest`] on the live overlay, collecting
@@ -191,6 +231,75 @@ impl<'g> DynamicEngine<'g> {
         }
         self.queries_served += 1;
 
+        // Result layer (off unless a cache is attached): a stored
+        // answer — fresh *or* surgically retained across the mutation
+        // log — skips planning and enumeration; on a miss the run is
+        // recorded and admitted with the footprint of the build that
+        // produced it.
+        if self.results.is_some() {
+            match result_key(self.config, request) {
+                Some(rkey) => {
+                    let lookup_start = Instant::now();
+                    let cached = self
+                        .results
+                        .as_mut()
+                        .expect("checked above")
+                        .lookup_on_overlay(&rkey, request.limit, request.time_budget, self.graph);
+                    if let Some(cached) = cached {
+                        return Ok(replay_result_hit(
+                            &cached,
+                            request,
+                            sink,
+                            lookup_start.elapsed(),
+                            request.effective_threads(),
+                        ));
+                    }
+                    let mut tee = TeeSink::new(sink);
+                    let response = self.execute_planned(query, request, deadline, &mut tee);
+                    if let Some(paths) = tee.finish() {
+                        if response.termination != Termination::Cancelled {
+                            // The footprint is only capturable when this
+                            // run actually built (the dist maps in
+                            // scratch are that build's); a plan-cache hit
+                            // stores a footprint-less entry, which is
+                            // version-invalidated rather than retained.
+                            let footprint = if response.report.cache == CacheOutcome::Hit {
+                                None
+                            } else {
+                                self.capture_footprint(query.k)
+                            };
+                            let plan = response.plan.expect("executed responses carry the plan");
+                            self.results.as_mut().expect("checked above").insert(
+                                rkey,
+                                self.graph.version(),
+                                plan,
+                                paths,
+                                response.termination,
+                                request.limit,
+                                request.time_budget,
+                                footprint,
+                            );
+                        }
+                    }
+                    return Ok(response);
+                }
+                None => self.results.as_mut().expect("checked above").note_bypass(),
+            }
+        }
+
+        Ok(self.execute_planned(query, request, deadline, sink))
+    }
+
+    /// The plan-acquisition + execution core of
+    /// [`execute_into`](Self::execute_into) (mirrors the
+    /// [`QueryEngine`](crate::QueryEngine) split).
+    fn execute_planned(
+        &mut self,
+        query: crate::query::Query,
+        request: &QueryRequest<'_>,
+        deadline: Option<Instant>,
+        sink: &mut dyn PathSink,
+    ) -> QueryResponse {
         let key = self.plan_key(request);
 
         // Warm path: fresh or surgically retained entries skip BFS and
@@ -207,7 +316,7 @@ impl<'g> DynamicEngine<'g> {
                     cache_lookup: lookup_start.elapsed(),
                     ..PhaseTimings::default()
                 };
-                return Ok(execute_on_plan(
+                return execute_on_plan(
                     index,
                     plan,
                     request,
@@ -215,7 +324,7 @@ impl<'g> DynamicEngine<'g> {
                     sink,
                     timings,
                     CacheOutcome::Hit,
-                ));
+                );
             }
         }
 
@@ -247,18 +356,18 @@ impl<'g> DynamicEngine<'g> {
                 footprint,
             );
         }
-        Ok(response)
+        response
     }
 
     /// The reach footprint of the build that just ran (its boundary
     /// distance maps are still in the scratch buffers), bound to the
-    /// serving graph's mutation lineage.
+    /// serving graph's mutation lineage. Delegates to the shared
+    /// [`IndexFootprint::capture`] — the planner-side capture and this
+    /// one used to duplicate the dist-map walk.
     fn capture_footprint(&self, k: u32) -> Option<IndexFootprint> {
-        let (dist_s, dist_t) = self.scratch.dist_maps();
-        Some(IndexFootprint::from_dist_maps(
+        Some(IndexFootprint::capture(
             self.graph.lineage(),
-            dist_s,
-            dist_t,
+            &self.scratch,
             k,
         ))
     }
@@ -401,6 +510,94 @@ mod tests {
             "foreign-lineage entry must not be retained"
         );
         assert_eq!(on_b.paths, vec![vec![0, 1, 2]], "B never had 0 -> 2");
+    }
+
+    #[test]
+    fn result_entries_are_retained_across_irrelevant_mutations() {
+        // 0 -> 1 -> 2 and an unrelated far component 4 <-> 5.
+        let mut b = GraphBuilder::new(6);
+        b.add_edges([(0, 1), (1, 2), (4, 5)]).unwrap();
+        let mut graph = DynamicGraph::new(b.finish());
+        let request = QueryRequest::paths(0, 2).max_hops(2).collect_paths(true);
+
+        let mut engine = DynamicEngine::new(&graph, PathEnumConfig::default())
+            .with_result_cache(ResultCache::default());
+        let cold = engine.execute(&request).unwrap();
+        assert_eq!(cold.report.cache, CacheOutcome::Miss);
+        let results = engine.into_result_cache().unwrap();
+
+        // Mutations touching only the far component.
+        assert!(graph.insert_edge(5, 4));
+        assert!(graph.remove_edge(4, 5));
+        let mut engine =
+            DynamicEngine::new(&graph, PathEnumConfig::default()).with_result_cache(results);
+        let warm = engine.execute(&request).unwrap();
+        assert_eq!(
+            warm.report.cache,
+            CacheOutcome::ResultHit,
+            "answer retained across the irrelevant delta"
+        );
+        assert_eq!(warm.paths, cold.paths);
+        let stats = engine.result_cache_stats();
+        assert_eq!(stats.retained, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn result_entries_die_when_a_result_path_edge_is_removed() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edges([(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut graph = DynamicGraph::new(b.finish());
+        let request = QueryRequest::paths(0, 3).max_hops(3).collect_paths(true);
+
+        let mut engine = DynamicEngine::new(&graph, PathEnumConfig::default())
+            .with_result_cache(ResultCache::default());
+        let before = engine.execute(&request).unwrap();
+        assert_eq!(before.paths, vec![vec![0, 1, 2, 3]]);
+        let results = engine.into_result_cache().unwrap();
+
+        // (1, 2) sits on the only result path: the entry must die.
+        assert!(graph.remove_edge(1, 2));
+        let mut engine =
+            DynamicEngine::new(&graph, PathEnumConfig::default()).with_result_cache(results);
+        let after = engine.execute(&request).unwrap();
+        assert_ne!(after.report.cache, CacheOutcome::ResultHit);
+        assert!(after.paths.is_empty());
+        assert_eq!(engine.result_cache_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn result_entries_die_only_when_insertions_touch_both_sides() {
+        // 0 -> 1 -> 2 -> 3, spare vertices 4 and 5.
+        let mut b = GraphBuilder::new(6);
+        b.add_edges([(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut graph = DynamicGraph::new(b.finish());
+        let request = QueryRequest::paths(0, 3).max_hops(4).collect_paths(true);
+
+        let mut engine = DynamicEngine::new(&graph, PathEnumConfig::default())
+            .with_result_cache(ResultCache::default());
+        engine.execute(&request).unwrap();
+        let results = engine.into_result_cache().unwrap();
+
+        // Source-side-only insertion: no new s-t path can exist yet.
+        assert!(graph.insert_edge(1, 4));
+        let mut engine =
+            DynamicEngine::new(&graph, PathEnumConfig::default()).with_result_cache(results);
+        let warm = engine.execute(&request).unwrap();
+        assert_eq!(warm.report.cache, CacheOutcome::ResultHit);
+        assert_eq!(engine.result_cache_stats().retained, 1);
+        let results = engine.into_result_cache().unwrap();
+
+        // Now a target-side insertion completes the detour 1->4->2:
+        // the sticky flags meet and the entry must die. The fresh run
+        // finds the new path.
+        assert!(graph.insert_edge(4, 2));
+        let mut engine =
+            DynamicEngine::new(&graph, PathEnumConfig::default()).with_result_cache(results);
+        let after = engine.execute(&request).unwrap();
+        assert_ne!(after.report.cache, CacheOutcome::ResultHit);
+        assert_eq!(after.paths.len(), 2);
+        assert!(after.paths.contains(&vec![0, 1, 4, 2, 3]));
     }
 
     #[test]

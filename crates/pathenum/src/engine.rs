@@ -32,7 +32,7 @@
 //! across engines over successive
 //! [`DynamicGraph`](pathenum_graph::DynamicGraph) snapshots.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pathenum_graph::CsrGraph;
 
@@ -45,8 +45,9 @@ use crate::query::Query;
 use crate::request::{
     ConstraintSpec, PathEnumError, PathStream, QueryRequest, QueryResponse, Termination,
 };
+use crate::results::{CachedResult, ResultCache, ResultCacheStats, ResultKey, TeeSink};
 use crate::sink::{FnSink, PathSink, SearchControl};
-use crate::stats::{PhaseTimings, RunReport};
+use crate::stats::{Counters, PhaseTimings, RunReport};
 
 /// A PathEnum engine bound to one graph, reusing construction buffers
 /// and cached plans across queries.
@@ -72,6 +73,10 @@ pub struct QueryEngine<'g> {
     config: PathEnumConfig,
     scratch: BuildScratch,
     cache: PlanCache,
+    /// The result layer ([`ResultCache`]) — `None` (the default) keeps
+    /// the layer off entirely; attach one with
+    /// [`with_result_cache`](Self::with_result_cache).
+    results: Option<ResultCache>,
     queries_served: u64,
     queries_rejected: u64,
 }
@@ -94,9 +99,21 @@ impl<'g> QueryEngine<'g> {
             config,
             scratch: BuildScratch::default(),
             cache,
+            results: None,
             queries_served: 0,
             queries_rejected: 0,
         }
+    }
+
+    /// Attaches a [`ResultCache`] — the fourth caching layer, serving
+    /// repeated requests from stored paths without planning *or*
+    /// enumerating (see [`crate::results`]). Off unless attached. Pass a
+    /// cache carried over from an engine that served an earlier snapshot
+    /// of the same graph to keep its answers warm across snapshots
+    /// (entries survive exactly when the version did not move).
+    pub fn with_result_cache(mut self, results: ResultCache) -> Self {
+        self.results = Some(results);
+        self
     }
 
     /// The graph this engine serves.
@@ -139,6 +156,26 @@ impl<'g> QueryEngine<'g> {
     /// [`DynamicGraph::snapshot`](pathenum_graph::DynamicGraph::snapshot)).
     pub fn into_cache(self) -> PlanCache {
         self.cache
+    }
+
+    /// The engine's result cache, if one is attached.
+    pub fn result_cache(&self) -> Option<&ResultCache> {
+        self.results.as_ref()
+    }
+
+    /// Result-layer statistics (all-zero when no cache is attached).
+    pub fn result_cache_stats(&self) -> ResultCacheStats {
+        self.results
+            .as_ref()
+            .map(ResultCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// Consumes the engine, handing back the attached result cache (if
+    /// any) so a successor engine over the same graph can keep serving
+    /// its stored answers.
+    pub fn into_result_cache(self) -> Option<ResultCache> {
+        self.results
     }
 
     /// Builds the light-weight index for `query`, reusing scratch.
@@ -237,6 +274,68 @@ impl<'g> QueryEngine<'g> {
         }
         self.queries_served += 1;
 
+        let version = self.graph.version();
+
+        // Result layer (off unless a cache is attached): a stored answer
+        // skips planning *and* enumeration — the paths are replayed
+        // straight into `sink`. On a miss the run is recorded through a
+        // [`TeeSink`] and admitted for next time.
+        if self.results.is_some() {
+            match result_key(self.config, request) {
+                Some(rkey) => {
+                    let lookup_start = Instant::now();
+                    let cached = self.results.as_mut().expect("checked above").lookup(
+                        &rkey,
+                        request.limit,
+                        request.time_budget,
+                        version,
+                    );
+                    if let Some(cached) = cached {
+                        return Ok(replay_result_hit(
+                            &cached,
+                            request,
+                            sink,
+                            lookup_start.elapsed(),
+                            request.effective_threads(),
+                        ));
+                    }
+                    let mut tee = TeeSink::new(sink);
+                    let response = self.execute_planned(query, request, deadline, &mut tee);
+                    if let Some(paths) = tee.finish() {
+                        if response.termination != Termination::Cancelled {
+                            let plan = response.plan.expect("executed responses carry the plan");
+                            self.results.as_mut().expect("checked above").insert(
+                                rkey,
+                                version,
+                                plan,
+                                paths,
+                                response.termination,
+                                request.limit,
+                                request.time_budget,
+                                None,
+                            );
+                        }
+                    }
+                    return Ok(response);
+                }
+                None => self.results.as_mut().expect("checked above").note_bypass(),
+            }
+        }
+
+        Ok(self.execute_planned(query, request, deadline, sink))
+    }
+
+    /// The plan-acquisition + execution core of
+    /// [`execute_into`](Self::execute_into): plan-cache lookup or cold
+    /// planning, then [`Executor`] dispatch. Factored out so the result
+    /// layer can wrap the sink around it.
+    fn execute_planned(
+        &mut self,
+        query: Query,
+        request: &QueryRequest<'_>,
+        deadline: Option<Instant>,
+        sink: &mut dyn PathSink,
+    ) -> QueryResponse {
         let key = self.plan_key(request);
         let version = self.graph.version();
 
@@ -253,7 +352,7 @@ impl<'g> QueryEngine<'g> {
                     cache_lookup: lookup_start.elapsed(),
                     ..PhaseTimings::default()
                 };
-                return Ok(execute_on_plan(
+                return execute_on_plan(
                     index,
                     plan,
                     request,
@@ -261,7 +360,7 @@ impl<'g> QueryEngine<'g> {
                     sink,
                     timings,
                     CacheOutcome::Hit,
-                ));
+                );
             }
         }
 
@@ -286,7 +385,7 @@ impl<'g> QueryEngine<'g> {
         if let Some(key) = key {
             self.cache.insert(key, version, planned.plan, planned.index);
         }
-        Ok(response)
+        response
     }
 
     /// Builds (or fetches from the plan cache) the index for a
@@ -410,6 +509,68 @@ pub(crate) fn preflight_termination(
         return Some(Termination::LimitReached);
     }
     None
+}
+
+/// The result-cache key for a request, or `None` when its *results* are
+/// not cacheable: bypass flags (either layer's), explain requests (they
+/// never enumerate), accumulative/automaton constraints, and
+/// unfingerprinted predicates. Shared by both engines and the service
+/// workers.
+pub(crate) fn result_key(config: PathEnumConfig, request: &QueryRequest<'_>) -> Option<ResultKey> {
+    if request.bypass_cache || request.bypass_result_cache || request.explain {
+        return None;
+    }
+    let effective = crate::plan::effective_config(config, request);
+    ResultKey::for_request(request, effective)
+}
+
+/// Builds the response of a result-cache hit: the stored prefix is
+/// replayed into the caller's sink — no BFS, no index build, no search.
+/// Mirrors fresh-execution semantics exactly: a caller-sink stop ends
+/// the replay with that path counted as delivered and the response
+/// reading [`Termination::Completed`] (the stored termination applies
+/// only when the full prefix went out).
+pub(crate) fn replay_result_hit(
+    cached: &CachedResult,
+    request: &QueryRequest<'_>,
+    sink: &mut dyn PathSink,
+    lookup: Duration,
+    threads: usize,
+) -> QueryResponse {
+    let replay_start = Instant::now();
+    let mut delivered = 0usize;
+    let mut stopped_early = false;
+    while delivered < cached.served {
+        let control = sink.emit(cached.paths.get(delivered));
+        delivered += 1;
+        if control == SearchControl::Stop {
+            stopped_early = delivered < cached.served;
+            break;
+        }
+    }
+    let termination = if stopped_early {
+        Termination::Completed
+    } else {
+        cached.termination
+    };
+    let mut plan = cached.plan;
+    plan.constraint = request.constraint.kind();
+    plan.threads = threads;
+    let timings = PhaseTimings {
+        cache_lookup: lookup,
+        enumeration: replay_start.elapsed(),
+        ..PhaseTimings::default()
+    };
+    let counters = Counters {
+        results: delivered as u64,
+        ..Counters::default()
+    };
+    QueryResponse {
+        report: plan.report(timings, counters, CacheOutcome::ResultHit),
+        termination,
+        paths: Vec::new(),
+        plan: Some(plan),
+    }
 }
 
 /// The shared execution core of every evaluator —
@@ -878,6 +1039,128 @@ mod tests {
         let paths: Vec<Vec<u32>> = engine.stream(&request).unwrap().collect();
         assert_eq!(paths.len(), 5);
         assert_eq!(engine.cache_stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn result_cache_hits_skip_planning_and_enumeration() {
+        let g = figure1_graph();
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default())
+            .with_result_cache(ResultCache::default());
+        let request = QueryRequest::paths(S, T).max_hops(4).collect_paths(true);
+        let cold = engine.execute(&request).unwrap();
+        assert_eq!(cold.report.cache, CacheOutcome::Miss);
+        let warm = engine.execute(&request).unwrap();
+        assert_eq!(warm.report.cache, CacheOutcome::ResultHit);
+        assert_eq!(warm.paths, cold.paths, "replay is byte-identical");
+        assert_eq!(warm.termination, Termination::Completed);
+        assert_eq!(warm.num_results(), cold.num_results());
+        assert_eq!(
+            warm.report.timings.index_build,
+            std::time::Duration::ZERO,
+            "no build ran"
+        );
+        let stats = engine.result_cache_stats();
+        assert_eq!(stats.lookups, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits + stats.misses + stats.bypasses, stats.lookups);
+    }
+
+    #[test]
+    fn result_hits_serve_tighter_limits_as_exact_prefixes() {
+        let g = figure1_graph();
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default())
+            .with_result_cache(ResultCache::default());
+        let full = engine
+            .execute(&QueryRequest::paths(S, T).max_hops(4).collect_paths(true))
+            .unwrap();
+        assert_eq!(full.num_results(), 5);
+        for limit in [1u64, 2, 4] {
+            let limited = engine
+                .execute(
+                    &QueryRequest::paths(S, T)
+                        .max_hops(4)
+                        .limit(limit)
+                        .collect_paths(true),
+                )
+                .unwrap();
+            assert_eq!(limited.report.cache, CacheOutcome::ResultHit);
+            assert_eq!(limited.termination, Termination::LimitReached);
+            assert_eq!(limited.paths, full.paths[..limit as usize], "limit={limit}");
+            assert_eq!(limited.num_results(), limit);
+        }
+    }
+
+    #[test]
+    fn truncated_entries_reuse_only_tighter_limits_and_upgrade_on_rerun() {
+        let g = figure1_graph();
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default())
+            .with_result_cache(ResultCache::default());
+        let narrow = QueryRequest::paths(S, T).max_hops(4).limit(2);
+        engine.execute(&narrow).unwrap();
+        // A looser limit cannot be served from the truncated entry.
+        let wider = engine
+            .execute(&QueryRequest::paths(S, T).max_hops(4).limit(4))
+            .unwrap();
+        assert_ne!(wider.report.cache, CacheOutcome::ResultHit);
+        // ... but the re-run recorded more paths, upgrading the entry:
+        // the original narrow request now replays from it.
+        let replayed = engine.execute(&narrow).unwrap();
+        assert_eq!(replayed.report.cache, CacheOutcome::ResultHit);
+        assert_eq!(replayed.termination, Termination::LimitReached);
+        assert_eq!(replayed.num_results(), 2);
+    }
+
+    #[test]
+    fn bypass_result_cache_skips_only_the_result_layer() {
+        let g = figure1_graph();
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default())
+            .with_result_cache(ResultCache::default());
+        let request = QueryRequest::paths(S, T).max_hops(4).bypass_result_cache();
+        engine.execute(&request).unwrap();
+        let warm = engine.execute(&request).unwrap();
+        assert_eq!(
+            warm.report.cache,
+            CacheOutcome::Hit,
+            "plan layer still serves"
+        );
+        let stats = engine.result_cache_stats();
+        assert_eq!(stats.bypasses, 2);
+        assert_eq!(stats.hits, 0);
+        assert!(engine.result_cache().unwrap().is_empty());
+    }
+
+    #[test]
+    fn without_an_attached_result_cache_nothing_changes() {
+        let g = figure1_graph();
+        let mut engine = QueryEngine::new(&g, PathEnumConfig::default());
+        let request = QueryRequest::paths(S, T).max_hops(4);
+        engine.execute(&request).unwrap();
+        let warm = engine.execute(&request).unwrap();
+        assert_eq!(warm.report.cache, CacheOutcome::Hit);
+        assert!(engine.result_cache().is_none());
+        assert_eq!(engine.result_cache_stats(), ResultCacheStats::default());
+    }
+
+    #[test]
+    fn result_hit_equals_cold_execution_across_methods() {
+        let g = erdos_renyi(60, 380, 21);
+        for method in [None, Some(Method::IdxDfs), Some(Method::IdxJoin)] {
+            let mut engine = QueryEngine::new(&g, PathEnumConfig::default())
+                .with_result_cache(ResultCache::default());
+            let make = || {
+                let r = QueryRequest::paths(0, 1).max_hops(4).collect_paths(true);
+                match method {
+                    Some(m) => r.method(m),
+                    None => r,
+                }
+            };
+            let cold = engine.execute(&make()).unwrap();
+            let warm = engine.execute(&make()).unwrap();
+            assert_eq!(warm.report.cache, CacheOutcome::ResultHit, "{method:?}");
+            assert_eq!(warm.paths, cold.paths, "{method:?}");
+            assert_eq!(warm.termination, cold.termination, "{method:?}");
+        }
     }
 
     #[test]

@@ -92,6 +92,7 @@ pub mod query;
 pub mod reference;
 pub mod relations;
 pub mod request;
+pub mod results;
 pub mod service;
 pub mod sink;
 pub mod spectrum;
@@ -116,6 +117,10 @@ pub use query::Query;
 pub use request::{
     CancelToken, ControlledSink, PathEnumError, PathStream, QueryRequest, QueryResponse,
     Termination,
+};
+pub use results::{
+    ResultCache, ResultCacheStats, ResultKey, SharedResultCache, DEFAULT_RESULT_CACHE_BYTES,
+    DEFAULT_RESULT_CACHE_SHARDS,
 };
 pub use service::{PathEnumService, ServeReport, ServiceConfig, Ticket, TicketOutcome};
 #[allow(deprecated)]

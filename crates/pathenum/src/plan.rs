@@ -112,6 +112,10 @@ pub enum CacheOutcome {
     Miss,
     /// Served from a cached plan and index — no BFS, no index build.
     Hit,
+    /// Served straight from the [result
+    /// cache](crate::results::ResultCache): no BFS, no index build, *no
+    /// enumeration* — the stored paths were replayed into the sink.
+    ResultHit,
     /// The evaluation stopped before the cache was even consulted: a
     /// pre-flight stopping rule (pre-cancelled token, zero time budget,
     /// zero result limit) fired first. The request counts as *rejected*,
@@ -125,6 +129,7 @@ impl std::fmt::Display for CacheOutcome {
             CacheOutcome::Bypass => write!(f, "bypass"),
             CacheOutcome::Miss => write!(f, "miss"),
             CacheOutcome::Hit => write!(f, "hit"),
+            CacheOutcome::ResultHit => write!(f, "result-hit"),
             CacheOutcome::Skipped => write!(f, "skipped"),
         }
     }
@@ -788,6 +793,44 @@ impl IndexFootprint {
             reach_s: DenseBits::from_reach(dist_s, bound),
             reach_t: DenseBits::from_reach(dist_t, bound),
         }
+    }
+
+    /// Captures the footprint a build just left in `scratch`, for query
+    /// hop bound `k`, stamped against one graph lineage. The single
+    /// capture point shared by the planner-side and the
+    /// [`DynamicEngine`](crate::DynamicEngine)-side callers — both used
+    /// to duplicate this dist-map walk.
+    pub(crate) fn capture(lineage: GraphVersion, scratch: &BuildScratch, k: u32) -> Self {
+        let (dist_s, dist_t) = scratch.dist_maps();
+        IndexFootprint::from_dist_maps(lineage, dist_s, dist_t, k)
+    }
+
+    /// The mutation lineage this footprint was stamped against.
+    pub(crate) fn lineage(&self) -> GraphVersion {
+        self.lineage
+    }
+
+    /// Whether a **removed** edge `(u, w)` could have carried a cached
+    /// *result* path: only if `u` is within `k - 1` hops of `s` and `w`
+    /// within `k - 1` hops of `t` — every edge of every result path
+    /// satisfies both. (Plan entries use the tighter index-partition
+    /// check instead, because they also cache the index tables.)
+    pub(crate) fn removal_touches_results(&self, u: VertexId, w: VertexId) -> bool {
+        self.reach_s.contains(u) && self.reach_t.contains(w)
+    }
+
+    /// For an **inserted** edge `(u, w)`: whether it starts inside the
+    /// `s`-reach and whether it ends inside the `t`-reach. Callers
+    /// accumulate these as sticky flags; an entry dies once both have
+    /// ever been set (the same rule `CacheEntry::survives_delta` uses).
+    pub(crate) fn insertion_touches(&self, u: VertexId, w: VertexId) -> (bool, bool) {
+        (self.reach_s.contains(u), self.reach_t.contains(w))
+    }
+
+    /// Approximate heap footprint of the two reach bitsets, in bytes —
+    /// byte-budgeted caches charge footprint-carrying entries for them.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        (self.reach_s.words.capacity() + self.reach_t.words.capacity()) * std::mem::size_of::<u64>()
     }
 }
 

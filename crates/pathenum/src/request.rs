@@ -342,6 +342,7 @@ pub struct QueryRequest<'a> {
     pub(crate) collect: bool,
     pub(crate) explain: bool,
     pub(crate) bypass_cache: bool,
+    pub(crate) bypass_result_cache: bool,
     pub(crate) fingerprint: Option<u64>,
     pub(crate) constraint: ConstraintSpec<'a>,
     /// Set when a second constraint setter ran; surfaced at validation.
@@ -384,6 +385,7 @@ impl<'a> QueryRequest<'a> {
             collect: false,
             explain: false,
             bypass_cache: false,
+            bypass_result_cache: false,
             fingerprint: None,
             constraint: ConstraintSpec::None,
             conflict: None,
@@ -488,6 +490,18 @@ impl<'a> QueryRequest<'a> {
     /// one-off queries that should not displace hot entries.
     pub fn bypass_cache(mut self) -> Self {
         self.bypass_cache = true;
+        self
+    }
+
+    /// Opts this request out of the *result* cache only (see
+    /// [`ResultCache`](crate::results::ResultCache)): stored result sets
+    /// are neither consulted nor populated, while the plan/index cache
+    /// keeps working normally. For callers that want warm planning but
+    /// always-fresh enumeration — e.g. probing for result-set changes.
+    /// [`bypass_cache`](Self::bypass_cache) is stronger: it opts out of
+    /// both layers.
+    pub fn bypass_result_cache(mut self) -> Self {
+        self.bypass_result_cache = true;
         self
     }
 

@@ -1,0 +1,1126 @@
+//! The result cache: the fourth caching layer, and the first one that
+//! skips *enumeration* itself.
+//!
+//! The layers below it — plan cache ([`crate::plan::PlanCache`]), cached
+//! index, footprint retention — make *planning* nearly free for a
+//! repeated request, but every warm hit still pays the full enumeration:
+//! on the skewed, repetitive read streams the serving experiments model,
+//! that is the dominant remaining cost. A [`ResultCache`] closes the
+//! loop: it is content-addressed on the full request identity
+//! ([`ResultKey`]: `s`, `t`, `k`, constraint namespace + fingerprint,
+//! effective forced method and `tau`) and guarded by the serving graph's
+//! [`GraphVersion`] epoch, storing the completed path set (a flat
+//! [`PathBuffer`]) together with its [`Termination`] and the bounds it
+//! ran under. A hit replays the stored paths into the caller's sink —
+//! no BFS, no index build, no search — and reports
+//! [`CacheOutcome::ResultHit`](crate::plan::CacheOutcome::ResultHit).
+//!
+//! Three rules keep replays byte-identical to fresh execution:
+//!
+//! * **Bounds are served, not keyed.** The enumeration order is
+//!   deterministic (pinned across methods and thread counts), so a
+//!   `limit(n)` request is exactly the first `n` stored paths. A
+//!   [`Termination::Completed`] entry therefore serves *any* limit; an
+//!   entry truncated by [`Termination::LimitReached`] or
+//!   [`Termination::DeadlineExceeded`] is reusable only for requests
+//!   with **equal-or-tighter** bounds (a looser request might be owed
+//!   paths the entry never captured, so it misses and re-runs).
+//! * **Mutation streams retain surgically.** Entries recorded by
+//!   [`DynamicEngine`](crate::DynamicEngine) carry the same
+//!   `IndexFootprint` plan entries do; a version-stale entry survives
+//!   a delta that provably cannot touch any result path (a removed edge
+//!   invalidates only when it leaves the `s`-reach *and* enters the
+//!   `t`-reach; insertions use the sticky two-sided rule).
+//! * **Admission is byte-budgeted.** Entries are charged their real
+//!   heap footprint (paths + footprint bitsets); the LRU evicts until
+//!   the budget holds, and an entry larger than the whole budget is
+//!   never admitted.
+//!
+//! The cache is **off by default** everywhere — enable it per engine
+//! ([`QueryEngine::with_result_cache`](crate::QueryEngine::with_result_cache),
+//! [`DynamicEngine::with_result_cache`](crate::DynamicEngine::with_result_cache))
+//! or per service
+//! ([`ServiceConfig::result_cache_bytes`](crate::service::ServiceConfig::result_cache_bytes),
+//! [`CatalogConfig::result_cache_bytes`](crate::catalog::CatalogConfig::result_cache_bytes)).
+//! Individual requests opt out of this layer alone with
+//! [`QueryRequest::bypass_result_cache`]; [`QueryRequest::bypass_cache`]
+//! opts out of both layers.
+//!
+//! Statistics ([`ResultCacheStats`]) satisfy the same accounting
+//! identity the shared plan cache pins:
+//! `hits + misses + bypasses == lookups`.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use pathenum_graph::{DynamicGraph, EdgeMutation, GraphVersion, VertexId};
+
+use crate::optimizer::PathEnumConfig;
+use crate::plan::{IndexFootprint, PhysicalPlan};
+use crate::request::{ConstraintSpec, QueryRequest, Termination};
+use crate::sink::{PathBuffer, PathSink, SearchControl};
+use crate::stats::Method;
+
+/// A pass-through sink that records a copy of every path the caller's
+/// sink accepted, so a cold run doubles as the recording for the result
+/// cache. Sits *inside* the request's
+/// [`ControlledSink`](crate::request::ControlledSink), so it sees exactly
+/// the admitted result sequence.
+///
+/// If the **caller's** sink stops the run, the recorded prefix is not a
+/// faithful answer for the request (the response still reads
+/// [`Termination::Completed`] — the caller issued that stop and the rest
+/// of the result set was abandoned), so [`finish`](Self::finish) yields
+/// nothing and no entry is admitted.
+pub(crate) struct TeeSink<'a> {
+    inner: &'a mut dyn PathSink,
+    buffer: PathBuffer,
+    inner_stopped: bool,
+}
+
+impl<'a> TeeSink<'a> {
+    pub(crate) fn new(inner: &'a mut dyn PathSink) -> Self {
+        TeeSink {
+            inner,
+            buffer: PathBuffer::new(),
+            inner_stopped: false,
+        }
+    }
+
+    /// The recorded answer, or `None` when the inner sink truncated the
+    /// run (the recording is not admissible).
+    pub(crate) fn finish(self) -> Option<PathBuffer> {
+        if self.inner_stopped {
+            None
+        } else {
+            Some(self.buffer)
+        }
+    }
+}
+
+impl PathSink for TeeSink<'_> {
+    #[inline]
+    fn emit(&mut self, path: &[VertexId]) -> SearchControl {
+        match self.inner.emit(path) {
+            SearchControl::Continue => {
+                self.buffer.push(path);
+                SearchControl::Continue
+            }
+            SearchControl::Stop => {
+                self.inner_stopped = true;
+                SearchControl::Stop
+            }
+        }
+    }
+
+    #[inline]
+    fn probe(&mut self) -> SearchControl {
+        self.inner.probe()
+    }
+}
+
+/// Cache key: the full identity of one answered request, *excluding*
+/// its bounds (`limit` / `time_budget`) — those are stored on the entry
+/// and checked at serve time, so one completed entry serves every
+/// compatible bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResultKey {
+    /// Source vertex.
+    pub s: VertexId,
+    /// Target vertex.
+    pub t: VertexId,
+    /// Hop constraint.
+    pub k: u32,
+    /// Constraint namespace: 0 for unconstrained requests, 1 for
+    /// fingerprinted predicates (mirrors [`PlanKey`](crate::plan::PlanKey),
+    /// except accumulative/automaton requests are *not* folded into
+    /// namespace 0 — they share the unconstrained plan but produce a
+    /// different result set, so they are never result-cached).
+    pub namespace: u8,
+    /// Constraint fingerprint within the namespace.
+    pub fingerprint: u64,
+    /// Effective forced method — the method changes the deterministic
+    /// emission order, so plans forced differently never alias.
+    pub method: Option<Method>,
+    /// Effective preliminary-estimate threshold (it decides the method).
+    pub tau: u64,
+}
+
+impl ResultKey {
+    /// The result-cache key for a request under `effective`
+    /// configuration, or `None` when the request's results are not
+    /// cacheable: accumulative/automaton constraints (their closures
+    /// shape the result set but cannot be compared) and unfingerprinted
+    /// predicates. Bypass flags, explain, and cache capacity are the
+    /// caller's concern. `threads` is deliberately absent: the parallel
+    /// merge is pinned to emit the sequential order, so every thread
+    /// count shares one entry.
+    pub(crate) fn for_request(
+        request: &QueryRequest<'_>,
+        effective: PathEnumConfig,
+    ) -> Option<ResultKey> {
+        let (namespace, fingerprint) = match &request.constraint {
+            ConstraintSpec::None => (0u8, 0u64),
+            ConstraintSpec::Predicate(_) => (1u8, request.fingerprint?),
+            ConstraintSpec::Accumulative(_) | ConstraintSpec::Automaton { .. } => return None,
+        };
+        Some(ResultKey {
+            s: request.s,
+            t: request.t,
+            k: request.k,
+            namespace,
+            fingerprint,
+            method: effective.force,
+            tau: effective.tau,
+        })
+    }
+}
+
+/// Aggregate statistics of a [`ResultCache`] / [`SharedResultCache`].
+///
+/// `lookups` is maintained independently of the outcome counters, so
+/// `hits + misses + bypasses == lookups` is a real consistency
+/// invariant (the same contract as
+/// [`SharedCacheStats`](crate::plan::SharedCacheStats)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResultCacheStats {
+    /// Cache consultations plus bypasses (one per evaluated request
+    /// while the layer is enabled).
+    pub lookups: u64,
+    /// Requests answered entirely from stored paths.
+    pub hits: u64,
+    /// Lookups that found nothing servable (absent, stale, or
+    /// bound-incompatible).
+    pub misses: u64,
+    /// Requests that never consulted the cache (uncacheable constraint,
+    /// a bypass flag, or an explain request).
+    pub bypasses: u64,
+    /// Entries discarded because the graph version moved on (and the
+    /// footprint, if any, could not prove the delta irrelevant).
+    pub invalidations: u64,
+    /// Entries discarded to make room under the byte budget (LRU).
+    pub evictions: u64,
+    /// Hits served across a graph mutation because the entry's recorded
+    /// footprint was provably untouched by the delta (a subset of
+    /// `hits`).
+    pub retained: u64,
+}
+
+impl ResultCacheStats {
+    /// Hit fraction over all lookups (bypasses included; 0 when nothing
+    /// was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// The stats accumulated since an earlier snapshot of the same cache.
+    pub fn since(&self, earlier: &ResultCacheStats) -> ResultCacheStats {
+        ResultCacheStats {
+            lookups: self.lookups - earlier.lookups,
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            bypasses: self.bypasses - earlier.bypasses,
+            invalidations: self.invalidations - earlier.invalidations,
+            evictions: self.evictions - earlier.evictions,
+            retained: self.retained - earlier.retained,
+        }
+    }
+}
+
+/// What a result-cache hit hands back: everything needed to replay the
+/// answer without touching the graph.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedResult {
+    /// The plan that produced the stored paths (for the response's
+    /// report; `Copy`, so handing it out is free).
+    pub plan: PhysicalPlan,
+    /// The stored path sequence (shared — replay happens outside any
+    /// cache lock).
+    pub paths: Arc<PathBuffer>,
+    /// How many of the stored paths this request is served (a prefix;
+    /// `<= paths.len()`).
+    pub served: usize,
+    /// The termination the equivalent fresh execution would report.
+    pub termination: Termination,
+}
+
+/// Fixed per-entry overhead charged against the byte budget on top of
+/// the measured path/footprint bytes (map slot, entry struct, `Arc`).
+const ENTRY_OVERHEAD_BYTES: usize = 192;
+
+#[derive(Debug)]
+struct ResultEntry {
+    version: GraphVersion,
+    plan: PhysicalPlan,
+    paths: Arc<PathBuffer>,
+    termination: Termination,
+    /// The limit the recording run executed under (`None` = unbounded).
+    limit: Option<u64>,
+    /// The time budget the recording run executed under.
+    time_budget: Option<Duration>,
+    /// Reach footprint enabling surgical retention; `None` for entries
+    /// stored by engines that do not track deltas.
+    footprint: Option<IndexFootprint>,
+    /// Sticky: some delta insertion since recording starts in `reach_s`.
+    src_touched: bool,
+    /// Sticky: some delta insertion since recording ends in `reach_t`.
+    dst_touched: bool,
+    last_used: u64,
+    /// Charged against the cache's byte budget.
+    bytes: usize,
+}
+
+impl ResultEntry {
+    /// How many stored paths a request with the given bounds may be
+    /// served, and the termination it should report — or `None` when the
+    /// entry cannot answer the request (bounds looser than what the
+    /// recording run was cut off at).
+    fn serve(&self, limit: Option<u64>, budget: Option<Duration>) -> Option<(usize, Termination)> {
+        let stored = self.paths.len();
+        match self.termination {
+            // A completed entry is the full result set: any limit is a
+            // deterministic prefix of it. A limit <= stored reproduces
+            // the cut exactly where a fresh run would stop.
+            Termination::Completed => match limit {
+                Some(l) if (l as usize) <= stored => Some((l as usize, Termination::LimitReached)),
+                _ => Some((stored, Termination::Completed)),
+            },
+            // A limit-truncated entry holds exactly the first `l0`
+            // paths; only an equal-or-tighter limit is a prefix of it.
+            Termination::LimitReached => {
+                let l0 = self.limit.unwrap_or(stored as u64);
+                match limit {
+                    Some(l) if l <= l0 => {
+                        Some(((l as usize).min(stored), Termination::LimitReached))
+                    }
+                    _ => None,
+                }
+            }
+            // A deadline-truncated entry is reusable only under an
+            // equal-or-tighter time budget: the stored prefix is a
+            // valid answer for any run allowed *at most* as much time.
+            Termination::DeadlineExceeded => {
+                let b0 = self.time_budget?;
+                if budget.is_none_or(|b| b > b0) {
+                    return None;
+                }
+                match limit {
+                    Some(l) if (l as usize) <= stored => {
+                        Some((l as usize, Termination::LimitReached))
+                    }
+                    _ => Some((stored, Termination::DeadlineExceeded)),
+                }
+            }
+            // Cancelled runs are never inserted; an entry cannot carry
+            // this termination.
+            Termination::Cancelled => None,
+        }
+    }
+
+    /// Whether the new recording of the same key supersedes this entry
+    /// (at the same graph version). A completed answer always wins; two
+    /// truncated answers are ranked by how much they captured.
+    fn superseded_by(&self, termination: Termination, new_paths: usize) -> bool {
+        match (self.termination, termination) {
+            (Termination::Completed, _) => false,
+            (_, Termination::Completed) => true,
+            _ => new_paths > self.paths.len(),
+        }
+    }
+
+    /// Whether this entry's results are provably unchanged by the
+    /// mutations applied after `self.version`, updating the sticky
+    /// insertion flags along the way. The removal rule differs from the
+    /// plan cache's: an edge can sit on a *result path* only if it
+    /// leaves the `s`-reach and enters the `t`-reach, so only such
+    /// removals invalidate.
+    fn survives_delta(&mut self, graph: &DynamicGraph) -> bool {
+        let Some(footprint) = &self.footprint else {
+            return false;
+        };
+        if footprint.lineage() != graph.lineage() {
+            return false;
+        }
+        let Some(mutations) = graph.mutations_since(self.version) else {
+            return false; // delta log window slid past this entry
+        };
+        for (kind, (u, w)) in mutations {
+            match kind {
+                EdgeMutation::Removed => {
+                    if footprint.removal_touches_results(u, w) {
+                        return false;
+                    }
+                }
+                EdgeMutation::Inserted => {
+                    let (src, dst) = footprint.insertion_touches(u, w);
+                    self.src_touched |= src;
+                    self.dst_touched |= dst;
+                    if self.src_touched && self.dst_touched {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Default byte budget of a [`ResultCache`]: enough for tens of
+/// thousands of limit-1000 answers on typical path lengths while
+/// staying far below the serving graph itself.
+pub const DEFAULT_RESULT_CACHE_BYTES: usize = 16 * 1024 * 1024;
+
+/// A byte-budgeted LRU cache of completed enumeration answers, keyed by
+/// [`ResultKey`] and guarded by a [`GraphVersion`] epoch.
+///
+/// See the [module docs](self) for the serve rules and retention
+/// semantics. The cache is an independent value (like
+/// [`PlanCache`](crate::plan::PlanCache)) so it can move between engines
+/// over successive snapshots.
+#[derive(Debug)]
+pub struct ResultCache {
+    byte_budget: usize,
+    entries: HashMap<ResultKey, ResultEntry>,
+    bytes: usize,
+    clock: u64,
+    stats: ResultCacheStats,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache::new(DEFAULT_RESULT_CACHE_BYTES)
+    }
+}
+
+impl ResultCache {
+    /// A cache holding at most `byte_budget` bytes of stored answers
+    /// (measured heap footprint plus a fixed per-entry overhead). A
+    /// budget of 0 disables the cache: every lookup misses, nothing is
+    /// stored.
+    pub fn new(byte_budget: usize) -> Self {
+        ResultCache {
+            byte_budget,
+            entries: HashMap::new(),
+            bytes: 0,
+            clock: 0,
+            stats: ResultCacheStats::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn byte_budget(&self) -> usize {
+        self.byte_budget
+    }
+
+    /// Bytes currently charged by stored entries.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> ResultCacheStats {
+        self.stats
+    }
+
+    /// Drops every entry (statistics are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+
+    /// Records a request evaluated without consulting this cache.
+    pub(crate) fn note_bypass(&mut self) {
+        self.stats.lookups += 1;
+        self.stats.bypasses += 1;
+    }
+
+    /// Looks up a servable answer for `key` at graph `version` under the
+    /// request's bounds. A stale entry (older version, no retention path
+    /// here) is removed and counted as an invalidation; a
+    /// bound-incompatible entry stays (a tighter future request can
+    /// still use it) but the lookup counts as a miss.
+    pub(crate) fn lookup(
+        &mut self,
+        key: &ResultKey,
+        limit: Option<u64>,
+        budget: Option<Duration>,
+        version: GraphVersion,
+    ) -> Option<CachedResult> {
+        self.stats.lookups += 1;
+        match self.entries.get(key) {
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+            Some(entry) if entry.version != version => {
+                self.remove(key);
+                self.stats.invalidations += 1;
+                self.stats.misses += 1;
+                None
+            }
+            Some(entry) => match entry.serve(limit, budget) {
+                Some((served, termination)) => {
+                    self.clock += 1;
+                    self.stats.hits += 1;
+                    let entry = self.entries.get_mut(key).expect("entry is present");
+                    entry.last_used = self.clock;
+                    Some(CachedResult {
+                        plan: entry.plan,
+                        paths: Arc::clone(&entry.paths),
+                        served,
+                        termination,
+                    })
+                }
+                None => {
+                    self.stats.misses += 1;
+                    None
+                }
+            },
+        }
+    }
+
+    /// Looks up a servable answer against a live [`DynamicGraph`]:
+    /// beyond [`lookup`](Self::lookup), a version-stale entry is
+    /// re-validated against the overlay's mutation log and re-stamped
+    /// when the delta is provably irrelevant to its footprint (counted
+    /// in [`ResultCacheStats::retained`]).
+    pub(crate) fn lookup_on_overlay(
+        &mut self,
+        key: &ResultKey,
+        limit: Option<u64>,
+        budget: Option<Duration>,
+        graph: &DynamicGraph,
+    ) -> Option<CachedResult> {
+        self.stats.lookups += 1;
+        let version = graph.version();
+        let mut retained = false;
+        match self.entries.get_mut(key) {
+            None => {
+                self.stats.misses += 1;
+                return None;
+            }
+            Some(entry) if entry.version != version => {
+                if entry.survives_delta(graph) {
+                    entry.version = version;
+                    retained = true;
+                } else {
+                    self.remove(key);
+                    self.stats.invalidations += 1;
+                    self.stats.misses += 1;
+                    return None;
+                }
+            }
+            Some(_) => {}
+        }
+        let entry = self.entries.get_mut(key).expect("entry is present");
+        match entry.serve(limit, budget) {
+            Some((served, termination)) => {
+                self.clock += 1;
+                self.stats.hits += 1;
+                if retained {
+                    self.stats.retained += 1;
+                }
+                entry.last_used = self.clock;
+                let result = CachedResult {
+                    plan: entry.plan,
+                    paths: Arc::clone(&entry.paths),
+                    served,
+                    termination,
+                };
+                Some(result)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores one recorded answer, evicting least-recently-used entries
+    /// until the byte budget holds. An answer larger than the whole
+    /// budget is not admitted; a worse answer never displaces a better
+    /// one for the same key at the same version (a `Completed` entry is
+    /// never overwritten by a truncated re-run under a tighter bound).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn insert(
+        &mut self,
+        key: ResultKey,
+        version: GraphVersion,
+        plan: PhysicalPlan,
+        paths: PathBuffer,
+        termination: Termination,
+        limit: Option<u64>,
+        time_budget: Option<Duration>,
+        footprint: Option<IndexFootprint>,
+    ) {
+        if self.byte_budget == 0 || termination == Termination::Cancelled {
+            return;
+        }
+        if let Some(existing) = self.entries.get(&key) {
+            if existing.version == version && !existing.superseded_by(termination, paths.len()) {
+                return;
+            }
+        }
+        let bytes = paths.heap_bytes()
+            + footprint.as_ref().map_or(0, IndexFootprint::heap_bytes)
+            + ENTRY_OVERHEAD_BYTES;
+        if bytes > self.byte_budget {
+            return;
+        }
+        self.remove(&key);
+        while self.bytes + bytes > self.byte_budget {
+            let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            else {
+                break;
+            };
+            self.remove(&lru);
+            self.stats.evictions += 1;
+        }
+        self.clock += 1;
+        self.bytes += bytes;
+        self.entries.insert(
+            key,
+            ResultEntry {
+                version,
+                plan,
+                paths: Arc::new(paths),
+                termination,
+                limit,
+                time_budget,
+                footprint,
+                src_touched: false,
+                dst_touched: false,
+                last_used: self.clock,
+                bytes,
+            },
+        );
+    }
+
+    fn remove(&mut self, key: &ResultKey) {
+        if let Some(entry) = self.entries.remove(key) {
+            self.bytes -= entry.bytes;
+        }
+    }
+}
+
+/// Default shard count of a [`SharedResultCache`].
+pub const DEFAULT_RESULT_CACHE_SHARDS: usize = 8;
+
+/// A concurrently readable result cache: per-shard locking over
+/// [`ResultCache`] with aggregate statistics in atomics — the result
+/// layer of [`PathEnumService`](crate::service::PathEnumService) and the
+/// per-tenant result layer of the
+/// [`catalog`](crate::catalog::CatalogService).
+///
+/// A hit hands out an `Arc` of the stored [`PathBuffer`]; the replay
+/// into the caller's sink happens entirely outside the shard lock.
+#[derive(Debug)]
+pub struct SharedResultCache {
+    shards: Box<[Mutex<ResultCache>]>,
+    byte_budget: usize,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bypasses: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+    retained: AtomicU64,
+}
+
+impl SharedResultCache {
+    /// A cache of `byte_budget` total bytes spread over `shards` shards
+    /// (budget 0 disables the cache). Like
+    /// [`SharedPlanCache`](crate::plan::SharedPlanCache), the budget is
+    /// rounded up to a multiple of the shard count.
+    pub fn new(byte_budget: usize, shards: usize) -> Self {
+        let shards = shards.max(1).min(byte_budget.max(1));
+        let per_shard = byte_budget.div_ceil(shards);
+        SharedResultCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(ResultCache::new(if byte_budget == 0 {
+                        0
+                    } else {
+                        per_shard
+                    }))
+                })
+                .collect(),
+            byte_budget: per_shard * shards,
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            retained: AtomicU64::new(0),
+        }
+    }
+
+    /// Total byte budget across all shards (rounded up as enforced).
+    pub fn byte_budget(&self) -> usize {
+        self.byte_budget
+    }
+
+    /// Current number of entries (sums the shards; takes each lock
+    /// briefly).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("no poisoned result shard").len())
+            .sum()
+    }
+
+    /// Whether no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A consistent-enough snapshot of the aggregate statistics (each
+    /// counter is read atomically; quiescent reads are exact).
+    pub fn stats(&self) -> ResultCacheStats {
+        ResultCacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            retained: self.retained.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every entry in every shard (statistics are kept).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().expect("no poisoned result shard").clear();
+        }
+    }
+
+    fn shard_for(&self, key: &ResultKey) -> &Mutex<ResultCache> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Records a request that was evaluated without consulting the cache.
+    pub(crate) fn note_bypass(&self) {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.bypasses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Looks up a servable answer; the shard lock is released before the
+    /// caller replays the returned paths.
+    pub(crate) fn lookup(
+        &self,
+        key: &ResultKey,
+        limit: Option<u64>,
+        budget: Option<Duration>,
+        version: GraphVersion,
+    ) -> Option<CachedResult> {
+        let out;
+        let delta;
+        {
+            let mut shard = self
+                .shard_for(key)
+                .lock()
+                .expect("no poisoned result shard");
+            let before = shard.stats();
+            out = shard.lookup(key, limit, budget, version);
+            delta = diff(shard.stats(), before);
+        }
+        self.accumulate(delta);
+        out
+    }
+
+    /// Stores one recorded answer in its shard.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn insert(
+        &self,
+        key: ResultKey,
+        version: GraphVersion,
+        plan: PhysicalPlan,
+        paths: PathBuffer,
+        termination: Termination,
+        limit: Option<u64>,
+        time_budget: Option<Duration>,
+        footprint: Option<IndexFootprint>,
+    ) {
+        let delta;
+        {
+            let mut shard = self
+                .shard_for(&key)
+                .lock()
+                .expect("no poisoned result shard");
+            let before = shard.stats();
+            shard.insert(
+                key,
+                version,
+                plan,
+                paths,
+                termination,
+                limit,
+                time_budget,
+                footprint,
+            );
+            delta = diff(shard.stats(), before);
+        }
+        self.accumulate(delta);
+    }
+
+    fn accumulate(&self, delta: ResultCacheStats) {
+        if delta.lookups > 0 {
+            self.lookups.fetch_add(delta.lookups, Ordering::Relaxed);
+        }
+        if delta.hits > 0 {
+            self.hits.fetch_add(delta.hits, Ordering::Relaxed);
+        }
+        if delta.misses > 0 {
+            self.misses.fetch_add(delta.misses, Ordering::Relaxed);
+        }
+        if delta.bypasses > 0 {
+            self.bypasses.fetch_add(delta.bypasses, Ordering::Relaxed);
+        }
+        if delta.invalidations > 0 {
+            self.invalidations
+                .fetch_add(delta.invalidations, Ordering::Relaxed);
+        }
+        if delta.evictions > 0 {
+            self.evictions.fetch_add(delta.evictions, Ordering::Relaxed);
+        }
+        if delta.retained > 0 {
+            self.retained.fetch_add(delta.retained, Ordering::Relaxed);
+        }
+    }
+}
+
+fn diff(after: ResultCacheStats, before: ResultCacheStats) -> ResultCacheStats {
+    after.since(&before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::plan_on_index;
+    use crate::query::Query;
+    use crate::stats::PhaseTimings;
+
+    fn sample_plan() -> PhysicalPlan {
+        let g = crate::index::test_support::figure1_graph();
+        let query = Query::new(
+            crate::index::test_support::S,
+            crate::index::test_support::T,
+            4,
+        )
+        .unwrap();
+        let index = crate::index::Index::build(&g, query);
+        let mut timings = PhaseTimings::default();
+        plan_on_index(&index, PathEnumConfig::default(), &mut timings)
+    }
+
+    fn buffer(paths: &[&[u32]]) -> PathBuffer {
+        let mut buf = PathBuffer::new();
+        for p in paths {
+            buf.push(p);
+        }
+        buf
+    }
+
+    fn key(k: u32) -> ResultKey {
+        ResultKey {
+            s: 0,
+            t: 1,
+            k,
+            namespace: 0,
+            fingerprint: 0,
+            method: None,
+            tau: 100_000,
+        }
+    }
+
+    #[test]
+    fn completed_entries_serve_any_limit_as_a_prefix() {
+        let mut cache = ResultCache::new(1 << 20);
+        let v = GraphVersion::next();
+        let paths = buffer(&[&[0, 2, 1], &[0, 3, 1], &[0, 4, 1]]);
+        cache.insert(
+            key(4),
+            v,
+            sample_plan(),
+            paths,
+            Termination::Completed,
+            None,
+            None,
+            None,
+        );
+
+        let full = cache.lookup(&key(4), None, None, v).unwrap();
+        assert_eq!(full.served, 3);
+        assert_eq!(full.termination, Termination::Completed);
+
+        let loose = cache.lookup(&key(4), Some(10), None, v).unwrap();
+        assert_eq!(loose.served, 3);
+        assert_eq!(loose.termination, Termination::Completed);
+
+        let tight = cache.lookup(&key(4), Some(2), None, v).unwrap();
+        assert_eq!(tight.served, 2);
+        assert_eq!(tight.termination, Termination::LimitReached);
+
+        // limit == stored count: a fresh run delivers the last path and
+        // *then* observes the limit — LimitReached, exactly at the edge.
+        let exact = cache.lookup(&key(4), Some(3), None, v).unwrap();
+        assert_eq!(exact.served, 3);
+        assert_eq!(exact.termination, Termination::LimitReached);
+    }
+
+    #[test]
+    fn truncated_entries_serve_only_equal_or_tighter_bounds() {
+        let mut cache = ResultCache::new(1 << 20);
+        let v = GraphVersion::next();
+        cache.insert(
+            key(4),
+            v,
+            sample_plan(),
+            buffer(&[&[0, 2, 1], &[0, 3, 1]]),
+            Termination::LimitReached,
+            Some(2),
+            None,
+            None,
+        );
+
+        assert!(cache.lookup(&key(4), None, None, v).is_none(), "unbounded");
+        assert!(cache.lookup(&key(4), Some(5), None, v).is_none(), "looser");
+        let equal = cache.lookup(&key(4), Some(2), None, v).unwrap();
+        assert_eq!(equal.served, 2);
+        assert_eq!(equal.termination, Termination::LimitReached);
+        let tighter = cache.lookup(&key(4), Some(1), None, v).unwrap();
+        assert_eq!(tighter.served, 1);
+        assert_eq!(tighter.termination, Termination::LimitReached);
+
+        // The incompatible lookups kept the entry alive.
+        assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits + stats.misses + stats.bypasses, stats.lookups);
+    }
+
+    #[test]
+    fn deadline_truncated_entries_require_a_tighter_budget() {
+        let mut cache = ResultCache::new(1 << 20);
+        let v = GraphVersion::next();
+        cache.insert(
+            key(4),
+            v,
+            sample_plan(),
+            buffer(&[&[0, 2, 1]]),
+            Termination::DeadlineExceeded,
+            None,
+            Some(Duration::from_millis(10)),
+            None,
+        );
+
+        assert!(
+            cache.lookup(&key(4), None, None, v).is_none(),
+            "no budget at all means unbounded — the entry is truncated"
+        );
+        assert!(
+            cache
+                .lookup(&key(4), None, Some(Duration::from_millis(20)), v)
+                .is_none(),
+            "looser budget"
+        );
+        let hit = cache
+            .lookup(&key(4), None, Some(Duration::from_millis(10)), v)
+            .unwrap();
+        assert_eq!(hit.served, 1);
+        assert_eq!(hit.termination, Termination::DeadlineExceeded);
+        let limited = cache
+            .lookup(&key(4), Some(1), Some(Duration::from_millis(5)), v)
+            .unwrap();
+        assert_eq!(limited.termination, Termination::LimitReached);
+    }
+
+    #[test]
+    fn version_mismatch_invalidates() {
+        let mut cache = ResultCache::new(1 << 20);
+        let v1 = GraphVersion::next();
+        cache.insert(
+            key(4),
+            v1,
+            sample_plan(),
+            buffer(&[&[0, 2, 1]]),
+            Termination::Completed,
+            None,
+            None,
+            None,
+        );
+        let v2 = GraphVersion::next();
+        assert!(cache.lookup(&key(4), None, None, v2).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_and_rejects_oversized() {
+        let long: Vec<u32> = (0..200).collect();
+        let one_entry = buffer(&[&long]).heap_bytes() + ENTRY_OVERHEAD_BYTES;
+        // Room for two long-path entries, not three.
+        let mut cache = ResultCache::new(one_entry * 2 + ENTRY_OVERHEAD_BYTES / 2);
+        let v = GraphVersion::next();
+        for k in [2u32, 3, 4] {
+            cache.insert(
+                key(k),
+                v,
+                sample_plan(),
+                buffer(&[&long]),
+                Termination::Completed,
+                None,
+                None,
+                None,
+            );
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.lookup(&key(2), None, None, v).is_none(), "LRU gone");
+        assert!(cache.lookup(&key(4), None, None, v).is_some());
+        assert!(cache.bytes() <= cache.byte_budget());
+
+        // An answer larger than the whole budget is never admitted.
+        let huge: Vec<u32> = (0..100_000).collect();
+        cache.insert(
+            key(9),
+            v,
+            sample_plan(),
+            buffer(&[&huge]),
+            Termination::Completed,
+            None,
+            None,
+            None,
+        );
+        assert!(cache.lookup(&key(9), None, None, v).is_none());
+    }
+
+    #[test]
+    fn a_truncated_rerun_never_displaces_a_completed_answer() {
+        let mut cache = ResultCache::new(1 << 20);
+        let v = GraphVersion::next();
+        cache.insert(
+            key(4),
+            v,
+            sample_plan(),
+            buffer(&[&[0, 2, 1], &[0, 3, 1]]),
+            Termination::Completed,
+            None,
+            None,
+            None,
+        );
+        cache.insert(
+            key(4),
+            v,
+            sample_plan(),
+            buffer(&[&[0, 2, 1]]),
+            Termination::LimitReached,
+            Some(1),
+            None,
+            None,
+        );
+        let hit = cache.lookup(&key(4), None, None, v).unwrap();
+        assert_eq!(hit.served, 2, "the completed answer survived");
+        assert_eq!(hit.termination, Termination::Completed);
+    }
+
+    #[test]
+    fn zero_budget_disables_the_cache() {
+        let mut cache = ResultCache::new(0);
+        let v = GraphVersion::next();
+        cache.insert(
+            key(4),
+            v,
+            sample_plan(),
+            buffer(&[&[0, 2, 1]]),
+            Termination::Completed,
+            None,
+            None,
+            None,
+        );
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&key(4), None, None, v).is_none());
+    }
+
+    #[test]
+    fn cancelled_runs_are_never_stored() {
+        let mut cache = ResultCache::new(1 << 20);
+        let v = GraphVersion::next();
+        cache.insert(
+            key(4),
+            v,
+            sample_plan(),
+            buffer(&[&[0, 2, 1]]),
+            Termination::Cancelled,
+            None,
+            None,
+            None,
+        );
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shared_cache_counts_consistently_under_threads() {
+        let cache = SharedResultCache::new(1 << 20, 4);
+        let v = GraphVersion::next();
+        cache.insert(
+            key(4),
+            v,
+            sample_plan(),
+            buffer(&[&[0, 2, 1]]),
+            Termination::Completed,
+            None,
+            None,
+            None,
+        );
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for round in 0..50u32 {
+                        if round % 5 == 4 {
+                            cache.note_bypass();
+                        } else {
+                            let hit = cache.lookup(&key(4), None, None, v).expect("warm");
+                            assert_eq!(hit.paths.get(0), &[0, 2, 1]);
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, 200);
+        assert_eq!(stats.bypasses, 40);
+        assert_eq!(stats.hits, 160);
+        assert_eq!(stats.hits + stats.misses + stats.bypasses, stats.lookups);
+        assert!((stats.hit_rate() - 0.8).abs() < 1e-12);
+    }
+}

@@ -74,7 +74,7 @@
 //! ```
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -83,7 +83,9 @@ use std::time::{Duration, Instant};
 use pathenum_graph::CsrGraph;
 
 use crate::admission::Lane;
-use crate::engine::{execute_collecting, execute_on_plan, preflight_stop};
+use crate::engine::{
+    execute_collecting, execute_on_plan, preflight_stop, replay_result_hit, result_key,
+};
 use crate::index::BuildScratch;
 use crate::optimizer::PathEnumConfig;
 use crate::parallel::{intra_budget, resolve_threads};
@@ -91,7 +93,9 @@ use crate::plan::{
     effective_config, CacheOutcome, PlanKey, SharedCacheStats, SharedPlanCache,
     DEFAULT_CACHE_SHARDS, DEFAULT_PLAN_CACHE_CAPACITY,
 };
-use crate::request::{PathEnumError, QueryRequest, QueryResponse};
+use crate::query::Query;
+use crate::request::{PathEnumError, QueryRequest, QueryResponse, Termination};
+use crate::results::{ResultCacheStats, SharedResultCache, TeeSink, DEFAULT_RESULT_CACHE_SHARDS};
 use crate::sink::PathSink;
 use crate::stats::PhaseTimings;
 
@@ -126,6 +130,14 @@ pub struct ServiceConfig {
     /// most the capacity). More shards, less lock contention, smaller
     /// per-shard LRU windows.
     pub cache_shards: usize,
+    /// Byte budget of the shared **result** cache
+    /// ([`SharedResultCache`], see [`crate::results`]) — the layer that
+    /// serves repeated requests from stored paths without planning or
+    /// enumerating. `0` (the default) keeps the layer off entirely.
+    pub result_cache_bytes: usize,
+    /// Shard count of the shared result cache (ignored while the layer
+    /// is off).
+    pub result_cache_shards: usize,
 }
 
 impl Default for ServiceConfig {
@@ -134,6 +146,8 @@ impl Default for ServiceConfig {
             workers: 0,
             cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
             cache_shards: DEFAULT_CACHE_SHARDS,
+            result_cache_bytes: 0,
+            result_cache_shards: DEFAULT_RESULT_CACHE_SHARDS,
         }
     }
 }
@@ -143,6 +157,8 @@ struct ServiceCore {
     graph: Arc<CsrGraph>,
     config: PathEnumConfig,
     cache: SharedPlanCache,
+    /// The shared result layer; `None` keeps it off (the default).
+    results: Option<SharedResultCache>,
     /// Resolved worker-pool size (the thread budget).
     workers: usize,
     queries_served: AtomicU64,
@@ -178,6 +194,66 @@ impl ServiceCore {
         self.queries_served.fetch_add(1, Ordering::Relaxed);
 
         let threads = request.effective_threads().min(intra_cap.max(1));
+        let version = self.graph.version();
+
+        // Result layer (off unless configured): a stored answer is
+        // replayed straight into `sink` — no shard planning, no
+        // enumeration; any worker's answer warms every other worker. The
+        // shard lock covers only the probe (the paths come out as an
+        // `Arc`), so replay runs unlocked.
+        if let Some(results) = &self.results {
+            match result_key(self.config, request) {
+                Some(rkey) => {
+                    let lookup_start = Instant::now();
+                    if let Some(cached) =
+                        results.lookup(&rkey, request.limit, request.time_budget, version)
+                    {
+                        return Ok(replay_result_hit(
+                            &cached,
+                            request,
+                            sink,
+                            lookup_start.elapsed(),
+                            threads,
+                        ));
+                    }
+                    let mut tee = TeeSink::new(sink);
+                    let response =
+                        self.execute_planned(query, request, deadline, &mut tee, threads);
+                    if let Some(paths) = tee.finish() {
+                        if response.termination != Termination::Cancelled {
+                            let plan = response.plan.expect("executed responses carry the plan");
+                            results.insert(
+                                rkey,
+                                version,
+                                plan,
+                                paths,
+                                response.termination,
+                                request.limit,
+                                request.time_budget,
+                                None,
+                            );
+                        }
+                    }
+                    return Ok(response);
+                }
+                None => results.note_bypass(),
+            }
+        }
+
+        Ok(self.execute_planned(query, request, deadline, sink, threads))
+    }
+
+    /// The plan-acquisition + execution core of
+    /// [`execute_into`](Self::execute_into) (the shared-state mirror of
+    /// the engines' split).
+    fn execute_planned(
+        &self,
+        query: Query,
+        request: &QueryRequest<'_>,
+        deadline: Option<Instant>,
+        sink: &mut dyn PathSink,
+        threads: usize,
+    ) -> QueryResponse {
         let key = self.plan_key(request);
         let version = self.graph.version();
 
@@ -193,7 +269,7 @@ impl ServiceCore {
                         cache_lookup: lookup_start.elapsed(),
                         ..PhaseTimings::default()
                     };
-                    return Ok(execute_on_plan(
+                    return execute_on_plan(
                         &index,
                         plan,
                         request,
@@ -201,7 +277,7 @@ impl ServiceCore {
                         sink,
                         timings,
                         CacheOutcome::Hit,
-                    ));
+                    );
                 }
             }
             None => self.cache.note_bypass(),
@@ -231,7 +307,7 @@ impl ServiceCore {
         if let Some(key) = key {
             self.cache.insert(key, version, planned.plan, planned.index);
         }
-        Ok(response)
+        response
     }
 
     fn execute(
@@ -533,10 +609,14 @@ impl PathEnumService {
         service: ServiceConfig,
     ) -> Self {
         let workers = resolve_threads(service.workers);
+        let results = (service.result_cache_bytes > 0).then(|| {
+            SharedResultCache::new(service.result_cache_bytes, service.result_cache_shards)
+        });
         let core = Arc::new(ServiceCore {
             graph,
             config,
             cache: SharedPlanCache::new(service.cache_capacity, service.cache_shards),
+            results,
             workers,
             queries_served: AtomicU64::new(0),
             queries_rejected: AtomicU64::new(0),
@@ -582,6 +662,32 @@ impl PathEnumService {
     /// Drops every cached plan (statistics are kept).
     pub fn clear_cache(&self) {
         self.core.cache.clear();
+    }
+
+    /// Lifetime statistics of the shared result cache. All-zero when the
+    /// layer is off ([`ServiceConfig::result_cache_bytes`] == 0).
+    pub fn result_cache_stats(&self) -> ResultCacheStats {
+        self.core
+            .results
+            .as_ref()
+            .map(SharedResultCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// Completed answers currently cached across all result shards.
+    pub fn result_cache_len(&self) -> usize {
+        self.core
+            .results
+            .as_ref()
+            .map(SharedResultCache::len)
+            .unwrap_or(0)
+    }
+
+    /// Drops every cached result (statistics are kept).
+    pub fn clear_result_cache(&self) {
+        if let Some(results) = &self.core.results {
+            results.clear();
+        }
     }
 
     /// Evaluates one request on the *calling* thread, sharing the cache
@@ -680,13 +786,71 @@ impl PathEnumService {
         }
     }
 
+    /// Queues a batch on the pool, returning input-order tickets.
+    ///
+    /// Requests sharing a [`PlanKey`](crate::plan::PlanKey) — same
+    /// `(s, t, k)` shape, same constraint fingerprint — are grouped into
+    /// one *unit* that a single worker evaluates sequentially: the first
+    /// member pays the one boundary BFS + index build (and, when result
+    /// caching is on, the one enumeration) and publishes it through the
+    /// shared caches; the rest of the group replays warm. Grouping is a
+    /// scheduling decision only — every member still executes through
+    /// the normal path, so outputs are byte-identical to solo execution
+    /// (the PR-2 deterministic merge keeps even intra-parallel runs
+    /// thread-count-invariant). Uncacheable requests stay singleton
+    /// units. The thread budget is split across *units*, not requests.
     fn dispatch_batch(&self, requests: Vec<QueryRequest<'static>>) -> Vec<Ticket> {
-        let in_flight = requests.len().min(self.core.workers).max(1);
+        // Unit = the (input position, request, ticket) list one worker
+        // runs in order. Grouped members keep their own tickets and
+        // timing envelopes.
+        let mut units: Vec<Vec<(QueryRequest<'static>, Arc<TicketState>)>> = Vec::new();
+        let mut by_key: HashMap<crate::plan::PlanKey, usize> = HashMap::new();
+        let mut tickets = Vec::with_capacity(requests.len());
+        for request in requests {
+            let state = Arc::new(TicketState::default());
+            tickets.push(Ticket {
+                state: Arc::clone(&state),
+            });
+            match self.core.plan_key(&request) {
+                Some(key) => match by_key.get(&key) {
+                    Some(&unit) => units[unit].push((request, state)),
+                    None => {
+                        by_key.insert(key, units.len());
+                        units.push(vec![(request, state)]);
+                    }
+                },
+                None => units.push(vec![(request, state)]),
+            }
+        }
+
+        let in_flight = units.len().min(self.core.workers).max(1);
         let cap = intra_budget(self.core.workers, in_flight);
-        requests
-            .into_iter()
-            .map(|request| self.submit_with_cap(request, cap))
-            .collect()
+        for unit in units {
+            let core = Arc::clone(&self.core);
+            self.pool.spawn_task(
+                Lane::Interactive,
+                Box::new(move || {
+                    for (request, ticket) in unit {
+                        let started = Instant::now();
+                        // Isolate panics from user-supplied constraint
+                        // closures (or our own bugs): an unwinding
+                        // evaluation must not strand the caller parked
+                        // on its ticket — nor starve its groupmates.
+                        let response =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                core.execute(&request, cap)
+                            }))
+                            .unwrap_or(Err(PathEnumError::EvaluationPanicked));
+                        ticket.publish(TicketOutcome {
+                            response,
+                            started,
+                            finished: Instant::now(),
+                        });
+                    }
+                }),
+            );
+        }
+        tickets
     }
 }
 
@@ -888,6 +1052,132 @@ mod tests {
             .remove(0)
             .unwrap();
         assert_eq!(response.termination, Termination::Completed);
+    }
+
+    fn caching_service_over(graph: &Arc<CsrGraph>, workers: usize) -> PathEnumService {
+        PathEnumService::with_config(
+            Arc::clone(graph),
+            PathEnumConfig::default(),
+            ServiceConfig {
+                workers,
+                result_cache_bytes: 4 * 1024 * 1024,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn result_layer_serves_repeats_without_reenumeration() {
+        let graph = Arc::new(erdos_renyi(60, 380, 29));
+        let service = caching_service_over(&graph, 4);
+        let request = QueryRequest::paths(0, 1).max_hops(4).collect_paths(true);
+        let cold = service.execute(&request).unwrap();
+        assert_eq!(cold.report.cache, CacheOutcome::Miss);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        let warm = service.execute(&request).unwrap();
+                        assert_eq!(warm.report.cache, CacheOutcome::ResultHit);
+                        assert_eq!(warm.paths, cold.paths);
+                        assert_eq!(warm.report.timings.index_build, Duration::ZERO);
+                    }
+                });
+            }
+        });
+        let stats = service.result_cache_stats();
+        assert_eq!(stats.hits, 32);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits + stats.misses + stats.bypasses, stats.lookups);
+        assert_eq!(service.result_cache_len(), 1);
+        // A result hit never consults the plan cache.
+        assert_eq!(service.cache_stats().lookups, 1);
+    }
+
+    #[test]
+    fn result_layer_stays_off_by_default() {
+        let graph = Arc::new(erdos_renyi(40, 220, 29));
+        let service = service_over(&graph, 2);
+        let request = QueryRequest::paths(0, 1).max_hops(4).collect_paths(true);
+        service.execute(&request).unwrap();
+        let warm = service.execute(&request).unwrap();
+        assert_eq!(warm.report.cache, CacheOutcome::Hit);
+        let stats = service.result_cache_stats();
+        assert_eq!(stats.lookups, 0);
+        assert_eq!(service.result_cache_len(), 0);
+    }
+
+    #[test]
+    fn grouped_batches_match_solo_execution_byte_for_byte() {
+        let graph = Arc::new(erdos_renyi(60, 380, 31));
+        // A skewed batch: three shapes, 24 requests, plus one uncacheable
+        // (predicate without a fingerprint) straggler per shape.
+        let targets: Vec<u32> = (0..24).map(|i| 1 + (i % 3)).collect();
+        let build_batch = || -> Vec<QueryRequest<'static>> {
+            let mut batch: Vec<QueryRequest<'static>> = targets
+                .iter()
+                .map(|&t| QueryRequest::paths(0, t).max_hops(4).collect_paths(true))
+                .collect();
+            for t in 1..=3 {
+                batch.push(
+                    QueryRequest::paths(0, t)
+                        .max_hops(4)
+                        .collect_paths(true)
+                        .predicate(|_, _| true),
+                );
+            }
+            batch
+        };
+        let mut engine = QueryEngine::new(&graph, PathEnumConfig::default());
+        let solo: Vec<_> = build_batch()
+            .iter()
+            .map(|request| engine.execute(request).unwrap())
+            .collect();
+        for workers in [1, 2, 4, 8] {
+            let service = caching_service_over(&graph, workers);
+            let responses = service.execute_batch(build_batch());
+            assert_eq!(responses.len(), solo.len());
+            for (i, (response, expected)) in responses.iter().zip(&solo).enumerate() {
+                let response = response.as_ref().unwrap();
+                assert_eq!(response.paths, expected.paths, "workers={workers} i={i}");
+                assert_eq!(response.termination, expected.termination);
+            }
+            let stats = service.result_cache_stats();
+            // 24 cacheable requests over 3 shapes: 3 misses, 21 hits; the
+            // 3 predicate stragglers bypass the result layer.
+            assert_eq!(stats.lookups, 27);
+            assert_eq!(stats.misses, 3, "workers={workers}");
+            assert_eq!(stats.hits, 21, "workers={workers}");
+            assert_eq!(stats.bypasses, 3, "workers={workers}");
+            assert_eq!(stats.hits + stats.misses + stats.bypasses, stats.lookups);
+        }
+    }
+
+    #[test]
+    fn grouped_batches_build_each_shared_index_once() {
+        let graph = Arc::new(erdos_renyi(60, 380, 37));
+        let service = caching_service_over(&graph, 4);
+        let requests: Vec<QueryRequest<'static>> = (0..24)
+            .map(|i| {
+                QueryRequest::paths(0, 1 + (i % 3))
+                    .max_hops(4)
+                    .collect_paths(true)
+            })
+            .collect();
+        let responses = service.execute_batch(requests);
+        // One boundary BFS + one index build per shape: each group's
+        // first member misses, every other member replays the result.
+        let cold = responses
+            .iter()
+            .filter(|r| r.as_ref().unwrap().report.cache == CacheOutcome::Miss)
+            .count();
+        let replayed = responses
+            .iter()
+            .filter(|r| r.as_ref().unwrap().report.cache == CacheOutcome::ResultHit)
+            .count();
+        assert_eq!(cold, 3);
+        assert_eq!(replayed, 21);
+        assert_eq!(service.cache_stats().misses, 3, "three index builds");
     }
 
     #[test]

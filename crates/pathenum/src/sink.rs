@@ -207,6 +207,13 @@ impl PathBuffer {
     pub fn iter(&self) -> impl Iterator<Item = &[VertexId]> {
         (0..self.len()).map(move |i| self.get(i))
     }
+
+    /// Approximate heap footprint in bytes (capacity, not length — this
+    /// is what a byte-budgeted cache actually holds onto).
+    pub fn heap_bytes(&self) -> usize {
+        self.ends.capacity() * std::mem::size_of::<usize>()
+            + self.data.capacity() * std::mem::size_of::<VertexId>()
+    }
 }
 
 impl PathSink for PathBuffer {

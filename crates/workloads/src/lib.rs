@@ -28,7 +28,7 @@ pub mod streaming;
 
 pub use algorithms::{AlgoReport, Algorithm};
 pub use parallel::{run_parallel, run_parallel_intra, ParallelOutcome};
-pub use querygen::{generate_queries, QueryGenConfig, QuerySetting};
+pub use querygen::{generate_queries, skewed_stream, QueryGenConfig, QuerySetting};
 pub use runner::{run_query, MeasureConfig, QueryMeasurement};
 pub use serving::{
     run_closed_loop, run_open_loop, run_overload, OverloadReport, ServingBounds, ServingSummary,

@@ -22,6 +22,7 @@
 //! cargo run --release --example multi_tenant_catalog
 //! ```
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -43,9 +44,13 @@ fn main() {
             cache_shards: 4,
             admission: AdmissionConfig {
                 cost_budget: Some(2_000_000),
-                max_queue_per_tenant: 4,
+                // Sized for the burst below: analytics submits 6 of the
+                // 9 requests before anything is waited on, and on a
+                // slow 1-core machine all 6 can be outstanding at once.
+                max_queue_per_tenant: 8,
                 interactive_cost_threshold: 500,
             },
+            ..CatalogConfig::default()
         },
     );
     service.catalog().register("social", Arc::clone(&social));
@@ -125,15 +130,37 @@ fn main() {
         },
     );
     flooded.catalog().register("social", Arc::clone(&social));
-    let heavy = || {
-        CatalogRequest::new(
-            "social",
-            "batch-export",
-            QueryRequest::paths(0, 1_003).max_hops(6),
-        )
-    };
-    let blocker = flooded.submit(heavy());
-    let shed = flooded.submit(heavy());
+    // The blocker parks its worker on a gate inside the accumulative
+    // weight closure (evaluated during enumeration, never during the
+    // submitter-thread planning), so its queue slot is still occupied
+    // when the flood arrives — without racing a fast worker.
+    let gate = Arc::new(AtomicBool::new(false));
+    let blocker = flooded.submit(CatalogRequest::new(
+        "social",
+        "batch-export",
+        QueryRequest::paths(0, 1_003)
+            .max_hops(6)
+            .accumulative(AccumulativeQuery {
+                identity: 0u64,
+                combine: |a, b| a + b,
+                weight: {
+                    let gate = Arc::clone(&gate);
+                    move |_, _| {
+                        while !gate.load(Ordering::Acquire) {
+                            std::thread::yield_now();
+                        }
+                        1u64
+                    }
+                },
+                check: |_: &u64| true,
+                prune: None,
+            }),
+    ));
+    let shed = flooded.submit(CatalogRequest::new(
+        "social",
+        "batch-export",
+        QueryRequest::paths(0, 1_003).max_hops(6),
+    ));
     println!("{}", shed.decision().expect("admission ran"));
     let outcome = shed.wait_outcome();
     assert!(matches!(
@@ -141,6 +168,7 @@ fn main() {
         Err(PathEnumError::Overloaded { .. })
     ));
     assert_eq!(outcome.latency(), Duration::ZERO, "shed without execution");
+    gate.store(true, Ordering::Release);
     blocker.wait().expect("valid query");
 
     // --- Publishing a new epoch under live traffic -------------------

@@ -81,6 +81,7 @@ fn main() {
             workers: 0, // one per core
             cache_capacity: admissible.len().next_power_of_two(),
             cache_shards: 8,
+            ..ServiceConfig::default()
         },
     );
     let bounds = ServingBounds {

@@ -27,9 +27,9 @@ pub mod prelude {
         CacheOutcome, CancelToken, CatalogConfig, CatalogOutcome, CatalogRequest, CatalogService,
         CatalogTicket, ControlledSink, Counters, DynamicEngine, GraphCatalog, Index, Lane, Method,
         PathBuffer, PathEnumConfig, PathEnumError, PathEnumService, PathStream, PhysicalPlan,
-        PlanCache, PlanCacheStats, Query, QueryEngine, QueryRequest, QueryResponse, RunReport,
-        ServeReport, ServiceConfig, SharedCacheStats, SharedControl, SharedPlanCache, Termination,
-        Ticket,
+        PlanCache, PlanCacheStats, Query, QueryEngine, QueryRequest, QueryResponse, ResultCache,
+        ResultCacheStats, RunReport, ServeReport, ServiceConfig, SharedCacheStats, SharedControl,
+        SharedPlanCache, SharedResultCache, Termination, Ticket,
     };
     pub use pathenum_graph::{
         CsrGraph, DynamicGraph, GraphBuilder, GraphVersion, NeighborAccess, OverlayView, VertexId,

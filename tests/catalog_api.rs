@@ -179,6 +179,7 @@ fn tenant_quotas_isolate_and_account_evictions() {
             tenant_cache_quota: 2,
             cache_shards: 1,
             admission: AdmissionConfig::disabled(),
+            ..CatalogConfig::default()
         },
     );
     service.catalog().register("g", graph);
