@@ -1,0 +1,152 @@
+//! CLI driver for the repo-native static analyzer.
+//!
+//! Usage:
+//!   cargo run -p analysis --release                 # check (exit 1 on findings)
+//!   cargo run -p analysis --release -- --baseline   # rewrite the baseline
+//!   cargo run -p analysis --release -- --root PATH  # analyze another tree
+//!
+//! Exit codes: 0 clean, 1 findings/stale baseline, 2 usage or I/O error.
+
+use analysis::{
+    analyze_source, apply_baseline, count_findings, format_baseline, parse_baseline, Baseline,
+    Finding,
+};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const BASELINE_FILE: &str = "analysis-baseline.txt";
+
+/// Directories never walked: build output, vendored deps, test trees
+/// (integration tests and lint fixtures are exempt from serving rules).
+const SKIP_DIRS: [&str; 6] = ["target", "vendor", ".git", "tests", "benches", "fixtures"];
+
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out);
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut write_baseline = false;
+    let mut root_override: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => write_baseline = true,
+            "--root" => {
+                let value = args.next().ok_or("--root requires a path")?;
+                root_override = Some(PathBuf::from(value));
+            }
+            "--help" | "-h" => {
+                println!("usage: analysis [--baseline] [--root PATH]");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root_override {
+        Some(path) => path,
+        None => find_root().ok_or("could not locate the workspace root (Cargo.toml + crates/)")?,
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(&root, &root, &mut files);
+    files.sort();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for (rel, path) in &files {
+        let src = fs::read_to_string(path)
+            .map_err(|err| format!("failed to read {}: {err}", path.display()))?;
+        findings.extend(analyze_source(rel, &src));
+    }
+
+    let baseline_path = root.join(BASELINE_FILE);
+    if write_baseline {
+        let counts = count_findings(&findings);
+        let total: usize = counts.values().sum();
+        fs::write(&baseline_path, format_baseline(&counts))
+            .map_err(|err| format!("failed to write {}: {err}", baseline_path.display()))?;
+        println!(
+            "analysis: baselined {total} finding(s) across {} (rule, file) group(s) into {}",
+            counts.len(),
+            BASELINE_FILE
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline: Baseline = match fs::read_to_string(&baseline_path) {
+        Ok(text) => parse_baseline(&text)?,
+        Err(_) => Baseline::new(),
+    };
+    let outcome = apply_baseline(&findings, &baseline);
+
+    for finding in &outcome.violations {
+        println!("{}\n", finding.render());
+    }
+    for stale in &outcome.stale {
+        println!("error[baseline]: {stale}\n");
+    }
+
+    if outcome.violations.is_empty() && outcome.stale.is_empty() {
+        println!(
+            "analysis: {} file(s) checked, clean ({} baselined finding(s))",
+            files.len(),
+            baseline.values().sum::<usize>()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!(
+            "analysis: {} violation(s), {} stale baseline entr(ies) — see \
+             README \"Static analysis\" for the rule catalog and suppression \
+             syntax",
+            outcome.violations.len(),
+            outcome.stale.len()
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(err) => {
+            eprintln!("analysis: error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,41 @@
+// Fixture: alloc-in-kernel rule. Four live violations (three in the hot
+// loop, one past a blank line that resets annotation coverage), two
+// annotated setup lines, one derive (never a call), one in a test module.
+
+#[derive(Clone)]
+struct Scratch {
+    data: Vec<u32>,
+}
+
+fn hot_loop(input: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let copy = input.to_vec();
+
+    let doubled: Vec<u32> = copy.iter().map(|x| x * 2).collect();
+    out.extend(doubled);
+    out
+}
+
+fn setup_path() -> Scratch {
+    // alloc: setup — fixture arena built once; coverage spans the
+    // contiguous lines below.
+    let data = Vec::new();
+    Scratch { data }
+}
+
+fn coverage_resets_at_blank_lines() -> Vec<u32> {
+    // alloc: scratch — covers only until the blank line below.
+    let kept = Vec::new();
+
+    let flagged = kept.clone();
+    flagged
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn allocation_is_fine_in_tests() {
+        let v: Vec<u32> = (0..4).collect();
+        assert_eq!(v.clone().len(), 4);
+    }
+}

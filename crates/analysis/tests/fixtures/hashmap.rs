@@ -1,0 +1,19 @@
+// Fixture: std-hashmap rule. Two live violations (import + field), one
+// Fx negative, one `hash_map::Entry` path negative, one raw-identifier
+// line the lexer must not misread as a raw string.
+
+use std::collections::HashMap;
+
+struct Cache {
+    entries: HashMap<u64, u64>,
+    fast: FxHashMap<u64, u64>,
+}
+
+fn entry_api(cache: &mut Cache) {
+    match cache.fast.entry(1) {
+        std::collections::hash_map::Entry::Occupied(_) => {}
+        std::collections::hash_map::Entry::Vacant(_) => {}
+    }
+    let r#type = 1u64;
+    let _ = r#type;
+}

@@ -1,0 +1,19 @@
+// Fixture: lock-hygiene rule. One same-line violation, one suppressed,
+// one negative (guard dropped before the callback).
+
+use std::sync::Mutex;
+
+fn violating(m: &Mutex<u32>, f: impl Fn(u32)) {
+    let v = std::panic::catch_unwind(|| *m.lock().unwrap()).unwrap_or(0);
+    f(v);
+}
+
+fn suppressed(m: &Mutex<u32>) {
+    // lint: allow(lock-hygiene) — fixture exercising suppression.
+    let _ = std::panic::catch_unwind(|| *m.lock().unwrap());
+}
+
+fn fine(m: &Mutex<u32>, f: impl Fn(u32)) {
+    let v = *m.lock().unwrap();
+    f(v);
+}

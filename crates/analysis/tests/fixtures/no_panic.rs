@@ -1,0 +1,32 @@
+// Fixture: no-panic rule. Four live violations, one suppressed, one in a
+// test module, one hidden in a string. Not compiled — lexed as text.
+
+fn serve(values: &[u32]) -> u32 {
+    let first = values.first().unwrap();
+    let second = values.get(1).expect("second value");
+    if *first == 0 {
+        panic!("zero head");
+    }
+    if *second == 0 {
+        unreachable!("checked above");
+    }
+    *first
+}
+
+fn quiet(values: &[u32]) -> u32 {
+    // lint: allow(no-panic) — fixture exercising the suppression path.
+    values.first().copied().unwrap()
+}
+
+fn strings_do_not_count() -> &'static str {
+    "calling .unwrap() in a string or panic!( in prose is fine"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v = vec![1u32];
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}

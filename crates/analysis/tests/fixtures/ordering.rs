@@ -1,0 +1,29 @@
+// Fixture: atomic-ordering rule. Two unjustified uses, one annotated
+// cluster of two, one suppressed, one only inside a raw string.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+static OTHER: AtomicU64 = AtomicU64::new(0);
+
+fn unjustified() -> u64 {
+    COUNTER.fetch_add(1, Ordering::Relaxed);
+    COUNTER.load(Ordering::SeqCst)
+}
+
+fn annotated_cluster() -> u64 {
+    // ordering: advisory counters; the cluster below shares this line's
+    // justification through contiguous-coverage.
+    COUNTER.fetch_add(1, Ordering::Relaxed);
+    OTHER.fetch_add(1, Ordering::Relaxed);
+    0
+}
+
+fn suppressed() -> u64 {
+    // lint: allow(atomic-ordering) — fixture exercising suppression.
+    OTHER.load(Ordering::Acquire)
+}
+
+fn in_a_raw_string() -> &'static str {
+    r#"Ordering::Relaxed inside a raw string never counts"#
+}

@@ -1,0 +1,24 @@
+// Fixture: unsafe-inventory rule. One SAFETY-covered block (still flagged
+// outside the allowlist), one bare block (two findings outside the
+// allowlist: no SAFETY + wrong file), one suppressed, one in prose.
+
+fn covered(ptr: *const u32) -> u32 {
+    // SAFETY: fixture — caller guarantees `ptr` is valid and aligned.
+    unsafe { *ptr }
+}
+
+fn bare(ptr: *const u32) -> u32 {
+    unsafe { *ptr }
+}
+
+fn suppressed(ptr: *const u32) -> u32 {
+    // SAFETY: fixture — caller contract as above.
+    // lint: allow(unsafe-inventory) — fixture exercising suppression.
+    unsafe { *ptr }
+}
+
+fn prose() -> &'static str {
+    "the word unsafe in a string never counts"
+}
+
+/* the word unsafe in a /* nested */ block comment never counts */

@@ -58,6 +58,8 @@ pub fn distances<G: NeighborAccess>(
     source: VertexId,
     options: BfsOptions,
 ) -> Vec<Distance> {
+    // alloc: setup — convenience oracle entry point; hot paths call
+    // distances_into with caller-owned buffers instead.
     let mut dist = Vec::new();
     let mut queue = VecDeque::new();
     distances_into(graph, source, options, &mut dist, &mut queue);

@@ -69,10 +69,26 @@ impl EpochMap {
         self.len
     }
 
+    /// Paranoid-only generation monotonicity: a slot stamped beyond the
+    /// current epoch means a wrap-clear was skipped and a stale value
+    /// could masquerade as current.
+    #[cfg(feature = "paranoid")]
+    #[inline]
+    fn assert_stamp_monotone(&self, key: usize) {
+        assert!(
+            self.stamps[key] <= self.epoch,
+            "epoch-map stamp {} at key {key} exceeds current epoch {}",
+            self.stamps[key],
+            self.epoch
+        );
+    }
+
     /// The value at `key`, or the default if unwritten this epoch.
     #[inline]
     pub fn get(&self, key: usize) -> u32 {
         debug_assert!(key < self.len, "key {key} out of range {}", self.len);
+        #[cfg(feature = "paranoid")]
+        self.assert_stamp_monotone(key);
         if self.stamps[key] == self.epoch {
             self.values[key]
         } else {
@@ -84,6 +100,8 @@ impl EpochMap {
     #[inline]
     pub fn contains(&self, key: usize) -> bool {
         debug_assert!(key < self.len);
+        #[cfg(feature = "paranoid")]
+        self.assert_stamp_monotone(key);
         self.stamps[key] == self.epoch
     }
 
@@ -92,6 +110,8 @@ impl EpochMap {
     #[inline]
     pub fn set(&mut self, key: usize, value: u32) {
         debug_assert!(key < self.len);
+        #[cfg(feature = "paranoid")]
+        self.assert_stamp_monotone(key);
         if self.stamps[key] != self.epoch {
             self.stamps[key] = self.epoch;
             self.touched.push(key as u32);
@@ -136,6 +156,19 @@ pub struct EpochStamps {
 }
 
 impl EpochStamps {
+    /// Paranoid-only generation monotonicity; see
+    /// [`EpochMap::assert_stamp_monotone`]'s sibling above.
+    #[cfg(feature = "paranoid")]
+    #[inline]
+    fn assert_stamp_monotone(&self, key: usize) {
+        assert!(
+            self.stamps[key] <= self.epoch,
+            "epoch-stamp {} at key {key} exceeds current epoch {}",
+            self.stamps[key],
+            self.epoch
+        );
+    }
+
     /// Clears every mark and (re)sizes the key space to `0..n`. O(1)
     /// except when growing or on epoch wrap.
     pub fn reset(&mut self, n: usize) {
@@ -154,6 +187,8 @@ impl EpochStamps {
     #[inline]
     pub fn mark(&mut self, key: usize) -> bool {
         debug_assert!(key < self.len);
+        #[cfg(feature = "paranoid")]
+        self.assert_stamp_monotone(key);
         let fresh = self.stamps[key] != self.epoch;
         self.stamps[key] = self.epoch;
         fresh
@@ -170,6 +205,8 @@ impl EpochStamps {
     #[inline]
     pub fn is_marked(&self, key: usize) -> bool {
         debug_assert!(key < self.len);
+        #[cfg(feature = "paranoid")]
+        self.assert_stamp_monotone(key);
         self.stamps[key] == self.epoch
     }
 

@@ -27,6 +27,8 @@ static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
 impl GraphVersion {
     /// Draws the next unused epoch from the process-global counter.
     pub fn next() -> Self {
+        // ordering: uniqueness only — the RMW total order on this one
+        // location guarantees distinct values; nothing else is published.
         GraphVersion(NEXT_VERSION.fetch_add(1, Ordering::Relaxed))
     }
 

@@ -223,11 +223,14 @@ impl AdmissionController {
 
     /// Modeled cost currently admitted but not yet released.
     pub fn in_flight_cost(&self) -> u64 {
+        // ordering: advisory read; admission decisions re-read the charge
+        // under the `pending` mutex, which provides the ordering.
         self.in_flight_cost.load(Ordering::Relaxed)
     }
 
     /// Lifetime admitted/shed counters.
     pub fn stats(&self) -> AdmissionStats {
+        // ordering: advisory stats reads; a lagging value is acceptable.
         AdmissionStats {
             admitted: self.admitted.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
@@ -251,6 +254,8 @@ impl AdmissionController {
     /// exactly one [`release`](Self::release).
     pub fn try_admit(&self, tenant: &str, cost: u64) -> AdmissionDecision {
         let lane = self.lane_for(cost);
+        // ordering: pre-lock peek for the decision record only; the
+        // authoritative budget check re-reads under the `pending` mutex.
         let in_flight = self.in_flight_cost.load(Ordering::Relaxed);
         let mut decision = AdmissionDecision {
             tenant: tenant.to_string(),
@@ -264,7 +269,7 @@ impl AdmissionController {
             rejected: None,
         };
 
-        let mut pending = self.pending.lock().expect("admission map is not poisoned");
+        let mut pending = crate::sync::lock_recovering(&self.pending);
         let depth = pending.get(tenant).copied().unwrap_or(0);
         decision.tenant_queue_depth = depth as usize;
 
@@ -279,6 +284,9 @@ impl AdmissionController {
             // budget is already occupied. A single over-budget giant on
             // an idle controller still runs (cost saturates, it just
             // blocks everything until released).
+            // ordering: read under the `pending` mutex, which serializes
+            // every check-then-charge sequence; the mutex, not the atomic,
+            // carries the ordering.
             let in_flight = self.in_flight_cost.load(Ordering::Relaxed);
             decision.in_flight_cost = in_flight;
             if in_flight > 0 && in_flight.saturating_add(cost) > budget {
@@ -288,16 +296,25 @@ impl AdmissionController {
         }
 
         *pending.entry(tenant.to_string()).or_insert(0) += 1;
-        drop(pending);
+        // The charge must land before the `pending` mutex is released:
+        // charging after the drop opened a window where a concurrent
+        // `try_admit` could pass the budget check against the stale
+        // `in_flight_cost` and over-admit past the budget.
+        // ordering: performed under the `pending` mutex (see above).
         self.in_flight_cost.fetch_add(cost, Ordering::Relaxed);
+        drop(pending);
+        // ordering: advisory monotone counter; publishes no other memory.
         self.admitted.fetch_add(1, Ordering::Relaxed);
         decision
     }
 
     /// Releases an admitted request's budget charge and tenant slot.
     pub fn release(&self, tenant: &str, cost: u64) {
+        // ordering: single-location RMW; the release may race an admit's
+        // budget check, but an uncharge seen late only delays admission
+        // (never over-admits), so no cross-location ordering is needed.
         self.in_flight_cost.fetch_sub(cost, Ordering::Relaxed);
-        let mut pending = self.pending.lock().expect("admission map is not poisoned");
+        let mut pending = crate::sync::lock_recovering(&self.pending);
         if let Some(depth) = pending.get_mut(tenant) {
             *depth = depth.saturating_sub(1);
             if *depth == 0 {
@@ -309,6 +326,7 @@ impl AdmissionController {
     /// A coarse, advisory retry hint scaled by how deep the shedding
     /// tenant's backlog already is — deeper backlog, longer back-off.
     fn shed_with_hint(&self, tenant_depth: u64) -> PathEnumError {
+        // ordering: advisory monotone counter; publishes no other memory.
         self.shed.fetch_add(1, Ordering::Relaxed);
         let base = Duration::from_micros(500);
         let hint = base.saturating_mul(tenant_depth.clamp(1, 200) as u32);
@@ -388,6 +406,42 @@ mod tests {
         let ctl = AdmissionController::new(config);
         assert_eq!(ctl.lane_for(50), Lane::Interactive);
         assert_eq!(ctl.lane_for(51), Lane::Batch);
+    }
+
+    /// Regression for a check-then-charge race: `try_admit` used to
+    /// charge `in_flight_cost` *after* releasing the `pending` mutex, so
+    /// two threads could both pass the budget check against the stale
+    /// charge and jointly over-admit. With the charge under the lock, the
+    /// admitted cost can exceed the budget by at most one request (the
+    /// documented over-budget-giant allowance), never by a race.
+    #[test]
+    fn concurrent_admits_never_overshoot_the_budget() {
+        let budget = 100u64;
+        let cost = 7u64;
+        let config = AdmissionConfig {
+            cost_budget: Some(budget),
+            max_queue_per_tenant: 0,
+            interactive_cost_threshold: 256,
+        };
+        let ctl = AdmissionController::new(config);
+        let worst_case = budget + cost - 1;
+        std::thread::scope(|scope| {
+            for worker in 0..8 {
+                let ctl = &ctl;
+                scope.spawn(move || {
+                    let tenant = format!("tenant-{worker}");
+                    for _ in 0..64 {
+                        let decision = ctl.try_admit(&tenant, cost);
+                        assert!(ctl.in_flight_cost() <= worst_case);
+                        if decision.rejected.is_none() {
+                            std::thread::yield_now();
+                            ctl.release(&tenant, cost);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(ctl.in_flight_cost(), 0);
     }
 
     #[test]

@@ -98,14 +98,11 @@ struct GraphState {
 
 impl GraphState {
     fn snapshot(&self) -> Arc<ServingEpoch> {
-        Arc::clone(&self.current.lock().expect("catalog epoch is not poisoned"))
+        Arc::clone(&crate::sync::lock_recovering(&self.current))
     }
 
     fn tenant_cache(&self, tenant: &str, quota: usize, shards: usize) -> Arc<SharedPlanCache> {
-        let mut tenants = self
-            .tenants
-            .lock()
-            .expect("catalog tenant map is not poisoned");
+        let mut tenants = crate::sync::lock_recovering(&self.tenants);
         match tenants.get(tenant) {
             Some(cache) => Arc::clone(cache),
             None => {
@@ -117,10 +114,7 @@ impl GraphState {
     }
 
     fn tenant_results(&self, tenant: &str, bytes: usize, shards: usize) -> Arc<SharedResultCache> {
-        let mut results = self
-            .results
-            .lock()
-            .expect("catalog result map is not poisoned");
+        let mut results = crate::sync::lock_recovering(&self.results);
         match results.get(tenant) {
             Some(cache) => Arc::clone(cache),
             None => {
@@ -193,10 +187,7 @@ impl GraphCatalog {
             tenants: Mutex::new(HashMap::new()),
             results: Mutex::new(HashMap::new()),
         });
-        self.graphs
-            .lock()
-            .expect("catalog registry is not poisoned")
-            .insert(name.to_string(), state);
+        crate::sync::lock_recovering(&self.graphs).insert(name.to_string(), state);
     }
 
     /// Atomically replaces the graph served under `name`, returning the
@@ -206,7 +197,7 @@ impl GraphCatalog {
     /// graph carries a new version.
     pub fn publish(&self, name: &str, graph: Arc<CsrGraph>) -> Result<u64, PathEnumError> {
         let state = self.state(name).ok_or(PathEnumError::GraphNotFound)?;
-        let mut current = state.current.lock().expect("catalog epoch is not poisoned");
+        let mut current = crate::sync::lock_recovering(&state.current);
         let epoch = current.epoch + 1;
         *current = Arc::new(ServingEpoch { epoch, graph });
         Ok(epoch)
@@ -215,19 +206,14 @@ impl GraphCatalog {
     /// Removes `name` (and its tenant caches) from the catalog. In-flight
     /// queries on a snapshotted epoch still finish.
     pub fn deregister(&self, name: &str) -> bool {
-        self.graphs
-            .lock()
-            .expect("catalog registry is not poisoned")
+        crate::sync::lock_recovering(&self.graphs)
             .remove(name)
             .is_some()
     }
 
     /// Registered graph names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .graphs
-            .lock()
-            .expect("catalog registry is not poisoned")
+        let mut names: Vec<String> = crate::sync::lock_recovering(&self.graphs)
             .keys()
             .cloned()
             .collect();
@@ -237,10 +223,7 @@ impl GraphCatalog {
 
     /// Whether `name` is registered.
     pub fn contains(&self, name: &str) -> bool {
-        self.graphs
-            .lock()
-            .expect("catalog registry is not poisoned")
-            .contains_key(name)
+        crate::sync::lock_recovering(&self.graphs).contains_key(name)
     }
 
     /// The epoch currently served under `name`.
@@ -263,10 +246,7 @@ impl GraphCatalog {
     /// Quota pressure shows up as [`SharedCacheStats::evictions`].
     pub fn tenant_cache_stats(&self, name: &str, tenant: &str) -> Option<SharedCacheStats> {
         let state = self.state(name)?;
-        let tenants = state
-            .tenants
-            .lock()
-            .expect("catalog tenant map is not poisoned");
+        let tenants = crate::sync::lock_recovering(&state.tenants);
         tenants.get(tenant).map(|cache| cache.stats())
     }
 
@@ -281,10 +261,7 @@ impl GraphCatalog {
     /// never queried it).
     pub fn tenant_result_cache_stats(&self, name: &str, tenant: &str) -> Option<ResultCacheStats> {
         let state = self.state(name)?;
-        let results = state
-            .results
-            .lock()
-            .expect("catalog result map is not poisoned");
+        let results = crate::sync::lock_recovering(&state.results);
         results.get(tenant).map(|cache| cache.stats())
     }
 
@@ -294,10 +271,7 @@ impl GraphCatalog {
         let Some(state) = self.state(name) else {
             return Vec::new();
         };
-        let tenants = state
-            .tenants
-            .lock()
-            .expect("catalog tenant map is not poisoned");
+        let tenants = crate::sync::lock_recovering(&state.tenants);
         let mut rows: Vec<(String, usize, SharedCacheStats)> = tenants
             .iter()
             .map(|(tenant, cache)| (tenant.clone(), cache.len(), cache.stats()))
@@ -307,9 +281,7 @@ impl GraphCatalog {
     }
 
     fn state(&self, name: &str) -> Option<Arc<GraphState>> {
-        self.graphs
-            .lock()
-            .expect("catalog registry is not poisoned")
+        crate::sync::lock_recovering(&self.graphs)
             .get(name)
             .cloned()
     }
@@ -516,6 +488,7 @@ impl CatalogService {
 
     /// Requests submitted so far (admitted or not).
     pub fn queries_submitted(&self) -> u64 {
+        // ordering: advisory stats read; a lagging value is acceptable.
         self.submitted.load(Ordering::Relaxed)
     }
 
@@ -527,6 +500,7 @@ impl CatalogService {
     /// cost earned. The returned ticket resolves immediately on
     /// rejection.
     pub fn submit(&self, routed: CatalogRequest) -> CatalogTicket {
+        // ordering: advisory monotone counter; publishes no other memory.
         self.submitted.fetch_add(1, Ordering::Relaxed);
         let state = Arc::new(TicketState::default());
 
@@ -680,20 +654,21 @@ impl CatalogService {
                                     outcome_tag,
                                 );
                                 if let Some(paths) = tee.finish() {
+                                    // A missing plan skips the cache
+                                    // insert instead of panicking.
                                     if response.termination != Termination::Cancelled {
-                                        let plan = response
-                                            .plan
-                                            .expect("executed responses carry the plan");
-                                        results.insert(
-                                            *rkey,
-                                            version,
-                                            plan,
-                                            paths,
-                                            response.termination,
-                                            request.limit,
-                                            request.time_budget,
-                                            None,
-                                        );
+                                        if let Some(plan) = response.plan {
+                                            results.insert(
+                                                *rkey,
+                                                version,
+                                                plan,
+                                                paths,
+                                                response.termination,
+                                                request.limit,
+                                                request.time_budget,
+                                                None,
+                                            );
+                                        }
                                     }
                                 }
                                 response

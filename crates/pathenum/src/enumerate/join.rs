@@ -90,6 +90,8 @@ pub(crate) struct JoinScratch {
 
 impl Default for JoinScratch {
     fn default() -> Self {
+        // alloc: scratch — empty arenas built once per worker; every hot
+        // loop reuses them via clear()/reset() without reallocating.
         JoinScratch {
             r_a: TupleBuffer::new(0),
             r_b: TupleBuffer::new(0),
@@ -383,6 +385,9 @@ pub fn idx_join_reference(
     let suffix_width = (k - cut) as usize + 1;
 
     // Step 1: R_a = Q[0 : cut], walks from s with `cut` edges.
+    // alloc: setup — per-query scratch built before the enumeration loop
+    // (this reference join is the oracle; the planned path uses
+    // JoinScratch arenas).
     let mut side_tick = 0u32;
     let mut side_stack: Vec<LocalId> = Vec::new();
     let mut r_a = TupleBuffer::new(prefix_width);
@@ -402,6 +407,8 @@ pub fn idx_join_reference(
     }
 
     // Step 2: distinct join keys, then R_b = Q[cut : k] from each key.
+    // alloc: setup — per-query dedup table and key list, sized once
+    // before the join loop runs.
     let mut seen = vec![false; index.num_vertices()];
     let mut keys: Vec<LocalId> = Vec::new();
     for tuple in r_a.iter() {
@@ -488,6 +495,8 @@ pub(crate) struct TupleBuffer {
 
 impl TupleBuffer {
     pub(crate) fn new(width: usize) -> Self {
+        // alloc: scratch — an empty arena; `reset` keeps the allocation
+        // across join keys, so growth amortizes to zero in steady state.
         TupleBuffer {
             width,
             storage: Vec::new(),

@@ -97,6 +97,7 @@ pub mod service;
 pub mod sink;
 pub mod spectrum;
 pub mod stats;
+pub(crate) mod sync;
 
 pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionStats, Lane,

@@ -184,11 +184,16 @@ impl SharedControl {
 
     /// Whether any stopping rule has fired.
     pub fn is_stopped(&self) -> bool {
+        // ordering: a late-observed trip only delays stopping by one probe
+        // stride; result buffers are published by the scoped-thread join
+        // and the per-task mutexes, never by this flag.
         self.tripped.load(Ordering::Relaxed) != NOT_TRIPPED
     }
 
     /// Results admitted for delivery so far (never exceeds the limit).
     pub fn delivered(&self) -> u64 {
+        // ordering: single-location counter read; callers read it either
+        // after the join (exact) or mid-run as an advisory progress value.
         let admitted = self.admitted.load(Ordering::Relaxed);
         match self.limit {
             Some(limit) => admitted.min(limit),
@@ -199,6 +204,8 @@ impl SharedControl {
     /// Why the run stopped, or [`Termination::Completed`] if no rule
     /// fired.
     pub fn termination(&self) -> Termination {
+        // ordering: read after the scoped-thread join (which publishes all
+        // worker writes); the flag value itself is a monotone one-shot.
         match self.tripped.load(Ordering::Relaxed) {
             TRIP_LIMIT => Termination::LimitReached,
             TRIP_DEADLINE => Termination::DeadlineExceeded,
@@ -209,6 +216,9 @@ impl SharedControl {
 
     /// Records the first rule to fire; later trips are ignored.
     fn trip(&self, reason: u8) {
+        // ordering: one-shot CAS on a single location — the per-location
+        // total RMW order makes exactly one trip win regardless of
+        // ordering strength; the flag publishes no other memory.
         let _ = self.tripped.compare_exchange(
             NOT_TRIPPED,
             reason,
@@ -243,10 +253,16 @@ impl SharedControl {
         }
         match self.limit {
             None => {
+                // ordering: pure progress counter when unbounded.
                 self.admitted.fetch_add(1, Ordering::Relaxed);
                 true
             }
             Some(limit) => {
+                // ordering: slot reservation rides the per-location total
+                // order of RMWs on `admitted` — each racer gets a distinct
+                // `prior`, so exactly `limit` reservations succeed (pinned
+                // by the shared_limit_never_over_admits test); the emitted
+                // paths are published by slot mutex + join, not by this.
                 let prior = self.admitted.fetch_add(1, Ordering::Relaxed);
                 if prior >= limit {
                     // Lost the race for the final slot; whoever won it
@@ -450,6 +466,9 @@ pub fn parallel_dfs(
             scope.spawn(|| {
                 let mut scratch = SeededScratch::default();
                 loop {
+                    // ordering: work-stealing cursor — the RMW total order
+                    // hands each worker a distinct task index; `tasks` is
+                    // read-only and published by the scope spawn.
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= tasks.len() || control.is_stopped() {
                         break;
@@ -574,6 +593,9 @@ pub fn parallel_join(
                 let mut path: Vec<VertexId> = Vec::with_capacity(k as usize + 1);
                 let mut peak_suffix_vertices = 0usize;
                 'tasks: loop {
+                    // ordering: work-stealing cursor — the RMW total order
+                    // hands each worker a distinct chunk; `chunks` is
+                    // read-only and published by the scope spawn.
                     let ti = cursor.fetch_add(1, Ordering::Relaxed);
                     if ti >= chunks.len() || control.is_stopped() {
                         break;

@@ -49,13 +49,13 @@
 //! assert_eq!(response.report.cache, pathenum::plan::CacheOutcome::Hit);
 //! ```
 
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use pathenum_graph::epoch::EpochMap;
+use pathenum_graph::hashing::{FxBuildHasher, FxHashMap};
 use pathenum_graph::{
     CsrGraph, DynamicGraph, EdgeMutation, GraphVersion, NeighborAccess, VertexId,
 };
@@ -918,7 +918,9 @@ pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
 #[derive(Debug)]
 pub struct PlanCache {
     capacity: usize,
-    entries: HashMap<PlanKey, CacheEntry>,
+    // Fx keying on PlanKey: the deliberate PR 7 hashing choice — SipHash
+    // stays out of the plan-lookup hot path.
+    entries: FxHashMap<PlanKey, CacheEntry>,
     clock: u64,
     stats: PlanCacheStats,
 }
@@ -935,7 +937,10 @@ impl PlanCache {
     pub fn new(capacity: usize) -> Self {
         PlanCache {
             capacity,
-            entries: HashMap::with_capacity(capacity.min(1024)),
+            entries: FxHashMap::with_capacity_and_hasher(
+                capacity.min(1024),
+                FxBuildHasher::default(),
+            ),
             clock: 0,
             stats: PlanCacheStats::default(),
         }
@@ -1262,7 +1267,7 @@ impl SharedPlanCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("no poisoned cache shard").len())
+            .map(|s| crate::sync::lock_recovering(s).len())
             .sum()
     }
 
@@ -1275,6 +1280,9 @@ impl SharedPlanCache {
     /// counter is read atomically; the set is not a single atomic
     /// snapshot, but quiescent reads (no in-flight lookups) are exact.
     pub fn stats(&self) -> SharedCacheStats {
+        // ordering: advisory stats reads; outcome counters trail the
+        // lookup counter, and quiescent reads balance exactly — nothing
+        // orders across fields.
         SharedCacheStats {
             lookups: self.lookups.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
@@ -1289,7 +1297,7 @@ impl SharedPlanCache {
     /// Drops every entry in every shard (statistics are kept).
     pub fn clear(&self) {
         for shard in self.shards.iter() {
-            shard.lock().expect("no poisoned cache shard").clear();
+            crate::sync::lock_recovering(shard).clear();
         }
     }
 
@@ -1301,6 +1309,8 @@ impl SharedPlanCache {
 
     /// Records a request that was evaluated without consulting the cache.
     pub(crate) fn note_bypass(&self) {
+        // ordering: advisory monotone counters; see stats() for the
+        // accounting invariant they feed.
         self.lookups.fetch_add(1, Ordering::Relaxed);
         self.bypasses.fetch_add(1, Ordering::Relaxed);
     }
@@ -1315,13 +1325,23 @@ impl SharedPlanCache {
         let out;
         let delta;
         {
-            let mut shard = self.shard_for(key).lock().expect("no poisoned cache shard");
+            let mut shard = crate::sync::lock_recovering(self.shard_for(key));
             let before = shard.stats();
             out = shard
                 .lookup(key, version)
                 .map(|(plan, index)| (*plan, Arc::clone(index)));
             delta = diff_stats(shard.stats(), before);
         }
+        // Paranoid-only: the delta is thread-local, so this accounting
+        // check is race-free — one shard probe records exactly one
+        // hit-or-miss outcome.
+        #[cfg(feature = "paranoid")]
+        assert_eq!(
+            delta.hits + delta.misses,
+            1,
+            "plan-cache accounting delta out of balance: {delta:?}"
+        );
+        // ordering: advisory monotone counter; publishes no other memory.
         self.lookups.fetch_add(1, Ordering::Relaxed);
         self.accumulate(delta);
         out
@@ -1349,10 +1369,7 @@ impl SharedPlanCache {
     ) {
         let delta;
         {
-            let mut shard = self
-                .shard_for(&key)
-                .lock()
-                .expect("no poisoned cache shard");
+            let mut shard = crate::sync::lock_recovering(self.shard_for(&key));
             let before = shard.stats();
             shard.insert_arc(key, version, plan, index);
             delta = diff_stats(shard.stats(), before);
@@ -1363,6 +1380,9 @@ impl SharedPlanCache {
     fn accumulate(&self, delta: PlanCacheStats) {
         // Touch only the counters that moved: stats reads stay cheap and
         // the common path (a clean hit) is two atomic adds.
+        // ordering: advisory monotone counters folded in after the shard
+        // lock drops; each is a single-location RMW (never lost), and no
+        // reader derives decisions from a mid-flight cross-counter view.
         if delta.hits > 0 {
             self.hits.fetch_add(delta.hits, Ordering::Relaxed);
         }

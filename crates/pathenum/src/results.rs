@@ -464,35 +464,43 @@ impl ResultCache {
         version: GraphVersion,
     ) -> Option<CachedResult> {
         self.stats.lookups += 1;
-        match self.entries.get(key) {
+        let stale = match self.entries.get(key) {
+            None => {
+                self.stats.misses += 1;
+                return None;
+            }
+            Some(entry) => entry.version != version,
+        };
+        if stale {
+            self.remove(key);
+            self.stats.invalidations += 1;
+            self.stats.misses += 1;
+            return None;
+        }
+        let clock = self.clock + 1;
+        // One mutable borrow serves both the probe and the LRU touch; an
+        // entry that vanished is a graceful miss rather than a panic.
+        let Some(entry) = self.entries.get_mut(key) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        match entry.serve(limit, budget) {
+            Some((served, termination)) => {
+                entry.last_used = clock;
+                let result = CachedResult {
+                    plan: entry.plan,
+                    paths: Arc::clone(&entry.paths),
+                    served,
+                    termination,
+                };
+                self.clock = clock;
+                self.stats.hits += 1;
+                Some(result)
+            }
             None => {
                 self.stats.misses += 1;
                 None
             }
-            Some(entry) if entry.version != version => {
-                self.remove(key);
-                self.stats.invalidations += 1;
-                self.stats.misses += 1;
-                None
-            }
-            Some(entry) => match entry.serve(limit, budget) {
-                Some((served, termination)) => {
-                    self.clock += 1;
-                    self.stats.hits += 1;
-                    let entry = self.entries.get_mut(key).expect("entry is present");
-                    entry.last_used = self.clock;
-                    Some(CachedResult {
-                        plan: entry.plan,
-                        paths: Arc::clone(&entry.paths),
-                        served,
-                        termination,
-                    })
-                }
-                None => {
-                    self.stats.misses += 1;
-                    None
-                }
-            },
         }
     }
 
@@ -529,21 +537,27 @@ impl ResultCache {
             }
             Some(_) => {}
         }
-        let entry = self.entries.get_mut(key).expect("entry is present");
+        let clock = self.clock + 1;
+        // Re-borrow after the re-validation above; a vanished entry is a
+        // graceful miss rather than a panic.
+        let Some(entry) = self.entries.get_mut(key) else {
+            self.stats.misses += 1;
+            return None;
+        };
         match entry.serve(limit, budget) {
             Some((served, termination)) => {
-                self.clock += 1;
-                self.stats.hits += 1;
-                if retained {
-                    self.stats.retained += 1;
-                }
-                entry.last_used = self.clock;
+                entry.last_used = clock;
                 let result = CachedResult {
                     plan: entry.plan,
                     paths: Arc::clone(&entry.paths),
                     served,
                     termination,
                 };
+                self.clock = clock;
+                self.stats.hits += 1;
+                if retained {
+                    self.stats.retained += 1;
+                }
                 Some(result)
             }
             None => {
@@ -687,7 +701,7 @@ impl SharedResultCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("no poisoned result shard").len())
+            .map(|s| crate::sync::lock_recovering(s).len())
             .sum()
     }
 
@@ -699,6 +713,10 @@ impl SharedResultCache {
     /// A consistent-enough snapshot of the aggregate statistics (each
     /// counter is read atomically; quiescent reads are exact).
     pub fn stats(&self) -> ResultCacheStats {
+        // ordering: advisory stats reads. Outcome counters trail their
+        // lookup counter (accumulate adds outcomes after lookups), so
+        // concurrent snapshots may see hits+misses+bypasses < lookups;
+        // quiescent reads balance exactly — nothing orders across fields.
         ResultCacheStats {
             lookups: self.lookups.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
@@ -713,7 +731,7 @@ impl SharedResultCache {
     /// Drops every entry in every shard (statistics are kept).
     pub fn clear(&self) {
         for shard in self.shards.iter() {
-            shard.lock().expect("no poisoned result shard").clear();
+            crate::sync::lock_recovering(shard).clear();
         }
     }
 
@@ -725,6 +743,8 @@ impl SharedResultCache {
 
     /// Records a request that was evaluated without consulting the cache.
     pub(crate) fn note_bypass(&self) {
+        // ordering: advisory monotone counters; see stats() for the
+        // accounting invariant they feed.
         self.lookups.fetch_add(1, Ordering::Relaxed);
         self.bypasses.fetch_add(1, Ordering::Relaxed);
     }
@@ -741,10 +761,7 @@ impl SharedResultCache {
         let out;
         let delta;
         {
-            let mut shard = self
-                .shard_for(key)
-                .lock()
-                .expect("no poisoned result shard");
+            let mut shard = crate::sync::lock_recovering(self.shard_for(key));
             let before = shard.stats();
             out = shard.lookup(key, limit, budget, version);
             delta = diff(shard.stats(), before);
@@ -768,10 +785,7 @@ impl SharedResultCache {
     ) {
         let delta;
         {
-            let mut shard = self
-                .shard_for(&key)
-                .lock()
-                .expect("no poisoned result shard");
+            let mut shard = crate::sync::lock_recovering(self.shard_for(&key));
             let before = shard.stats();
             shard.insert(
                 key,
@@ -789,6 +803,9 @@ impl SharedResultCache {
     }
 
     fn accumulate(&self, delta: ResultCacheStats) {
+        // ordering: advisory monotone counters folded in outside the shard
+        // lock; each is a single-location RMW (never lost), and no reader
+        // derives cross-counter decisions from a mid-flight snapshot.
         if delta.lookups > 0 {
             self.lookups.fetch_add(delta.lookups, Ordering::Relaxed);
         }
@@ -811,11 +828,26 @@ impl SharedResultCache {
         if delta.retained > 0 {
             self.retained.fetch_add(delta.retained, Ordering::Relaxed);
         }
+        #[cfg(feature = "paranoid")]
+        assert_result_accounting_balance(&delta);
     }
 }
 
 fn diff(after: ResultCacheStats, before: ResultCacheStats) -> ResultCacheStats {
     after.since(&before)
+}
+
+/// Paranoid-only: every stats delta folded into the shared counters must
+/// balance exactly — each shard operation records one outcome (hit, miss,
+/// or bypass) per lookup. The delta is thread-local, so this check is
+/// race-free even though the shared counters are relaxed atomics.
+#[cfg(feature = "paranoid")]
+fn assert_result_accounting_balance(delta: &ResultCacheStats) {
+    assert_eq!(
+        delta.hits + delta.misses + delta.bypasses,
+        delta.lookups,
+        "result-cache accounting delta out of balance: {delta:?}"
+    );
 }
 
 #[cfg(test)]

@@ -187,6 +187,8 @@ impl ServiceCore {
         let query = request.validate(self.graph.num_vertices())?;
 
         let deadline = request.time_budget.map(|b| Instant::now() + b);
+        // ordering: served/rejected are advisory monotone counters read only
+        // by stats(); no other memory is published through them.
         if let Some(stopped) = preflight_stop(request, deadline) {
             self.queries_rejected.fetch_add(1, Ordering::Relaxed);
             return Ok(stopped);
@@ -220,18 +222,21 @@ impl ServiceCore {
                     let response =
                         self.execute_planned(query, request, deadline, &mut tee, threads);
                     if let Some(paths) = tee.finish() {
+                        // A missing plan (counting-only response) simply
+                        // skips the cache insert instead of panicking.
                         if response.termination != Termination::Cancelled {
-                            let plan = response.plan.expect("executed responses carry the plan");
-                            results.insert(
-                                rkey,
-                                version,
-                                plan,
-                                paths,
-                                response.termination,
-                                request.limit,
-                                request.time_budget,
-                                None,
-                            );
+                            if let Some(plan) = response.plan {
+                                results.insert(
+                                    rkey,
+                                    version,
+                                    plan,
+                                    paths,
+                                    response.termination,
+                                    request.limit,
+                                    request.time_budget,
+                                    None,
+                                );
+                            }
                         }
                     }
                     return Ok(response);
@@ -380,6 +385,9 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("{name_prefix}-{i}"))
                     .spawn(move || pool_worker_loop(&shared))
+                    // lint: allow(no-panic) — pool construction, not a
+                    // serving path; OS thread-spawn failure at startup has
+                    // no caller to report to.
                     .expect("worker threads spawn")
             })
             .collect();
@@ -389,11 +397,7 @@ impl WorkerPool {
     /// Enqueues `task` on `lane` and wakes one worker.
     pub(crate) fn spawn_task(&self, lane: Lane, task: PoolTask) {
         {
-            let mut queues = self
-                .shared
-                .queues
-                .lock()
-                .expect("pool queue is not poisoned");
+            let mut queues = crate::sync::lock_recovering(&self.shared.queues);
             queues.push(lane, task);
         }
         self.shared.job_ready.notify_one();
@@ -408,11 +412,9 @@ impl Drop for WorkerPool {
             // still holds the lock until `wait()` parks it, so storing
             // here cannot slip into that window — the classic condvar
             // lost-wakeup race.
-            let _queues = self
-                .shared
-                .queues
-                .lock()
-                .expect("pool queue is not poisoned");
+            let _queues = crate::sync::lock_recovering(&self.shared.queues);
+            // ordering: the queue mutex (held here, held at the load site)
+            // orders this store; the flag itself publishes nothing.
             self.shared.shutdown.store(true, Ordering::Relaxed);
         }
         self.shared.job_ready.notify_all();
@@ -438,18 +440,17 @@ impl std::fmt::Debug for WorkerPool {
 fn pool_worker_loop(shared: &PoolShared) {
     loop {
         let task = {
-            let mut queues = shared.queues.lock().expect("pool queue is not poisoned");
+            let mut queues = crate::sync::lock_recovering(&shared.queues);
             loop {
                 if let Some(task) = queues.pop() {
                     break Some(task);
                 }
+                // ordering: read under the queue mutex that also covers the
+                // store in Drop; Relaxed suffices for the flag's value.
                 if shared.shutdown.load(Ordering::Relaxed) {
                     break None;
                 }
-                queues = shared
-                    .job_ready
-                    .wait(queues)
-                    .expect("pool queue is not poisoned");
+                queues = crate::sync::wait_recovering(&shared.job_ready, queues);
             }
         };
         let Some(task) = task else {
@@ -467,29 +468,23 @@ pub(crate) struct TicketState {
 
 impl TicketState {
     pub(crate) fn publish(&self, outcome: TicketOutcome) {
-        let mut slot = self.slot.lock().expect("ticket slot is never poisoned");
+        let mut slot = crate::sync::lock_recovering(&self.slot);
         *slot = Some(outcome);
         self.ready.notify_all();
     }
 
     pub(crate) fn wait(&self) -> TicketOutcome {
-        let mut slot = self.slot.lock().expect("ticket slot is never poisoned");
+        let mut slot = crate::sync::lock_recovering(&self.slot);
         loop {
             if let Some(outcome) = slot.take() {
                 return outcome;
             }
-            slot = self
-                .ready
-                .wait(slot)
-                .expect("ticket slot is never poisoned");
+            slot = crate::sync::wait_recovering(&self.ready, slot);
         }
     }
 
     pub(crate) fn is_done(&self) -> bool {
-        self.slot
-            .lock()
-            .expect("ticket slot is never poisoned")
-            .is_some()
+        crate::sync::lock_recovering(&self.slot).is_some()
     }
 }
 
@@ -639,6 +634,7 @@ impl PathEnumService {
     /// requests are counted in [`queries_rejected`](Self::queries_rejected)
     /// instead.
     pub fn queries_served(&self) -> u64 {
+        // ordering: advisory stats read; a lagging value is acceptable.
         self.core.queries_served.load(Ordering::Relaxed)
     }
 
@@ -646,6 +642,7 @@ impl PathEnumService {
     /// evaluation (they perform no cache lookup and their responses read
     /// [`CacheOutcome::Skipped`]).
     pub fn queries_rejected(&self) -> u64 {
+        // ordering: advisory stats read; a lagging value is acceptable.
         self.core.queries_rejected.load(Ordering::Relaxed)
     }
 

@@ -1,0 +1,24 @@
+//! Poison-tolerant lock helpers for serving paths.
+//!
+//! Every mutex on a serving path guards state that stays structurally
+//! valid across an unwind: cache shards (entries are inserted or removed
+//! atomically with respect to the guard), ticket slots (a `Option` write),
+//! and queue vectors. A worker panic therefore leaves the protected data
+//! usable, and the right response to a poisoned lock is to strip the
+//! poison marker and keep serving rather than to propagate the panic into
+//! every later caller of the same shard.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Lock `mutex`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `Condvar::wait` that recovers the guard on poison instead of panicking.
+pub(crate) fn wait_recovering<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
