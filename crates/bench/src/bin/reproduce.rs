@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce <experiment|all|list> [--quick] [--queries N]
 //!           [--time-limit-ms M] [--seed S] [--method idx-dfs|idx-join]
-//!           [--workers N]
+//!           [--workers N] [--graph-file PATH]
 //! ```
 //!
 //! Experiments: table3 table4 table5 table6 table7 fig6 fig7 fig8 fig9
@@ -18,7 +18,7 @@ use pathenum_bench::ExperimentConfig;
 fn usage() {
     eprintln!("usage: reproduce <experiment|all|list> [--quick] [--queries N]");
     eprintln!("                 [--time-limit-ms M] [--seed S] [--method idx-dfs|idx-join]");
-    eprintln!("                 [--workers N]");
+    eprintln!("                 [--workers N] [--graph-file PATH]");
     eprintln!();
     eprintln!("experiments:");
     for (name, description, _) in registry() {
@@ -92,6 +92,19 @@ fn main() -> ExitCode {
                 }
                 Some(Ok(_)) | Some(Err(_)) | None => {
                     eprintln!("--workers expects a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--graph-file" => match iter.next() {
+                Some(path) => {
+                    eprintln!(
+                        "note: --graph-file applies to experiments that accept an external \
+                         graph (currently: memory); others ignore it"
+                    );
+                    config.graph_file = Some(path.into());
+                }
+                None => {
+                    eprintln!("--graph-file expects a path (edge list, PEG1, or PEG2)");
                     return ExitCode::FAILURE;
                 }
             },

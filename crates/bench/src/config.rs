@@ -1,5 +1,6 @@
 //! Shared experiment configuration.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use pathenum::Method;
@@ -8,7 +9,7 @@ use pathenum_workloads::MeasureConfig;
 /// Knobs shared by every experiment. The defaults are scaled so that the
 /// full `reproduce all` run finishes in minutes on a laptop while still
 /// exhibiting the paper's phenomena (timeouts on heavy graphs included).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExperimentConfig {
     /// Queries per query set (the paper uses 1000).
     pub queries_per_set: usize,
@@ -30,6 +31,12 @@ pub struct ExperimentConfig {
     /// of `[1, 2, 4]`, and `overload` serves with `N` workers. `None`
     /// keeps each experiment's default.
     pub workers: Option<usize>,
+    /// Run against a graph loaded from disk instead of the built-in
+    /// synthetic datasets (`reproduce --graph-file PATH`). The loader
+    /// sniffs the format: `PEG2` images are served zero-copy, `PEG1`
+    /// and plain edge lists are parsed into a heap CSR. Currently read
+    /// by the `memory` experiment; others ignore it.
+    pub graph_file: Option<PathBuf>,
 }
 
 impl Default for ExperimentConfig {
@@ -42,6 +49,7 @@ impl Default for ExperimentConfig {
             seed: 42,
             force_method: None,
             workers: None,
+            graph_file: None,
         }
     }
 }
@@ -58,6 +66,7 @@ impl ExperimentConfig {
             seed: 42,
             force_method: None,
             workers: None,
+            graph_file: None,
         }
     }
 

@@ -13,6 +13,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod memory;
 pub mod overload;
 pub mod perf;
 pub mod scaling;
@@ -132,6 +133,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "perf",
             "Kernel microbenchmarks: optimized hot loops vs retained naive oracles",
             perf::run,
+        ),
+        (
+            "memory",
+            "Storage formats: bytes/edge, cold start, zero-copy serving",
+            memory::run,
         ),
     ]
 }

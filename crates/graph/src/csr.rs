@@ -79,6 +79,17 @@ impl CsrGraph {
         self.version = version;
     }
 
+    /// The raw CSR arrays `(out_offsets, out_targets, in_offsets,
+    /// in_sources)` — what the `PEG2` writer serializes verbatim.
+    pub(crate) fn csr_parts(&self) -> (&[usize], &[VertexId], &[usize], &[VertexId]) {
+        (
+            &self.out_offsets,
+            &self.out_targets,
+            &self.in_offsets,
+            &self.in_sources,
+        )
+    }
+
     /// Number of vertices; vertex ids are `0..num_vertices`.
     #[inline]
     pub fn num_vertices(&self) -> usize {

@@ -12,6 +12,15 @@
 //!   Barabási–Albert, complete, grid, layered DAG) standing in for the
 //!   paper's real-world datasets.
 //! * [`io`]: plain edge-list parsing and serialization.
+//! * [`io_binary`]: the `PEG1` (edge list) and `PEG2` (CSR-native,
+//!   zero-copy) binary formats, plus a format-sniffing file loader.
+//! * [`frozen`]: [`FrozenGraph`], a query-ready graph served straight
+//!   from an aligned `PEG2` load buffer — no rebuild, no re-sort.
+//! * [`handle`]: [`GraphHandle`], one shareable handle over heap,
+//!   frozen, and overlay-backed graphs, and the [`GraphSnapshot`]
+//!   capability trait (adjacency + version epoch) the engines consume.
+//! * [`zerocopy`]: the storage layer's single `unsafe` boundary —
+//!   checked aligned-buffer casts (see the lint gate's allowlist).
 //! * [`dynamic`]: an edit buffer layering edge insertions/deletions over a
 //!   base graph for the dynamic-graph experiments (Figure 8), queryable in
 //!   place through a borrowed [`OverlayView`].
@@ -34,7 +43,9 @@ pub mod builder;
 pub mod csr;
 pub mod dynamic;
 pub mod epoch;
+pub mod frozen;
 pub mod generators;
+pub mod handle;
 pub mod hashing;
 pub mod io;
 pub mod io_binary;
@@ -44,11 +55,14 @@ pub mod properties;
 pub mod types;
 pub mod version;
 pub mod view;
+pub mod zerocopy;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use dynamic::{DynamicGraph, EdgeMutation, OverlayView};
 pub use epoch::{EpochMap, EpochStamps};
+pub use frozen::FrozenGraph;
+pub use handle::{GraphHandle, GraphSnapshot};
 pub use pll::DistanceOracle;
 pub use types::{VertexId, INFINITE_DISTANCE};
 pub use version::GraphVersion;

@@ -123,6 +123,55 @@ impl NeighborAccess for CsrGraph {
     }
 }
 
+/// Shared graphs answer through the inner representation, so call
+/// sites holding an `Arc` plug into the generic engines directly.
+impl<G: NeighborAccess> NeighborAccess for std::sync::Arc<G> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+
+    #[inline]
+    fn for_each_out(&self, v: VertexId, f: impl FnMut(VertexId)) {
+        (**self).for_each_out(v, f);
+    }
+
+    #[inline]
+    fn for_each_in(&self, v: VertexId, f: impl FnMut(VertexId)) {
+        (**self).for_each_in(v, f);
+    }
+
+    #[inline]
+    fn has_edge(&self, from: VertexId, to: VertexId) -> bool {
+        (**self).has_edge(from, to)
+    }
+
+    #[inline]
+    fn prefetch_out(&self, v: VertexId) {
+        (**self).prefetch_out(v);
+    }
+
+    #[inline]
+    fn prefetch_in(&self, v: VertexId) {
+        (**self).prefetch_in(v);
+    }
+
+    #[inline]
+    fn out_degree(&self, v: VertexId) -> usize {
+        (**self).out_degree(v)
+    }
+
+    #[inline]
+    fn in_degree(&self, v: VertexId) -> usize {
+        (**self).in_degree(v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

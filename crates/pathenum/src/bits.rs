@@ -1,0 +1,344 @@
+//! Compressed vertex-id sets for cache footprints.
+//!
+//! The plan- and result-cache retention machinery records, per cached
+//! entry, two *reach sets* — the vertices within `k − 1` hops of the
+//! query endpoints (see [`IndexFootprint`](crate::plan)). These sets
+//! are consulted on every mutation delta but are tiny relative to the
+//! vertex space: a bounded BFS on a sparse graph touches thousands of
+//! vertices of a multi-million-vertex graph. A dense bitset charges
+//! `|V| / 8` bytes per set regardless, which made footprints the
+//! dominant per-entry heap cost on large graphs.
+//!
+//! [`CompactBits`] replaces the dense representation with a
+//! Roaring-style two-level hybrid: vertex ids are split into a high
+//! 16-bit *key* and a low 16-bit position, and each populated key owns
+//! one container — a sorted `u16` array or a packed bitmap sized to
+//! the chunk's populated span, whichever is smaller (arrays are also
+//! capped at `ARRAY_MAX` (4096) entries so membership probes stay cheap).
+//! Membership is a binary search over the (short) key directory
+//! followed by either an array binary search or a direct bit test, so
+//! lookups stay O(log) with small constants while sparse footprints
+//! shrink from O(|V|) to O(reach) bytes — and dense chunks fall back
+//! to bitmap cost, never worse than the dense representation by more
+//! than the per-chunk directory overhead.
+//!
+//! [`DenseBits`] — the previous representation — stays behind as the
+//! reference implementation: trivially correct, and the oracle the
+//! equivalence property tests compare against.
+
+use pathenum_graph::{EpochMap, VertexId};
+
+/// Hard cap on array-container length: above this a membership probe's
+/// binary search stops being worth it regardless of byte cost.
+const ARRAY_MAX: usize = 4096;
+
+/// One 65 536-id chunk of a [`CompactBits`] set.
+#[derive(Debug, Clone)]
+enum Container {
+    /// Sorted, deduplicated low-16-bit positions; `len <= ARRAY_MAX`.
+    Array(Vec<u16>),
+    /// Packed bitmap over the chunk's populated span — sized to cover
+    /// the highest present position, not the full 65 536, so a dense
+    /// low-id chunk (the whole vertex space of a small graph) costs the
+    /// same as a dense bitset would.
+    Bitmap(Box<[u64]>),
+}
+
+impl Container {
+    /// Builds the cheaper representation for one chunk's sorted,
+    /// deduplicated, non-empty positions: whichever of the 2-byte-per-
+    /// entry array and the span-sized bitmap costs fewer bytes, with
+    /// the array additionally capped at [`ARRAY_MAX`] entries.
+    fn from_sorted_positions(positions: &[u16]) -> Container {
+        let span_words = *positions.last().expect("non-empty chunk") as usize / 64 + 1;
+        let array_bytes = std::mem::size_of_val(positions);
+        if positions.len() <= ARRAY_MAX && array_bytes <= span_words * 8 {
+            Container::Array(positions.to_vec())
+        } else {
+            let mut words = vec![0u64; span_words].into_boxed_slice();
+            for &p in positions {
+                words[p as usize / 64] |= 1u64 << (p % 64);
+            }
+            Container::Bitmap(words)
+        }
+    }
+
+    #[inline]
+    fn contains(&self, position: u16) -> bool {
+        match self {
+            Container::Array(positions) => positions.binary_search(&position).is_ok(),
+            Container::Bitmap(words) => words
+                .get(position as usize / 64)
+                .is_some_and(|w| w & (1u64 << (position % 64)) != 0),
+        }
+    }
+
+    fn cardinality(&self) -> usize {
+        match self {
+            Container::Array(positions) => positions.len(),
+            Container::Bitmap(words) => words.iter().map(|w| w.count_ones() as usize).sum(),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Container::Array(positions) => positions.capacity() * std::mem::size_of::<u16>(),
+            Container::Bitmap(words) => words.len() * std::mem::size_of::<u64>(),
+        }
+    }
+}
+
+/// A compressed set of vertex ids — the hybrid array/bitmap
+/// representation described in the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct CompactBits {
+    /// Populated high-16-bit keys, sorted ascending; parallel to
+    /// `containers`.
+    keys: Vec<u16>,
+    containers: Vec<Container>,
+}
+
+impl CompactBits {
+    /// Builds from vertex ids that are sorted ascending and
+    /// deduplicated.
+    pub fn from_sorted_ids(ids: &[VertexId]) -> CompactBits {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must ascend");
+        let mut keys = Vec::new();
+        let mut containers = Vec::new();
+        let mut positions: Vec<u16> = Vec::new();
+        let mut chunk = ids.chunk_by(|a, b| a >> 16 == b >> 16);
+        // chunk_by on a sorted slice yields one run per populated key.
+        for run in &mut chunk {
+            keys.push((run[0] >> 16) as u16);
+            positions.clear();
+            positions.extend(run.iter().map(|&v| v as u16));
+            containers.push(Container::from_sorted_positions(&positions));
+        }
+        // These live for a cache entry's lifetime; charge exact bytes.
+        keys.shrink_to_fit();
+        containers.shrink_to_fit();
+        CompactBits { keys, containers }
+    }
+
+    /// Builds from vertex ids in any order (duplicates tolerated).
+    pub fn from_ids(ids: &mut Vec<VertexId>) -> CompactBits {
+        ids.sort_unstable();
+        ids.dedup();
+        CompactBits::from_sorted_ids(ids)
+    }
+
+    /// The set `{v touched in `map` : map[v] <= bound}`. Iterates only
+    /// the touched list, so deriving a footprint costs O(reach log
+    /// reach), not O(|V|).
+    pub fn from_reach(map: &EpochMap, bound: u32) -> CompactBits {
+        let mut ids: Vec<VertexId> = map
+            .touched()
+            .iter()
+            .copied()
+            .filter(|&v| map.get(v as usize) <= bound)
+            .collect();
+        CompactBits::from_ids(&mut ids)
+    }
+
+    /// Whether `v` is in the set.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        let key = (v >> 16) as u16;
+        match self.keys.binary_search(&key) {
+            Ok(slot) => self.containers[slot].contains(v as u16),
+            Err(_) => false,
+        }
+    }
+
+    /// Number of ids in the set.
+    pub fn cardinality(&self) -> usize {
+        self.containers.iter().map(Container::cardinality).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes — what byte-budgeted caches
+    /// charge an entry for carrying this set.
+    pub fn heap_bytes(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<u16>()
+            + self.containers.capacity() * std::mem::size_of::<Container>()
+            + self
+                .containers
+                .iter()
+                .map(Container::heap_bytes)
+                .sum::<usize>()
+    }
+}
+
+/// A dense bitset over vertex ids (one `u64` word per 64 vertices).
+///
+/// The reference set representation: kept as the oracle the
+/// [`CompactBits`] property tests compare against, and for callers
+/// whose sets genuinely cover most of the vertex space.
+#[derive(Debug, Clone, Default)]
+pub struct DenseBits {
+    words: Vec<u64>,
+}
+
+impl DenseBits {
+    /// The set `{v touched in `map` : map[v] <= bound}`, sized to the
+    /// map's key space.
+    pub fn from_reach(map: &EpochMap, bound: u32) -> DenseBits {
+        let mut bits = DenseBits {
+            words: vec![0u64; map.capacity().div_ceil(64)],
+        };
+        for &v in map.touched() {
+            if map.get(v as usize) <= bound {
+                bits.insert(v);
+            }
+        }
+        bits
+    }
+
+    /// Inserts `v`, growing the word array as needed.
+    pub fn insert(&mut self, v: VertexId) {
+        let word = v as usize / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1u64 << (v % 64);
+    }
+
+    /// Whether `v` is in the set.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        let v = v as usize;
+        self.words
+            .get(v / 64)
+            .is_some_and(|w| w & (1u64 << (v % 64)) != 0)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bits per chunk (the id space one container covers).
+    const CHUNK: usize = 1 << 16;
+
+    fn compact_and_dense(ids: &[VertexId]) -> (CompactBits, DenseBits) {
+        let mut sorted = ids.to_vec();
+        let compact = CompactBits::from_ids(&mut sorted);
+        let mut dense = DenseBits::default();
+        for &v in ids {
+            dense.insert(v);
+        }
+        (compact, dense)
+    }
+
+    #[test]
+    fn empty_set_contains_nothing() {
+        let set = CompactBits::from_sorted_ids(&[]);
+        assert!(set.is_empty());
+        assert_eq!(set.cardinality(), 0);
+        assert!(!set.contains(0));
+        assert!(!set.contains(u32::MAX));
+    }
+
+    #[test]
+    fn sparse_set_uses_array_containers_and_agrees_with_dense() {
+        let ids = [0, 1, 5, 63, 64, 65_535, 65_536, 1_000_000, u32::MAX];
+        let (compact, dense) = compact_and_dense(&ids);
+        assert_eq!(compact.cardinality(), ids.len());
+        assert!(compact
+            .containers
+            .iter()
+            .all(|c| matches!(c, Container::Array(_))));
+        for probe in ids.iter().copied().chain([2, 66, 65_537, 999_999]) {
+            assert_eq!(compact.contains(probe), dense.contains(probe), "v={probe}");
+        }
+        // Far below the 8 KiB-per-chunk dense equivalent.
+        assert!(compact.heap_bytes() < 1024);
+    }
+
+    #[test]
+    fn chunk_above_threshold_promotes_to_bitmap() {
+        // Every third id of one chunk: cardinality 21 846 > ARRAY_MAX.
+        let ids: Vec<VertexId> = (0..CHUNK as u32).step_by(3).collect();
+        let set = CompactBits::from_sorted_ids(&ids);
+        assert!(matches!(set.containers.as_slice(), [Container::Bitmap(_)]));
+        assert_eq!(set.cardinality(), ids.len());
+        for v in 0..CHUNK as u32 {
+            assert_eq!(set.contains(v), v % 3 == 0, "v={v}");
+        }
+        // Last id is 65 533, so the bitmap spans the full chunk.
+        assert_eq!(
+            set.heap_bytes(),
+            CHUNK / 8
+                + set.keys.capacity() * 2
+                + set.containers.capacity() * std::mem::size_of::<Container>()
+        );
+    }
+
+    #[test]
+    fn dense_low_chunk_costs_no_more_than_a_dense_bitset() {
+        // The inversion case: a small graph whose reach covers most of
+        // the vertex space. The span-sized bitmap must keep CompactBits
+        // within the dense bitset's cost plus directory overhead.
+        let ids: Vec<VertexId> = (0..2500).filter(|v| v % 5 != 0).collect();
+        let set = CompactBits::from_sorted_ids(&ids);
+        assert!(matches!(set.containers.as_slice(), [Container::Bitmap(_)]));
+        let dense_words = 2500usize.div_ceil(64);
+        assert!(set.heap_bytes() <= dense_words * 8 + 64);
+        for v in 0..3000 {
+            assert_eq!(set.contains(v), v < 2500 && v % 5 != 0, "v={v}");
+        }
+    }
+
+    #[test]
+    fn mixed_chunks_pick_representation_independently() {
+        // Chunk 0 dense (bitmap), chunk 7 sparse (array).
+        let mut ids: Vec<VertexId> = (0..8192).collect();
+        ids.extend([7 * CHUNK as u32 + 9, 7 * CHUNK as u32 + 4000]);
+        let set = CompactBits::from_sorted_ids(&ids);
+        assert_eq!(set.keys, vec![0, 7]);
+        assert!(matches!(set.containers[0], Container::Bitmap(_)));
+        assert!(matches!(set.containers[1], Container::Array(_)));
+        assert!(set.contains(8191) && !set.contains(8192));
+        assert!(set.contains(7 * CHUNK as u32 + 4000));
+        assert!(!set.contains(6 * CHUNK as u32 + 9));
+    }
+
+    #[test]
+    fn from_ids_sorts_and_dedups() {
+        let mut ids = vec![9, 3, 3, 70_000, 9, 1];
+        let set = CompactBits::from_ids(&mut ids);
+        assert_eq!(set.cardinality(), 4);
+        for v in [1, 3, 9, 70_000] {
+            assert!(set.contains(v));
+        }
+        assert!(!set.contains(0) && !set.contains(70_001));
+    }
+
+    #[test]
+    fn pseudo_random_agreement_with_dense_oracle() {
+        // Deterministic LCG: no RNG dependency needed for a smoke sweep.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut ids = Vec::new();
+        for _ in 0..20_000 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            ids.push((state >> 40) as VertexId); // ids in 0..2^24
+        }
+        let (compact, dense) = compact_and_dense(&ids);
+        for probe in 0..(1u32 << 16) {
+            let v = probe * 251; // stride through the id space
+            assert_eq!(compact.contains(v), dense.contains(v), "v={v}");
+        }
+        assert!(compact.heap_bytes() <= dense.heap_bytes());
+    }
+}

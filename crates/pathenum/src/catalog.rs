@@ -6,13 +6,13 @@
 //! per snapshot — to many tenants at once, and replaces graphs while
 //! queries are in flight. [`GraphCatalog`] is that registry:
 //!
-//! * every **named graph** is an `Arc<CsrGraph>` plus its own family of
+//! * every **named graph** is a [`GraphHandle`] plus its own family of
 //!   [`SharedPlanCache`]s, one per tenant, each bounded by the
 //!   per-tenant/per-graph entry quota (eviction accounting included via
 //!   [`SharedCacheStats::evictions`]). One tenant's working set cannot
 //!   evict another's, and one graph's caches are invisible to another's;
 //! * [`publish`](GraphCatalog::publish) performs an **atomic epoch
-//!   swap**: the served `Arc<CsrGraph>` is replaced under a lock that
+//!   swap**: the served [`GraphHandle`] is replaced under a lock that
 //!   covers only the pointer, while in-flight queries keep executing on
 //!   the epoch they snapshotted at submit — no torn reads, ever. Stale
 //!   plan-cache entries die lazily on their next lookup because the new
@@ -58,7 +58,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use pathenum_graph::CsrGraph;
+use pathenum_graph::{GraphHandle, NeighborAccess};
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision, Lane};
 use crate::engine::{
@@ -83,7 +83,7 @@ pub const DEFAULT_TENANT_CACHE_QUOTA: usize = 32;
 struct ServingEpoch {
     /// Generation counter: 0 at registration, +1 per publish.
     epoch: u64,
-    graph: Arc<CsrGraph>,
+    graph: GraphHandle,
 }
 
 /// Everything the catalog tracks for one graph name. The tenant caches
@@ -180,10 +180,16 @@ impl GraphCatalog {
         }
     }
 
-    /// Registers (or wholly replaces, caches included) `name` at epoch 0.
-    pub fn register(&self, name: &str, graph: Arc<CsrGraph>) {
+    /// Registers (or wholly replaces, caches included) `name` at epoch
+    /// 0. Accepts any representation convertible to a [`GraphHandle`]:
+    /// heap `Arc<CsrGraph>`, zero-copy frozen `PEG2` graphs, and
+    /// overlay-backed dynamic graphs register uniformly.
+    pub fn register(&self, name: &str, graph: impl Into<GraphHandle>) {
         let state = Arc::new(GraphState {
-            current: Mutex::new(Arc::new(ServingEpoch { epoch: 0, graph })),
+            current: Mutex::new(Arc::new(ServingEpoch {
+                epoch: 0,
+                graph: graph.into(),
+            })),
             tenants: Mutex::new(HashMap::new()),
             results: Mutex::new(HashMap::new()),
         });
@@ -195,11 +201,14 @@ impl GraphCatalog {
     /// the tenant caches survive, their stale entries invalidated lazily
     /// (per graph — other names' caches are untouched) because the new
     /// graph carries a new version.
-    pub fn publish(&self, name: &str, graph: Arc<CsrGraph>) -> Result<u64, PathEnumError> {
+    pub fn publish(&self, name: &str, graph: impl Into<GraphHandle>) -> Result<u64, PathEnumError> {
         let state = self.state(name).ok_or(PathEnumError::GraphNotFound)?;
         let mut current = crate::sync::lock_recovering(&state.current);
         let epoch = current.epoch + 1;
-        *current = Arc::new(ServingEpoch { epoch, graph });
+        *current = Arc::new(ServingEpoch {
+            epoch,
+            graph: graph.into(),
+        });
         Ok(epoch)
     }
 
@@ -232,8 +241,8 @@ impl GraphCatalog {
     }
 
     /// The graph currently served under `name`.
-    pub fn graph(&self, name: &str) -> Option<Arc<CsrGraph>> {
-        self.state(name).map(|s| Arc::clone(&s.snapshot().graph))
+    pub fn graph(&self, name: &str) -> Option<GraphHandle> {
+        self.state(name).map(|s| s.snapshot().graph.clone())
     }
 
     /// The configured per-tenant/per-graph plan-cache entry quota.
@@ -589,7 +598,7 @@ impl CatalogService {
                     (plan, index, timings, CacheOutcome::Hit)
                 }
                 None => {
-                    let planner = Planner::new(epoch.graph.as_ref(), self.config);
+                    let planner = Planner::new(&epoch.graph, self.config);
                     let (planned, timings) =
                         with_build_scratch(|scratch| planner.plan_query(query, &request, scratch));
                     let index = Arc::new(planned.index);
@@ -599,7 +608,7 @@ impl CatalogService {
             },
             None => {
                 cache.note_bypass();
-                let planner = Planner::new(epoch.graph.as_ref(), self.config);
+                let planner = Planner::new(&epoch.graph, self.config);
                 let (planned, timings) =
                     with_build_scratch(|scratch| planner.plan_query(query, &request, scratch));
                 (

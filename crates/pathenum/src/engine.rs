@@ -34,7 +34,7 @@
 
 use std::time::{Duration, Instant};
 
-use pathenum_graph::CsrGraph;
+use pathenum_graph::{CsrGraph, GraphSnapshot};
 
 use crate::index::{BuildScratch, Index};
 use crate::optimizer::{path_enum_on_index_with_build, PathEnumConfig};
@@ -52,6 +52,13 @@ use crate::stats::{Counters, PhaseTimings, RunReport};
 /// A PathEnum engine bound to one graph, reusing construction buffers
 /// and cached plans across queries.
 ///
+/// The engine is generic over any [`GraphSnapshot`] — a heap
+/// [`CsrGraph`] (the default), a zero-copy
+/// [`FrozenGraph`](pathenum_graph::FrozenGraph) served from a `PEG2`
+/// image, or a [`GraphHandle`](pathenum_graph::GraphHandle) of either —
+/// and produces byte-identical results across representations (the
+/// strictly-ascending adjacency contract pins emission order).
+///
 /// ```
 /// use pathenum::{PathEnumConfig, QueryEngine, QueryRequest};
 /// use pathenum_graph::GraphBuilder;
@@ -68,8 +75,8 @@ use crate::stats::{Counters, PhaseTimings, RunReport};
 /// assert_eq!(engine.queries_served(), 3);
 /// ```
 #[derive(Debug)]
-pub struct QueryEngine<'g> {
-    graph: &'g CsrGraph,
+pub struct QueryEngine<'g, G: GraphSnapshot = CsrGraph> {
+    graph: &'g G,
     config: PathEnumConfig,
     scratch: BuildScratch,
     cache: PlanCache,
@@ -81,10 +88,10 @@ pub struct QueryEngine<'g> {
     queries_rejected: u64,
 }
 
-impl<'g> QueryEngine<'g> {
+impl<'g, G: GraphSnapshot> QueryEngine<'g, G> {
     /// Creates an engine over `graph` with the given orchestrator
     /// configuration and a default-capacity [`PlanCache`].
-    pub fn new(graph: &'g CsrGraph, config: PathEnumConfig) -> Self {
+    pub fn new(graph: &'g G, config: PathEnumConfig) -> Self {
         QueryEngine::with_cache(graph, config, PlanCache::default())
     }
 
@@ -93,7 +100,7 @@ impl<'g> QueryEngine<'g> {
     /// from an engine that served an earlier snapshot of the same
     /// [`DynamicGraph`](pathenum_graph::DynamicGraph) (entries survive
     /// exactly when no mutation happened in between).
-    pub fn with_cache(graph: &'g CsrGraph, config: PathEnumConfig, cache: PlanCache) -> Self {
+    pub fn with_cache(graph: &'g G, config: PathEnumConfig, cache: PlanCache) -> Self {
         QueryEngine {
             graph,
             config,
@@ -117,7 +124,7 @@ impl<'g> QueryEngine<'g> {
     }
 
     /// The graph this engine serves.
-    pub fn graph(&self) -> &CsrGraph {
+    pub fn graph(&self) -> &'g G {
         self.graph
     }
 
@@ -439,7 +446,9 @@ impl<'g> QueryEngine<'g> {
         let config = crate::plan::effective_config(self.config, request);
         PlanKey::for_request(request, config)
     }
+}
 
+impl<'g> QueryEngine<'g> {
     /// An engine serving a [`DynamicGraph`](pathenum_graph::DynamicGraph)
     /// *in place* — queries run on the borrowed overlay view with zero
     /// materialization. Convenience constructor for

@@ -77,6 +77,7 @@
 //! ```
 
 pub mod admission;
+pub mod bits;
 pub mod catalog;
 pub mod constraints;
 pub mod dynamic;
@@ -102,6 +103,7 @@ pub(crate) mod sync;
 pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionStats, Lane,
 };
+pub use bits::{CompactBits, DenseBits};
 pub use catalog::{
     CatalogConfig, CatalogOutcome, CatalogRequest, CatalogService, CatalogTicket, GraphCatalog,
 };

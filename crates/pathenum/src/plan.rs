@@ -60,6 +60,7 @@ use pathenum_graph::{
     CsrGraph, DynamicGraph, EdgeMutation, GraphVersion, NeighborAccess, VertexId,
 };
 
+use crate::bits::CompactBits;
 use crate::constraints::{automaton_join, filtered_graph};
 use crate::enumerate::{idx_dfs_iterative, idx_join};
 use crate::estimator::{preliminary_estimate, FullEstimate};
@@ -716,35 +717,6 @@ impl PlanCacheStats {
     }
 }
 
-/// A dense bitset over vertex ids (one `u64` word per 64 vertices).
-#[derive(Debug, Clone)]
-struct DenseBits {
-    words: Vec<u64>,
-}
-
-impl DenseBits {
-    /// The set `{v touched in `map` : map[v] <= bound}`, sized to the
-    /// map's key space. Iterates only the touched list, so deriving a
-    /// footprint costs O(reach), not O(|V|).
-    fn from_reach(map: &EpochMap, bound: u32) -> Self {
-        let mut words = vec![0u64; map.capacity().div_ceil(64)];
-        for &v in map.touched() {
-            if map.get(v as usize) <= bound {
-                words[v as usize / 64] |= 1u64 << (v % 64);
-            }
-        }
-        DenseBits { words }
-    }
-
-    #[inline]
-    fn contains(&self, v: VertexId) -> bool {
-        let v = v as usize;
-        self.words
-            .get(v / 64)
-            .is_some_and(|w| w & (1u64 << (v % 64)) != 0)
-    }
-}
-
 /// The reach footprint of a cached index, recorded at build time: the
 /// vertex sets within `k - 1` hops of `s` (forward, `G − {t}`) and of
 /// `t` (backward, `G − {s}`).
@@ -772,10 +744,12 @@ pub(crate) struct IndexFootprint {
     /// engines; `DynamicGraph` is cloneable) must never be re-validated
     /// against it.
     lineage: GraphVersion,
-    /// `{v : S(s, v | G − {t}) <= k - 1}` at build time.
-    reach_s: DenseBits,
+    /// `{v : S(s, v | G − {t}) <= k - 1}` at build time, compressed
+    /// (see [`CompactBits`]) — footprints cover the bounded reach, not
+    /// the vertex space, so they are charged O(reach) bytes.
+    reach_s: CompactBits,
     /// `{v : S(v, t | G − {s}) <= k - 1}` at build time.
-    reach_t: DenseBits,
+    reach_t: CompactBits,
 }
 
 impl IndexFootprint {
@@ -790,8 +764,8 @@ impl IndexFootprint {
         let bound = k.saturating_sub(1);
         IndexFootprint {
             lineage,
-            reach_s: DenseBits::from_reach(dist_s, bound),
-            reach_t: DenseBits::from_reach(dist_t, bound),
+            reach_s: CompactBits::from_reach(dist_s, bound),
+            reach_t: CompactBits::from_reach(dist_t, bound),
         }
     }
 
@@ -827,10 +801,10 @@ impl IndexFootprint {
         (self.reach_s.contains(u), self.reach_t.contains(w))
     }
 
-    /// Approximate heap footprint of the two reach bitsets, in bytes —
+    /// Approximate heap footprint of the two reach sets, in bytes —
     /// byte-budgeted caches charge footprint-carrying entries for them.
     pub(crate) fn heap_bytes(&self) -> usize {
-        (self.reach_s.words.capacity() + self.reach_t.words.capacity()) * std::mem::size_of::<u64>()
+        self.reach_s.heap_bytes() + self.reach_t.heap_bytes()
     }
 }
 

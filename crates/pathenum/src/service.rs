@@ -8,8 +8,9 @@
 //! serving scenario (heavy skewed traffic against one in-memory graph)
 //! actually needs:
 //!
-//! * the graph is owned as an `Arc<CsrGraph>` and borrowed by every
-//!   worker — no copies, no per-worker state;
+//! * the graph is owned as a [`GraphHandle`] — heap CSR, zero-copy
+//!   frozen (`PEG2`), or overlay-backed, uniformly — and borrowed by
+//!   every worker: no copies, no per-worker state;
 //! * the plan/index cache is a [`SharedPlanCache`]: per-shard locking
 //!   over the existing LRU [`PlanCache`](crate::plan::PlanCache),
 //!   hit/miss/bypass statistics in
@@ -80,7 +81,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use pathenum_graph::CsrGraph;
+use pathenum_graph::{GraphHandle, NeighborAccess};
 
 use crate::admission::Lane;
 use crate::engine::{
@@ -154,7 +155,7 @@ impl Default for ServiceConfig {
 
 /// What the service shares with every worker thread.
 struct ServiceCore {
-    graph: Arc<CsrGraph>,
+    graph: GraphHandle,
     config: PathEnumConfig,
     cache: SharedPlanCache,
     /// The shared result layer; `None` keeps it off (the default).
@@ -291,7 +292,7 @@ impl ServiceCore {
         // Cold path: plan with this thread's scratch, execute, publish.
         // Racing workers may plan the same query concurrently; planning
         // is deterministic, so whichever insert lands last is identical.
-        let planner = crate::plan::Planner::new(self.graph.as_ref(), self.config);
+        let planner = crate::plan::Planner::new(&self.graph, self.config);
         let (mut planned, timings) = BUILD_SCRATCH
             .with(|scratch| planner.plan_query(query, request, &mut scratch.borrow_mut()));
         planned.plan.threads = threads;
@@ -592,14 +593,16 @@ impl std::fmt::Debug for ServiceCore {
 
 impl PathEnumService {
     /// A service over `graph` with the default [`ServiceConfig`]
-    /// (per-core worker pool, default-capacity sharded cache).
-    pub fn new(graph: Arc<CsrGraph>, config: PathEnumConfig) -> Self {
+    /// (per-core worker pool, default-capacity sharded cache). Accepts
+    /// anything convertible to a [`GraphHandle`]: an `Arc<CsrGraph>`
+    /// (the historical signature), a frozen `PEG2` graph, or a handle.
+    pub fn new(graph: impl Into<GraphHandle>, config: PathEnumConfig) -> Self {
         PathEnumService::with_config(graph, config, ServiceConfig::default())
     }
 
     /// A service with explicit pool and cache sizing.
     pub fn with_config(
-        graph: Arc<CsrGraph>,
+        graph: impl Into<GraphHandle>,
         config: PathEnumConfig,
         service: ServiceConfig,
     ) -> Self {
@@ -608,7 +611,7 @@ impl PathEnumService {
             SharedResultCache::new(service.result_cache_bytes, service.result_cache_shards)
         });
         let core = Arc::new(ServiceCore {
-            graph,
+            graph: graph.into(),
             config,
             cache: SharedPlanCache::new(service.cache_capacity, service.cache_shards),
             results,
@@ -621,7 +624,7 @@ impl PathEnumService {
     }
 
     /// The graph this service serves.
-    pub fn graph(&self) -> &Arc<CsrGraph> {
+    pub fn graph(&self) -> &GraphHandle {
         &self.core.graph
     }
 
@@ -868,6 +871,7 @@ mod tests {
     use crate::engine::QueryEngine;
     use crate::request::{CancelToken, Termination};
     use pathenum_graph::generators::{complete_digraph, erdos_renyi};
+    use pathenum_graph::CsrGraph;
 
     fn service_over(graph: &Arc<CsrGraph>, workers: usize) -> PathEnumService {
         PathEnumService::with_config(

@@ -1,16 +1,18 @@
-//! `hcpe` — ad-hoc hop-constrained s-t path enumeration on an edge list.
+//! `hcpe` — ad-hoc hop-constrained s-t path enumeration on a graph file.
 //!
 //! ```text
-//! hcpe <edge-list-file> <s> <t> <k> [--limit N] [--count-only]
+//! hcpe <graph-file> <s> <t> <k> [--limit N] [--count-only]
 //!      [--algorithm pathenum|idx-dfs|idx-join|bc-dfs|bc-join|t-dfs|yen]
 //! ```
 //!
-//! The edge list is whitespace-separated `from to` pairs; `#`/`%`
-//! comment lines are ignored (SNAP / networkrepository format).
+//! The graph file's format is sniffed: `PEG2`/`PEG1` binary images are
+//! accepted, and anything else is parsed as a whitespace-separated
+//! `from to` edge list with `#`/`%` comment lines ignored (SNAP /
+//! networkrepository format).
 
 use std::process::ExitCode;
 
-use pathenum_repro::graph::io::read_edge_list_file;
+use pathenum_repro::graph::io_binary::read_graph_file;
 use pathenum_repro::prelude::*;
 use pathenum_repro::workloads::runner::BoundedSink;
 
@@ -51,7 +53,7 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     if positional.len() != 4 {
-        return Err("expected: <edge-list-file> <s> <t> <k>".to_string());
+        return Err("expected: <graph-file> <s> <t> <k>".to_string());
     }
     Ok(Args {
         path: positional[0].clone().into(),
@@ -70,30 +72,35 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!(
-                "usage: hcpe <edge-list-file> <s> <t> <k> [--limit N] [--count-only] \
+                "usage: hcpe <graph-file> <s> <t> <k> [--limit N] [--count-only] \
                  [--algorithm pathenum|idx-dfs|idx-join|bc-dfs|bc-join|t-dfs|yen]"
             );
             return ExitCode::FAILURE;
         }
     };
 
-    let parsed = match read_edge_list_file(&args.path) {
-        Ok(parsed) => parsed,
+    let handle = match read_graph_file(&args.path) {
+        Ok(handle) => handle,
         Err(e) => {
             eprintln!("error: cannot read {}: {e}", args.path.display());
             return ExitCode::FAILURE;
         }
     };
-    if parsed.skipped_self_loops > 0 {
-        eprintln!("note: skipped {} self-loop(s)", parsed.skipped_self_loops);
-    }
-    let graph = parsed.graph;
     eprintln!(
-        "loaded {}: {} vertices, {} edges",
+        "loaded {} ({}): {} vertices, {} edges",
         args.path.display(),
-        graph.num_vertices(),
-        graph.num_edges()
+        handle.representation(),
+        handle.num_vertices(),
+        handle.num_edges()
     );
+    // The baseline algorithm drivers are CSR-bound; thaw frozen images
+    // (one allocation pass, no re-sort) rather than forking every
+    // baseline over the trait.
+    let graph = match handle {
+        GraphHandle::Heap(g) => (*g).clone(),
+        GraphHandle::Frozen(g) => g.to_csr(),
+        GraphHandle::Dynamic(g) => g.snapshot(),
+    };
 
     let query = match Query::new(args.s, args.t, args.k)
         .and_then(|q| q.validate(graph.num_vertices()).map(|()| q))

@@ -25,14 +25,16 @@ pub mod prelude {
     pub use pathenum::{
         path_enum, AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionStats,
         CacheOutcome, CancelToken, CatalogConfig, CatalogOutcome, CatalogRequest, CatalogService,
-        CatalogTicket, ControlledSink, Counters, DynamicEngine, GraphCatalog, Index, Lane, Method,
-        PathBuffer, PathEnumConfig, PathEnumError, PathEnumService, PathStream, PhysicalPlan,
-        PlanCache, PlanCacheStats, Query, QueryEngine, QueryRequest, QueryResponse, ResultCache,
-        ResultCacheStats, RunReport, ServeReport, ServiceConfig, SharedCacheStats, SharedControl,
-        SharedPlanCache, SharedResultCache, Termination, Ticket,
+        CatalogTicket, CompactBits, ControlledSink, Counters, DenseBits, DynamicEngine,
+        GraphCatalog, Index, Lane, Method, PathBuffer, PathEnumConfig, PathEnumError,
+        PathEnumService, PathStream, PhysicalPlan, PlanCache, PlanCacheStats, Query, QueryEngine,
+        QueryRequest, QueryResponse, ResultCache, ResultCacheStats, RunReport, ServeReport,
+        ServiceConfig, SharedCacheStats, SharedControl, SharedPlanCache, SharedResultCache,
+        Termination, Ticket,
     };
     pub use pathenum_graph::{
-        CsrGraph, DynamicGraph, GraphBuilder, GraphVersion, NeighborAccess, OverlayView, VertexId,
+        CsrGraph, DynamicGraph, FrozenGraph, GraphBuilder, GraphHandle, GraphSnapshot,
+        GraphVersion, NeighborAccess, OverlayView, VertexId,
     };
     pub use pathenum_workloads::{Algorithm, MeasureConfig};
 }

@@ -1,0 +1,190 @@
+//! Storage representations must be indistinguishable from the heap CSR
+//! graph: for random graphs, a [`FrozenGraph`] loaded from a `PEG2`
+//! image (raw or varint-compressed) serves *identical* adjacency — same
+//! neighbors, same strictly ascending order, same degrees — which is
+//! what makes enumeration results byte-identical across
+//! representations. Compressed cache footprints ([`CompactBits`]) must
+//! agree with the dense oracle ([`DenseBits`]) on every membership
+//! decision a retention check could make, and corrupted or truncated
+//! serialized streams must fail loudly (or, where a format carries no
+//! checksum for a region, at worst round-trip to a graph — never
+//! panic).
+
+use proptest::prelude::*;
+
+use pathenum_repro::graph::io_binary::{read_binary, read_frozen, write_binary, write_frozen};
+use pathenum_repro::prelude::*;
+
+fn graph_from_edges(n: u32, edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new(n as usize);
+    for &(u, v) in edges {
+        if u != v && u < n && v < n {
+            b.add_edge(u, v).expect("in-range edge");
+        }
+    }
+    b.finish()
+}
+
+fn frozen_from(graph: &CsrGraph, compress: bool) -> FrozenGraph {
+    let mut image = Vec::new();
+    write_frozen(graph, compress, &mut image).expect("in-memory write");
+    read_frozen(image.as_slice()).expect("round trip")
+}
+
+fn out_row(g: &impl NeighborAccess, v: VertexId) -> Vec<VertexId> {
+    let mut row = Vec::new();
+    g.for_each_out(v, |n| row.push(n));
+    row
+}
+
+fn in_row(g: &impl NeighborAccess, v: VertexId) -> Vec<VertexId> {
+    let mut row = Vec::new();
+    g.for_each_in(v, |n| row.push(n));
+    row
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Adjacency identity across representations, including the
+    /// iteration-order contract every deterministic-results guarantee
+    /// rests on: rows come out strictly ascending, identically, from
+    /// the heap CSR, the raw frozen image, and the compressed one.
+    #[test]
+    fn frozen_adjacency_is_identical_and_strictly_ascending(
+        n in 1u32..40,
+        edges in proptest::collection::vec((0u32..40, 0u32..40), 0..200),
+        compress_raw in 0u8..2,
+    ) {
+        let graph = graph_from_edges(n, &edges);
+        let frozen = frozen_from(&graph, compress_raw == 1);
+        prop_assert_eq!(frozen.num_vertices(), graph.num_vertices());
+        prop_assert_eq!(frozen.num_edges(), graph.num_edges());
+        for v in 0..n {
+            let out = out_row(&frozen, v);
+            let inn = in_row(&frozen, v);
+            prop_assert_eq!(&out, &out_row(&graph, v).to_vec(), "out row of {}", v);
+            prop_assert_eq!(&inn, &in_row(&graph, v).to_vec(), "in row of {}", v);
+            prop_assert!(out.windows(2).all(|w| w[0] < w[1]), "out row of {} ascends", v);
+            prop_assert!(inn.windows(2).all(|w| w[0] < w[1]), "in row of {} ascends", v);
+            prop_assert_eq!(frozen.out_degree(v), graph.out_degree(v));
+            prop_assert_eq!(frozen.in_degree(v), graph.in_degree(v));
+            for w in 0..n {
+                prop_assert_eq!(frozen.has_edge(v, w), graph.has_edge(v, w));
+            }
+        }
+    }
+
+    /// [`GraphHandle`] dispatch preserves the same identity for every
+    /// representation a catalog can register.
+    #[test]
+    fn graph_handle_dispatch_matches_inner_representation(
+        n in 1u32..25,
+        edges in proptest::collection::vec((0u32..25, 0u32..25), 0..120),
+    ) {
+        let graph = graph_from_edges(n, &edges);
+        let handles = [
+            GraphHandle::from(graph.clone()),
+            GraphHandle::from(frozen_from(&graph, false)),
+            GraphHandle::from(frozen_from(&graph, true)),
+            GraphHandle::from(DynamicGraph::new(graph.clone())),
+        ];
+        for handle in &handles {
+            prop_assert_eq!(handle.num_edges(), graph.num_edges());
+            for v in 0..n {
+                prop_assert_eq!(
+                    out_row(handle, v),
+                    out_row(&graph, v),
+                    "{} out row of {}", handle.representation(), v
+                );
+                prop_assert_eq!(
+                    in_row(handle, v),
+                    in_row(&graph, v),
+                    "{} in row of {}", handle.representation(), v
+                );
+            }
+        }
+    }
+
+    /// Footprint decision equivalence under mutation streams: every
+    /// membership decision the cache-retention checks derive from a
+    /// reach set — `contains(u)`, `contains(u) && contains(w)` — is
+    /// identical between the compressed set and the dense oracle, for
+    /// arbitrary build sets and arbitrary probe streams.
+    #[test]
+    fn compact_footprints_decide_like_the_dense_oracle(
+        mut ids in proptest::collection::vec(0u32..200_000, 0..400),
+        probes in proptest::collection::vec((0u32..200_000, 0u32..200_000), 0..200),
+    ) {
+        let compact = CompactBits::from_ids(&mut ids);
+        let mut dense = DenseBits::default();
+        for &v in &ids {
+            dense.insert(v);
+        }
+        prop_assert_eq!(compact.cardinality(), ids.len());
+        for &(u, w) in &probes {
+            prop_assert_eq!(compact.contains(u), dense.contains(u), "contains({})", u);
+            // The removal-retention decision shape: both endpoints.
+            prop_assert_eq!(
+                compact.contains(u) && compact.contains(w),
+                dense.contains(u) && dense.contains(w),
+                "removal decision ({}, {})", u, w
+            );
+        }
+        for &v in &ids {
+            prop_assert!(compact.contains(v), "member {}", v);
+        }
+    }
+
+    /// Corrupt-stream fuzzing, `PEG2`: flipping any single byte of a
+    /// serialized image either fails the load (checksum or structural
+    /// validation) or — only where the flip cannot change meaning —
+    /// yields a graph with identical adjacency. Never a panic, never a
+    /// silently different graph.
+    #[test]
+    fn peg2_byte_flips_never_yield_a_different_graph(
+        n in 1u32..20,
+        edges in proptest::collection::vec((0u32..20, 0u32..20), 0..60),
+        compress_raw in 0u8..2,
+        flip_pos in 0usize..4096,
+        flip_bit in 0u8..8,
+    ) {
+        let graph = graph_from_edges(n, &edges);
+        let mut image = Vec::new();
+        write_frozen(&graph, compress_raw == 1, &mut image).expect("in-memory write");
+        let pos = flip_pos % image.len();
+        image[pos] ^= 1 << flip_bit;
+        if let Ok(frozen) = read_frozen(image.as_slice()) {
+            prop_assert_eq!(frozen.num_vertices(), graph.num_vertices());
+            prop_assert_eq!(frozen.num_edges(), graph.num_edges());
+            for v in 0..n {
+                prop_assert_eq!(out_row(&frozen, v), out_row(&graph, v), "out row of {}", v);
+                prop_assert_eq!(in_row(&frozen, v), in_row(&graph, v), "in row of {}", v);
+            }
+        }
+    }
+
+    /// Corrupt-stream fuzzing, truncation: a prefix of a serialized
+    /// stream is an error for both formats — `PEG1` (the claimed edge
+    /// count outruns the bytes) and `PEG2` (section table outruns the
+    /// buffer) — never a panic, never a partial graph.
+    #[test]
+    fn truncated_streams_fail_loudly_in_both_formats(
+        n in 1u32..20,
+        edges in proptest::collection::vec((0u32..20, 0u32..20), 1..60),
+        cut in 0usize..4096,
+    ) {
+        let graph = graph_from_edges(n, &edges);
+        prop_assume!(graph.num_edges() > 0);
+
+        let mut peg1 = Vec::new();
+        write_binary(&graph, &mut peg1).expect("in-memory write");
+        let cut1 = cut % peg1.len();
+        prop_assert!(read_binary(&peg1[..cut1]).is_err(), "PEG1 cut at {}", cut1);
+
+        let mut peg2 = Vec::new();
+        write_frozen(&graph, false, &mut peg2).expect("in-memory write");
+        let cut2 = cut % peg2.len();
+        prop_assert!(read_frozen(&peg2[..cut2]).is_err(), "PEG2 cut at {}", cut2);
+    }
+}
